@@ -1,0 +1,58 @@
+//! Bit-level conversions between the 64-bit field representation and Rust scalars.
+//!
+//! Managed objects store every field as a `u64` word, exactly as the paper's runtime
+//! stores machine words. Floating-point workloads (raytracer, matrix multiplication)
+//! store IEEE-754 bit patterns.
+
+/// Stores an `f64` as its IEEE-754 bit pattern.
+#[inline]
+pub fn f64_to_bits(x: f64) -> u64 {
+    x.to_bits()
+}
+
+/// Reads an `f64` back from its IEEE-754 bit pattern.
+#[inline]
+pub fn f64_from_bits(bits: u64) -> f64 {
+    f64::from_bits(bits)
+}
+
+/// Stores an `i64` as a word (two's-complement reinterpretation).
+#[inline]
+pub fn i64_to_bits(x: i64) -> u64 {
+    x as u64
+}
+
+/// Reads an `i64` back from a word.
+#[inline]
+pub fn i64_from_bits(bits: u64) -> i64 {
+    bits as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn f64_roundtrip(x in proptest::num::f64::ANY) {
+            let back = f64_from_bits(f64_to_bits(x));
+            if x.is_nan() {
+                prop_assert!(back.is_nan());
+            } else {
+                prop_assert_eq!(back, x);
+            }
+        }
+
+        #[test]
+        fn i64_roundtrip(x in any::<i64>()) {
+            prop_assert_eq!(i64_from_bits(i64_to_bits(x)), x);
+        }
+    }
+
+    #[test]
+    fn ordering_preserved_for_common_values() {
+        assert!(f64_from_bits(f64_to_bits(1.5)) < f64_from_bits(f64_to_bits(2.5)));
+        assert_eq!(i64_from_bits(i64_to_bits(-7)), -7);
+    }
+}

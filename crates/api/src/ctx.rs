@@ -1,0 +1,317 @@
+//! The [`ParCtx`] and [`Runtime`] traits: the paper's high-level operations.
+
+use crate::stats::RunStats;
+use hh_objmodel::{ObjKind, ObjPtr};
+
+/// The per-task execution context: the paper's high-level operations (Figure 3) plus
+/// root pinning and a GC safe point.
+///
+/// Every benchmark is written once against this trait; the hierarchical-heap runtime
+/// and the three baselines implement it. A `ParCtx` value is specific to one running
+/// task: [`ParCtx::join`] hands each child closure a *fresh* context bound to that
+/// child's heap, mirroring `forkjoin` creating one heap per child task.
+pub trait ParCtx: Sized {
+    /// `alloc`: allocates an object with `n_ptr` pointer fields followed by `n_nonptr`
+    /// non-pointer fields in the current task's heap, returning its pointer.
+    ///
+    /// Pointer fields start out as [`ObjPtr::NULL`]; non-pointer fields start out zero.
+    fn alloc(&self, n_ptr: usize, n_nonptr: usize, kind: ObjKind) -> ObjPtr;
+
+    /// `readImmutable`: reads field `field` of an object whose fields never change after
+    /// initialization. Never touches the forwarding chain — this is the single-load fast
+    /// path pure functional code lives on.
+    fn read_imm(&self, obj: ObjPtr, field: usize) -> u64;
+
+    /// `readMutable`: reads a mutable field, going through the master copy if the object
+    /// has been promoted.
+    fn read_mut(&self, obj: ObjPtr, field: usize) -> u64;
+
+    /// `writeNonptr`: writes non-pointer data (ints, float bits) to a mutable field,
+    /// updating the master copy if the object has been promoted.
+    fn write_nonptr(&self, obj: ObjPtr, field: usize, val: u64);
+
+    /// `writePtr`: writes an object pointer into a mutable field. This is the operation
+    /// that may trigger promotion to preserve disentanglement.
+    fn write_ptr(&self, obj: ObjPtr, field: usize, ptr: ObjPtr);
+
+    /// Atomic compare-and-swap on a mutable non-pointer field (used by the BFS
+    /// benchmarks to mark vertices visited). Returns `Ok(prev)` on success, `Err(seen)`
+    /// on failure, like [`std::sync::atomic::AtomicU64::compare_exchange`].
+    fn cas_nonptr(&self, obj: ObjPtr, field: usize, expected: u64, new: u64) -> Result<u64, u64>;
+
+    /// Number of fields of an object (needed by generic code walking arrays).
+    fn obj_len(&self, obj: ObjPtr) -> usize;
+
+    /// `forkjoin`: runs both closures, potentially in parallel, each with a fresh child
+    /// context, and waits for both.
+    fn join<RA, RB, FA, FB>(&self, fa: FA, fb: FB) -> (RA, RB)
+    where
+        FA: FnOnce(&Self) -> RA + Send,
+        FB: FnOnce(&Self) -> RB + Send,
+        RA: Send,
+        RB: Send;
+
+    /// Registers `obj` as a GC root for this task (shadow-stack substitute for stack maps).
+    fn pin(&self, obj: ObjPtr);
+
+    /// Removes one pin of `obj`.
+    fn unpin(&self, obj: ObjPtr);
+
+    /// A GC safe point: the runtime may collect the current task's heap here if its
+    /// allocation volume warrants it. Only pinned objects (and objects reachable from
+    /// them) are guaranteed to survive.
+    fn maybe_collect(&self);
+
+    /// Number of worker threads the runtime is configured with.
+    fn n_workers(&self) -> usize;
+
+    // ------------------------------------------------------------------
+    // Provided conveniences built on the required operations.
+    // ------------------------------------------------------------------
+
+    /// Reads a pointer out of an immutable field.
+    fn read_imm_ptr(&self, obj: ObjPtr, field: usize) -> ObjPtr {
+        ObjPtr::from_bits(self.read_imm(obj, field))
+    }
+
+    /// Reads a pointer out of a mutable field (through the master copy).
+    fn read_mut_ptr(&self, obj: ObjPtr, field: usize) -> ObjPtr {
+        ObjPtr::from_bits(self.read_mut(obj, field))
+    }
+
+    /// Allocates a mutable reference cell holding non-pointer data.
+    fn alloc_ref_data(&self, init: u64) -> ObjPtr {
+        let r = self.alloc(0, 1, ObjKind::Ref);
+        self.write_nonptr(r, 0, init);
+        r
+    }
+
+    /// Allocates a mutable reference cell holding an object pointer.
+    fn alloc_ref_ptr(&self, init: ObjPtr) -> ObjPtr {
+        let r = self.alloc(1, 0, ObjKind::Ref);
+        self.write_ptr(r, 0, init);
+        r
+    }
+
+    /// Allocates a mutable array of `len` non-pointer elements, initialized to zero.
+    fn alloc_data_array(&self, len: usize) -> ObjPtr {
+        self.alloc(0, len, ObjKind::ArrayData)
+    }
+
+    /// Allocates a mutable array of `len` pointer elements, initialized to NULL.
+    fn alloc_ptr_array(&self, len: usize) -> ObjPtr {
+        self.alloc(len, 0, ObjKind::ArrayPtr)
+    }
+
+    /// Allocates an immutable cons cell `(head_ptr, tail_ptr, value)`.
+    fn alloc_cons(&self, head: ObjPtr, tail: ObjPtr, value: u64) -> ObjPtr {
+        let c = self.alloc(2, 1, ObjKind::Cons);
+        self.write_ptr(c, 0, head);
+        self.write_ptr(c, 1, tail);
+        self.write_nonptr(c, 2, value);
+        c
+    }
+
+    /// Pins `obj` for the duration of `f` (RAII-style helper when lexical scoping fits).
+    fn with_pinned<R>(&self, obj: ObjPtr, f: impl FnOnce(&Self) -> R) -> R {
+        self.pin(obj);
+        let r = f(self);
+        self.unpin(obj);
+        r
+    }
+}
+
+/// An RAII pin on a GC root.
+///
+/// Constructed by [`Rooted::new`]; the pin is released on drop. Keeping the handle alive
+/// keeps the object (and everything reachable from it) alive across collections.
+pub struct Rooted<'c, C: ParCtx> {
+    ctx: &'c C,
+    obj: ObjPtr,
+}
+
+impl<'c, C: ParCtx> Rooted<'c, C> {
+    /// Pins `obj` in `ctx` until the returned handle is dropped.
+    pub fn new(ctx: &'c C, obj: ObjPtr) -> Self {
+        ctx.pin(obj);
+        Rooted { ctx, obj }
+    }
+
+    /// The pinned object.
+    pub fn ptr(&self) -> ObjPtr {
+        self.obj
+    }
+}
+
+impl<C: ParCtx> Drop for Rooted<'_, C> {
+    fn drop(&mut self) {
+        self.ctx.unpin(self.obj);
+    }
+}
+
+/// A runtime: a scheduler plus a memory manager, able to run a root task and report
+/// statistics. Implemented by `HhRuntime`, `SeqRuntime`, `StwRuntime`, and `DlgRuntime`.
+pub trait Runtime: Sync {
+    /// The per-task context type handed to tasks.
+    type Ctx: ParCtx;
+
+    /// Short, stable name used in harness output tables (e.g. `"parmem"`, `"stw"`).
+    fn name(&self) -> &'static str;
+
+    /// Number of worker threads.
+    fn n_workers(&self) -> usize;
+
+    /// Runs `f` as the root task and returns its result.
+    fn run<R, F>(&self, f: F) -> R
+    where
+        R: Send,
+        F: FnOnce(&Self::Ctx) -> R + Send;
+
+    /// Statistics accumulated since construction or the last [`Runtime::reset_stats`].
+    fn stats(&self) -> RunStats;
+
+    /// Resets the statistics counters (peak memory tracking included).
+    fn reset_stats(&self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+
+    /// A tiny single-threaded mock used to exercise the provided helper methods and the
+    /// `Rooted` RAII handle without pulling in a real runtime.
+    struct MockCtx {
+        objects: RefCell<Vec<(ObjKind, usize, Vec<u64>)>>,
+        pins: RefCell<HashMap<u64, usize>>,
+    }
+
+    impl MockCtx {
+        fn new() -> Self {
+            MockCtx {
+                objects: RefCell::new(Vec::new()),
+                pins: RefCell::new(HashMap::new()),
+            }
+        }
+        fn pin_count(&self, obj: ObjPtr) -> usize {
+            *self.pins.borrow().get(&obj.to_bits()).unwrap_or(&0)
+        }
+    }
+
+    impl ParCtx for MockCtx {
+        fn alloc(&self, n_ptr: usize, n_nonptr: usize, kind: ObjKind) -> ObjPtr {
+            let mut objs = self.objects.borrow_mut();
+            let idx = objs.len();
+            let mut fields = vec![ObjPtr::NULL.to_bits(); n_ptr];
+            fields.extend(std::iter::repeat(0u64).take(n_nonptr));
+            objs.push((kind, n_ptr, fields));
+            ObjPtr::new(hh_objmodel::ChunkId(0), idx as u32)
+        }
+        fn read_imm(&self, obj: ObjPtr, field: usize) -> u64 {
+            self.objects.borrow()[obj.offset() as usize].2[field]
+        }
+        fn read_mut(&self, obj: ObjPtr, field: usize) -> u64 {
+            self.read_imm(obj, field)
+        }
+        fn write_nonptr(&self, obj: ObjPtr, field: usize, val: u64) {
+            self.objects.borrow_mut()[obj.offset() as usize].2[field] = val;
+        }
+        fn write_ptr(&self, obj: ObjPtr, field: usize, ptr: ObjPtr) {
+            self.objects.borrow_mut()[obj.offset() as usize].2[field] = ptr.to_bits();
+        }
+        fn cas_nonptr(
+            &self,
+            obj: ObjPtr,
+            field: usize,
+            expected: u64,
+            new: u64,
+        ) -> Result<u64, u64> {
+            let cur = self.read_mut(obj, field);
+            if cur == expected {
+                self.write_nonptr(obj, field, new);
+                Ok(cur)
+            } else {
+                Err(cur)
+            }
+        }
+        fn obj_len(&self, obj: ObjPtr) -> usize {
+            self.objects.borrow()[obj.offset() as usize].2.len()
+        }
+        fn join<RA, RB, FA, FB>(&self, fa: FA, fb: FB) -> (RA, RB)
+        where
+            FA: FnOnce(&Self) -> RA + Send,
+            FB: FnOnce(&Self) -> RB + Send,
+        {
+            (fa(self), fb(self))
+        }
+        fn pin(&self, obj: ObjPtr) {
+            *self.pins.borrow_mut().entry(obj.to_bits()).or_insert(0) += 1;
+        }
+        fn unpin(&self, obj: ObjPtr) {
+            let mut pins = self.pins.borrow_mut();
+            let c = pins.get_mut(&obj.to_bits()).expect("unpin without pin");
+            *c -= 1;
+        }
+        fn maybe_collect(&self) {}
+        fn n_workers(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn ref_helpers_roundtrip() {
+        let ctx = MockCtx::new();
+        let r = ctx.alloc_ref_data(17);
+        assert_eq!(ctx.read_mut(r, 0), 17);
+        let target = ctx.alloc_ref_data(5);
+        let rp = ctx.alloc_ref_ptr(target);
+        assert_eq!(ctx.read_mut_ptr(rp, 0), target);
+    }
+
+    #[test]
+    fn array_helpers_have_requested_lengths() {
+        let ctx = MockCtx::new();
+        let d = ctx.alloc_data_array(10);
+        let p = ctx.alloc_ptr_array(3);
+        assert_eq!(ctx.obj_len(d), 10);
+        assert_eq!(ctx.obj_len(p), 3);
+        assert!(ctx.read_mut_ptr(p, 0).is_null());
+        assert_eq!(ctx.read_mut(d, 9), 0);
+    }
+
+    #[test]
+    fn cons_helper_lays_out_fields() {
+        let ctx = MockCtx::new();
+        let head = ctx.alloc_ref_data(1);
+        let cell = ctx.alloc_cons(head, ObjPtr::NULL, 99);
+        assert_eq!(ctx.read_imm_ptr(cell, 0), head);
+        assert!(ctx.read_imm_ptr(cell, 1).is_null());
+        assert_eq!(ctx.read_imm(cell, 2), 99);
+    }
+
+    #[test]
+    fn rooted_pins_and_unpins() {
+        let ctx = MockCtx::new();
+        let obj = ctx.alloc_ref_data(0);
+        {
+            let _root = Rooted::new(&ctx, obj);
+            assert_eq!(ctx.pin_count(obj), 1);
+            {
+                let _root2 = Rooted::new(&ctx, obj);
+                assert_eq!(ctx.pin_count(obj), 2);
+            }
+            assert_eq!(ctx.pin_count(obj), 1);
+        }
+        assert_eq!(ctx.pin_count(obj), 0);
+    }
+
+    #[test]
+    fn with_pinned_balances() {
+        let ctx = MockCtx::new();
+        let obj = ctx.alloc_ref_data(3);
+        let val = ctx.with_pinned(obj, |c| c.read_mut(obj, 0));
+        assert_eq!(val, 3);
+        assert_eq!(ctx.pin_count(obj), 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # hh-api — the high-level operation interface
+//!
+//! The paper reduces full Standard ML plus nested parallelism to six high-level
+//! operations (its Figure 3): `forkjoin`, `alloc`, `readImmutable`, `readMutable`,
+//! `writeNonptr`, and `writePtr`. Every runtime in this repository — the hierarchical
+//! heap runtime (`hh-runtime`) and the three baselines (`hh-baselines`) — implements
+//! exactly that interface, expressed here as the [`ParCtx`] trait, and every benchmark
+//! in `hh-workloads` is written once, generically, against it.
+//!
+//! In addition to the paper's operations the trait carries:
+//!
+//! * `cas_nonptr`, the atomic compare-and-swap the BFS benchmarks use to mark vertices
+//!   visited (§4.2 of the paper);
+//! * explicit root pinning (`pin` / `unpin` / [`Rooted`]), the stand-in for MLton's
+//!   precise stack maps (see DESIGN.md, substitutions); and
+//! * `maybe_collect`, the safe point at which a runtime may run a garbage collection.
+//!
+//! The [`Runtime`] trait is the harness-facing factory: it runs a root task on the
+//! runtime's scheduler and reports [`RunStats`] (GC time, promotions, peak memory) used
+//! to regenerate the paper's tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod ctx;
+pub mod rng;
+pub mod stats;
+
+pub use bits::{f64_from_bits, f64_to_bits};
+pub use ctx::{ParCtx, Rooted, Runtime};
+pub use rng::{hash64, Rng};
+pub use stats::RunStats;
+
+pub use hh_objmodel::{ObjKind, ObjPtr};

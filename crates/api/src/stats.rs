@@ -1,0 +1,124 @@
+//! Run statistics reported by every runtime.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Counters accumulated by a runtime over one benchmark run.
+///
+/// These are the quantities the paper's evaluation reports: GC time (the `GC_s` /
+/// `GC_72` columns of Figures 10–11), promotion volume (the §4.4 Manticore comparison),
+/// and peak heap occupancy (the memory consumption of Figure 13).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Wall-clock time spent inside garbage collections, summed over all workers.
+    pub gc_time: Duration,
+    /// Number of garbage collections performed.
+    pub gc_count: u64,
+    /// Number of stop-the-world pauses (baselines only; 0 for the hierarchical runtime).
+    pub world_stops: u64,
+    /// Total words allocated by mutators.
+    pub allocated_words: u64,
+    /// Number of objects copied by promotions.
+    pub promoted_objects: u64,
+    /// Total words copied by promotions.
+    pub promoted_words: u64,
+    /// Number of heaps created (hierarchical runtime) or local heaps (DLG baseline).
+    pub heaps_created: u64,
+    /// Peak number of live words held in chunks at any point of the run.
+    pub peak_live_words: u64,
+    /// Words copied by garbage collections (survivors).
+    pub gc_copied_words: u64,
+}
+
+impl RunStats {
+    /// Promotion volume in bytes (words are 8 bytes).
+    pub fn promoted_bytes(&self) -> u64 {
+        self.promoted_words * 8
+    }
+
+    /// Peak heap occupancy in bytes.
+    pub fn peak_live_bytes(&self) -> u64 {
+        self.peak_live_words * 8
+    }
+
+    /// Fraction of `elapsed` spent in GC (0.0 if `elapsed` is zero).
+    pub fn gc_fraction(&self, elapsed: Duration) -> f64 {
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            self.gc_time.as_secs_f64() / elapsed.as_secs_f64()
+        }
+    }
+
+    /// Merges another stats snapshot into this one (summing counters, taking max of peaks).
+    pub fn merge(&mut self, other: &RunStats) {
+        self.gc_time += other.gc_time;
+        self.gc_count += other.gc_count;
+        self.world_stops += other.world_stops;
+        self.allocated_words += other.allocated_words;
+        self.promoted_objects += other.promoted_objects;
+        self.promoted_words += other.promoted_words;
+        self.heaps_created += other.heaps_created;
+        self.peak_live_words = self.peak_live_words.max(other.peak_live_words);
+        self.gc_copied_words += other.gc_copied_words;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let s = RunStats {
+            promoted_words: 10,
+            peak_live_words: 3,
+            ..Default::default()
+        };
+        assert_eq!(s.promoted_bytes(), 80);
+        assert_eq!(s.peak_live_bytes(), 24);
+    }
+
+    #[test]
+    fn gc_fraction_handles_zero_elapsed() {
+        let s = RunStats {
+            gc_time: Duration::from_millis(10),
+            ..Default::default()
+        };
+        assert_eq!(s.gc_fraction(Duration::ZERO), 0.0);
+        let f = s.gc_fraction(Duration::from_millis(100));
+        assert!((f - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = RunStats {
+            gc_count: 1,
+            allocated_words: 100,
+            peak_live_words: 50,
+            ..Default::default()
+        };
+        let b = RunStats {
+            gc_count: 2,
+            allocated_words: 200,
+            peak_live_words: 30,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.gc_count, 3);
+        assert_eq!(a.allocated_words, 300);
+        assert_eq!(a.peak_live_words, 50);
+    }
+
+    #[test]
+    fn debug_output_contains_counters() {
+        let s = RunStats {
+            gc_time: Duration::from_millis(5),
+            gc_count: 2,
+            promoted_words: 7,
+            ..Default::default()
+        };
+        let d = format!("{s:?}");
+        assert!(d.contains("promoted_words: 7"));
+    }
+}

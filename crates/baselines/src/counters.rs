@@ -1,0 +1,80 @@
+//! Statistics counters shared by the baseline runtimes.
+
+use hh_api::RunStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Atomic statistics counters for a baseline runtime.
+#[derive(Default, Debug)]
+pub struct Counters {
+    /// Nanoseconds spent collecting.
+    pub gc_nanos: AtomicU64,
+    /// Number of collections.
+    pub gc_count: AtomicU64,
+    /// Number of stop-the-world pauses.
+    pub world_stops: AtomicU64,
+    /// Words allocated by mutators.
+    pub allocated_words: AtomicU64,
+    /// Objects promoted to the global heap (DLG baseline).
+    pub promoted_objects: AtomicU64,
+    /// Words promoted to the global heap (DLG baseline).
+    pub promoted_words: AtomicU64,
+    /// Words copied by collections.
+    pub gc_copied_words: AtomicU64,
+}
+
+impl Counters {
+    /// Adds `d` to the GC time.
+    pub fn add_gc_time(&self, d: Duration) {
+        self.gc_nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshot into the common [`RunStats`] format.
+    pub fn snapshot(&self, peak_live_words: u64, heaps: u64) -> RunStats {
+        RunStats {
+            gc_time: Duration::from_nanos(self.gc_nanos.load(Ordering::Relaxed)),
+            gc_count: self.gc_count.load(Ordering::Relaxed),
+            world_stops: self.world_stops.load(Ordering::Relaxed),
+            allocated_words: self.allocated_words.load(Ordering::Relaxed),
+            promoted_objects: self.promoted_objects.load(Ordering::Relaxed),
+            promoted_words: self.promoted_words.load(Ordering::Relaxed),
+            heaps_created: heaps,
+            peak_live_words,
+            gc_copied_words: self.gc_copied_words.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes all counters.
+    pub fn reset(&self) {
+        for c in [
+            &self.gc_nanos,
+            &self.gc_count,
+            &self.world_stops,
+            &self.allocated_words,
+            &self.promoted_objects,
+            &self.promoted_words,
+            &self.gc_copied_words,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_reset() {
+        let c = Counters::default();
+        c.allocated_words.fetch_add(5, Ordering::Relaxed);
+        c.world_stops.fetch_add(2, Ordering::Relaxed);
+        let s = c.snapshot(9, 3);
+        assert_eq!(s.allocated_words, 5);
+        assert_eq!(s.world_stops, 2);
+        assert_eq!(s.peak_live_words, 9);
+        assert_eq!(s.heaps_created, 3);
+        c.reset();
+        assert_eq!(c.snapshot(0, 0).allocated_words, 0);
+    }
+}

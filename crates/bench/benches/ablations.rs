@@ -1,0 +1,52 @@
+//! Ablations (DESIGN.md A1/A2): the hierarchical runtime with its fast paths disabled,
+//! and the promotion-heavy `usp-tree` benchmark, which isolates the cost of whole-path
+//! locking during promotion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hh_api::Runtime;
+use hh_bench::{bench_params, bench_workers};
+use hh_runtime::{HhConfig, HhRuntime};
+use hh_workloads::suite::run_timed;
+use hh_workloads::BenchId;
+use std::hint::black_box;
+
+fn ablations(c: &mut Criterion) {
+    let params = bench_params();
+    let workers = bench_workers();
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    // A1: fast paths on / off.
+    for bench in [BenchId::Msort, BenchId::Usp] {
+        for (label, fast) in [("fastpath_on", true), ("fastpath_off", false)] {
+            group.bench_function(format!("{}/{}", bench.name(), label), |b| {
+                b.iter(|| {
+                    let rt = HhRuntime::new(HhConfig {
+                        n_workers: workers,
+                        enable_read_write_fast_path: fast,
+                        enable_write_ptr_fast_path: fast,
+                        ..Default::default()
+                    });
+                    black_box(rt.run(|ctx| run_timed(ctx, bench, params)).checksum)
+                })
+            });
+        }
+    }
+
+    // A2: promotion path-locking cost — usp-tree (promotions to the root serialize) vs
+    // multi-usp-tree (independent promotions proceed in parallel), as in §5.
+    for bench in [BenchId::UspTree, BenchId::MultiUspTree] {
+        group.bench_function(format!("{}/parmem", bench.name()), |b| {
+            b.iter(|| {
+                let rt = HhRuntime::with_workers(workers);
+                black_box(rt.run(|ctx| run_timed(ctx, bench, params)).checksum)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Figure 8 — per-operation cost of the memory operations on local, distant, and
+//! promoted objects, measured on the hierarchical runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hh_api::{ObjKind, ParCtx, Runtime};
+use hh_runtime::{HhConfig, HhRuntime};
+use std::hint::black_box;
+
+fn op_costs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig08_op_costs");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    // Local objects: allocate once, run each operation in a tight loop inside one task.
+    let rt = HhRuntime::new(HhConfig::with_workers(2));
+    for op in ["read_imm", "read_mut", "write_nonptr", "write_ptr_local"] {
+        group.bench_function(format!("local/{op}"), |b| {
+            b.iter_custom(|iters| {
+                rt.run(|ctx| {
+                    let obj = ctx.alloc(1, 3, ObjKind::Ref);
+                    let target = ctx.alloc_ref_data(1);
+                    let mut acc = 0u64;
+                    let start = std::time::Instant::now();
+                    for _ in 0..iters {
+                        match op {
+                            "read_imm" => acc = acc.wrapping_add(ctx.read_imm(obj, 2)),
+                            "read_mut" => acc = acc.wrapping_add(ctx.read_mut(obj, 2)),
+                            "write_nonptr" => ctx.write_nonptr(obj, 2, acc),
+                            _ => ctx.write_ptr(obj, 0, target),
+                        }
+                    }
+                    black_box(acc);
+                    start.elapsed()
+                })
+            });
+        });
+    }
+
+    // Promoted objects: the object has a forwarding chain, so mutable accesses go
+    // through `findMaster`.
+    for op in ["read_mut", "write_nonptr"] {
+        group.bench_function(format!("promoted/{op}"), |b| {
+            b.iter_custom(|iters| {
+                rt.run(|ctx| {
+                    let holder = ctx.alloc_ref_ptr(hh_api::ObjPtr::NULL);
+                    let stale = ctx
+                        .join(
+                            |cc| {
+                                let o = cc.alloc(1, 3, ObjKind::Ref);
+                                cc.write_nonptr(o, 2, 7);
+                                cc.write_ptr(holder, 0, o);
+                                o
+                            },
+                            |_| hh_api::ObjPtr::NULL,
+                        )
+                        .0;
+                    let mut acc = 0u64;
+                    let start = std::time::Instant::now();
+                    for _ in 0..iters {
+                        match op {
+                            "read_mut" => acc = acc.wrapping_add(ctx.read_mut(stale, 2)),
+                            _ => ctx.write_nonptr(stale, 2, acc),
+                        }
+                    }
+                    black_box(acc);
+                    start.elapsed()
+                })
+            });
+        });
+    }
+
+    // Promoting pointer writes: every iteration writes a freshly allocated child-local
+    // object into a root-allocated cell, forcing a promotion.
+    group.bench_function("distant/write_ptr_promoting", |b| {
+        b.iter_custom(|iters| {
+            rt.run(|ctx| {
+                let cell = ctx.alloc_ref_ptr(hh_api::ObjPtr::NULL);
+                let (elapsed, _) = ctx.join(
+                    |cc| {
+                        let start = std::time::Instant::now();
+                        for _ in 0..iters {
+                            let local = cc.alloc_ref_data(1);
+                            cc.write_ptr(cell, 0, local);
+                        }
+                        start.elapsed()
+                    },
+                    |_| (),
+                );
+                elapsed
+            })
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, op_costs);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 10 — the pure benchmarks on the sequential baseline, the stop-the-world
+//! baseline, the DLG baseline, and the hierarchical runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hh_bench::{bench_params, bench_workers, run_once};
+use hh_workloads::BenchId;
+use std::hint::black_box;
+
+fn pure_benchmarks(c: &mut Criterion) {
+    let params = bench_params();
+    let workers = bench_workers();
+    let mut group = c.benchmark_group("fig10_pure");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for bench in BenchId::PURE {
+        for runtime in ["seq", "stw", "dlg", "parmem"] {
+            group.bench_function(format!("{}/{}", bench.name(), runtime), |b| {
+                b.iter(|| black_box(run_once(runtime, workers, bench, params)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pure_benchmarks);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 11 — the imperative benchmarks on the sequential baseline, the stop-the-world
+//! baseline, and the hierarchical runtime (the Manticore-style baseline is excluded, as
+//! in the paper).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hh_bench::{bench_params, bench_workers, run_once};
+use hh_workloads::BenchId;
+use std::hint::black_box;
+
+fn imperative_benchmarks(c: &mut Criterion) {
+    let params = bench_params();
+    let workers = bench_workers();
+    let mut group = c.benchmark_group("fig11_imperative");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for bench in BenchId::IMPERATIVE {
+        for runtime in ["seq", "stw", "parmem"] {
+            group.bench_function(format!("{}/{}", bench.name(), runtime), |b| {
+                b.iter(|| black_box(run_once(runtime, workers, bench, params)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, imperative_benchmarks);
+criterion_main!(benches);

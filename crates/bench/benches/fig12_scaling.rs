@@ -1,0 +1,32 @@
+//! Figure 12 — speedup of the hierarchical runtime as the worker count grows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hh_bench::{bench_params, bench_workers, run_once};
+use hh_workloads::BenchId;
+use std::hint::black_box;
+
+fn scaling(c: &mut Criterion) {
+    let params = bench_params();
+    let max_workers = bench_workers();
+    let mut group = c.benchmark_group("fig12_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let mut worker_counts = vec![1usize, 2];
+    if max_workers > 4 {
+        worker_counts.push(4);
+    }
+    worker_counts.push(max_workers);
+    worker_counts.dedup();
+    for bench in [BenchId::Filter, BenchId::Msort, BenchId::Raytracer] {
+        for &p in &worker_counts {
+            group.bench_function(format!("{}/P={}", bench.name(), p), |b| {
+                b.iter(|| black_box(run_once("parmem", p, bench, params)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scaling);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figure 13 — memory consumption and inflation. Criterion measures time, so this
+//! target times the full run while the peak-occupancy numbers themselves are printed
+//! once per configuration (they are the quantity Figure 13 reports; `repro fig13`
+//! produces the full table).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hh_api::Runtime;
+use hh_baselines::{SeqRuntime, StwRuntime};
+use hh_bench::{bench_params, bench_workers};
+use hh_runtime::HhRuntime;
+use hh_workloads::suite::run_timed;
+use hh_workloads::BenchId;
+use std::hint::black_box;
+
+fn memory(c: &mut Criterion) {
+    let params = bench_params();
+    let workers = bench_workers();
+    let mut group = c.benchmark_group("fig13_memory");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for bench in [BenchId::Map, BenchId::MsortPure, BenchId::Tourney, BenchId::Dedup] {
+        // Print the peak occupancies once (the actual Figure 13 quantity).
+        let seq = SeqRuntime::new();
+        seq.run(|ctx| run_timed(ctx, bench, params));
+        let ms = seq.stats().peak_live_bytes();
+        let stw = StwRuntime::with_workers(workers);
+        stw.run(|ctx| run_timed(ctx, bench, params));
+        let hh = HhRuntime::with_workers(workers);
+        hh.run(|ctx| run_timed(ctx, bench, params));
+        println!(
+            "fig13 {}: Ms={:.1}MB  I_P(stw)={:.2}  I_P(parmem)={:.2}",
+            bench.name(),
+            ms as f64 / 1e6,
+            stw.stats().peak_live_bytes() as f64 / ms.max(1) as f64,
+            hh.stats().peak_live_bytes() as f64 / ms.max(1) as f64,
+        );
+
+        group.bench_function(format!("{}/parmem_full_run", bench.name()), |b| {
+            b.iter(|| {
+                let rt = HhRuntime::with_workers(workers);
+                let out = rt.run(|ctx| run_timed(ctx, bench, params));
+                black_box((out.checksum, rt.stats().peak_live_words))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, memory);
+criterion_main!(benches);

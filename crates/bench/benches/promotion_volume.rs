@@ -1,0 +1,52 @@
+//! §4.4 — promotion volume on `map`: the DLG/Manticore-style baseline promotes the
+//! results of stolen tasks while the hierarchical runtime promotes nothing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hh_api::Runtime;
+use hh_baselines::DlgRuntime;
+use hh_bench::{bench_params, bench_workers};
+use hh_runtime::HhRuntime;
+use hh_workloads::suite::run_timed;
+use hh_workloads::BenchId;
+use std::hint::black_box;
+
+fn promotion(c: &mut Criterion) {
+    let params = bench_params();
+    let workers = bench_workers();
+    let mut group = c.benchmark_group("promotion_volume");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    // Report promoted bytes once per runtime (the §4.4 quantity).
+    let dlg = DlgRuntime::with_workers(workers);
+    dlg.run(|ctx| run_timed(ctx, BenchId::Map, params));
+    let hh = HhRuntime::with_workers(workers);
+    hh.run(|ctx| run_timed(ctx, BenchId::Map, params));
+    println!(
+        "promotion on map: dlg={:.2}MB ({} objects)  parmem={:.2}MB ({} objects)",
+        dlg.stats().promoted_bytes() as f64 / 1e6,
+        dlg.stats().promoted_objects,
+        hh.stats().promoted_bytes() as f64 / 1e6,
+        hh.stats().promoted_objects,
+    );
+
+    group.bench_function("map/dlg", |b| {
+        b.iter(|| {
+            let rt = DlgRuntime::with_workers(workers);
+            let out = rt.run(|ctx| run_timed(ctx, BenchId::Map, params));
+            black_box((out.checksum, rt.stats().promoted_words))
+        })
+    });
+    group.bench_function("map/parmem", |b| {
+        b.iter(|| {
+            let rt = HhRuntime::with_workers(workers);
+            let out = rt.run(|ctx| run_timed(ctx, BenchId::Map, params));
+            black_box((out.checksum, rt.stats().promoted_words))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, promotion);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! # hh-bench — Criterion benchmarks
+//!
+//! One benchmark target per table / figure of the paper's evaluation (see DESIGN.md's
+//! per-experiment index). The targets use reduced problem sizes so `cargo bench
+//! --workspace` completes in minutes; the `repro` binary in `hh-harness` runs the same
+//! experiments at configurable scale and prints the paper-shaped tables.
+//!
+//! Shared helpers for the bench targets live here.
+
+use hh_api::Runtime;
+use hh_baselines::{DlgRuntime, SeqRuntime, StwRuntime};
+use hh_runtime::{HhConfig, HhRuntime};
+use hh_workloads::suite::{run_timed, BenchId, Params};
+
+/// The problem-size parameters used by the Criterion targets.
+pub fn bench_params() -> Params {
+    Params {
+        scale: 0.001,
+        grain: 1024,
+    }
+}
+
+/// Workers used for the "parallel" configurations in the Criterion targets.
+pub fn bench_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8)
+}
+
+/// Runs `bench` once on the named runtime and returns its checksum (the value is
+/// returned so Criterion cannot optimize the run away).
+pub fn run_once(runtime: &str, workers: usize, bench: BenchId, params: Params) -> u64 {
+    match runtime {
+        "seq" => SeqRuntime::new().run(|ctx| run_timed(ctx, bench, params)).checksum,
+        "stw" => StwRuntime::with_workers(workers)
+            .run(|ctx| run_timed(ctx, bench, params))
+            .checksum,
+        "dlg" => DlgRuntime::with_workers(workers)
+            .run(|ctx| run_timed(ctx, bench, params))
+            .checksum,
+        "parmem" => HhRuntime::new(HhConfig::with_workers(workers))
+            .run(|ctx| run_timed(ctx, bench, params))
+            .checksum,
+        other => panic!("unknown runtime {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_once_works_for_every_runtime() {
+        let p = Params {
+            scale: 0.0002,
+            grain: 512,
+        };
+        let expected = run_once("seq", 1, BenchId::Reduce, p);
+        for rt in ["stw", "dlg", "parmem"] {
+            assert_eq!(run_once(rt, 2, BenchId::Reduce, p), expected, "{rt}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown runtime")]
+    fn unknown_runtime_panics() {
+        let _ = run_once("nope", 1, BenchId::Fib, bench_params());
+    }
+}

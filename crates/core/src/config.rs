@@ -1,0 +1,71 @@
+//! Runtime configuration.
+
+/// Tunables of the hierarchical-heap runtime.
+///
+/// The two `enable_*` flags exist for the ablation experiments (DESIGN.md, A1): they
+/// disable the single-instruction / few-instruction fast paths of Figure 8 so the cost
+/// of always taking the locking slow path can be measured.
+#[derive(Clone, Debug)]
+pub struct HhConfig {
+    /// Number of scheduler worker threads.
+    pub n_workers: usize,
+    /// Default chunk size in words (larger objects get dedicated chunks).
+    pub chunk_words: usize,
+    /// A task heap whose allocation volume exceeds this many words becomes eligible for
+    /// collection at the next safe point.
+    pub gc_threshold_words: usize,
+    /// Master switch for garbage collection (disabled for some microbenchmarks).
+    pub enable_gc: bool,
+    /// Enable the fast path of `readMutable` / `writeNonptr` (skip `findMaster` when the
+    /// object has no forwarding pointer).
+    pub enable_read_write_fast_path: bool,
+    /// Enable the fast path of `writePtr` (skip master lookup and depth comparison when
+    /// the object is in the current task's heap and has no forwarding pointer).
+    pub enable_write_ptr_fast_path: bool,
+}
+
+impl HhConfig {
+    /// Configuration with `n_workers` workers and default memory parameters.
+    pub fn with_workers(n_workers: usize) -> Self {
+        HhConfig {
+            n_workers,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for HhConfig {
+    fn default() -> Self {
+        HhConfig {
+            n_workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            chunk_words: 8 * 1024,
+            gc_threshold_words: 4 * 1024 * 1024,
+            enable_gc: true,
+            enable_read_write_fast_path: true,
+            enable_write_ptr_fast_path: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = HhConfig::default();
+        assert!(c.n_workers >= 1);
+        assert!(c.chunk_words >= 16);
+        assert!(c.gc_threshold_words > c.chunk_words);
+        assert!(c.enable_gc && c.enable_read_write_fast_path && c.enable_write_ptr_fast_path);
+    }
+
+    #[test]
+    fn with_workers_overrides_only_workers() {
+        let c = HhConfig::with_workers(3);
+        assert_eq!(c.n_workers, 3);
+        assert_eq!(c.chunk_words, HhConfig::default().chunk_words);
+    }
+}

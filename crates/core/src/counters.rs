@@ -1,0 +1,98 @@
+//! Statistics counters shared by all tasks of a runtime.
+
+use hh_api::RunStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Atomic counters accumulated by the runtime; snapshotted into [`RunStats`].
+#[derive(Default, Debug)]
+pub struct Counters {
+    /// Nanoseconds spent in garbage collections (summed over workers).
+    pub gc_nanos: AtomicU64,
+    /// Number of collections.
+    pub gc_count: AtomicU64,
+    /// Words copied by collections (survivors).
+    pub gc_copied_words: AtomicU64,
+    /// Words allocated by mutators.
+    pub allocated_words: AtomicU64,
+    /// Objects copied by promotions.
+    pub promoted_objects: AtomicU64,
+    /// Words copied by promotions.
+    pub promoted_words: AtomicU64,
+    /// Pointer writes that took the promotion path.
+    pub promoting_writes: AtomicU64,
+    /// Pointer writes that took the non-promoting slow path.
+    pub slow_ptr_writes: AtomicU64,
+    /// Pointer writes that took the fast path.
+    pub fast_ptr_writes: AtomicU64,
+    /// Heaps created.
+    pub heaps_created: AtomicU64,
+}
+
+impl Counters {
+    /// Adds `d` to the GC time counter.
+    pub fn add_gc_time(&self, d: Duration) {
+        self.gc_nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Builds a [`RunStats`] snapshot, combining these counters with the store's peak
+    /// occupancy (supplied by the caller).
+    pub fn snapshot(&self, peak_live_words: u64) -> RunStats {
+        RunStats {
+            gc_time: Duration::from_nanos(self.gc_nanos.load(Ordering::Relaxed)),
+            gc_count: self.gc_count.load(Ordering::Relaxed),
+            world_stops: 0,
+            allocated_words: self.allocated_words.load(Ordering::Relaxed),
+            promoted_objects: self.promoted_objects.load(Ordering::Relaxed),
+            promoted_words: self.promoted_words.load(Ordering::Relaxed),
+            heaps_created: self.heaps_created.load(Ordering::Relaxed),
+            peak_live_words,
+            gc_copied_words: self.gc_copied_words.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.gc_nanos.store(0, Ordering::Relaxed);
+        self.gc_count.store(0, Ordering::Relaxed);
+        self.gc_copied_words.store(0, Ordering::Relaxed);
+        self.allocated_words.store(0, Ordering::Relaxed);
+        self.promoted_objects.store(0, Ordering::Relaxed);
+        self.promoted_words.store(0, Ordering::Relaxed);
+        self.promoting_writes.store(0, Ordering::Relaxed);
+        self.slow_ptr_writes.store(0, Ordering::Relaxed);
+        self.fast_ptr_writes.store(0, Ordering::Relaxed);
+        self.heaps_created.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let c = Counters::default();
+        c.allocated_words.fetch_add(10, Ordering::Relaxed);
+        c.promoted_objects.fetch_add(2, Ordering::Relaxed);
+        c.promoted_words.fetch_add(6, Ordering::Relaxed);
+        c.add_gc_time(Duration::from_millis(3));
+        let s = c.snapshot(77);
+        assert_eq!(s.allocated_words, 10);
+        assert_eq!(s.promoted_objects, 2);
+        assert_eq!(s.promoted_words, 6);
+        assert_eq!(s.peak_live_words, 77);
+        assert!(s.gc_time >= Duration::from_millis(3));
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let c = Counters::default();
+        c.allocated_words.fetch_add(10, Ordering::Relaxed);
+        c.gc_count.fetch_add(1, Ordering::Relaxed);
+        c.reset();
+        let s = c.snapshot(0);
+        assert_eq!(s.allocated_words, 0);
+        assert_eq!(s.gc_count, 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! The per-task context: Figure 3's operations bound to one task and its heap.
+
+use crate::runtime::Inner;
+use hh_api::ParCtx;
+use hh_heaps::HeapId;
+use hh_objmodel::{Header, ObjKind, ObjPtr};
+use hh_sched::Worker;
+use std::cell::RefCell;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// The context of one running task in the hierarchical-heap runtime.
+///
+/// A context is created for the root task by [`HhRuntime::run`](crate::HhRuntime::run)
+/// and for every child task by [`HhCtx::join`] (the paper's `forkjoin`, Figure 5). It
+/// knows the task's heap — always a leaf of the hierarchy while the task runs — and
+/// carries the task's shadow stack of GC roots.
+pub struct HhCtx {
+    inner: Arc<Inner>,
+    heap: HeapId,
+    worker: Worker,
+    roots: RefCell<Vec<ObjPtr>>,
+}
+
+impl HhCtx {
+    pub(crate) fn new(inner: Arc<Inner>, heap: HeapId, worker: Worker) -> HhCtx {
+        HhCtx {
+            inner,
+            heap,
+            worker,
+            roots: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// The heap this task allocates into.
+    pub fn heap(&self) -> HeapId {
+        self.heap
+    }
+
+    /// Depth of this task's heap in the hierarchy (root task = 0).
+    pub fn depth(&self) -> u32 {
+        self.inner.registry.heap(self.heap).depth()
+    }
+
+    /// Forces a collection of this task's heap regardless of the threshold. Only pinned
+    /// objects are guaranteed to be retained (unpinned from-space data stays readable
+    /// through forwarding but no longer counts as live memory).
+    pub fn force_collect(&self) {
+        let mut roots = self.roots.borrow_mut();
+        self.inner.collect_heap(self.heap, &mut roots);
+    }
+
+    /// Number of currently pinned roots (diagnostics).
+    pub fn root_count(&self) -> usize {
+        self.roots.borrow().len()
+    }
+}
+
+impl ParCtx for HhCtx {
+    fn alloc(&self, n_ptr: usize, n_nonptr: usize, kind: ObjKind) -> ObjPtr {
+        let header = Header::new(n_ptr + n_nonptr, n_ptr, kind);
+        self.inner
+            .counters
+            .allocated_words
+            .fetch_add(header.size_words() as u64, Ordering::Relaxed);
+        self.inner.registry.alloc_obj(self.heap, header)
+    }
+
+    fn read_imm(&self, obj: ObjPtr, field: usize) -> u64 {
+        // readImmutable: single load, never consults the forwarding chain (Figure 6).
+        self.inner.registry.store().view(obj).field(field)
+    }
+
+    fn read_mut(&self, obj: ObjPtr, field: usize) -> u64 {
+        self.inner.read_mut_impl(obj, field)
+    }
+
+    fn write_nonptr(&self, obj: ObjPtr, field: usize, val: u64) {
+        self.inner.write_nonptr_impl(obj, field, val);
+    }
+
+    fn write_ptr(&self, obj: ObjPtr, field: usize, ptr: ObjPtr) {
+        self.inner.write_ptr_impl(self.heap, obj, field, ptr);
+    }
+
+    fn cas_nonptr(&self, obj: ObjPtr, field: usize, expected: u64, new: u64) -> Result<u64, u64> {
+        self.inner.cas_nonptr_impl(obj, field, expected, new)
+    }
+
+    fn obj_len(&self, obj: ObjPtr) -> usize {
+        self.inner.registry.store().view(obj).n_fields()
+    }
+
+    fn join<RA, RB, FA, FB>(&self, fa: FA, fb: FB) -> (RA, RB)
+    where
+        FA: FnOnce(&Self) -> RA + Send,
+        FB: FnOnce(&Self) -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        // forkjoin (Figure 5): one fresh heap per child, run both branches, then join
+        // both child heaps back into the parent heap (a constant-time list splice).
+        let heap_f = self.inner.registry.new_child_heap(self.heap);
+        let heap_g = self.inner.registry.new_child_heap(self.heap);
+        self.inner.counters.heaps_created.fetch_add(2, Ordering::Relaxed);
+
+        let inner_a = Arc::clone(&self.inner);
+        let inner_b = Arc::clone(&self.inner);
+        let (ra, rb) = self.worker.join(
+            move || {
+                let worker = Worker::current_in(&inner_a.pool)
+                    .expect("task branch must execute on a pool worker");
+                let ctx = HhCtx::new(inner_a, heap_f, worker);
+                fa(&ctx)
+            },
+            move || {
+                let worker = Worker::current_in(&inner_b.pool)
+                    .expect("task branch must execute on a pool worker");
+                let ctx = HhCtx::new(inner_b, heap_g, worker);
+                fb(&ctx)
+            },
+        );
+
+        self.inner.registry.join_heap(self.heap, heap_f);
+        self.inner.registry.join_heap(self.heap, heap_g);
+        (ra, rb)
+    }
+
+    fn pin(&self, obj: ObjPtr) {
+        self.roots.borrow_mut().push(obj);
+    }
+
+    fn unpin(&self, obj: ObjPtr) {
+        let mut roots = self.roots.borrow_mut();
+        if let Some(pos) = roots.iter().rposition(|r| *r == obj) {
+            roots.swap_remove(pos);
+        }
+    }
+
+    fn maybe_collect(&self) {
+        if self.inner.should_collect(self.heap) {
+            let mut roots = self.roots.borrow_mut();
+            self.inner.collect_heap(self.heap, &mut roots);
+        }
+    }
+
+    fn n_workers(&self) -> usize {
+        self.inner.pool.n_workers()
+    }
+}

@@ -1,0 +1,162 @@
+//! Promotion-aware semispace collection of a leaf heap
+//! (the paper's §3.4 and Appendix A, Figure 14).
+
+use crate::runtime::Inner;
+use hh_heaps::HeapId;
+use hh_objmodel::{ChunkId, Header, ObjPtr};
+use std::collections::HashSet;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// To-space allocation state used during one collection.
+struct ToSpace {
+    chunks: Vec<ChunkId>,
+    chunk_set: HashSet<ChunkId>,
+    current: Option<ChunkId>,
+    copied_words: usize,
+}
+
+impl ToSpace {
+    fn new() -> ToSpace {
+        ToSpace {
+            chunks: Vec::new(),
+            chunk_set: HashSet::new(),
+            current: None,
+            copied_words: 0,
+        }
+    }
+
+    fn alloc(
+        &mut self,
+        store: &Arc<hh_objmodel::ChunkStore>,
+        owner_raw: u32,
+        header: Header,
+    ) -> ObjPtr {
+        if let Some(cur) = self.current {
+            let chunk = store.chunk(cur);
+            if let Some(ptr) = store.alloc_in_chunk(chunk, header) {
+                self.copied_words += header.size_words();
+                return ptr;
+            }
+        }
+        let chunk = store.alloc_chunk(owner_raw, header.size_words());
+        let ptr = store
+            .alloc_in_chunk(&chunk, header)
+            .expect("fresh to-space chunk too small");
+        self.current = Some(chunk.id());
+        self.chunks.push(chunk.id());
+        self.chunk_set.insert(chunk.id());
+        self.copied_words += header.size_words();
+        ptr
+    }
+}
+
+impl Inner {
+    /// True if `heap`'s allocation volume warrants a collection at the next safe point.
+    pub(crate) fn should_collect(&self, heap: HeapId) -> bool {
+        self.config.enable_gc
+            && self.registry.heap(heap).allocated_words() >= self.config.gc_threshold_words
+    }
+
+    /// Collects the (leaf) heap `heap_id`, treating `roots` as the root set and
+    /// rewriting each root to its new location.
+    ///
+    /// Thanks to disentanglement no other task can hold pointers into a leaf heap, so
+    /// the owning task collects it without any locking or synchronization — exactly the
+    /// independence property the paper's design is built around. The collection is the
+    /// promotion-aware Cheney copy of Figure 14:
+    ///
+    /// * a forwarding chain that leads into the to-space identifies a copy made by this
+    ///   collection — reuse it;
+    /// * a chain that leads out of the collected heap (into an ancestor from-space)
+    ///   identifies a copy made by an earlier *promotion* — reuse it, thereby
+    ///   eliminating the duplicate left in this heap;
+    /// * otherwise the object is live data of this heap and is evacuated to to-space.
+    pub(crate) fn collect_heap(&self, heap_id: HeapId, roots: &mut [ObjPtr]) {
+        if !self.config.enable_gc {
+            return;
+        }
+        let start = Instant::now();
+        let store = self.registry.store();
+        let heap_id = self.registry.resolve(heap_id);
+        let heap = self.registry.heap(heap_id);
+        let old_chunks = heap.chunks();
+
+        let mut to = ToSpace::new();
+        let mut pending: Vec<ObjPtr> = Vec::new();
+
+        for r in roots.iter_mut() {
+            *r = self.cheney_forward(heap_id, *r, &mut to, &mut pending);
+        }
+        while let Some(copy) = pending.pop() {
+            let v = store.view(copy);
+            for f in 0..v.n_ptr() {
+                let old = v.field_ptr(f);
+                let new = self.cheney_forward(heap_id, old, &mut to, &mut pending);
+                v.set_field_ptr(f, new);
+            }
+        }
+
+        // Install the to-space as the heap's new from-space and retire the old chunks.
+        // Old chunk contents stay readable (this is a simulator: memory is reclaimed
+        // only in the accounting sense), which keeps stale `ObjPtr` copies held in Rust
+        // locals harmless — they resolve through forwarding pointers on their next
+        // mutable access. See DESIGN.md (substitution for precise stack maps).
+        let new_chunks = to.chunks.clone();
+        heap.replace_chunks(new_chunks, to.copied_words);
+        for c in &old_chunks {
+            store.retire_chunk(*c);
+        }
+
+        self.counters.gc_count.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .gc_copied_words
+            .fetch_add(to.copied_words as u64, Ordering::Relaxed);
+        self.counters.add_gc_time(start.elapsed());
+    }
+
+    /// `cheneyCopy` (Figure 14), worklist formulation. Returns the relocated address of
+    /// `obj` with respect to a collection of `top_heap`.
+    fn cheney_forward(
+        &self,
+        top_heap: HeapId,
+        obj: ObjPtr,
+        to: &mut ToSpace,
+        pending: &mut Vec<ObjPtr>,
+    ) -> ObjPtr {
+        if obj.is_null() {
+            return ObjPtr::NULL;
+        }
+        let store = self.registry.store();
+        let mut cur = obj;
+        loop {
+            // Case 1: already a to-space copy made by this collection.
+            if to.chunk_set.contains(&cur.chunk()) {
+                return cur;
+            }
+            // Case 2: outside the collection zone — either an ancestor heap (including
+            // copies introduced by earlier promotions) or, defensively, any other heap.
+            if self.registry.heap_of(cur) != top_heap {
+                return cur;
+            }
+            let v = store.view(cur);
+            // Follow forwarding chains (they may lead to a promotion copy above us, to a
+            // to-space copy, or to another from-space object of this heap).
+            if v.has_fwd() {
+                cur = v.fwd();
+                continue;
+            }
+            // Case 3: live from-space object of this heap — evacuate it.
+            let header = v.header();
+            let copy = to.alloc(store, top_heap.raw(), header);
+            let cv = store.view(copy);
+            for f in 0..header.n_fields() {
+                cv.set_field(f, v.field(f));
+            }
+            v.set_fwd(copy);
+            pending.push(copy);
+            return copy;
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Mutable-access operations: `findMaster`, `readMutable`, `writeNonptr`, `writePtr`
+//! (the paper's Figure 6 and the dispatch part of Figure 7).
+
+use crate::runtime::Inner;
+use hh_heaps::HeapId;
+use hh_objmodel::ObjPtr;
+use std::sync::atomic::Ordering;
+
+impl Inner {
+    /// `findMaster` (Figure 6, lines 5–10): walks the forwarding chain to the master
+    /// copy using double-checked locking, and returns with a READ lock held on the
+    /// master's heap. **The caller must release that lock.**
+    pub(crate) fn find_master(&self, mut obj: ObjPtr) -> (ObjPtr, HeapId) {
+        let store = self.registry.store();
+        loop {
+            // Chase forwarding pointers without holding any lock.
+            loop {
+                let v = store.view(obj);
+                if !v.has_fwd() {
+                    break;
+                }
+                obj = v.fwd();
+            }
+            // Candidate master found: lock its heap in shared mode and re-check. A
+            // concurrent promotion may have installed a forwarding pointer in between;
+            // if so, drop the lock and chase again.
+            let heap = self.registry.heap_of(obj);
+            self.registry.heap(heap).lock.lock_shared();
+            if !store.view(obj).has_fwd() {
+                return (obj, heap);
+            }
+            self.registry.heap(heap).lock.unlock_shared();
+        }
+    }
+
+    /// `readMutable` (Figure 6, lines 11–17).
+    pub(crate) fn read_mut_impl(&self, obj: ObjPtr, field: usize) -> u64 {
+        let store = self.registry.store();
+        if self.config.enable_read_write_fast_path {
+            // Fast path: read optimistically, then check that the object has no copies.
+            let v = store.view(obj);
+            let res = v.field(field);
+            if !v.has_fwd() {
+                return res;
+            }
+        }
+        let (master, heap) = self.find_master(obj);
+        let res = store.view(master).field(field);
+        self.registry.heap(heap).lock.unlock_shared();
+        res
+    }
+
+    /// `writeNonptr` (Figure 6, lines 18–23).
+    pub(crate) fn write_nonptr_impl(&self, obj: ObjPtr, field: usize, val: u64) {
+        let store = self.registry.store();
+        if self.config.enable_read_write_fast_path {
+            // Fast path: write optimistically, then check whether `obj` was the master.
+            let v = store.view(obj);
+            v.set_field(field, val);
+            if !v.has_fwd() {
+                return;
+            }
+        }
+        let (master, heap) = self.find_master(obj);
+        store.view(master).set_field(field, val);
+        self.registry.heap(heap).lock.unlock_shared();
+    }
+
+    /// Atomic compare-and-swap on a mutable non-pointer field.
+    ///
+    /// Not part of the paper's Figure 6, but required by the BFS benchmarks (§4.2),
+    /// which mark vertices visited with a compare-and-swap. The structure mirrors
+    /// `writeNonptr`: apply to the object, then re-apply to the master copy if the
+    /// object turns out to have been promoted.
+    pub(crate) fn cas_nonptr_impl(
+        &self,
+        obj: ObjPtr,
+        field: usize,
+        expected: u64,
+        new: u64,
+    ) -> Result<u64, u64> {
+        let store = self.registry.store();
+        if self.config.enable_read_write_fast_path {
+            let v = store.view(obj);
+            if !v.has_fwd() {
+                let res = v.cas_field(field, expected, new);
+                if !v.has_fwd() {
+                    return res;
+                }
+                // A promotion raced with us; fall through and apply on the master copy
+                // (the promotion copied either the pre- or post-CAS value, and the CAS
+                // below re-establishes the intended outcome on the authoritative copy).
+            }
+        }
+        let (master, heap) = self.find_master(obj);
+        let res = store.view(master).cas_field(field, expected, new);
+        self.registry.heap(heap).lock.unlock_shared();
+        res
+    }
+
+    /// `writePtr` (Figure 7, lines 1–12).
+    pub(crate) fn write_ptr_impl(
+        &self,
+        current_heap: HeapId,
+        obj: ObjPtr,
+        field: usize,
+        ptr: ObjPtr,
+    ) {
+        let store = self.registry.store();
+
+        // Fast path (lines 2–5): the object lives in the current task's heap — which is
+        // necessarily a leaf, so no promotion can be needed — and has no copies.
+        if self.config.enable_write_ptr_fast_path {
+            let v = store.view(obj);
+            if !v.has_fwd() && self.registry.heap_of(obj) == current_heap {
+                v.set_field(field, ptr.to_bits());
+                self.counters.fast_ptr_writes.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+
+        // Slow path: find the master copy (read lock held on its heap).
+        let (master, master_heap) = self.find_master(obj);
+
+        // Writing NULL can never create entanglement.
+        let no_promotion_needed = ptr.is_null() || {
+            let obj_depth = self.registry.heap(master_heap).depth();
+            let ptr_depth = self.registry.depth(self.registry.heap_of(ptr));
+            obj_depth >= ptr_depth
+        };
+
+        if no_promotion_needed {
+            // Lines 7–10: the pointee is at the same level or above; write directly.
+            store.view(master).set_field(field, ptr.to_bits());
+            self.registry.heap(master_heap).lock.unlock_shared();
+            self.counters.slow_ptr_writes.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+
+        // Lines 11–12: writing would create a down-pointer; promote first.
+        self.registry.heap(master_heap).lock.unlock_shared();
+        self.counters.promoting_writes.fetch_add(1, Ordering::Relaxed);
+        self.write_promote(master, field, ptr);
+    }
+}

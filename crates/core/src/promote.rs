@@ -1,0 +1,152 @@
+//! Promotion: copying data up the hierarchy to preserve disentanglement
+//! (the paper's Figure 7, `writePromote` and `promote`).
+
+use crate::runtime::Inner;
+use hh_heaps::HeapId;
+use hh_objmodel::ObjPtr;
+use std::sync::atomic::Ordering;
+
+impl Inner {
+    /// `writePromote` (Figure 7, lines 13–27).
+    ///
+    /// Preconditions: `obj` is (a candidate for) the master copy of the object being
+    /// written, and its heap is strictly shallower than `ptr`'s heap.
+    ///
+    /// The three phases of the paper:
+    /// 1. lock, in WRITE mode and bottom-up, every heap on the path from `heapOf(ptr)`
+    ///    to the heap of the *current* master copy of `obj` (re-chasing forwarding
+    ///    pointers that appear while we climb);
+    /// 2. promote the pointee into the master's heap and store the promoted address;
+    /// 3. unlock the path top-down.
+    pub(crate) fn write_promote(&self, mut obj: ObjPtr, field: usize, ptr: ObjPtr) {
+        let store = self.registry.store();
+        debug_assert!(!ptr.is_null());
+
+        // Phase 1: path locking, deepest heap first.
+        let mut locked: Vec<HeapId> = Vec::new();
+        let mut prev_heap = self.registry.heap_of(ptr);
+        self.registry.heap(prev_heap).lock.lock_exclusive();
+        locked.push(prev_heap);
+        loop {
+            let obj_heap = self.registry.heap_of(obj);
+            for h in self.ancestor_path_exclusive(prev_heap, obj_heap) {
+                self.registry.heap(h).lock.lock_exclusive();
+                locked.push(h);
+            }
+            if !store.view(obj).has_fwd() {
+                break;
+            }
+            // The master moved further up while we were climbing; keep locking upward
+            // from where we are.
+            prev_heap = obj_heap;
+            obj = store.view(obj).fwd();
+        }
+
+        // Phase 2: promote and publish. We hold WRITE locks on every heap between the
+        // pointee and the master (inclusive), so no concurrent `findMaster` can observe
+        // a half-copied object and no concurrent promotion can race on the same
+        // forwarding pointers.
+        let target_heap = self.registry.heap_of(obj);
+        let promoted = self.promote_value(target_heap, ptr);
+        store.view(obj).set_field(field, promoted.to_bits());
+
+        // Phase 3: unlock top-down.
+        for h in locked.iter().rev() {
+            self.registry.heap(*h).lock.unlock_exclusive();
+        }
+    }
+
+    /// Heaps strictly above `from`, up to and including `to`, ordered deepest-first.
+    /// (`to` must be an ancestor of `from`, which disentanglement guarantees for the
+    /// uses in `write_promote`.) Returns an empty path when `from == to`.
+    pub(crate) fn ancestor_path_exclusive(&self, from: HeapId, to: HeapId) -> Vec<HeapId> {
+        let mut path = Vec::new();
+        let to = self.registry.resolve(to);
+        let mut cur = self.registry.resolve(from);
+        while cur != to {
+            let parent = self.registry.heap(cur).parent();
+            if parent.is_none() {
+                // `to` was not an ancestor of `from`; treat the root as the end of the
+                // path (defensive — disentanglement violations would already have been
+                // detected by the depth comparison in `write_ptr_impl`).
+                break;
+            }
+            let parent = self.registry.resolve(parent);
+            path.push(parent);
+            cur = parent;
+        }
+        path
+    }
+
+    /// `promote` (Figure 7, lines 28–40), in the worklist formulation the paper alludes
+    /// to ("it can be implemented using a work list"). Returns a pointer to a copy of
+    /// `root` residing in `target` or one of its ancestors.
+    pub(crate) fn promote_value(&self, target: HeapId, root: ObjPtr) -> ObjPtr {
+        let store = self.registry.store();
+        let target_depth = self.registry.depth(target);
+        let mut pending: Vec<ObjPtr> = Vec::new();
+        let result = self.forward_for_promotion(target, target_depth, root, &mut pending);
+        // Scan phase: fix up the pointer fields of every copy we made, transitively
+        // promoting what they reach.
+        while let Some(copy) = pending.pop() {
+            let v = store.view(copy);
+            for f in 0..v.n_ptr() {
+                let old = v.field_ptr(f);
+                let new = self.forward_for_promotion(target, target_depth, old, &mut pending);
+                v.set_field_ptr(f, new);
+            }
+        }
+        result
+    }
+
+    /// One step of promotion: returns an existing copy of `obj` at or above
+    /// `target_depth` if one exists (lines 29–31), otherwise copies `obj` into `target`,
+    /// installs its forwarding pointer, and schedules the copy for scanning.
+    fn forward_for_promotion(
+        &self,
+        target: HeapId,
+        target_depth: u32,
+        obj: ObjPtr,
+        pending: &mut Vec<ObjPtr>,
+    ) -> ObjPtr {
+        if obj.is_null() {
+            return ObjPtr::NULL;
+        }
+        let store = self.registry.store();
+        let mut cur = obj;
+        loop {
+            let cur_depth = self.registry.depth(self.registry.heap_of(cur));
+            if cur_depth <= target_depth {
+                // Already at or above the target heap: no copy needed.
+                return cur;
+            }
+            let v = store.view(cur);
+            if v.has_fwd() {
+                cur = v.fwd();
+                continue;
+            }
+            // Introduce a new copy in the target heap. The forwarding pointer is
+            // installed *before* the fields are filled in (as in the paper); concurrent
+            // `findMaster` calls cannot observe the half-initialized copy because we
+            // hold the target heap's WRITE lock, and `readImmutable` never follows
+            // forwarding pointers.
+            let header = v.header();
+            let copy = self.registry.alloc_obj(target, header);
+            let cv = store.view(copy);
+            v.set_fwd(copy);
+            for f in 0..header.n_fields() {
+                cv.set_field(f, v.field(f));
+            }
+            let words = header.size_words();
+            self.counters.promoted_objects.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .promoted_words
+                .fetch_add(words as u64, Ordering::Relaxed);
+            self.registry
+                .heap(self.registry.resolve(target))
+                .note_promoted_in(words);
+            pending.push(copy);
+            return copy;
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Runtime construction and the [`Runtime`] implementation.
+
+use crate::config::HhConfig;
+use crate::counters::Counters;
+use crate::ctx::HhCtx;
+use hh_api::{RunStats, Runtime};
+use hh_heaps::HeapRegistry;
+use hh_objmodel::ChunkStore;
+use hh_sched::Pool;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Shared state of one hierarchical-heap runtime: the heap registry (which owns the
+/// chunk store), the scheduler pool, the configuration, and the statistics counters.
+pub(crate) struct Inner {
+    pub(crate) registry: HeapRegistry,
+    pub(crate) pool: Pool,
+    pub(crate) config: HhConfig,
+    pub(crate) counters: Counters,
+}
+
+/// The hierarchical-heap runtime with mutation support (`mlton-parmem` in the paper's
+/// terminology).
+///
+/// ```
+/// use hh_runtime::{HhRuntime, HhConfig};
+/// use hh_api::{ParCtx, Runtime};
+///
+/// let rt = HhRuntime::new(HhConfig::with_workers(2));
+/// let sum = rt.run(|ctx| {
+///     let r = ctx.alloc_ref_data(1);
+///     let (a, b) = ctx.join(|c| c.read_mut(r, 0) + 1, |c| c.read_mut(r, 0) + 2);
+///     a + b
+/// });
+/// assert_eq!(sum, 5);
+/// ```
+pub struct HhRuntime {
+    inner: Arc<Inner>,
+}
+
+impl HhRuntime {
+    /// Creates a runtime from a configuration.
+    pub fn new(config: HhConfig) -> HhRuntime {
+        let store = Arc::new(ChunkStore::new(config.chunk_words));
+        let registry = HeapRegistry::new(store);
+        let pool = Pool::new(config.n_workers);
+        HhRuntime {
+            inner: Arc::new(Inner {
+                registry,
+                pool,
+                config,
+                counters: Counters::default(),
+            }),
+        }
+    }
+
+    /// Creates a runtime with `n` workers and default memory parameters.
+    pub fn with_workers(n: usize) -> HhRuntime {
+        Self::new(HhConfig::with_workers(n))
+    }
+
+    /// The configuration this runtime was built with.
+    pub fn config(&self) -> &HhConfig {
+        &self.inner.config
+    }
+
+    /// Walks every live heap and returns the disentanglement violations (empty when the
+    /// invariant holds). Only meaningful while no tasks are running.
+    pub fn check_disentangled(&self) -> usize {
+        self.inner.registry.check_disentangled().len()
+    }
+
+    /// Number of heaps created so far (for tests and diagnostics).
+    pub fn heaps_created(&self) -> u64 {
+        self.inner.counters.heaps_created.load(Ordering::Relaxed)
+    }
+}
+
+impl Runtime for HhRuntime {
+    type Ctx = HhCtx;
+
+    fn name(&self) -> &'static str {
+        "parmem"
+    }
+
+    fn n_workers(&self) -> usize {
+        self.inner.pool.n_workers()
+    }
+
+    fn run<R, F>(&self, f: F) -> R
+    where
+        R: Send,
+        F: FnOnce(&Self::Ctx) -> R + Send,
+    {
+        let inner = Arc::clone(&self.inner);
+        self.inner.pool.run(move |worker| {
+            // Each root task gets a fresh root heap, mirroring `main` owning the root of
+            // the hierarchy in the paper's Figure 2.
+            let root_heap = inner.registry.new_root_heap();
+            inner.counters.heaps_created.fetch_add(1, Ordering::Relaxed);
+            let ctx = HhCtx::new(Arc::clone(&inner), root_heap, worker.clone());
+            f(&ctx)
+        })
+    }
+
+    fn stats(&self) -> RunStats {
+        let peak = self.inner.registry.store().stats().peak_words as u64;
+        self.inner.counters.snapshot(peak)
+    }
+
+    fn reset_stats(&self) {
+        self.inner.counters.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_api::ParCtx;
+
+    #[test]
+    fn run_returns_closure_result() {
+        let rt = HhRuntime::with_workers(2);
+        assert_eq!(rt.run(|_| 7), 7);
+        assert_eq!(rt.name(), "parmem");
+        assert_eq!(rt.n_workers(), 2);
+    }
+
+    #[test]
+    fn doc_example_behaviour() {
+        let rt = HhRuntime::new(HhConfig::with_workers(2));
+        let sum = rt.run(|ctx| {
+            let r = ctx.alloc_ref_data(1);
+            let (a, b) = ctx.join(|c| c.read_mut(r, 0) + 1, |c| c.read_mut(r, 0) + 2);
+            a + b
+        });
+        assert_eq!(sum, 5);
+    }
+
+    #[test]
+    fn stats_track_allocation_and_heaps() {
+        let rt = HhRuntime::with_workers(1);
+        rt.run(|ctx| {
+            let _a = ctx.alloc_data_array(100);
+            let _ = ctx.join(|c| c.alloc_data_array(10), |c| c.alloc_data_array(10));
+        });
+        let s = rt.stats();
+        assert!(s.allocated_words >= 120);
+        assert!(s.heaps_created >= 3, "root + two children");
+        assert!(s.peak_live_words > 0);
+        rt.reset_stats();
+        assert_eq!(rt.stats().allocated_words, 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! `repro` — regenerate the paper's tables and figures from the command line.
+//!
+//! ```text
+//! repro <experiment> [--scale S] [--procs P] [--grain G]
+//!
+//! experiments:
+//!   fig8        cost of memory operations
+//!   fig9        representative operations per benchmark
+//!   fig10       pure benchmarks (times, overheads, speedups, GC%)
+//!   fig11       imperative benchmarks
+//!   fig12       speedup vs. worker count
+//!   fig13       memory consumption and inflation
+//!   promotion   promotion volume on `map` (§4.4)
+//!   ablation    fast-path ablation (DESIGN.md A1)
+//!   all         everything above
+//! ```
+
+use hh_harness::experiments::{
+    ablation_fastpath, fig10, fig11, fig12, fig13, fig8, fig9, promotion_volume, ExpConfig,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <fig8|fig9|fig10|fig11|fig12|fig13|promotion|ablation|all> \
+         [--scale S] [--procs P] [--grain G]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let which = args[0].clone();
+    let mut cfg = ExpConfig::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                cfg.scale = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--procs" => {
+                cfg.procs = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--grain" => {
+                cfg.grain = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    println!(
+        "# hierheap repro — scale {:.4} of the paper's sizes, {} workers, grain {}\n",
+        cfg.scale, cfg.procs, cfg.grain
+    );
+
+    let run = |name: &str| match name {
+        "fig8" => println!("{}", fig8(200_000).render()),
+        "fig9" => println!("{}", fig9(cfg).render()),
+        "fig10" => println!("{}", fig10(cfg).render()),
+        "fig11" => println!("{}", fig11(cfg).render()),
+        "fig12" => println!("{}", fig12(cfg).render()),
+        "fig13" => println!("{}", fig13(cfg).render()),
+        "promotion" => println!("{}", promotion_volume(cfg).render()),
+        "ablation" => println!("{}", ablation_fastpath(cfg).render()),
+        _ => usage(),
+    };
+
+    if which == "all" {
+        for name in [
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "promotion",
+            "ablation",
+        ] {
+            run(name);
+        }
+    } else {
+        run(&which);
+    }
+}

@@ -1,0 +1,479 @@
+//! The experiments: one function per table / figure of the paper's evaluation.
+
+use crate::measure::{measure, measure_parmem_with_config, Measurement, RuntimeKind};
+use crate::table::{megabytes, percent, ratio, secs, Table};
+use hh_api::{ObjKind, ParCtx, Runtime};
+use hh_objmodel::ObjPtr;
+use hh_runtime::{HhConfig, HhRuntime};
+use hh_workloads::suite::{BenchId, Params};
+use std::time::Instant;
+
+/// Configuration of an experiment run.
+#[derive(Copy, Clone, Debug)]
+pub struct ExpConfig {
+    /// Problem-size scale relative to the paper (1.0 = paper sizes).
+    pub scale: f64,
+    /// Maximum number of workers (the paper's 72-core column becomes this).
+    pub procs: usize,
+    /// Sequential grain.
+    pub grain: usize,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            scale: 0.005,
+            procs: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(16),
+            grain: 2048,
+        }
+    }
+}
+
+impl ExpConfig {
+    fn params(&self) -> Params {
+        Params {
+            scale: self.scale,
+            grain: self.grain,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: cost of memory operations.
+// ---------------------------------------------------------------------------
+
+/// Figure 8: per-operation cost (nanoseconds) of each memory operation on local,
+/// distant, and promoted objects, measured on the hierarchical runtime.
+pub fn fig8(iterations: u64) -> Table {
+    let mut table = Table::new(
+        "Figure 8 — cost of memory operations (ns/op, hierarchical runtime)",
+        &["object", "read-imm", "read-mut", "write-nonptr", "write-ptr"],
+    );
+    let rt = HhRuntime::new(HhConfig::with_workers(2));
+    let rows = rt.run(|ctx| {
+        let iters = iterations.max(1000);
+
+        // Helper: measure ns/op of `op` run `iters` times.
+        let time_op = |op: &mut dyn FnMut()| -> f64 {
+            let start = Instant::now();
+            for _ in 0..iters {
+                op();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        };
+
+        let mut rows: Vec<Vec<String>> = Vec::new();
+
+        // -- Local objects: allocated by this task, no copies. --------------------
+        {
+            let obj = ctx.alloc(1, 3, ObjKind::Ref);
+            let target = ctx.alloc_ref_data(1);
+            let mut acc = 0u64;
+            let r_imm = time_op(&mut || acc = acc.wrapping_add(ctx.read_imm(obj, 2)));
+            let r_mut = time_op(&mut || acc = acc.wrapping_add(ctx.read_mut(obj, 2)));
+            let w_np = time_op(&mut || ctx.write_nonptr(obj, 2, acc));
+            let w_p = time_op(&mut || ctx.write_ptr(obj, 0, target));
+            rows.push(vec![
+                "local".into(),
+                format!("{r_imm:.1}"),
+                format!("{r_mut:.1}"),
+                format!("{w_np:.1}"),
+                format!("{w_p:.1}"),
+            ]);
+            std::hint::black_box(acc);
+        }
+
+        // -- Distant objects: allocated by an ancestor, still no copies. ----------
+        {
+            let obj = ctx.alloc(1, 3, ObjKind::Ref);
+            let ancestor_target = ctx.alloc_ref_data(1);
+            let row = ctx
+                .join(
+                    |c| {
+                        let mut acc = 0u64;
+                        let r_imm = time_op_in(c, iters, &mut |cc| {
+                            acc = acc.wrapping_add(cc.read_imm(obj, 2))
+                        });
+                        let r_mut = time_op_in(c, iters, &mut |cc| {
+                            acc = acc.wrapping_add(cc.read_mut(obj, 2))
+                        });
+                        let w_np = time_op_in(c, iters, &mut |cc| cc.write_nonptr(obj, 2, acc));
+                        // Non-promoting pointer write: the pointee is at the same depth
+                        // (the root) as the object.
+                        let w_p =
+                            time_op_in(c, iters, &mut |cc| cc.write_ptr(obj, 0, ancestor_target));
+                        std::hint::black_box(acc);
+                        vec![
+                            "distant".to_string(),
+                            format!("{r_imm:.1}"),
+                            format!("{r_mut:.1}"),
+                            format!("{w_np:.1}"),
+                            format!("{w_p:.1}"),
+                        ]
+                    },
+                    |_| (),
+                )
+                .0;
+            rows.push(row);
+        }
+
+        // -- Promoted objects: objects that have acquired forwarding pointers. ----
+        {
+            let holder = ctx.alloc_ref_ptr(ObjPtr::NULL);
+            // A child task creates an object and writes it into the parent's ref,
+            // forcing a promotion; the original (deep) copy is then a "promoted object".
+            let stale = ctx
+                .join(
+                    |c| {
+                        let obj = c.alloc(1, 3, ObjKind::Ref);
+                        c.write_nonptr(obj, 2, 7);
+                        c.write_ptr(holder, 0, obj);
+                        obj
+                    },
+                    |_| ObjPtr::NULL,
+                )
+                .0;
+            let target = ctx.alloc_ref_data(1);
+            let mut acc = 0u64;
+            let r_imm = time_op(&mut || acc = acc.wrapping_add(ctx.read_imm(stale, 2)));
+            let r_mut = time_op(&mut || acc = acc.wrapping_add(ctx.read_mut(stale, 2)));
+            let w_np = time_op(&mut || ctx.write_nonptr(stale, 2, acc));
+            let w_p = time_op(&mut || ctx.write_ptr(stale, 0, target));
+            rows.push(vec![
+                "promoted".into(),
+                format!("{r_imm:.1}"),
+                format!("{r_mut:.1}"),
+                format!("{w_np:.1}"),
+                format!("{w_p:.1}"),
+            ]);
+            std::hint::black_box(acc);
+        }
+        rows
+    });
+    for row in rows {
+        table.row(row);
+    }
+    table
+}
+
+fn time_op_in<C: ParCtx>(_ctx: &C, iters: u64, op: &mut dyn FnMut(&C)) -> f64 {
+    // The context is threaded explicitly so the closure can use the child context.
+    let start = Instant::now();
+    for _ in 0..iters {
+        // Safety valve against the optimizer removing the loop entirely.
+        std::hint::black_box(());
+    }
+    let overhead = start.elapsed();
+    let start = Instant::now();
+    for _ in 0..iters {
+        op(_ctx);
+    }
+    (start.elapsed().saturating_sub(overhead)).as_nanos() as f64 / iters as f64
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9: representative operations.
+// ---------------------------------------------------------------------------
+
+/// Figure 9: each benchmark's representative memory operation, plus the measured
+/// promotion counts on the hierarchical runtime as corroboration.
+pub fn fig9(cfg: ExpConfig) -> Table {
+    let mut table = Table::new(
+        "Figure 9 — representative operations per benchmark",
+        &["benchmark", "representative operation", "promoted objects (measured, parmem)"],
+    );
+    let params = Params {
+        scale: cfg.scale.min(0.001),
+        grain: cfg.grain,
+    };
+    for id in BenchId::ALL {
+        let m = measure(RuntimeKind::Parmem, cfg.procs.min(4), id, params);
+        table.row(vec![
+            id.name().to_string(),
+            id.representative_operation().to_string(),
+            m.stats.promoted_objects.to_string(),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figures 10 and 11: the main benchmark tables.
+// ---------------------------------------------------------------------------
+
+fn bench_table(title: &str, benches: &[BenchId], kinds: &[RuntimeKind], cfg: ExpConfig) -> Table {
+    let mut header: Vec<String> = vec!["benchmark".into(), "Ts(seq)".into(), "GCs".into()];
+    for kind in kinds {
+        header.push(format!("{}: T1", kind.short()));
+        header.push(format!("{}: ovh", kind.short()));
+        header.push(format!("{}: T{}", kind.short(), cfg.procs));
+        header.push(format!("{}: spd", kind.short()));
+        header.push(format!("{}: GC{}", kind.short(), cfg.procs));
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(title, &header_refs);
+    let params = cfg.params();
+
+    for &bench in benches {
+        let seq = measure(RuntimeKind::Seq, 1, bench, params);
+        let ts = seq.elapsed.as_secs_f64();
+        let mut cells = vec![
+            bench.name().to_string(),
+            secs(seq.elapsed),
+            percent(seq.gc_fraction()),
+        ];
+        for &kind in kinds {
+            let one = measure(kind, 1, bench, params);
+            let many = measure(kind, cfg.procs, bench, params);
+            cells.push(secs(one.elapsed));
+            cells.push(ratio(one.elapsed.as_secs_f64(), ts));
+            cells.push(secs(many.elapsed));
+            cells.push(ratio(ts, many.elapsed.as_secs_f64()));
+            cells.push(percent(many.gc_fraction()));
+        }
+        table.row(cells);
+    }
+    table
+}
+
+/// Figure 10: execution times, overheads, speedups and GC fractions of the pure
+/// benchmarks on the stop-the-world baseline, the DLG baseline, and the hierarchical
+/// runtime, against the sequential baseline.
+pub fn fig10(cfg: ExpConfig) -> Table {
+    bench_table(
+        "Figure 10 — pure benchmarks",
+        &BenchId::PURE,
+        &[RuntimeKind::Stw, RuntimeKind::Dlg, RuntimeKind::Parmem],
+        cfg,
+    )
+}
+
+/// Figure 11: the imperative benchmarks. As in the paper, the Manticore-style baseline
+/// is omitted (its source model cannot express these programs).
+pub fn fig11(cfg: ExpConfig) -> Table {
+    bench_table(
+        "Figure 11 — imperative benchmarks",
+        &BenchId::IMPERATIVE,
+        &[RuntimeKind::Stw, RuntimeKind::Parmem],
+        cfg,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Figure 12: speedup curves.
+// ---------------------------------------------------------------------------
+
+/// Figure 12: speedup of the hierarchical runtime as the worker count grows, for a
+/// representative subset of benchmarks.
+pub fn fig12(cfg: ExpConfig) -> Table {
+    let benches = [
+        BenchId::Fib,
+        BenchId::Filter,
+        BenchId::MsortPure,
+        BenchId::Msort,
+        BenchId::Dedup,
+        BenchId::Raytracer,
+        BenchId::Reachability,
+    ];
+    let mut procs = vec![1usize];
+    let mut p = 2;
+    while p < cfg.procs {
+        procs.push(p);
+        p *= 2;
+    }
+    if *procs.last().unwrap() != cfg.procs {
+        procs.push(cfg.procs);
+    }
+
+    let mut header: Vec<String> = vec!["benchmark".into()];
+    for p in &procs {
+        header.push(format!("P={p}"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new("Figure 12 — speedups of the hierarchical runtime", &header_refs);
+    let params = cfg.params();
+
+    for bench in benches {
+        let seq = measure(RuntimeKind::Seq, 1, bench, params);
+        let ts = seq.elapsed.as_secs_f64();
+        let mut cells = vec![bench.name().to_string()];
+        for &p in &procs {
+            let m = measure(RuntimeKind::Parmem, p, bench, params);
+            cells.push(ratio(ts, m.elapsed.as_secs_f64()));
+        }
+        table.row(cells);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figure 13: memory consumption and inflation.
+// ---------------------------------------------------------------------------
+
+/// Figure 13: peak memory consumption of the sequential baseline (Ms, in MB) and the
+/// inflation factors of the stop-the-world baseline and the hierarchical runtime on 1
+/// and `procs` workers.
+pub fn fig13(cfg: ExpConfig) -> Table {
+    let mut table = Table::new(
+        "Figure 13 — memory consumption (MB) and inflation",
+        &[
+            "benchmark",
+            "Ms(seq)",
+            "stw: I1",
+            "stw: IP",
+            "parmem: I1",
+            "parmem: IP",
+        ],
+    );
+    let params = cfg.params();
+    for bench in BenchId::ALL {
+        let seq = measure(RuntimeKind::Seq, 1, bench, params);
+        let ms = seq.stats.peak_live_bytes();
+        let infl = |m: &Measurement| ratio(m.stats.peak_live_bytes() as f64, ms as f64);
+        let stw1 = measure(RuntimeKind::Stw, 1, bench, params);
+        let stwp = measure(RuntimeKind::Stw, cfg.procs, bench, params);
+        let hh1 = measure(RuntimeKind::Parmem, 1, bench, params);
+        let hhp = measure(RuntimeKind::Parmem, cfg.procs, bench, params);
+        table.row(vec![
+            bench.name().to_string(),
+            megabytes(ms),
+            infl(&stw1),
+            infl(&stwp),
+            infl(&hh1),
+            infl(&hhp),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// §4.4: promotion volume (the Manticore 340 MB observation).
+// ---------------------------------------------------------------------------
+
+/// §4.4 promotion-volume comparison: bytes promoted by the DLG/Manticore-style baseline
+/// versus the hierarchical runtime (the paper reports ~340 MB vs 0 on `map` at full
+/// scale). `map` and `msort-pure` are both shown: with a flat-array sequence
+/// representation `map`'s leaves build nothing, so the communication-promotion effect
+/// is most visible on `msort-pure`, whose leaves allocate their partitions locally (see
+/// EXPERIMENTS.md, E6).
+pub fn promotion_volume(cfg: ExpConfig) -> Table {
+    let mut table = Table::new(
+        "Promotion volume (§4.4)",
+        &["benchmark", "runtime", "workers", "promoted objects", "promoted MB"],
+    );
+    let params = cfg.params();
+    for bench in [BenchId::Map, BenchId::MsortPure] {
+        for (kind, workers) in [
+            (RuntimeKind::Dlg, cfg.procs),
+            (RuntimeKind::Parmem, cfg.procs),
+        ] {
+            let m = measure(kind, workers, bench, params);
+            table.row(vec![
+                bench.name().to_string(),
+                kind.short().to_string(),
+                workers.to_string(),
+                m.stats.promoted_objects.to_string(),
+                megabytes(m.stats.promoted_bytes()),
+            ]);
+        }
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (not in the paper; DESIGN.md A1/A2).
+// ---------------------------------------------------------------------------
+
+/// Ablation A1: the hierarchical runtime with its fast paths disabled, to quantify how
+/// much of the design's efficiency comes from them.
+pub fn ablation_fastpath(cfg: ExpConfig) -> Table {
+    let mut table = Table::new(
+        "Ablation A1 — fast paths on/off (parmem)",
+        &["benchmark", "fast paths (s)", "no fast paths (s)", "slowdown"],
+    );
+    let params = cfg.params();
+    for bench in [BenchId::Msort, BenchId::Tourney, BenchId::Usp] {
+        let with = measure_parmem_with_config(HhConfig::with_workers(cfg.procs), bench, params);
+        let without = measure_parmem_with_config(
+            HhConfig {
+                n_workers: cfg.procs,
+                enable_read_write_fast_path: false,
+                enable_write_ptr_fast_path: false,
+                ..Default::default()
+            },
+            bench,
+            params,
+        );
+        table.row(vec![
+            bench.name().to_string(),
+            secs(with.elapsed),
+            secs(without.elapsed),
+            ratio(without.elapsed.as_secs_f64(), with.elapsed.as_secs_f64()),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ExpConfig {
+        ExpConfig {
+            scale: 0.0002,
+            procs: 2,
+            grain: 512,
+        }
+    }
+
+    #[test]
+    fn fig8_produces_three_rows() {
+        let t = fig8(2_000);
+        assert_eq!(t.n_rows(), 3);
+        let s = t.render();
+        assert!(s.contains("local") && s.contains("distant") && s.contains("promoted"));
+    }
+
+    #[test]
+    fn fig9_covers_all_benchmarks() {
+        let t = fig9(tiny_cfg());
+        assert_eq!(t.n_rows(), BenchId::ALL.len());
+        let s = t.render();
+        assert!(s.contains("usp-tree"));
+        assert!(s.contains("distant promoting writes"));
+    }
+
+    #[test]
+    fn fig12_has_speedup_columns() {
+        let cfg = tiny_cfg();
+        let t = fig12(cfg);
+        assert_eq!(t.n_rows(), 7);
+        assert!(t.render().contains("P=2"));
+    }
+
+    #[test]
+    fn promotion_volume_shows_dlg_promoting_more_than_parmem() {
+        let t = promotion_volume(ExpConfig {
+            scale: 0.0005,
+            procs: 3,
+            grain: 256,
+        });
+        assert_eq!(t.n_rows(), 4);
+        let rendered = t.render();
+        // The map/parmem row must report zero promoted objects.
+        let parmem_line = rendered
+            .lines()
+            .find(|l| {
+                let toks: Vec<&str> = l.split_whitespace().collect();
+                toks.first() == Some(&"map") && toks.get(1) == Some(&"parmem")
+            })
+            .unwrap();
+        assert!(
+            parmem_line.split_whitespace().any(|tok| tok == "0"),
+            "parmem should promote nothing on map: {parmem_line}"
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! # hh-harness — regenerating the paper's evaluation
+//!
+//! This crate drives the benchmark suite across the four runtimes and formats the
+//! results in the shape of the paper's tables and figures:
+//!
+//! | experiment | paper artifact | function |
+//! |------------|----------------|----------|
+//! | E1 | Figure 8 — cost of memory operations          | [`experiments::fig8`]  |
+//! | E2 | Figure 10 — pure benchmarks                   | [`experiments::fig10`] |
+//! | E3 | Figure 11 — imperative benchmarks             | [`experiments::fig11`] |
+//! | E4 | Figure 12 — speedup vs. processor count       | [`experiments::fig12`] |
+//! | E5 | Figure 13 — memory consumption and inflation  | [`experiments::fig13`] |
+//! | E6 | §4.4 — promotion volume (Manticore vs. ours)  | [`experiments::promotion_volume`] |
+//! | E7 | Figure 9 — representative operations          | [`experiments::fig9`]  |
+//!
+//! The `repro` binary exposes each experiment on the command line:
+//!
+//! ```text
+//! cargo run --release -p hh-harness --bin repro -- fig10 --scale 0.01 --procs 8
+//! cargo run --release -p hh-harness --bin repro -- all   --scale 0.002
+//! ```
+//!
+//! Absolute numbers are not expected to match the paper (different machine, different
+//! scale, a simulated object model); the *shapes* — which runtime wins, how overheads
+//! compare, where `usp-tree` collapses, who promotes — are what EXPERIMENTS.md records.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod measure;
+pub mod table;
+
+pub use measure::{measure, Measurement, RuntimeKind};
+pub use table::Table;

@@ -1,0 +1,359 @@
+//! The heap registry: creation, lookup, hierarchy maintenance, and `heapOf`.
+
+use crate::heap::Heap;
+use crate::id::HeapId;
+use hh_objmodel::{AppendVec, ChunkStore, Header, ObjPtr};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The global table of heaps plus the operations that maintain the hierarchy.
+///
+/// The registry owns the [`ChunkStore`] so that `heapOf` — chunk lookup followed by
+/// merge-link resolution — is a single-object operation.
+pub struct HeapRegistry {
+    store: Arc<ChunkStore>,
+    heaps: AppendVec<Arc<Heap>>,
+    create_lock: Mutex<()>,
+}
+
+impl HeapRegistry {
+    /// Creates an empty registry over the given chunk store.
+    pub fn new(store: Arc<ChunkStore>) -> Self {
+        HeapRegistry {
+            store,
+            heaps: AppendVec::new(),
+            create_lock: Mutex::new(()),
+        }
+    }
+
+    /// The underlying chunk store.
+    #[inline]
+    pub fn store(&self) -> &Arc<ChunkStore> {
+        &self.store
+    }
+
+    /// Number of heaps ever created.
+    pub fn n_heaps(&self) -> usize {
+        self.heaps.len()
+    }
+
+    fn create(&self, parent: HeapId, depth: u32) -> HeapId {
+        let _guard = self.create_lock.lock();
+        let id = HeapId(self.heaps.len() as u32);
+        let idx = self.heaps.push(Arc::new(Heap::new(id, parent, depth)));
+        debug_assert_eq!(idx, id.raw() as usize);
+        id
+    }
+
+    /// Creates a root heap (depth 0, no parent).
+    pub fn new_root_heap(&self) -> HeapId {
+        self.create(HeapId::NONE, 0)
+    }
+
+    /// `newChildHeap`: creates a heap one level below `parent`.
+    pub fn new_child_heap(&self, parent: HeapId) -> HeapId {
+        let parent_heap = self.heap(parent);
+        debug_assert!(parent_heap.is_live(), "forking a child under a merged heap");
+        self.create(parent, parent_heap.depth() + 1)
+    }
+
+    /// Looks up a heap by id.
+    ///
+    /// # Panics
+    /// Panics on [`HeapId::NONE`] or an id that was never created.
+    #[inline]
+    pub fn heap(&self, id: HeapId) -> &Arc<Heap> {
+        debug_assert!(!id.is_none(), "looking up HeapId::NONE");
+        self.heaps
+            .get(id.raw() as usize)
+            .expect("dangling HeapId: heap not present in registry")
+    }
+
+    /// Resolves a (possibly merged) heap id to the live heap currently holding its
+    /// objects, compressing the forwarding chain as it goes.
+    pub fn resolve(&self, id: HeapId) -> HeapId {
+        let mut cur = id;
+        // First pass: find the representative.
+        loop {
+            let h = self.heap(cur);
+            let next = h.merged_into();
+            if next.is_none() {
+                break;
+            }
+            cur = next;
+        }
+        // Second pass: path compression.
+        let root = cur;
+        let mut walk = id;
+        while walk != root {
+            let h = self.heap(walk);
+            let next = h.merged_into();
+            if next.is_none() {
+                break;
+            }
+            h.compress_merged_into(next, root);
+            walk = next;
+        }
+        root
+    }
+
+    /// `heapOf`: the live heap currently holding the object at `ptr`.
+    ///
+    /// Implemented as chunk-metadata lookup (the paper's address-mask lookup) followed by
+    /// merge-link resolution; the chunk's owner field is path-compressed so repeated
+    /// queries are O(1).
+    pub fn heap_of(&self, ptr: ObjPtr) -> HeapId {
+        let chunk = self.store.chunk(ptr.chunk());
+        let recorded = HeapId::from_raw(chunk.owner());
+        let resolved = self.resolve(recorded);
+        if resolved != recorded {
+            chunk.compare_set_owner(recorded.raw(), resolved.raw());
+        }
+        resolved
+    }
+
+    /// `depth`: the depth of (the resolved version of) heap `id`.
+    pub fn depth(&self, id: HeapId) -> u32 {
+        self.heap(self.resolve(id)).depth()
+    }
+
+    /// `freshObj`: allocates an object with `header` in (the resolved version of) `heap`.
+    pub fn alloc_obj(&self, heap: HeapId, header: Header) -> ObjPtr {
+        let live = self.resolve(heap);
+        self.heap(live).alloc_obj(&self.store, header)
+    }
+
+    /// `joinHeap(parent, child)`: merges `child` into `parent`.
+    ///
+    /// The child's chunks are spliced onto the parent's chunk list and the child records
+    /// a forwarding link; no objects are copied. The child must be a live heap whose
+    /// resolved parent is `parent`.
+    pub fn join_heap(&self, parent: HeapId, child: HeapId) {
+        let parent = self.resolve(parent);
+        let child_heap = self.heap(child);
+        debug_assert!(child_heap.is_live(), "joining an already-merged heap");
+        debug_assert_ne!(parent, child, "joining a heap into itself");
+        let parent_heap = self.heap(parent);
+        parent_heap.absorb_chunks_of(child_heap);
+        child_heap.set_merged_into(parent);
+    }
+
+    /// True if `ancestor` is `h` itself or a (transitive) parent of `h`, after resolving
+    /// merges. This is the relation used to define disentanglement.
+    pub fn is_ancestor_or_self(&self, ancestor: HeapId, h: HeapId) -> bool {
+        let ancestor = self.resolve(ancestor);
+        let mut cur = self.resolve(h);
+        loop {
+            if cur == ancestor {
+                return true;
+            }
+            let parent = self.heap(cur).parent();
+            if parent.is_none() {
+                return false;
+            }
+            cur = self.resolve(parent);
+        }
+    }
+
+    /// Walks every pointer field of every object in every live heap and checks the
+    /// disentanglement invariant: each pointee's heap is an ancestor of (or equal to)
+    /// the pointer's heap. Returns the list of violations as
+    /// `(from_obj, from_heap, to_obj, to_heap)`.
+    ///
+    /// This is a debugging / property-testing facility: it is O(heap size) and assumes
+    /// the hierarchy is quiescent while it runs.
+    pub fn check_disentangled(&self) -> Vec<(ObjPtr, HeapId, ObjPtr, HeapId)> {
+        let mut violations = Vec::new();
+        for idx in 0..self.heaps.len() {
+            let heap = self.heap(HeapId(idx as u32));
+            if !heap.is_live() {
+                continue;
+            }
+            let from_heap = heap.id();
+            for chunk_id in heap.chunks() {
+                let chunk = self.store.chunk(chunk_id);
+                let mut off = 0usize;
+                while off < chunk.used() {
+                    let view = hh_objmodel::ObjView::new(chunk, off as u32);
+                    let header = view.header();
+                    for f in 0..header.n_ptr() {
+                        let target = view.field_ptr(f);
+                        if target.is_null() {
+                            continue;
+                        }
+                        let to_heap = self.heap_of(target);
+                        if !self.is_ancestor_or_self(to_heap, from_heap) {
+                            violations.push((
+                                ObjPtr::new(chunk_id, off as u32),
+                                from_heap,
+                                target,
+                                to_heap,
+                            ));
+                        }
+                    }
+                    off += header.size_words();
+                }
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_objmodel::ObjKind;
+
+    fn registry() -> HeapRegistry {
+        HeapRegistry::new(Arc::new(ChunkStore::new(256)))
+    }
+
+    #[test]
+    fn root_and_children_depths() {
+        let reg = registry();
+        let root = reg.new_root_heap();
+        let a = reg.new_child_heap(root);
+        let b = reg.new_child_heap(root);
+        let aa = reg.new_child_heap(a);
+        assert_eq!(reg.depth(root), 0);
+        assert_eq!(reg.depth(a), 1);
+        assert_eq!(reg.depth(b), 1);
+        assert_eq!(reg.depth(aa), 2);
+        assert_eq!(reg.heap(aa).parent(), a);
+        assert_eq!(reg.n_heaps(), 4);
+    }
+
+    #[test]
+    fn heap_of_fresh_allocation() {
+        let reg = registry();
+        let root = reg.new_root_heap();
+        let child = reg.new_child_heap(root);
+        let p = reg.alloc_obj(child, Header::new(1, 0, ObjKind::Ref));
+        assert_eq!(reg.heap_of(p), child);
+        let q = reg.alloc_obj(root, Header::new(1, 0, ObjKind::Ref));
+        assert_eq!(reg.heap_of(q), root);
+    }
+
+    #[test]
+    fn join_redirects_heap_of_and_depth() {
+        let reg = registry();
+        let root = reg.new_root_heap();
+        let child = reg.new_child_heap(root);
+        let p = reg.alloc_obj(child, Header::new(2, 0, ObjKind::Tuple));
+        reg.join_heap(root, child);
+        assert_eq!(reg.heap_of(p), root);
+        assert_eq!(reg.depth(child), 0, "resolved depth follows the merge");
+        assert_eq!(reg.resolve(child), root);
+        assert!(!reg.heap(child).is_live());
+        // Allocating "into" the merged heap goes to the parent.
+        let q = reg.alloc_obj(child, Header::new(1, 0, ObjKind::Ref));
+        assert_eq!(reg.heap_of(q), root);
+    }
+
+    #[test]
+    fn chained_joins_resolve_to_root() {
+        let reg = registry();
+        let root = reg.new_root_heap();
+        let mut ids = vec![root];
+        for _ in 0..10 {
+            let child = reg.new_child_heap(*ids.last().unwrap());
+            ids.push(child);
+        }
+        let deepest = *ids.last().unwrap();
+        let p = reg.alloc_obj(deepest, Header::new(1, 0, ObjKind::Ref));
+        // Join bottom-up.
+        for w in ids.windows(2).rev() {
+            reg.join_heap(w[0], w[1]);
+        }
+        assert_eq!(reg.heap_of(p), root);
+        for &id in &ids {
+            assert_eq!(reg.resolve(id), root);
+        }
+    }
+
+    #[test]
+    fn ancestor_relation() {
+        let reg = registry();
+        let root = reg.new_root_heap();
+        let a = reg.new_child_heap(root);
+        let b = reg.new_child_heap(root);
+        let aa = reg.new_child_heap(a);
+        assert!(reg.is_ancestor_or_self(root, aa));
+        assert!(reg.is_ancestor_or_self(a, aa));
+        assert!(reg.is_ancestor_or_self(aa, aa));
+        assert!(!reg.is_ancestor_or_self(b, aa));
+        assert!(!reg.is_ancestor_or_self(aa, a));
+        // After joining a into root, root is still an ancestor of aa through the merge.
+        reg.join_heap(root, a);
+        assert!(reg.is_ancestor_or_self(root, aa));
+        assert!(reg.is_ancestor_or_self(a, aa), "merged heap resolves to root");
+    }
+
+    #[test]
+    fn disentanglement_checker_accepts_up_pointers_and_flags_down_pointers() {
+        let reg = registry();
+        let root = reg.new_root_heap();
+        let child = reg.new_child_heap(root);
+        let parent_obj = reg.alloc_obj(root, Header::new(1, 1, ObjKind::Ref));
+        let child_obj = reg.alloc_obj(child, Header::new(1, 1, ObjKind::Ref));
+        // Up-pointer: child -> root object. Allowed.
+        reg.store().view(child_obj).set_field_ptr(0, parent_obj);
+        assert!(reg.check_disentangled().is_empty());
+        // Down-pointer: root object -> child object. Violation.
+        reg.store().view(parent_obj).set_field_ptr(0, child_obj);
+        let violations = reg.check_disentangled();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].1, root);
+        assert_eq!(violations[0].3, child);
+        // Joining the child into the root resolves the violation (same heap now).
+        reg.join_heap(root, child);
+        assert!(reg.check_disentangled().is_empty());
+    }
+
+    #[test]
+    fn cross_pointer_between_siblings_is_flagged() {
+        let reg = registry();
+        let root = reg.new_root_heap();
+        let left = reg.new_child_heap(root);
+        let right = reg.new_child_heap(root);
+        let l = reg.alloc_obj(left, Header::new(1, 1, ObjKind::Ref));
+        let r = reg.alloc_obj(right, Header::new(1, 1, ObjKind::Ref));
+        reg.store().view(l).set_field_ptr(0, r);
+        let violations = reg.check_disentangled();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].1, left);
+        assert_eq!(violations[0].3, right);
+    }
+
+    #[test]
+    fn concurrent_child_creation_and_allocation() {
+        let reg = Arc::new(HeapRegistry::new(Arc::new(ChunkStore::new(256))));
+        let root = reg.new_root_heap();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let reg = Arc::clone(&reg);
+            handles.push(std::thread::spawn(move || {
+                let mut ptrs = Vec::new();
+                for _ in 0..50 {
+                    let child = reg.new_child_heap(root);
+                    let p = reg.alloc_obj(child, Header::new(3, 0, ObjKind::Tuple));
+                    assert_eq!(reg.heap_of(p), child);
+                    reg.join_heap(root, child);
+                    assert_eq!(reg.heap_of(p), root);
+                    ptrs.push(p);
+                }
+                ptrs
+            }));
+        }
+        let mut all: Vec<ObjPtr> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 8 * 50);
+        for p in all {
+            assert_eq!(reg.heap_of(p), root);
+        }
+    }
+}

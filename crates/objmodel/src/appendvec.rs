@@ -1,0 +1,251 @@
+//! A concurrent, append-only, index-stable vector.
+//!
+//! The chunk table and the heap registry both need a container that supports
+//! *lock-free reads by index* while new entries are appended concurrently, and whose
+//! existing entries never move (readers hold `&T` across appends). [`AppendVec`]
+//! provides exactly that using a two-level structure of geometrically growing
+//! segments, each allocated once and never reallocated.
+//!
+//! Indices are assigned by a fetch-and-add on the length, so `push` is wait-free apart
+//! from one-time segment initialization. A reader that races with a push spins briefly
+//! until the slot is published (this window is a few instructions long).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Number of segments. Segment `s` holds `BASE << s` slots, so 34 segments cover far
+/// more entries than any realistic run can allocate.
+const SEGMENTS: usize = 34;
+/// Capacity of segment 0.
+const BASE: usize = 64;
+
+/// Returns `(segment, slot)` for a global index.
+#[inline]
+fn locate(index: usize) -> (usize, usize) {
+    // Segment s covers global indices [BASE*(2^s - 1), BASE*(2^(s+1) - 1)).
+    let bucket = (index / BASE) + 1;
+    let seg = (usize::BITS - 1 - bucket.leading_zeros()) as usize;
+    let seg_start = BASE * ((1usize << seg) - 1);
+    (seg, index - seg_start)
+}
+
+/// Capacity of segment `seg`.
+#[inline]
+fn segment_capacity(seg: usize) -> usize {
+    BASE << seg
+}
+
+/// A concurrent append-only vector with stable references.
+pub struct AppendVec<T> {
+    segments: Box<[OnceLock<Box<[OnceLock<T>]>>]>,
+    len: AtomicUsize,
+}
+
+impl<T> Default for AppendVec<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> AppendVec<T> {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        let segments: Vec<OnceLock<Box<[OnceLock<T>]>>> =
+            (0..SEGMENTS).map(|_| OnceLock::new()).collect();
+        AppendVec {
+            segments: segments.into_boxed_slice(),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of elements that have been assigned an index.
+    ///
+    /// An element counted here may still be in the tiny window between index assignment
+    /// and publication; [`get`](Self::get) waits that window out.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// True if no element has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn segment(&self, seg: usize) -> &[OnceLock<T>] {
+        self.segments[seg].get_or_init(|| {
+            let cap = segment_capacity(seg);
+            let v: Vec<OnceLock<T>> = (0..cap).map(|_| OnceLock::new()).collect();
+            v.into_boxed_slice()
+        })
+    }
+
+    /// Appends `value`, returning its index. Safe to call from any number of threads.
+    pub fn push(&self, value: T) -> usize {
+        let index = self.len.fetch_add(1, Ordering::AcqRel);
+        let (seg, slot) = locate(index);
+        assert!(seg < SEGMENTS, "AppendVec capacity exhausted");
+        let segment = self.segment(seg);
+        if segment[slot].set(value).is_err() {
+            unreachable!("AppendVec slot {index} initialized twice");
+        }
+        index
+    }
+
+    /// Returns a reference to the element at `index`, or `None` if out of bounds.
+    ///
+    /// If the element's index has been assigned but the value is not yet published by
+    /// the pushing thread, this spins until it appears.
+    pub fn get(&self, index: usize) -> Option<&T> {
+        if index >= self.len() {
+            return None;
+        }
+        let (seg, slot) = locate(index);
+        let segment = self.segment(seg);
+        loop {
+            if let Some(v) = segment[slot].get() {
+                return Some(v);
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Iterates over all published elements in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        (0..self.len()).filter_map(move |i| self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn locate_covers_indices_contiguously() {
+        let mut expected = Vec::new();
+        for seg in 0..6 {
+            for slot in 0..segment_capacity(seg) {
+                expected.push((seg, slot));
+            }
+        }
+        for (i, &(seg, slot)) in expected.iter().enumerate() {
+            assert_eq!(locate(i), (seg, slot), "index {i}");
+        }
+    }
+
+    #[test]
+    fn push_get_sequential() {
+        let v = AppendVec::new();
+        for i in 0..1000usize {
+            assert_eq!(v.push(i * 3), i);
+        }
+        assert_eq!(v.len(), 1000);
+        for i in 0..1000usize {
+            assert_eq!(*v.get(i).unwrap(), i * 3);
+        }
+        assert!(v.get(1000).is_none());
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let v: AppendVec<u32> = AppendVec::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+        assert!(v.get(0).is_none());
+        assert_eq!(v.iter().count(), 0);
+    }
+
+    #[test]
+    fn references_stay_valid_across_growth() {
+        let v = AppendVec::new();
+        v.push(String::from("first"));
+        let first: &String = v.get(0).unwrap();
+        for i in 0..10_000 {
+            v.push(format!("x{i}"));
+        }
+        // `first` must still point at valid, unmoved data.
+        assert_eq!(first, "first");
+        assert_eq!(v.get(5000).unwrap(), "x4999");
+    }
+
+    #[test]
+    fn concurrent_push_all_present() {
+        let v = Arc::new(AppendVec::new());
+        let threads = 8;
+        let per_thread = 5000usize;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let v = Arc::clone(&v);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    v.push(t * per_thread + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(v.len(), threads * per_thread);
+        let mut seen: Vec<usize> = v.iter().copied().collect();
+        seen.sort_unstable();
+        let expected: Vec<usize> = (0..threads * per_thread).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn concurrent_read_while_pushing() {
+        let v = Arc::new(AppendVec::new());
+        let writer = {
+            let v = Arc::clone(&v);
+            std::thread::spawn(move || {
+                for i in 0..20_000usize {
+                    v.push(i);
+                }
+            })
+        };
+        let reader = {
+            let v = Arc::clone(&v);
+            std::thread::spawn(move || {
+                let mut max_seen = 0usize;
+                for _ in 0..200 {
+                    let n = v.len();
+                    if n > 0 {
+                        let x = *v.get(n - 1).unwrap();
+                        assert!(x < 20_000);
+                        max_seen = max_seen.max(n);
+                    }
+                }
+                max_seen
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+        assert_eq!(v.len(), 20_000);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_push_get_roundtrip(values in proptest::collection::vec(any::<u64>(), 0..500)) {
+            let v = AppendVec::new();
+            for (i, &x) in values.iter().enumerate() {
+                prop_assert_eq!(v.push(x), i);
+            }
+            prop_assert_eq!(v.len(), values.len());
+            for (i, &x) in values.iter().enumerate() {
+                prop_assert_eq!(*v.get(i).unwrap(), x);
+            }
+            let collected: Vec<u64> = v.iter().copied().collect();
+            prop_assert_eq!(collected, values);
+        }
+
+        #[test]
+        fn prop_locate_monotonic(i in 0usize..1_000_000) {
+            let (seg, slot) = locate(i);
+            prop_assert!(slot < segment_capacity(seg));
+            // Start of the segment plus slot recovers the index.
+            let seg_start = BASE * ((1usize << seg) - 1);
+            prop_assert_eq!(seg_start + slot, i);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Memory chunks.
+//!
+//! A [`Chunk`] is a contiguous block of 64-bit words into which objects are allocated by
+//! bumping a cursor. Heaps (in `hh-heaps`) are linked lists of chunks; joining two heaps
+//! moves chunks between lists without copying, exactly as in the paper's implementation
+//! section ("a heap is a linked-list of variable-sized memory regions called chunks").
+//!
+//! Each chunk records the heap that allocated it (`owner`). Resolving the *current* heap
+//! of an object — after any number of heap joins — is the job of the heap registry; the
+//! chunk only remembers where the object was born.
+
+use crate::objptr::ObjPtr;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+/// Identifier of a chunk inside a [`ChunkStore`](crate::store::ChunkStore).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ChunkId(pub u32);
+
+/// Raw heap id meaning "no heap" (used before a chunk is adopted and in tests).
+pub const RAW_HEAP_NONE: u32 = u32::MAX;
+
+/// A fixed-capacity block of atomically accessed words with bump allocation.
+pub struct Chunk {
+    id: ChunkId,
+    /// Raw id of the heap this chunk was allocated into (interpreted by `hh-heaps`).
+    owner: AtomicU32,
+    /// Next free word index.
+    top: AtomicUsize,
+    /// True once the chunk's contents have been retired by a collection; retained only
+    /// for accounting (stale pointers must no longer be dereferenced).
+    retired: std::sync::atomic::AtomicBool,
+    words: Box<[AtomicU64]>,
+}
+
+impl Chunk {
+    /// Creates a zero-filled chunk of `n_words` words owned by raw heap `owner`.
+    pub fn new(id: ChunkId, owner: u32, n_words: usize) -> Chunk {
+        let words: Vec<AtomicU64> = (0..n_words).map(|_| AtomicU64::new(0)).collect();
+        Chunk {
+            id,
+            owner: AtomicU32::new(owner),
+            top: AtomicUsize::new(0),
+            retired: std::sync::atomic::AtomicBool::new(false),
+            words: words.into_boxed_slice(),
+        }
+    }
+
+    /// This chunk's id.
+    #[inline]
+    pub fn id(&self) -> ChunkId {
+        self.id
+    }
+
+    /// Total capacity in words.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Number of words already allocated.
+    #[inline]
+    pub fn used(&self) -> usize {
+        self.top.load(Ordering::Relaxed).min(self.capacity())
+    }
+
+    /// Words still available for allocation.
+    #[inline]
+    pub fn free(&self) -> usize {
+        self.capacity() - self.used()
+    }
+
+    /// Raw id of the heap this chunk was allocated into.
+    #[inline]
+    pub fn owner(&self) -> u32 {
+        self.owner.load(Ordering::Acquire)
+    }
+
+    /// Re-points the chunk at a (possibly merged) heap. Used for path compression by the
+    /// heap registry and when to-space chunks are adopted by their heap after a flip.
+    #[inline]
+    pub fn set_owner(&self, raw_heap: u32) {
+        self.owner.store(raw_heap, Ordering::Release);
+    }
+
+    /// Compare-and-set the owner; used for lock-free path compression.
+    #[inline]
+    pub fn compare_set_owner(&self, expected: u32, new: u32) -> bool {
+        self.owner
+            .compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Marks the chunk as retired (its contents were evacuated by a collection).
+    pub fn retire(&self) {
+        self.retired.store(true, Ordering::Release);
+    }
+
+    /// True if the chunk has been retired.
+    pub fn is_retired(&self) -> bool {
+        self.retired.load(Ordering::Acquire)
+    }
+
+    /// Attempts to reserve `n_words` contiguous words, returning the starting offset.
+    ///
+    /// Allocation within a chunk is thread-safe (a fetch-add with a capacity check) so
+    /// that promotions — which allocate into *ancestor* heaps while holding the heap's
+    /// write lock — do not race with the owning task's allocations unsafely. Over-bumps
+    /// are benign: the cursor may exceed capacity transiently but no slot beyond the
+    /// capacity is ever handed out.
+    pub fn try_bump(&self, n_words: usize) -> Option<u32> {
+        debug_assert!(n_words > 0);
+        let start = self.top.fetch_add(n_words, Ordering::AcqRel);
+        if start + n_words <= self.capacity() {
+            Some(start as u32)
+        } else {
+            None
+        }
+    }
+
+    /// The word at index `i`.
+    #[inline]
+    pub fn word(&self, i: usize) -> &AtomicU64 {
+        &self.words[i]
+    }
+
+    /// True if the object pointer refers to a word range inside this chunk.
+    pub fn contains(&self, ptr: ObjPtr) -> bool {
+        !ptr.is_null() && ptr.chunk() == self.id && (ptr.offset() as usize) < self.used()
+    }
+}
+
+impl std::fmt::Debug for Chunk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Chunk")
+            .field("id", &self.id)
+            .field("owner", &self.owner())
+            .field("used", &self.used())
+            .field("capacity", &self.capacity())
+            .field("retired", &self.is_retired())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bump_allocates_disjoint_ranges() {
+        let c = Chunk::new(ChunkId(0), 5, 100);
+        let a = c.try_bump(10).unwrap();
+        let b = c.try_bump(20).unwrap();
+        assert_eq!(a, 0);
+        assert_eq!(b, 10);
+        assert_eq!(c.used(), 30);
+        assert_eq!(c.free(), 70);
+    }
+
+    #[test]
+    fn bump_fails_when_full() {
+        let c = Chunk::new(ChunkId(0), 0, 16);
+        assert!(c.try_bump(16).is_some());
+        assert!(c.try_bump(1).is_none());
+    }
+
+    #[test]
+    fn bump_exact_boundary() {
+        let c = Chunk::new(ChunkId(0), 0, 8);
+        assert_eq!(c.try_bump(8), Some(0));
+        assert!(c.try_bump(1).is_none());
+    }
+
+    #[test]
+    fn words_are_zero_initialized() {
+        let c = Chunk::new(ChunkId(1), 0, 64);
+        for i in 0..64 {
+            assert_eq!(c.word(i).load(Ordering::Relaxed), 0);
+        }
+    }
+
+    #[test]
+    fn owner_changes_visible() {
+        let c = Chunk::new(ChunkId(2), 7, 8);
+        assert_eq!(c.owner(), 7);
+        c.set_owner(9);
+        assert_eq!(c.owner(), 9);
+        assert!(c.compare_set_owner(9, 11));
+        assert!(!c.compare_set_owner(9, 13));
+        assert_eq!(c.owner(), 11);
+    }
+
+    #[test]
+    fn contains_checks_chunk_and_range() {
+        let c = Chunk::new(ChunkId(3), 0, 32);
+        c.try_bump(4).unwrap();
+        assert!(c.contains(ObjPtr::new(ChunkId(3), 0)));
+        assert!(c.contains(ObjPtr::new(ChunkId(3), 3)));
+        assert!(!c.contains(ObjPtr::new(ChunkId(3), 4)));
+        assert!(!c.contains(ObjPtr::new(ChunkId(4), 0)));
+        assert!(!c.contains(ObjPtr::NULL));
+    }
+
+    #[test]
+    fn retire_flag() {
+        let c = Chunk::new(ChunkId(0), 0, 8);
+        assert!(!c.is_retired());
+        c.retire();
+        assert!(c.is_retired());
+    }
+
+    #[test]
+    fn concurrent_bump_no_overlap() {
+        let c = Arc::new(Chunk::new(ChunkId(0), 0, 100_000));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                let mut offsets = Vec::new();
+                for _ in 0..1000 {
+                    if let Some(o) = c.try_bump(7) {
+                        offsets.push(o);
+                    }
+                }
+                offsets
+            }));
+        }
+        let mut all: Vec<u32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        // Every reservation is 7 words, so successive offsets differ by at least 7.
+        for w in all.windows(2) {
+            assert!(w[1] >= w[0] + 7, "overlapping reservations: {} {}", w[0], w[1]);
+        }
+    }
+}

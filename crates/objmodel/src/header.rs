@@ -1,0 +1,226 @@
+//! Object headers.
+//!
+//! Every object starts with a one-word header describing its shape: how many fields it
+//! has, how many of them hold object pointers, and a small *kind* tag used by the
+//! higher-level libraries (sequences, graphs, …) for debugging and sanity checks.
+//!
+//! By convention the pointer fields are fields `0 .. n_ptr` and the non-pointer fields
+//! are fields `n_ptr .. n_fields`. This mirrors the paper's `ptrFields` / `nonptrFields`
+//! primitives while keeping the header to a single word.
+
+/// The kind tag carried by every object header.
+///
+/// Kinds have no semantic meaning inside the memory manager; they exist so that the
+/// higher layers (and the tests) can assert they are looking at the object they expect.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
+#[repr(u8)]
+pub enum ObjKind {
+    /// A generic tuple / record of immutable fields.
+    Tuple = 0,
+    /// A mutable reference cell (`'a ref`): one field, mutable.
+    Ref = 1,
+    /// A mutable array of non-pointer data (ints, floats as bits).
+    ArrayData = 2,
+    /// A mutable array of object pointers.
+    ArrayPtr = 3,
+    /// An immutable cons cell / list node.
+    Cons = 4,
+    /// An immutable leaf vector used by sequence trees.
+    Leaf = 5,
+    /// A node of a user data structure (tournament tree, quadtree, …).
+    Node = 6,
+    /// Anything else.
+    Other = 7,
+}
+
+impl ObjKind {
+    /// Decodes a kind from its numeric tag, defaulting to [`ObjKind::Other`].
+    pub fn from_u8(v: u8) -> ObjKind {
+        match v {
+            0 => ObjKind::Tuple,
+            1 => ObjKind::Ref,
+            2 => ObjKind::ArrayData,
+            3 => ObjKind::ArrayPtr,
+            4 => ObjKind::Cons,
+            5 => ObjKind::Leaf,
+            6 => ObjKind::Node,
+            _ => ObjKind::Other,
+        }
+    }
+
+    /// True for kinds whose fields may be mutated after initialization.
+    ///
+    /// `readMutable` / `writeNonptr` / `writePtr` are only meaningful on these kinds;
+    /// the distinction matters because immutable fields never need master-copy lookups.
+    pub fn is_mutable(self) -> bool {
+        matches!(self, ObjKind::Ref | ObjKind::ArrayData | ObjKind::ArrayPtr)
+    }
+}
+
+/// Maximum number of fields an object may have (2^32 - 1).
+pub const MAX_FIELDS: u64 = u32::MAX as u64;
+/// Maximum number of pointer fields an object may have (2^24 - 1).
+pub const MAX_PTR_FIELDS: u64 = (1 << 24) - 1;
+
+/// A decoded object header.
+///
+/// Layout of the encoded word: bits `0..32` = total field count, bits `32..56` = number
+/// of pointer fields, bits `56..64` = kind tag.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Header {
+    n_fields: u32,
+    n_ptr: u32,
+    kind: ObjKind,
+}
+
+impl Header {
+    /// Creates a header for an object with `n_ptr` pointer fields followed by
+    /// `n_fields - n_ptr` non-pointer fields.
+    ///
+    /// # Panics
+    /// Panics if `n_ptr > n_fields` or if either count exceeds its encodable range.
+    pub fn new(n_fields: usize, n_ptr: usize, kind: ObjKind) -> Header {
+        assert!(n_ptr <= n_fields, "n_ptr ({n_ptr}) > n_fields ({n_fields})");
+        assert!((n_fields as u64) <= MAX_FIELDS, "too many fields: {n_fields}");
+        assert!((n_ptr as u64) <= MAX_PTR_FIELDS, "too many pointer fields: {n_ptr}");
+        Header {
+            n_fields: n_fields as u32,
+            n_ptr: n_ptr as u32,
+            kind,
+        }
+    }
+
+    /// Total number of fields.
+    #[inline]
+    pub fn n_fields(self) -> usize {
+        self.n_fields as usize
+    }
+
+    /// Number of pointer fields (fields `0 .. n_ptr`).
+    #[inline]
+    pub fn n_ptr(self) -> usize {
+        self.n_ptr as usize
+    }
+
+    /// Number of non-pointer fields (fields `n_ptr .. n_fields`).
+    #[inline]
+    pub fn n_nonptr(self) -> usize {
+        (self.n_fields - self.n_ptr) as usize
+    }
+
+    /// The kind tag.
+    #[inline]
+    pub fn kind(self) -> ObjKind {
+        self.kind
+    }
+
+    /// Total object size in words, including the header and forwarding-pointer slots.
+    #[inline]
+    pub fn size_words(self) -> usize {
+        crate::view::OFF_FIELDS + self.n_fields as usize
+    }
+
+    /// True if field `i` holds an object pointer.
+    #[inline]
+    pub fn is_ptr_field(self, i: usize) -> bool {
+        i < self.n_ptr as usize
+    }
+
+    /// Encodes the header into its one-word representation.
+    #[inline]
+    pub fn encode(self) -> u64 {
+        (self.n_fields as u64) | ((self.n_ptr as u64) << 32) | ((self.kind as u64) << 56)
+    }
+
+    /// Decodes a header from its one-word representation.
+    #[inline]
+    pub fn decode(bits: u64) -> Header {
+        Header {
+            n_fields: bits as u32,
+            n_ptr: ((bits >> 32) & MAX_PTR_FIELDS) as u32,
+            kind: ObjKind::from_u8((bits >> 56) as u8),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let h = Header::new(3, 1, ObjKind::Cons);
+        let h2 = Header::decode(h.encode());
+        assert_eq!(h, h2);
+        assert_eq!(h2.n_fields(), 3);
+        assert_eq!(h2.n_ptr(), 1);
+        assert_eq!(h2.n_nonptr(), 2);
+        assert_eq!(h2.kind(), ObjKind::Cons);
+        assert_eq!(h2.size_words(), 5);
+    }
+
+    #[test]
+    fn ptr_field_classification() {
+        let h = Header::new(4, 2, ObjKind::Tuple);
+        assert!(h.is_ptr_field(0));
+        assert!(h.is_ptr_field(1));
+        assert!(!h.is_ptr_field(2));
+        assert!(!h.is_ptr_field(3));
+    }
+
+    #[test]
+    fn zero_field_object() {
+        let h = Header::new(0, 0, ObjKind::Other);
+        assert_eq!(h.n_fields(), 0);
+        assert_eq!(h.size_words(), crate::view::OFF_FIELDS);
+    }
+
+    #[test]
+    #[should_panic(expected = "n_ptr")]
+    fn more_ptrs_than_fields_panics() {
+        let _ = Header::new(1, 2, ObjKind::Tuple);
+    }
+
+    #[test]
+    fn kind_mutability() {
+        assert!(ObjKind::Ref.is_mutable());
+        assert!(ObjKind::ArrayData.is_mutable());
+        assert!(ObjKind::ArrayPtr.is_mutable());
+        assert!(!ObjKind::Tuple.is_mutable());
+        assert!(!ObjKind::Cons.is_mutable());
+        assert!(!ObjKind::Leaf.is_mutable());
+    }
+
+    #[test]
+    fn kind_from_u8_total() {
+        for v in 0..=255u8 {
+            let k = ObjKind::from_u8(v);
+            if v < 8 {
+                assert_eq!(k as u8, v);
+            } else {
+                assert_eq!(k, ObjKind::Other);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_header_roundtrip(n_fields in 0usize..100_000, ptr_frac in 0u32..=100, kind in 0u8..8) {
+            let n_ptr = ((n_fields as u64 * ptr_frac as u64 / 100) as usize).min(MAX_PTR_FIELDS as usize);
+            let h = Header::new(n_fields, n_ptr, ObjKind::from_u8(kind));
+            let h2 = Header::decode(h.encode());
+            prop_assert_eq!(h, h2);
+            prop_assert_eq!(h2.n_fields(), n_fields);
+            prop_assert_eq!(h2.n_ptr(), n_ptr);
+        }
+
+        #[test]
+        fn prop_field_partition(n_fields in 0usize..1000, n_ptr_raw in 0usize..1000) {
+            let n_ptr = n_ptr_raw.min(n_fields);
+            let h = Header::new(n_fields, n_ptr, ObjKind::Tuple);
+            let ptr_count = (0..n_fields).filter(|&i| h.is_ptr_field(i)).count();
+            prop_assert_eq!(ptr_count, n_ptr);
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! The chunk store: the global table mapping chunk ids to chunks.
+//!
+//! This is the stand-in for MLton's address-masked chunk metadata: given an [`ObjPtr`],
+//! `heapOf` needs the chunk's metadata in O(1). The store also carries the global memory
+//! accounting used to reproduce the paper's Figure 13 (memory consumption and inflation):
+//! total words currently held by live chunks and the peak ever reached.
+
+use crate::appendvec::AppendVec;
+use crate::chunk::{Chunk, ChunkId};
+use crate::header::Header;
+use crate::objptr::ObjPtr;
+use crate::view::ObjView;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Default chunk capacity in words (64 Ki words = 512 KiB).
+pub const DEFAULT_CHUNK_WORDS: usize = 64 * 1024;
+
+/// Snapshot of the store's memory accounting.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Words currently held by non-retired chunks.
+    pub live_words: usize,
+    /// Highest value `live_words` has ever reached.
+    pub peak_words: usize,
+    /// Total words ever allocated in chunks (monotone).
+    pub total_allocated_words: usize,
+    /// Number of chunks ever created.
+    pub chunks_created: usize,
+    /// Number of chunks retired by collections.
+    pub chunks_retired: usize,
+}
+
+/// The global chunk table plus memory accounting.
+pub struct ChunkStore {
+    chunks: AppendVec<Arc<Chunk>>,
+    /// Serializes id assignment with table insertion so `chunk.id()` always equals the
+    /// chunk's index. Chunk creation is rare (one per ~512 KiB of allocation), so this
+    /// lock is never contended in practice.
+    alloc_lock: parking_lot::Mutex<()>,
+    default_chunk_words: usize,
+    live_words: AtomicUsize,
+    peak_words: AtomicUsize,
+    total_words: AtomicUsize,
+    chunks_retired: AtomicUsize,
+}
+
+impl ChunkStore {
+    /// Creates a store whose freshly allocated chunks default to `default_chunk_words`
+    /// words (larger objects get a dedicated chunk of exactly the needed size).
+    pub fn new(default_chunk_words: usize) -> Self {
+        assert!(default_chunk_words >= 16, "chunks must hold at least one small object");
+        ChunkStore {
+            chunks: AppendVec::new(),
+            alloc_lock: parking_lot::Mutex::new(()),
+            default_chunk_words,
+            live_words: AtomicUsize::new(0),
+            peak_words: AtomicUsize::new(0),
+            total_words: AtomicUsize::new(0),
+            chunks_retired: AtomicUsize::new(0),
+        }
+    }
+
+    /// Creates a store with the default chunk size.
+    pub fn with_default_chunk_size() -> Self {
+        Self::new(DEFAULT_CHUNK_WORDS)
+    }
+
+    /// The default chunk capacity in words.
+    pub fn default_chunk_words(&self) -> usize {
+        self.default_chunk_words
+    }
+
+    /// Allocates a new chunk owned by raw heap `owner`, large enough for at least
+    /// `min_words` words.
+    pub fn alloc_chunk(&self, owner: u32, min_words: usize) -> Arc<Chunk> {
+        let n_words = min_words.max(self.default_chunk_words);
+        let chunk = {
+            let _guard = self.alloc_lock.lock();
+            let id = ChunkId(self.chunks.len() as u32);
+            let chunk = Arc::new(Chunk::new(id, owner, n_words));
+            let idx = self.chunks.push(Arc::clone(&chunk));
+            debug_assert_eq!(idx, id.0 as usize, "chunk id / index mismatch");
+            chunk
+        };
+        self.account_new_chunk(n_words);
+        chunk
+    }
+
+    fn account_new_chunk(&self, n_words: usize) {
+        self.total_words.fetch_add(n_words, Ordering::Relaxed);
+        let live = self.live_words.fetch_add(n_words, Ordering::Relaxed) + n_words;
+        self.peak_words.fetch_max(live, Ordering::Relaxed);
+    }
+
+    /// Looks up a chunk by id.
+    #[inline]
+    pub fn chunk(&self, id: ChunkId) -> &Arc<Chunk> {
+        self.chunks
+            .get(id.0 as usize)
+            .expect("dangling ChunkId: chunk not present in store")
+    }
+
+    /// Number of chunks ever created (including retired ones).
+    pub fn n_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Retires a chunk after its live contents were evacuated: memory accounting drops
+    /// its words and the chunk is flagged so stale pointers can be detected in debug
+    /// builds.
+    pub fn retire_chunk(&self, id: ChunkId) {
+        let chunk = self.chunk(id);
+        if !chunk.is_retired() {
+            chunk.retire();
+            self.live_words.fetch_sub(chunk.capacity(), Ordering::Relaxed);
+            self.chunks_retired.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Resolves an object pointer to a view of the object.
+    ///
+    /// Pointers into retired chunks remain dereferenceable: retirement is an accounting
+    /// notion (the evacuated from-space no longer counts towards live memory), and stale
+    /// pointers held outside the managed heap resolve to current data through the
+    /// forwarding pointers the evacuation installed. See DESIGN.md (stack-map
+    /// substitution) for why this is the faithful simulation choice.
+    #[inline]
+    pub fn view(&self, ptr: ObjPtr) -> ObjView<'_> {
+        debug_assert!(!ptr.is_null(), "dereferencing NULL ObjPtr");
+        let chunk = self.chunk(ptr.chunk());
+        ObjView::new(chunk, ptr.offset())
+    }
+
+    /// Allocates an object with the given header inside `chunk`, returning its pointer,
+    /// or `None` if the chunk is full.
+    pub fn alloc_in_chunk(&self, chunk: &Chunk, header: Header) -> Option<ObjPtr> {
+        let off = chunk.try_bump(header.size_words())?;
+        let ptr = ObjPtr::new(chunk.id(), off);
+        let view = ObjView::new(chunk, off);
+        view.init(header);
+        Some(ptr)
+    }
+
+    /// Raw heap id recorded on the chunk containing `ptr` (the heap the object was
+    /// *allocated* into; the heap registry resolves merges on top of this).
+    #[inline]
+    pub fn chunk_owner(&self, ptr: ObjPtr) -> u32 {
+        self.chunk(ptr.chunk()).owner()
+    }
+
+    /// Current memory accounting snapshot.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            live_words: self.live_words.load(Ordering::Relaxed),
+            peak_words: self.peak_words.load(Ordering::Relaxed),
+            total_allocated_words: self.total_words.load(Ordering::Relaxed),
+            chunks_created: self.chunks.len(),
+            chunks_retired: self.chunks_retired.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for ChunkStore {
+    fn default() -> Self {
+        Self::with_default_chunk_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::ObjKind;
+    use std::sync::Arc as StdArc;
+
+    #[test]
+    fn alloc_chunk_and_lookup() {
+        let store = ChunkStore::new(1024);
+        let c = store.alloc_chunk(3, 0);
+        assert_eq!(c.capacity(), 1024);
+        assert_eq!(c.owner(), 3);
+        let looked = store.chunk(c.id());
+        assert_eq!(looked.id(), c.id());
+    }
+
+    #[test]
+    fn big_object_gets_dedicated_chunk() {
+        let store = ChunkStore::new(64);
+        let c = store.alloc_chunk(0, 1_000);
+        assert!(c.capacity() >= 1_000);
+    }
+
+    #[test]
+    fn alloc_object_and_view() {
+        let store = ChunkStore::new(1024);
+        let c = store.alloc_chunk(0, 0);
+        let h = Header::new(3, 1, ObjKind::Tuple);
+        let p = store.alloc_in_chunk(&c, h).unwrap();
+        let v = store.view(p);
+        assert_eq!(v.n_fields(), 3);
+        assert_eq!(v.n_ptr(), 1);
+        v.set_field(2, 99);
+        assert_eq!(store.view(p).field(2), 99);
+    }
+
+    #[test]
+    fn alloc_until_full_returns_none() {
+        let store = ChunkStore::new(16);
+        let c = store.alloc_chunk(0, 0);
+        let h = Header::new(2, 0, ObjKind::Tuple); // 4 words
+        let mut count = 0;
+        while store.alloc_in_chunk(&c, h).is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn memory_accounting_tracks_peak_and_retire() {
+        let store = ChunkStore::new(100);
+        let a = store.alloc_chunk(0, 0);
+        let b = store.alloc_chunk(0, 0);
+        let s = store.stats();
+        assert_eq!(s.live_words, 200);
+        assert_eq!(s.peak_words, 200);
+        store.retire_chunk(a.id());
+        let s = store.stats();
+        assert_eq!(s.live_words, 100);
+        assert_eq!(s.peak_words, 200);
+        assert_eq!(s.chunks_retired, 1);
+        // Retiring twice is idempotent.
+        store.retire_chunk(a.id());
+        assert_eq!(store.stats().live_words, 100);
+        store.retire_chunk(b.id());
+        assert_eq!(store.stats().live_words, 0);
+        assert_eq!(store.stats().peak_words, 200);
+    }
+
+    #[test]
+    fn chunk_owner_reflects_allocation_heap() {
+        let store = ChunkStore::new(64);
+        let c = store.alloc_chunk(42, 0);
+        let p = store
+            .alloc_in_chunk(&c, Header::new(1, 0, ObjKind::Ref))
+            .unwrap();
+        assert_eq!(store.chunk_owner(p), 42);
+    }
+
+    #[test]
+    fn concurrent_chunk_allocation_ids_are_unique_and_resolvable() {
+        let store = StdArc::new(ChunkStore::new(64));
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let store = StdArc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                let mut ids = Vec::new();
+                for _ in 0..200 {
+                    let c = store.alloc_chunk(t, 0);
+                    ids.push(c.id());
+                }
+                ids
+            }));
+        }
+        let mut all: Vec<ChunkId> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        // All returned chunks must be resolvable to a chunk with that id.
+        for &id in &all {
+            let c = store.chunk(id);
+            assert_eq!(c.id(), id);
+        }
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 8 * 200, "chunk ids must be unique");
+    }
+}

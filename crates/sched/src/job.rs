@@ -1,0 +1,149 @@
+//! Jobs: heap-allocated, execute-once closures with a completion latch.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A boxed closure to be executed exactly once by some worker.
+pub type BoxedJobFn = Box<dyn FnOnce() + Send + 'static>;
+
+/// An execute-once job with a completion latch.
+///
+/// A job is created by [`Worker::join`](crate::pool::Worker::join) (for the right branch
+/// of a fork) or by [`Pool::run`](crate::pool::Pool::run) (for a root task). Whoever
+/// removes it from a queue calls [`JobCell::execute`]; the creator waits on
+/// [`JobCell::is_done`] / [`JobCell::wait_blocking`].
+pub struct JobCell {
+    func: Mutex<Option<BoxedJobFn>>,
+    done: AtomicBool,
+    done_mutex: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl JobCell {
+    /// Wraps a closure into a job.
+    pub fn new(f: BoxedJobFn) -> Arc<JobCell> {
+        Arc::new(JobCell {
+            func: Mutex::new(Some(f)),
+            done: AtomicBool::new(false),
+            done_mutex: Mutex::new(false),
+            done_cv: Condvar::new(),
+        })
+    }
+
+    /// Runs the closure (if it has not run yet) and flips the latch.
+    ///
+    /// Safe to call more than once; only the first call executes the closure, but every
+    /// call observes the latch set on return only if the closure has finished. Panics in
+    /// the closure are *not* caught here — callers wrap the closure with `catch_unwind`
+    /// when they need to transport panics.
+    pub fn execute(&self) {
+        let f = self.func.lock().take();
+        if let Some(f) = f {
+            f();
+            self.done.store(true, Ordering::Release);
+            let mut guard = self.done_mutex.lock();
+            *guard = true;
+            self.done_cv.notify_all();
+        }
+    }
+
+    /// True once the closure has finished executing.
+    #[inline]
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Blocks the calling thread until the job completes. Used by external (non-worker)
+    /// threads waiting for a root task; workers never block here — they help instead.
+    pub fn wait_blocking(&self) {
+        if self.is_done() {
+            return;
+        }
+        let mut guard = self.done_mutex.lock();
+        while !*guard {
+            self.done_cv.wait(&mut guard);
+        }
+    }
+}
+
+impl std::fmt::Debug for JobCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobCell").field("done", &self.is_done()).finish()
+    }
+}
+
+/// Lifetime-erases a boxed closure so it can be stored in a [`JobCell`].
+///
+/// # Safety
+///
+/// The caller must guarantee that the closure has finished executing (or provably will
+/// never execute) before any borrow captured by the closure expires. `Worker::join`
+/// guarantees this by not returning — even on panic of the inline branch — until the
+/// pushed job's latch is set or the job has been reclaimed un-run from the local queue.
+pub(crate) unsafe fn erase_lifetime<'a>(
+    f: Box<dyn FnOnce() + Send + 'a>,
+) -> Box<dyn FnOnce() + Send + 'static> {
+    std::mem::transmute(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn execute_runs_once() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&count);
+        let job = JobCell::new(Box::new(move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert!(!job.is_done());
+        job.execute();
+        job.execute();
+        assert!(job.is_done());
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn wait_blocking_returns_after_completion() {
+        let job = JobCell::new(Box::new(|| {}));
+        let j2 = Arc::clone(&job);
+        let waiter = std::thread::spawn(move || {
+            j2.wait_blocking();
+            true
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        job.execute();
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn wait_blocking_on_already_done_job_is_immediate() {
+        let job = JobCell::new(Box::new(|| {}));
+        job.execute();
+        job.wait_blocking();
+        assert!(job.is_done());
+    }
+
+    #[test]
+    fn concurrent_execute_runs_closure_exactly_once() {
+        for _ in 0..50 {
+            let count = Arc::new(AtomicUsize::new(0));
+            let c2 = Arc::clone(&count);
+            let job = JobCell::new(Box::new(move || {
+                c2.fetch_add(1, Ordering::SeqCst);
+            }));
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let j = Arc::clone(&job);
+                handles.push(std::thread::spawn(move || j.execute()));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(count.load(Ordering::SeqCst), 1);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # hh-sched — work-stealing fork/join scheduler
+//!
+//! The paper's runtime (Appendix B) schedules nested fork/join tasks with a
+//! work-stealing scheduler: `forkjoin` is cheap because the left branch runs immediately
+//! in the calling user-level thread while only the right branch is exposed to thieves;
+//! expensive task bookkeeping happens only when a steal actually occurs.
+//!
+//! This crate reproduces that structure for the Rust runtimes in this repository:
+//!
+//! * a [`Pool`] of worker OS threads, each with its own LIFO [`JobQueue`] plus a shared
+//!   injector for external (root) work;
+//! * [`Worker::join`], the work-first fork/join primitive: the left closure runs inline,
+//!   the right is pushed onto the current worker's queue, and while the right branch is
+//!   stolen the parent *helps* by executing other local jobs or stealing;
+//! * a [`Safepoints`] coordinator used by the stop-the-world baseline runtime to park
+//!   every worker at a safe point while a single thread collects.
+//!
+//! The queues use a mutex-protected deque rather than a lock-free Chase–Lev deque: the
+//! evaluation of this repository compares *runtimes against each other on the same
+//! scheduler*, so scheduler constant factors cancel out, and the simpler structure is
+//! easy to show correct (see `queue::tests`).
+//!
+//! The only `unsafe` code in the whole workspace lives in [`job::erase_lifetime`], which
+//! lifetime-erases the boxed right-branch closure exactly the way rayon does; soundness
+//! is argued there (the parent never returns before the branch has finished executing).
+
+#![warn(missing_docs)]
+
+pub mod job;
+pub mod pool;
+pub mod queue;
+pub mod safepoint;
+
+pub use job::JobCell;
+pub use pool::{Pool, PoolConfig, Worker};
+pub use queue::JobQueue;
+pub use safepoint::Safepoints;

@@ -1,0 +1,116 @@
+//! Per-worker job queues.
+//!
+//! Each worker owns a [`JobQueue`]. The owner pushes and pops at the back (LIFO, which
+//! preserves the depth-first execution order that makes hierarchical heaps cheap), while
+//! thieves steal from the front (FIFO, stealing the shallowest — largest — task first,
+//! the standard work-stealing heuristic the paper's scheduler also uses).
+
+use crate::job::JobCell;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A mutex-protected work-stealing deque of jobs.
+#[derive(Default)]
+pub struct JobQueue {
+    inner: Mutex<VecDeque<Arc<JobCell>>>,
+}
+
+impl JobQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Owner operation: pushes a job at the back.
+    pub fn push(&self, job: Arc<JobCell>) {
+        self.inner.lock().push_back(job);
+    }
+
+    /// Owner operation: pops the most recently pushed job.
+    pub fn pop(&self) -> Option<Arc<JobCell>> {
+        self.inner.lock().pop_back()
+    }
+
+    /// Thief operation: steals the oldest job.
+    pub fn steal(&self) -> Option<Arc<JobCell>> {
+        self.inner.lock().pop_front()
+    }
+
+    /// Number of queued jobs (racy, for heuristics and tests only).
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True if no jobs are queued (racy, for heuristics and tests only).
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn marker_job(counter: &Arc<AtomicUsize>) -> Arc<JobCell> {
+        let c = Arc::clone(counter);
+        JobCell::new(Box::new(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        }))
+    }
+
+    #[test]
+    fn lifo_for_owner_fifo_for_thief() {
+        let q = JobQueue::new();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let a = marker_job(&counter);
+        let b = marker_job(&counter);
+        let c = marker_job(&counter);
+        q.push(Arc::clone(&a));
+        q.push(Arc::clone(&b));
+        q.push(Arc::clone(&c));
+        assert_eq!(q.len(), 3);
+        // Thief takes the oldest (a); owner takes the newest (c).
+        let stolen = q.steal().unwrap();
+        assert!(Arc::ptr_eq(&stolen, &a));
+        let popped = q.pop().unwrap();
+        assert!(Arc::ptr_eq(&popped, &c));
+        let remaining = q.pop().unwrap();
+        assert!(Arc::ptr_eq(&remaining, &b));
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+        assert!(q.steal().is_none());
+    }
+
+    #[test]
+    fn concurrent_pop_and_steal_never_duplicate_or_lose_jobs() {
+        let q = Arc::new(JobQueue::new());
+        let executed = Arc::new(AtomicUsize::new(0));
+        let n = 10_000usize;
+        for _ in 0..n {
+            q.push(marker_job(&executed));
+        }
+        let mut handles = Vec::new();
+        for t in 0..6 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                let mut taken = 0usize;
+                loop {
+                    let job = if t % 2 == 0 { q.pop() } else { q.steal() };
+                    match job {
+                        Some(j) => {
+                            j.execute();
+                            taken += 1;
+                        }
+                        None => break,
+                    }
+                }
+                taken
+            }));
+        }
+        let total_taken: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total_taken, n, "every job removed exactly once");
+        assert_eq!(executed.load(Ordering::SeqCst), n, "every job executed exactly once");
+    }
+}

@@ -1,0 +1,235 @@
+//! Cooperative stop-the-world safepoints.
+//!
+//! The `mlton-spoonhower` baseline in the paper performs *sequential, stop-the-world*
+//! garbage collection: when a collection is needed, every processor stops at a safe
+//! point and a single thread collects. [`Safepoints`] provides that coordination for
+//! the baseline runtimes in this repository:
+//!
+//! * every worker thread participating in mutator work [`register`](Safepoints::register)s
+//!   itself;
+//! * mutators call [`poll`](Safepoints::poll) at allocation sites, writes, and scheduler
+//!   idle loops; if a collection has been requested they park until it finishes;
+//! * the thread that wants to collect calls [`stop_the_world`](Safepoints::stop_the_world)
+//!   with the collection closure; it runs once all *other* registered threads are parked.
+//!
+//! This is a cooperative protocol: a registered thread that never polls delays the
+//! collection (a liveness, not a safety, concern). The runtimes in this repository poll
+//! on every allocation and at every fork/join, which bounds the wait by one sequential
+//! grain of work.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+#[derive(Default)]
+struct State {
+    parked: usize,
+}
+
+/// Stop-the-world coordination for the baseline collectors.
+#[derive(Default)]
+pub struct Safepoints {
+    registered: AtomicUsize,
+    requested: AtomicBool,
+    state: Mutex<State>,
+    parked_cv: Condvar,
+    resume_cv: Condvar,
+    collector_lock: Mutex<()>,
+    world_stops: AtomicUsize,
+}
+
+impl Safepoints {
+    /// Creates a coordinator with no registered threads.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the calling thread as a mutator that will poll.
+    pub fn register(&self) {
+        self.registered.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Unregisters the calling thread (it will no longer poll).
+    pub fn unregister(&self) {
+        let prev = self.registered.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev > 0, "unregister without register");
+        // A collector may be waiting for this thread to park; wake it so it can
+        // re-evaluate its target.
+        self.parked_cv.notify_all();
+    }
+
+    /// Number of registered mutator threads.
+    pub fn registered(&self) -> usize {
+        self.registered.load(Ordering::SeqCst)
+    }
+
+    /// Number of stop-the-world pauses that have completed.
+    pub fn world_stops(&self) -> usize {
+        self.world_stops.load(Ordering::SeqCst)
+    }
+
+    /// True if a collection has been requested and mutators should park.
+    #[inline]
+    pub fn collection_requested(&self) -> bool {
+        self.requested.load(Ordering::Acquire)
+    }
+
+    /// Fast safepoint check: parks the calling thread for the duration of any pending
+    /// collection. Call this at allocation sites, mutation sites, and idle loops.
+    #[inline]
+    pub fn poll(&self) {
+        if self.collection_requested() {
+            self.park();
+        }
+    }
+
+    fn park(&self) {
+        let mut st = self.state.lock();
+        st.parked += 1;
+        self.parked_cv.notify_all();
+        while self.requested.load(Ordering::Acquire) {
+            self.resume_cv.wait(&mut st);
+        }
+        st.parked -= 1;
+    }
+
+    /// Stops the world and runs `collect` while all other registered threads are parked.
+    ///
+    /// Returns `true` if `collect` ran. If another thread is already collecting, this
+    /// thread parks like any other mutator and returns `false` once that collection is
+    /// over (the caller should then re-check whether a collection is still needed).
+    pub fn stop_the_world<F: FnOnce()>(&self, collect: F) -> bool {
+        match self.collector_lock.try_lock() {
+            Some(_guard) => {
+                self.requested.store(true, Ordering::Release);
+                {
+                    let mut st = self.state.lock();
+                    // Wait until every *other* registered thread is parked. The target is
+                    // re-read each iteration because threads may unregister while we wait.
+                    loop {
+                        let target = self.registered().saturating_sub(1);
+                        if st.parked >= target {
+                            break;
+                        }
+                        self.parked_cv.wait(&mut st);
+                    }
+                }
+                collect();
+                self.requested.store(false, Ordering::Release);
+                self.world_stops.fetch_add(1, Ordering::SeqCst);
+                let _st = self.state.lock();
+                self.resume_cv.notify_all();
+                true
+            }
+            None => {
+                // Somebody else is collecting; behave like a mutator hitting a safepoint.
+                self.poll();
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn single_thread_world_stop_runs_collector() {
+        let sp = Safepoints::new();
+        sp.register();
+        let mut ran = false;
+        assert!(sp.stop_the_world(|| ran = true));
+        assert!(ran);
+        assert_eq!(sp.world_stops(), 1);
+        assert!(!sp.collection_requested());
+        sp.unregister();
+    }
+
+    #[test]
+    fn mutators_park_while_collection_runs() {
+        let sp = Arc::new(Safepoints::new());
+        let n_mutators = 4;
+        let in_mutator_during_gc = Arc::new(AtomicUsize::new(0));
+        let gc_running = Arc::new(AtomicBool::new(false));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        for _ in 0..n_mutators {
+            sp.register();
+        }
+        sp.register(); // the collector thread is registered too
+
+        let mut handles = Vec::new();
+        for _ in 0..n_mutators {
+            let sp = Arc::clone(&sp);
+            let flag = Arc::clone(&gc_running);
+            let bad = Arc::clone(&in_mutator_during_gc);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    sp.poll();
+                    // "Mutator work": if we are here while the collector claims the
+                    // world is stopped, the protocol is broken.
+                    if flag.load(Ordering::SeqCst) {
+                        bad.fetch_add(1, Ordering::SeqCst);
+                    }
+                    std::hint::spin_loop();
+                }
+            }));
+        }
+
+        std::thread::sleep(Duration::from_millis(10));
+        for _ in 0..5 {
+            let flag = Arc::clone(&gc_running);
+            let ran = sp.stop_the_world(|| {
+                flag.store(true, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(5));
+                flag.store(false, Ordering::SeqCst);
+            });
+            assert!(ran);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            in_mutator_during_gc.load(Ordering::SeqCst),
+            0,
+            "mutator observed running during a stop-the-world pause"
+        );
+        assert_eq!(sp.world_stops(), 5);
+    }
+
+    #[test]
+    fn concurrent_collection_requests_do_not_deadlock() {
+        let sp = Arc::new(Safepoints::new());
+        let collections = Arc::new(AtomicUsize::new(0));
+        let n_threads = 4;
+        for _ in 0..n_threads {
+            sp.register();
+        }
+        let mut handles = Vec::new();
+        for _ in 0..n_threads {
+            let sp = Arc::clone(&sp);
+            let collections = Arc::clone(&collections);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    sp.poll();
+                    if sp.stop_the_world(|| {
+                        collections.fetch_add(1, Ordering::SeqCst);
+                    }) {
+                        // collected
+                    }
+                }
+                sp.unregister();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(collections.load(Ordering::SeqCst) > 0);
+        assert_eq!(sp.registered(), 0);
+    }
+}

@@ -1,0 +1,415 @@
+//! Graphs and the BFS benchmark family (`reachability`, `usp`, `usp-tree`,
+//! `multi-usp-tree`, §4.2).
+//!
+//! The paper runs these on the `orkut` social-network graph (≈3 M vertices, 117 M edges,
+//! diameter 9). That dataset is not available here, so [`generate`] builds a synthetic
+//! stand-in with the properties that matter for the benchmarks' behaviour: heavy-tailed
+//! out-degrees, guaranteed reachability from the source, and a small diameter (every
+//! vertex has an edge to a vertex of half its index, giving diameter ≈ log₂ n, plus
+//! hash-random long-range edges). See DESIGN.md, substitutions.
+//!
+//! The graph itself is stored in managed memory in compact adjacency-sequence (CSR)
+//! form. Per-vertex mutable state — visited flags, distances, ancestor lists — lives in
+//! managed arrays allocated by the task that starts the BFS (the root task for the
+//! single-BFS benchmarks), which is what makes vertex visits *distant* writes, and, for
+//! `usp-tree`, *promoting* writes.
+
+use crate::seq::MSeq;
+use hh_api::{hash64, ParCtx};
+use hh_objmodel::{ObjKind, ObjPtr};
+
+/// A directed graph in CSR form held in managed memory.
+#[derive(Copy, Clone)]
+pub struct Graph {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of edges.
+    pub m: usize,
+    offsets: MSeq,
+    targets: MSeq,
+}
+
+impl Graph {
+    /// Out-degree of `v`.
+    pub fn degree<C: ParCtx>(&self, ctx: &C, v: usize) -> usize {
+        (self.offsets.get(ctx, v + 1) - self.offsets.get(ctx, v)) as usize
+    }
+
+    /// The `k`-th out-neighbour of `v`.
+    pub fn neighbour<C: ParCtx>(&self, ctx: &C, v: usize, k: usize) -> usize {
+        let start = self.offsets.get(ctx, v) as usize;
+        self.targets.get(ctx, start + k) as usize
+    }
+}
+
+/// Generates the synthetic power-law graph with `n` vertices and an average out-degree
+/// of roughly `avg_degree`.
+pub fn generate<C: ParCtx>(ctx: &C, n: usize, avg_degree: usize, grain: usize, seed: u64) -> Graph {
+    assert!(n >= 2);
+    // Degree of vertex v: heavy-tailed — a few hubs with large degree, most vertices
+    // small — plus one structural edge to v/2 that guarantees reachability from 0 and a
+    // logarithmic diameter.
+    let degree_of = move |v: usize| -> usize {
+        if v == 0 {
+            return avg_degree; // the source has ordinary degree
+        }
+        let h = hash64(seed ^ v as u64);
+        let extra = if h % 97 == 0 {
+            avg_degree * 16 // hub
+        } else {
+            (h % (2 * avg_degree as u64 + 1)) as usize
+        };
+        1 + extra // +1 for the structural edge to v/2
+    };
+    // Offsets via a (sequential) prefix sum over degrees; the offsets array is modest
+    // (n+1 words) compared to the edge array.
+    let offsets = MSeq::alloc(ctx, n + 1);
+    let mut total = 0u64;
+    for v in 0..n {
+        offsets.set(ctx, v, total);
+        total += degree_of(v) as u64;
+    }
+    offsets.set(ctx, n, total);
+    let m = total as usize;
+    // Edge targets filled in parallel per vertex block.
+    let targets = MSeq::alloc(ctx, m);
+    fill_edges(ctx, offsets, targets, 0, n, grain, n, seed);
+    Graph {
+        n,
+        m,
+        offsets,
+        targets,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fill_edges<C: ParCtx>(
+    ctx: &C,
+    offsets: MSeq,
+    targets: MSeq,
+    lo: usize,
+    hi: usize,
+    grain: usize,
+    n: usize,
+    seed: u64,
+) {
+    if hi - lo <= grain.max(1) {
+        for v in lo..hi {
+            let start = offsets.get(ctx, v) as usize;
+            let end = offsets.get(ctx, v + 1) as usize;
+            if end == start {
+                continue;
+            }
+            // Structural edge first (to v/2), then hash-random edges.
+            targets.set(ctx, start, (v / 2) as u64);
+            for (k, slot) in (start + 1..end).enumerate() {
+                let t = hash64(seed ^ ((v as u64) << 24) ^ k as u64) % n as u64;
+                targets.set(ctx, slot, t);
+            }
+        }
+        ctx.maybe_collect();
+    } else {
+        let mid = lo + (hi - lo) / 2;
+        ctx.join(
+            |c| fill_edges(c, offsets, targets, lo, mid, grain, n, seed),
+            |c| fill_edges(c, offsets, targets, mid, hi, grain, n, seed),
+        );
+    }
+}
+
+/// Which BFS variant to run — they differ only in the per-vertex mutable update.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BfsVariant {
+    /// Mark reachable vertices with plain (racy but benign) flag writes.
+    Reachability,
+    /// Record the round number as the distance, marking vertices with compare-and-swap.
+    Usp,
+    /// Record full shortest-path trees: `A[v] := cons(u, A[u])` on visit — a promoting
+    /// pointer write into the root-allocated ancestor array.
+    UspTree,
+}
+
+/// Mutable per-vertex state for one BFS run. All arrays are allocated by the caller
+/// (the root task for the benchmarks), so updates from worker tasks are distant.
+pub struct BfsState {
+    /// 0 = unvisited, 1 = visited.
+    pub visited: MSeq,
+    /// Distance from the source (only meaningful for `Usp`).
+    pub dist: MSeq,
+    /// Ancestor-list heads (only used by `UspTree`).
+    pub ancestors: ObjPtr,
+    variant: BfsVariant,
+}
+
+impl BfsState {
+    /// Allocates per-vertex state for a graph of `n` vertices.
+    pub fn new<C: ParCtx>(ctx: &C, n: usize, variant: BfsVariant) -> BfsState {
+        let ancestors = if variant == BfsVariant::UspTree {
+            ctx.alloc_ptr_array(n)
+        } else {
+            ObjPtr::NULL
+        };
+        BfsState {
+            visited: MSeq::alloc(ctx, n),
+            dist: MSeq::alloc(ctx, n),
+            ancestors,
+            variant,
+        }
+    }
+}
+
+/// Runs one parallel BFS from `source`, returning the number of vertices visited.
+///
+/// The frontier bookkeeping (which vertices to expand next) is scheduler-side Rust data;
+/// the per-vertex state updated at every visit is managed data, preserving the paper's
+/// memory-operation mix per variant (Figure 9).
+pub fn bfs<C: ParCtx>(
+    ctx: &C,
+    g: &Graph,
+    state: &BfsState,
+    source: usize,
+    grain: usize,
+) -> usize {
+    let mut frontier: Vec<u32> = vec![source as u32];
+    state.visited.set(ctx, source, 1);
+    state.dist.set(ctx, source, 0);
+    if state.variant == BfsVariant::UspTree {
+        // The source's ancestor list is empty (NULL), which it already is.
+    }
+    let mut visited_count = 1usize;
+    let mut round = 1u64;
+    while !frontier.is_empty() {
+        let next = expand(ctx, g, state, &frontier, 0, frontier.len(), round, grain);
+        visited_count += next.len();
+        frontier = next;
+        round += 1;
+    }
+    visited_count
+}
+
+#[allow(clippy::too_many_arguments)]
+fn expand<C: ParCtx>(
+    ctx: &C,
+    g: &Graph,
+    state: &BfsState,
+    frontier: &[u32],
+    lo: usize,
+    hi: usize,
+    round: u64,
+    grain: usize,
+) -> Vec<u32> {
+    if hi - lo <= grain.max(1) {
+        let mut out = Vec::new();
+        for &u in &frontier[lo..hi] {
+            let u = u as usize;
+            let deg = g.degree(ctx, u);
+            for k in 0..deg {
+                let v = g.neighbour(ctx, u, k);
+                let newly_visited = match state.variant {
+                    BfsVariant::Reachability => {
+                        // Plain read + write; the benign race may visit a vertex twice.
+                        if state.visited.get_mut(ctx, v) == 0 {
+                            state.visited.set(ctx, v, 1);
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    BfsVariant::Usp | BfsVariant::UspTree => {
+                        ctx.cas_nonptr(state.visited.raw(), v, 0, 1).is_ok()
+                    }
+                };
+                if newly_visited {
+                    state.dist.set(ctx, v, round);
+                    if state.variant == BfsVariant::UspTree {
+                        // A[v] := u :: A[u]  — allocate the cons cell locally and write
+                        // it into the (root-allocated) ancestor array: a promoting write.
+                        let tail = ctx.read_mut_ptr(state.ancestors, u);
+                        let cell = ctx.alloc(1, 1, ObjKind::Cons);
+                        ctx.write_ptr(cell, 0, tail);
+                        ctx.write_nonptr(cell, 1, u as u64);
+                        ctx.write_ptr(state.ancestors, v, cell);
+                    }
+                    out.push(v as u32);
+                }
+            }
+        }
+        ctx.maybe_collect();
+        out
+    } else {
+        let mid = lo + (hi - lo) / 2;
+        let (mut a, b) = ctx.join(
+            |c| expand(c, g, state, frontier, lo, mid, round, grain),
+            |c| expand(c, g, state, frontier, mid, hi, round, grain),
+        );
+        a.extend_from_slice(&b);
+        a
+    }
+}
+
+/// Runs `copies` independent `usp-tree` BFS instances in parallel over the same graph
+/// (`multi-usp-tree`). Returns the total number of visits across the copies.
+pub fn multi_usp_tree<C: ParCtx>(
+    ctx: &C,
+    g: &Graph,
+    copies: usize,
+    source: usize,
+    grain: usize,
+) -> usize {
+    fn go<C: ParCtx>(ctx: &C, g: &Graph, lo: usize, hi: usize, source: usize, grain: usize) -> usize {
+        if hi - lo == 1 {
+            let state = BfsState::new(ctx, g.n, BfsVariant::UspTree);
+            bfs(ctx, g, &state, source, grain)
+        } else {
+            let mid = lo + (hi - lo) / 2;
+            let (a, b) = ctx.join(
+                |c| go(c, g, lo, mid, source, grain),
+                |c| go(c, g, mid, hi, source, grain),
+            );
+            a + b
+        }
+    }
+    go(ctx, g, 0, copies.max(1), source, grain)
+}
+
+/// Length of the ancestor list recorded for vertex `v` (validation helper).
+pub fn ancestor_list_len<C: ParCtx>(ctx: &C, state: &BfsState, v: usize) -> usize {
+    let mut cur = ctx.read_mut_ptr(state.ancestors, v);
+    let mut len = 0;
+    while !cur.is_null() {
+        len += 1;
+        cur = ctx.read_imm_ptr(cur, 0);
+    }
+    len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_baselines::SeqRuntime;
+    use hh_api::Runtime as _;
+    use hh_runtime::HhRuntime;
+
+    fn reference_bfs_distances<C: ParCtx>(ctx: &C, g: &Graph, source: usize) -> Vec<u64> {
+        // Plain sequential BFS in Rust for validation.
+        let mut dist = vec![u64::MAX; g.n];
+        dist[source] = 0;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            for k in 0..g.degree(ctx, u) {
+                let v = g.neighbour(ctx, u, k);
+                if dist[v] == u64::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    #[test]
+    fn generator_produces_reachable_small_diameter_graph() {
+        let rt = SeqRuntime::new();
+        rt.run(|ctx| {
+            let g = generate(ctx, 2000, 4, 128, 9);
+            assert!(g.m >= g.n, "every vertex has at least its structural edge");
+            let dist = reference_bfs_distances(ctx, &g, 0);
+            // Everything reachable (via the structural v -> v/2 edges the generator
+            // inserts, 0 is reachable from everything; we also need reachability *from*
+            // 0 — the random edges plus hubs provide it for the overwhelming majority,
+            // and the structural edges make low indices reachable).
+            let reachable = dist.iter().filter(|&&d| d != u64::MAX).count();
+            assert!(
+                reachable > g.n / 2,
+                "expected most vertices reachable from the source, got {reachable}/{}",
+                g.n
+            );
+            let max_d = dist.iter().filter(|&&d| d != u64::MAX).max().copied().unwrap();
+            assert!(max_d <= 40, "diameter-ish bound violated: {max_d}");
+        });
+    }
+
+    #[test]
+    fn usp_distances_match_reference_bfs() {
+        let rt = SeqRuntime::new();
+        rt.run(|ctx| {
+            let g = generate(ctx, 1000, 4, 64, 3);
+            let expected = reference_bfs_distances(ctx, &g, 0);
+            let state = BfsState::new(ctx, g.n, BfsVariant::Usp);
+            let visited = bfs(ctx, &g, &state, 0, 16);
+            let expected_visited = expected.iter().filter(|&&d| d != u64::MAX).count();
+            assert_eq!(visited, expected_visited);
+            for v in 0..g.n {
+                if expected[v] != u64::MAX {
+                    assert_eq!(state.visited.get_mut(ctx, v), 1);
+                    assert_eq!(state.dist.get_mut(ctx, v), expected[v], "distance of {v}");
+                } else {
+                    assert_eq!(state.visited.get_mut(ctx, v), 0);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn parallel_usp_tree_promotes_and_matches_distances() {
+        let rt = HhRuntime::with_workers(4);
+        rt.run(|ctx| {
+            let g = generate(ctx, 1500, 4, 64, 5);
+            let expected = reference_bfs_distances(ctx, &g, 0);
+            let state = BfsState::new(ctx, g.n, BfsVariant::UspTree);
+            let _visited = bfs(ctx, &g, &state, 0, 32);
+            for v in 0..g.n {
+                if expected[v] != u64::MAX && expected[v] > 0 {
+                    assert_eq!(state.dist.get_mut(ctx, v), expected[v], "distance of {v}");
+                    // The ancestor list of v has exactly dist(v) entries.
+                    assert_eq!(
+                        ancestor_list_len(ctx, &state, v),
+                        expected[v] as usize,
+                        "ancestor list of {v}"
+                    );
+                }
+            }
+        });
+        assert_eq!(rt.check_disentangled(), 0);
+        let stats = rt.stats();
+        assert!(
+            stats.promoted_objects > 0,
+            "usp-tree with multiple workers must perform promoting writes"
+        );
+    }
+
+    #[test]
+    fn reachability_visits_everything_usp_visits() {
+        let rt = HhRuntime::with_workers(3);
+        rt.run(|ctx| {
+            let g = generate(ctx, 1000, 4, 64, 7);
+            let usp_state = BfsState::new(ctx, g.n, BfsVariant::Usp);
+            bfs(ctx, &g, &usp_state, 0, 32);
+            let reach_state = BfsState::new(ctx, g.n, BfsVariant::Reachability);
+            bfs(ctx, &g, &reach_state, 0, 32);
+            for v in 0..g.n {
+                assert_eq!(
+                    reach_state.visited.get_mut(ctx, v) != 0,
+                    usp_state.visited.get_mut(ctx, v) != 0,
+                    "visit disagreement at {v}"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn multi_usp_tree_runs_independent_copies() {
+        let rt = HhRuntime::with_workers(4);
+        let total = rt.run(|ctx| {
+            let g = generate(ctx, 500, 4, 64, 11);
+            let state = BfsState::new(ctx, g.n, BfsVariant::Usp);
+            let single = bfs(ctx, &g, &state, 0, 32);
+            let multi = multi_usp_tree(ctx, &g, 4, 0, 32);
+            assert_eq!(multi, single * 4);
+            multi
+        });
+        assert!(total > 0);
+        assert_eq!(rt.check_disentangled(), 0);
+    }
+}

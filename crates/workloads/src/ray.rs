@@ -1,0 +1,186 @@
+//! A small sphere-scene raytracer (`raytracer`, §4.1), adapted in spirit from the
+//! Manticore/Id benchmark the paper uses: a fixed scene of spheres lit by a point light,
+//! rendered in parallel by tabulating a sequence of pixels with a row-sized grain.
+//!
+//! All scene data is immutable and lives in Rust constants; the output image is a
+//! managed sequence of packed RGB pixels, so the workload is dominated by floating-point
+//! computation plus distant non-pointer writes into the image — a pure benchmark.
+
+use crate::seq::MSeq;
+use hh_api::ParCtx;
+
+#[derive(Copy, Clone, Debug)]
+struct V3 {
+    x: f64,
+    y: f64,
+    z: f64,
+}
+
+impl V3 {
+    fn new(x: f64, y: f64, z: f64) -> V3 {
+        V3 { x, y, z }
+    }
+    fn add(self, o: V3) -> V3 {
+        V3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+    fn sub(self, o: V3) -> V3 {
+        V3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+    fn scale(self, k: f64) -> V3 {
+        V3::new(self.x * k, self.y * k, self.z * k)
+    }
+    fn dot(self, o: V3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+    fn norm(self) -> V3 {
+        let len = self.dot(self).sqrt();
+        if len == 0.0 {
+            self
+        } else {
+            self.scale(1.0 / len)
+        }
+    }
+}
+
+#[derive(Copy, Clone)]
+struct Sphere {
+    center: V3,
+    radius: f64,
+    color: V3,
+}
+
+const NUM_SPHERES: usize = 5;
+
+fn scene() -> [Sphere; NUM_SPHERES] {
+    [
+        Sphere {
+            center: V3::new(0.0, -0.6, 3.0),
+            radius: 1.0,
+            color: V3::new(0.9, 0.2, 0.2),
+        },
+        Sphere {
+            center: V3::new(1.6, 0.0, 4.0),
+            radius: 1.0,
+            color: V3::new(0.2, 0.9, 0.2),
+        },
+        Sphere {
+            center: V3::new(-1.6, 0.0, 4.0),
+            radius: 1.0,
+            color: V3::new(0.2, 0.2, 0.9),
+        },
+        Sphere {
+            center: V3::new(0.0, 1.8, 5.0),
+            radius: 1.2,
+            color: V3::new(0.9, 0.9, 0.2),
+        },
+        Sphere {
+            center: V3::new(0.0, -101.0, 5.0),
+            radius: 100.0,
+            color: V3::new(0.6, 0.6, 0.6),
+        },
+    ]
+}
+
+fn intersect(origin: V3, dir: V3, s: &Sphere) -> Option<f64> {
+    let oc = origin.sub(s.center);
+    let b = 2.0 * oc.dot(dir);
+    let c = oc.dot(oc) - s.radius * s.radius;
+    let disc = b * b - 4.0 * c;
+    if disc < 0.0 {
+        return None;
+    }
+    let t = (-b - disc.sqrt()) / 2.0;
+    if t > 1e-4 {
+        Some(t)
+    } else {
+        None
+    }
+}
+
+/// Traces one primary ray and returns a packed 0x00RRGGBB pixel.
+fn trace_pixel(px: usize, py: usize, width: usize, height: usize) -> u64 {
+    let spheres = scene();
+    let origin = V3::new(0.0, 0.0, -1.0);
+    let u = (px as f64 + 0.5) / width as f64 * 2.0 - 1.0;
+    let v = 1.0 - (py as f64 + 0.5) / height as f64 * 2.0;
+    let dir = V3::new(u, v, 1.5).norm();
+    let light = V3::new(-3.0, 4.0, -2.0);
+
+    let mut best: Option<(f64, &Sphere)> = None;
+    for s in &spheres {
+        if let Some(t) = intersect(origin, dir, s) {
+            if best.map(|(bt, _)| t < bt).unwrap_or(true) {
+                best = Some((t, s));
+            }
+        }
+    }
+    let color = match best {
+        None => V3::new(0.05, 0.05, 0.1),
+        Some((t, s)) => {
+            let hit = origin.add(dir.scale(t));
+            let normal = hit.sub(s.center).norm();
+            let to_light = light.sub(hit).norm();
+            // Shadow test.
+            let mut lit = true;
+            for other in &spheres {
+                if intersect(hit.add(normal.scale(1e-3)), to_light, other).is_some() {
+                    lit = false;
+                    break;
+                }
+            }
+            let diffuse = if lit { normal.dot(to_light).max(0.0) } else { 0.0 };
+            s.color.scale(0.2 + 0.8 * diffuse)
+        }
+    };
+    let to_byte = |c: f64| -> u64 { (c.clamp(0.0, 1.0) * 255.0) as u64 };
+    (to_byte(color.x) << 16) | (to_byte(color.y) << 8) | to_byte(color.z)
+}
+
+/// Renders a `width × height` image in parallel, `grain` pixels per sequential block.
+pub fn render<C: ParCtx>(ctx: &C, width: usize, height: usize, grain: usize) -> MSeq {
+    crate::seq::tabulate(ctx, width * height, grain, move |i| {
+        trace_pixel(i % width, i / width, width, height)
+    })
+}
+
+/// Deterministic checksum of an image.
+pub fn image_checksum<C: ParCtx>(ctx: &C, img: MSeq) -> u64 {
+    crate::seq::checksum(ctx, img)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_baselines::SeqRuntime;
+    use hh_api::Runtime as _;
+    use hh_runtime::HhRuntime;
+
+    #[test]
+    fn image_has_lit_spheres_and_background() {
+        let rt = SeqRuntime::new();
+        rt.run(|ctx| {
+            let img = render(ctx, 64, 64, 64);
+            assert_eq!(img.len(), 64 * 64);
+            let pixels = img.to_vec(ctx);
+            // The centre of the image hits the red sphere; the corners are background.
+            let centre = pixels[32 * 64 + 32];
+            assert!((centre >> 16) & 0xFF > 60, "centre pixel should be reddish: {centre:#x}");
+            let corner = pixels[0];
+            assert!(corner & 0xFF <= 0x20, "corner should be dark background: {corner:#x}");
+            // Every pixel is a valid packed RGB value.
+            assert!(pixels.iter().all(|p| *p <= 0x00FF_FFFF));
+        });
+    }
+
+    #[test]
+    fn parallel_render_is_deterministic() {
+        let expected = {
+            let rt = SeqRuntime::new();
+            rt.run(|ctx| render(ctx, 48, 48, 48).to_vec(ctx))
+        };
+        let rt = HhRuntime::with_workers(4);
+        let got = rt.run(|ctx| render(ctx, 48, 48, 48).to_vec(ctx));
+        assert_eq!(expected, got);
+        assert_eq!(rt.stats().promoted_objects, 0);
+    }
+}

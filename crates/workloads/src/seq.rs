@@ -1,0 +1,411 @@
+//! Immutable sequences of 64-bit elements, with the parallel bulk operations the paper's
+//! benchmarks are built from (`Seq` in Figure 1).
+//!
+//! A sequence is a managed array of non-pointer words ([`ObjKind::ArrayData`]). The
+//! sequences are *logically* immutable: they are filled in exactly once by the task tree
+//! that builds them (distant non-pointer writes during construction) and only read
+//! afterwards (`readImmutable`). Keeping the elements unboxed mirrors the paper's setup
+//! — "the elements of the sequences are 64-bit numeric types generated randomly with a
+//! hash function" — and is what makes the pure benchmarks promotion-free.
+
+use hh_api::{ParCtx, Rng};
+use hh_objmodel::{ObjKind, ObjPtr};
+
+/// A handle to a managed sequence: the underlying array plus its length.
+///
+/// The handle itself is a plain Rust value (cheap to copy and send between tasks); all
+/// element storage is in the managed heap.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct MSeq {
+    arr: ObjPtr,
+    len: usize,
+}
+
+impl MSeq {
+    /// Wraps an existing data array of length `len`.
+    pub fn from_raw(arr: ObjPtr, len: usize) -> MSeq {
+        MSeq { arr, len }
+    }
+
+    /// The underlying array object.
+    pub fn raw(self) -> ObjPtr {
+        self.arr
+    }
+
+    /// Number of elements.
+    pub fn len(self) -> usize {
+        self.len
+    }
+
+    /// True if the sequence has no elements.
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads element `i` (an immutable read).
+    #[inline]
+    pub fn get<C: ParCtx>(self, ctx: &C, i: usize) -> u64 {
+        debug_assert!(i < self.len);
+        ctx.read_imm(self.arr, i)
+    }
+
+    /// Writes element `i`. Only used while the sequence is being constructed (or by the
+    /// imperative benchmarks, which treat the array as mutable).
+    #[inline]
+    pub fn set<C: ParCtx>(self, ctx: &C, i: usize, v: u64) {
+        debug_assert!(i < self.len);
+        ctx.write_nonptr(self.arr, i, v);
+    }
+
+    /// Reads element `i` through the mutable-read path (used by the imperative
+    /// benchmarks on arrays they update in place).
+    #[inline]
+    pub fn get_mut<C: ParCtx>(self, ctx: &C, i: usize) -> u64 {
+        debug_assert!(i < self.len);
+        ctx.read_mut(self.arr, i)
+    }
+
+    /// Copies the sequence into a Rust vector (test / validation helper).
+    pub fn to_vec<C: ParCtx>(self, ctx: &C) -> Vec<u64> {
+        (0..self.len).map(|i| self.get(ctx, i)).collect()
+    }
+
+    /// Allocates an uninitialized (zero-filled) sequence of length `len`.
+    pub fn alloc<C: ParCtx>(ctx: &C, len: usize) -> MSeq {
+        MSeq {
+            arr: ctx.alloc(0, len, ObjKind::ArrayData),
+            len,
+        }
+    }
+}
+
+/// Default sequential grain for the divide-and-conquer operations.
+pub const DEFAULT_GRAIN: usize = 2048;
+
+/// Parallel `tabulate`: builds a sequence of length `n` with `f(i)` at index `i`.
+///
+/// The destination array is allocated by the calling task (hence in an ancestor heap of
+/// every worker task); the worker tasks fill disjoint ranges with non-pointer writes.
+pub fn tabulate<C, F>(ctx: &C, n: usize, grain: usize, f: F) -> MSeq
+where
+    C: ParCtx,
+    F: Fn(usize) -> u64 + Sync + Copy + Send,
+{
+    let dest = MSeq::alloc(ctx, n);
+    fill_range(ctx, dest, 0, n, grain, f);
+    dest
+}
+
+fn fill_range<C, F>(ctx: &C, dest: MSeq, lo: usize, hi: usize, grain: usize, f: F)
+where
+    C: ParCtx,
+    F: Fn(usize) -> u64 + Sync + Copy + Send,
+{
+    if hi - lo <= grain.max(1) {
+        for i in lo..hi {
+            dest.set(ctx, i, f(i));
+        }
+        ctx.maybe_collect();
+    } else {
+        let mid = lo + (hi - lo) / 2;
+        ctx.join(
+            |c| fill_range(c, dest, lo, mid, grain, f),
+            |c| fill_range(c, dest, mid, hi, grain, f),
+        );
+    }
+}
+
+/// Parallel `map`: a new sequence with `f` applied to every element.
+pub fn map<C, F>(ctx: &C, s: MSeq, grain: usize, f: F) -> MSeq
+where
+    C: ParCtx,
+    F: Fn(u64) -> u64 + Sync + Copy + Send,
+{
+    let dest = MSeq::alloc(ctx, s.len());
+    map_range(ctx, s, dest, 0, s.len(), grain, f);
+    dest
+}
+
+fn map_range<C, F>(ctx: &C, src: MSeq, dest: MSeq, lo: usize, hi: usize, grain: usize, f: F)
+where
+    C: ParCtx,
+    F: Fn(u64) -> u64 + Sync + Copy + Send,
+{
+    if hi - lo <= grain.max(1) {
+        for i in lo..hi {
+            dest.set(ctx, i, f(src.get(ctx, i)));
+        }
+        ctx.maybe_collect();
+    } else {
+        let mid = lo + (hi - lo) / 2;
+        ctx.join(
+            |c| map_range(c, src, dest, lo, mid, grain, f),
+            |c| map_range(c, src, dest, mid, hi, grain, f),
+        );
+    }
+}
+
+/// Parallel `reduce` with a commutative, associative combiner.
+pub fn reduce<C, F>(ctx: &C, s: MSeq, grain: usize, neutral: u64, op: F) -> u64
+where
+    C: ParCtx,
+    F: Fn(u64, u64) -> u64 + Sync + Copy + Send,
+{
+    reduce_range(ctx, s, 0, s.len(), grain, neutral, op)
+}
+
+fn reduce_range<C, F>(
+    ctx: &C,
+    s: MSeq,
+    lo: usize,
+    hi: usize,
+    grain: usize,
+    neutral: u64,
+    op: F,
+) -> u64
+where
+    C: ParCtx,
+    F: Fn(u64, u64) -> u64 + Sync + Copy + Send,
+{
+    if hi - lo <= grain.max(1) {
+        let mut acc = neutral;
+        for i in lo..hi {
+            acc = op(acc, s.get(ctx, i));
+        }
+        acc
+    } else {
+        let mid = lo + (hi - lo) / 2;
+        let (a, b) = ctx.join(
+            |c| reduce_range(c, s, lo, mid, grain, neutral, op),
+            |c| reduce_range(c, s, mid, hi, grain, neutral, op),
+        );
+        op(a, b)
+    }
+}
+
+/// Parallel `filter`: the elements satisfying `pred`, in their original order.
+///
+/// Two phases over grain-sized blocks: count matches per block in parallel, compute
+/// block offsets sequentially (there are only `n / grain` of them), then write the
+/// surviving elements into the destination in parallel.
+pub fn filter<C, F>(ctx: &C, s: MSeq, grain: usize, pred: F) -> MSeq
+where
+    C: ParCtx,
+    F: Fn(u64) -> bool + Sync + Copy + Send,
+{
+    let n = s.len();
+    let grain = grain.max(1);
+    let n_blocks = n.div_ceil(grain).max(1);
+    // Per-block match counts, written in parallel into a managed array.
+    let counts = MSeq::alloc(ctx, n_blocks);
+    count_blocks(ctx, s, counts, 0, n_blocks, grain, pred);
+    // Exclusive prefix sum over the (few) block counts.
+    let mut offsets = Vec::with_capacity(n_blocks + 1);
+    let mut total = 0u64;
+    for b in 0..n_blocks {
+        offsets.push(total);
+        total += counts.get(ctx, b);
+    }
+    offsets.push(total);
+    let dest = MSeq::alloc(ctx, total as usize);
+    write_blocks(ctx, s, dest, &offsets, 0, n_blocks, grain, pred);
+    dest
+}
+
+fn count_blocks<C, F>(
+    ctx: &C,
+    s: MSeq,
+    counts: MSeq,
+    blo: usize,
+    bhi: usize,
+    grain: usize,
+    pred: F,
+) where
+    C: ParCtx,
+    F: Fn(u64) -> bool + Sync + Copy + Send,
+{
+    if bhi - blo <= 1 {
+        if blo < bhi {
+            let lo = blo * grain;
+            let hi = ((blo + 1) * grain).min(s.len());
+            let mut c = 0u64;
+            for i in lo..hi {
+                if pred(s.get(ctx, i)) {
+                    c += 1;
+                }
+            }
+            counts.set(ctx, blo, c);
+        }
+    } else {
+        let mid = blo + (bhi - blo) / 2;
+        ctx.join(
+            |c| count_blocks(c, s, counts, blo, mid, grain, pred),
+            |c| count_blocks(c, s, counts, mid, bhi, grain, pred),
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_blocks<C, F>(
+    ctx: &C,
+    s: MSeq,
+    dest: MSeq,
+    offsets: &[u64],
+    blo: usize,
+    bhi: usize,
+    grain: usize,
+    pred: F,
+) where
+    C: ParCtx,
+    F: Fn(u64) -> bool + Sync + Copy + Send,
+{
+    if bhi - blo <= 1 {
+        if blo < bhi {
+            let lo = blo * grain;
+            let hi = ((blo + 1) * grain).min(s.len());
+            let mut out = offsets[blo] as usize;
+            for i in lo..hi {
+                let v = s.get(ctx, i);
+                if pred(v) {
+                    dest.set(ctx, out, v);
+                    out += 1;
+                }
+            }
+        }
+    } else {
+        let mid = blo + (bhi - blo) / 2;
+        ctx.join(
+            |c| write_blocks(c, s, dest, offsets, blo, mid, grain, pred),
+            |c| write_blocks(c, s, dest, offsets, mid, bhi, grain, pred),
+        );
+    }
+}
+
+/// Builds the standard random input sequence of the paper: element `i` is
+/// `hash64(seed ^ i)`.
+pub fn random_input<C: ParCtx>(ctx: &C, n: usize, grain: usize, seed: u64) -> MSeq {
+    tabulate(ctx, n, grain, move |i| hh_api::hash64(seed ^ i as u64))
+}
+
+/// Builds a sequence from a Rust slice (test helper).
+pub fn from_slice<C: ParCtx>(ctx: &C, xs: &[u64]) -> MSeq {
+    let s = MSeq::alloc(ctx, xs.len());
+    for (i, &x) in xs.iter().enumerate() {
+        s.set(ctx, i, x);
+    }
+    s
+}
+
+/// A quick deterministic checksum of a sequence (used to validate benchmark runs).
+pub fn checksum<C: ParCtx>(ctx: &C, s: MSeq) -> u64 {
+    let mut acc = 0u64;
+    let mut rng = Rng::new(s.len() as u64 + 1);
+    let samples = s.len().min(256);
+    for _ in 0..samples {
+        let i = (rng.next_u64() % s.len().max(1) as u64) as usize;
+        acc = acc
+            .wrapping_mul(0x100000001B3)
+            .wrapping_add(s.get(ctx, i).wrapping_add(i as u64));
+    }
+    acc.wrapping_add(s.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_baselines::SeqRuntime;
+    use hh_api::Runtime as _;
+    use hh_runtime::HhRuntime;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tabulate_map_reduce_filter_roundtrip_sequential() {
+        let rt = SeqRuntime::new();
+        rt.run(|ctx| {
+            let s = tabulate(ctx, 1000, 64, |i| i as u64);
+            assert_eq!(s.len(), 1000);
+            assert_eq!(s.get(ctx, 0), 0);
+            assert_eq!(s.get(ctx, 999), 999);
+            let doubled = map(ctx, s, 64, |x| x * 2);
+            assert_eq!(doubled.get(ctx, 500), 1000);
+            let sum = reduce(ctx, doubled, 64, 0, |a, b| a + b);
+            assert_eq!(sum, (0..1000u64).map(|x| x * 2).sum());
+            let evens = filter(ctx, s, 64, |x| x % 2 == 0);
+            assert_eq!(evens.len(), 500);
+            assert_eq!(evens.get(ctx, 1), 2);
+            assert_eq!(evens.get(ctx, 499), 998);
+        });
+    }
+
+    #[test]
+    fn parallel_matches_sequential_results() {
+        let expected = {
+            let rt = SeqRuntime::new();
+            rt.run(|ctx| {
+                let s = random_input(ctx, 5000, 128, 7);
+                let m = map(ctx, s, 128, |x| x ^ (x >> 3));
+                let f = filter(ctx, m, 128, |x| x % 3 == 0);
+                (
+                    reduce(ctx, m, 128, 0, u64::wrapping_add),
+                    f.len(),
+                    f.to_vec(ctx),
+                )
+            })
+        };
+        let rt = HhRuntime::with_workers(4);
+        let got = rt.run(|ctx| {
+            let s = random_input(ctx, 5000, 128, 7);
+            let m = map(ctx, s, 128, |x| x ^ (x >> 3));
+            let f = filter(ctx, m, 128, |x| x % 3 == 0);
+            (
+                reduce(ctx, m, 128, 0, u64::wrapping_add),
+                f.len(),
+                f.to_vec(ctx),
+            )
+        });
+        assert_eq!(expected.0, got.0);
+        assert_eq!(expected.1, got.1);
+        assert_eq!(expected.2, got.2);
+        assert_eq!(rt.check_disentangled(), 0);
+        assert_eq!(rt.stats().promoted_objects, 0, "pure sequence ops must not promote");
+    }
+
+    #[test]
+    fn empty_and_single_element_sequences() {
+        let rt = SeqRuntime::new();
+        rt.run(|ctx| {
+            let empty = tabulate(ctx, 0, 16, |i| i as u64);
+            assert!(empty.is_empty());
+            assert_eq!(reduce(ctx, empty, 16, 42, |a, b| a + b), 42);
+            let one = tabulate(ctx, 1, 16, |_| 9);
+            assert_eq!(one.to_vec(ctx), vec![9]);
+            let none = filter(ctx, one, 16, |x| x > 100);
+            assert!(none.is_empty());
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_filter_equals_std_filter(xs in proptest::collection::vec(any::<u64>(), 0..400), grain in 1usize..64) {
+            let rt = SeqRuntime::new();
+            let got = rt.run(|ctx| {
+                let s = from_slice(ctx, &xs);
+                filter(ctx, s, grain, |x| x % 5 < 2).to_vec(ctx)
+            });
+            let expected: Vec<u64> = xs.iter().copied().filter(|x| x % 5 < 2).collect();
+            prop_assert_eq!(got, expected);
+        }
+
+        #[test]
+        fn prop_reduce_equals_std_sum(xs in proptest::collection::vec(any::<u64>(), 0..400), grain in 1usize..64) {
+            let rt = SeqRuntime::new();
+            let got = rt.run(|ctx| {
+                let s = from_slice(ctx, &xs);
+                reduce(ctx, s, grain, 0, u64::wrapping_add)
+            });
+            let expected = xs.iter().copied().fold(0u64, u64::wrapping_add);
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Strassen matrix multiplication over quadtree matrices (`strassen`, §4.1).
+//!
+//! Matrices are represented as quadtrees whose leaves are dense `LEAF × LEAF` blocks of
+//! doubles held in managed data arrays, exactly as in the paper ("the matrices are
+//! represented by quadtrees with leaves of vectors of elements"). Internal nodes are
+//! immutable managed objects with four pointer fields. The recursion computes Strassen's
+//! seven products, the top levels in parallel.
+
+use hh_api::{f64_from_bits, f64_to_bits, hash64, ParCtx};
+use hh_objmodel::{ObjKind, ObjPtr};
+
+/// Side length of a leaf block.
+pub const LEAF: usize = 16;
+
+/// A quadtree matrix: either a `LEAF×LEAF` dense block or four quadrants
+/// (NW, NE, SW, SE). The Rust-side handle records the side length; the managed objects
+/// carry the data.
+#[derive(Copy, Clone)]
+pub struct QMat {
+    node: ObjPtr,
+    /// Side length of this (sub)matrix.
+    pub n: usize,
+}
+
+impl QMat {
+    /// The managed node backing this matrix.
+    pub fn raw(self) -> ObjPtr {
+        self.node
+    }
+}
+
+fn leaf_alloc<C: ParCtx>(ctx: &C) -> ObjPtr {
+    ctx.alloc(0, LEAF * LEAF, ObjKind::Leaf)
+}
+
+fn node_alloc<C: ParCtx>(ctx: &C, nw: ObjPtr, ne: ObjPtr, sw: ObjPtr, se: ObjPtr) -> ObjPtr {
+    let n = ctx.alloc(4, 0, ObjKind::Node);
+    ctx.write_ptr(n, 0, nw);
+    ctx.write_ptr(n, 1, ne);
+    ctx.write_ptr(n, 2, sw);
+    ctx.write_ptr(n, 3, se);
+    n
+}
+
+fn child<C: ParCtx>(ctx: &C, m: QMat, k: usize) -> QMat {
+    QMat {
+        node: ctx.read_imm_ptr(m.node, k),
+        n: m.n / 2,
+    }
+}
+
+/// Generates an `n × n` quadtree matrix (n must be a power of two ≥ [`LEAF`]) whose
+/// element `(i, j)` is a hash of the seed and position.
+pub fn generate<C: ParCtx>(ctx: &C, n: usize, seed: u64, grain: usize) -> QMat {
+    assert!(n >= LEAF && n.is_power_of_two(), "n must be a power of two >= LEAF");
+    gen_rec(ctx, n, 0, 0, seed, grain)
+}
+
+fn gen_rec<C: ParCtx>(ctx: &C, n: usize, row: usize, col: usize, seed: u64, grain: usize) -> QMat {
+    if n == LEAF {
+        let leaf = leaf_alloc(ctx);
+        for i in 0..LEAF {
+            for j in 0..LEAF {
+                let v = (hash64(seed ^ ((row + i) as u64) << 20 ^ (col + j) as u64) % 100) as f64 / 100.0;
+                ctx.write_nonptr(leaf, i * LEAF + j, f64_to_bits(v));
+            }
+        }
+        ctx.maybe_collect();
+        return QMat { node: leaf, n };
+    }
+    let h = n / 2;
+    let build = |c: &C, which: usize| -> QMat {
+        match which {
+            0 => gen_rec(c, h, row, col, seed, grain),
+            1 => gen_rec(c, h, row, col + h, seed, grain),
+            2 => gen_rec(c, h, row + h, col, seed, grain),
+            _ => gen_rec(c, h, row + h, col + h, seed, grain),
+        }
+    };
+    let (nw, ne, sw, se) = if n > grain {
+        let ((nw, ne), (sw, se)) = ctx.join(
+            |c| c.join(|c| build(c, 0), |c| build(c, 1)),
+            |c| c.join(|c| build(c, 2), |c| build(c, 3)),
+        );
+        (nw, ne, sw, se)
+    } else {
+        (build(ctx, 0), build(ctx, 1), build(ctx, 2), build(ctx, 3))
+    };
+    QMat {
+        node: node_alloc(ctx, nw.node, ne.node, sw.node, se.node),
+        n,
+    }
+}
+
+/// Element-wise combination of two equally shaped quadtrees.
+fn zip<C: ParCtx>(ctx: &C, a: QMat, b: QMat, sub: bool) -> QMat {
+    debug_assert_eq!(a.n, b.n);
+    if a.n == LEAF {
+        let leaf = leaf_alloc(ctx);
+        for k in 0..LEAF * LEAF {
+            let x = f64_from_bits(ctx.read_imm(a.node, k));
+            let y = f64_from_bits(ctx.read_imm(b.node, k));
+            let v = if sub { x - y } else { x + y };
+            ctx.write_nonptr(leaf, k, f64_to_bits(v));
+        }
+        return QMat { node: leaf, n: LEAF };
+    }
+    let parts: Vec<ObjPtr> = (0..4)
+        .map(|k| zip(ctx, child(ctx, a, k), child(ctx, b, k), sub).node)
+        .collect();
+    QMat {
+        node: node_alloc(ctx, parts[0], parts[1], parts[2], parts[3]),
+        n: a.n,
+    }
+}
+
+fn add<C: ParCtx>(ctx: &C, a: QMat, b: QMat) -> QMat {
+    zip(ctx, a, b, false)
+}
+
+fn sub<C: ParCtx>(ctx: &C, a: QMat, b: QMat) -> QMat {
+    zip(ctx, a, b, true)
+}
+
+fn leaf_mul<C: ParCtx>(ctx: &C, a: QMat, b: QMat) -> QMat {
+    let out = leaf_alloc(ctx);
+    for i in 0..LEAF {
+        for j in 0..LEAF {
+            let mut acc = 0.0f64;
+            for k in 0..LEAF {
+                acc += f64_from_bits(ctx.read_imm(a.node, i * LEAF + k))
+                    * f64_from_bits(ctx.read_imm(b.node, k * LEAF + j));
+            }
+            ctx.write_nonptr(out, i * LEAF + j, f64_to_bits(acc));
+        }
+    }
+    QMat { node: out, n: LEAF }
+}
+
+/// Strassen multiplication. Recursion levels with `n > parallel_cutoff` evaluate their
+/// seven products in parallel.
+pub fn strassen<C: ParCtx>(ctx: &C, a: QMat, b: QMat, parallel_cutoff: usize) -> QMat {
+    debug_assert_eq!(a.n, b.n);
+    if a.n == LEAF {
+        let r = leaf_mul(ctx, a, b);
+        ctx.maybe_collect();
+        return r;
+    }
+    let (a11, a12, a21, a22) = (
+        child(ctx, a, 0),
+        child(ctx, a, 1),
+        child(ctx, a, 2),
+        child(ctx, a, 3),
+    );
+    let (b11, b12, b21, b22) = (
+        child(ctx, b, 0),
+        child(ctx, b, 1),
+        child(ctx, b, 2),
+        child(ctx, b, 3),
+    );
+
+    let m = |c: &C, which: usize| -> QMat {
+        match which {
+            0 => {
+                let x = add(c, a11, a22);
+                let y = add(c, b11, b22);
+                strassen(c, x, y, parallel_cutoff)
+            }
+            1 => {
+                let x = add(c, a21, a22);
+                strassen(c, x, b11, parallel_cutoff)
+            }
+            2 => {
+                let y = sub(c, b12, b22);
+                strassen(c, a11, y, parallel_cutoff)
+            }
+            3 => {
+                let y = sub(c, b21, b11);
+                strassen(c, a22, y, parallel_cutoff)
+            }
+            4 => {
+                let x = add(c, a11, a12);
+                strassen(c, x, b22, parallel_cutoff)
+            }
+            5 => {
+                let x = sub(c, a21, a11);
+                let y = add(c, b11, b12);
+                strassen(c, x, y, parallel_cutoff)
+            }
+            _ => {
+                let x = sub(c, a12, a22);
+                let y = add(c, b21, b22);
+                strassen(c, x, y, parallel_cutoff)
+            }
+        }
+    };
+
+    let ms: [QMat; 7] = if a.n > parallel_cutoff {
+        let ((m1, (m2, m3)), ((m4, m5), (m6, m7))) = ctx.join(
+            |c| c.join(|c| m(c, 0), |c| c.join(|c| m(c, 1), |c| m(c, 2))),
+            |c| {
+                c.join(
+                    |c| c.join(|c| m(c, 3), |c| m(c, 4)),
+                    |c| c.join(|c| m(c, 5), |c| m(c, 6)),
+                )
+            },
+        );
+        [m1, m2, m3, m4, m5, m6, m7]
+    } else {
+        [m(ctx, 0), m(ctx, 1), m(ctx, 2), m(ctx, 3), m(ctx, 4), m(ctx, 5), m(ctx, 6)]
+    };
+    let [m1, m2, m3, m4, m5, m6, m7] = ms;
+
+    let c11 = add(ctx, sub(ctx, add(ctx, m1, m4), m5), m7);
+    let c12 = add(ctx, m3, m5);
+    let c21 = add(ctx, m2, m4);
+    let c22 = add(ctx, add(ctx, sub(ctx, m1, m2), m3), m6);
+    QMat {
+        node: node_alloc(ctx, c11.node, c12.node, c21.node, c22.node),
+        n: a.n,
+    }
+}
+
+/// Reads element `(i, j)` of a quadtree matrix (validation helper).
+pub fn get<C: ParCtx>(ctx: &C, m: QMat, i: usize, j: usize) -> f64 {
+    if m.n == LEAF {
+        f64_from_bits(ctx.read_imm(m.node, i * LEAF + j))
+    } else {
+        let h = m.n / 2;
+        let (qi, qj) = (i / h, j / h);
+        let k = qi * 2 + qj;
+        get(ctx, child(ctx, m, k), i % h, j % h)
+    }
+}
+
+/// Deterministic checksum over a sample of entries.
+pub fn checksum<C: ParCtx>(ctx: &C, m: QMat) -> u64 {
+    let mut acc = 0.0;
+    let step = (m.n / 16).max(1);
+    let mut i = 0;
+    while i < m.n {
+        acc += get(ctx, m, i, (i * 7 + 3) % m.n);
+        i += step;
+    }
+    (acc * 1024.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_baselines::SeqRuntime;
+    use hh_api::Runtime as _;
+    use hh_runtime::HhRuntime;
+
+    #[test]
+    fn strassen_matches_naive_multiplication() {
+        let rt = SeqRuntime::new();
+        rt.run(|ctx| {
+            let n = 2 * LEAF;
+            let a = generate(ctx, n, 1, LEAF);
+            let b = generate(ctx, n, 2, LEAF);
+            let c = strassen(ctx, a, b, LEAF);
+            // Naive reference on a few entries.
+            for &(i, j) in &[(0usize, 0usize), (3, 17), (20, 5), (31, 31)] {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += get(ctx, a, i, k) * get(ctx, b, k, j);
+                }
+                assert!(
+                    (get(ctx, c, i, j) - acc).abs() < 1e-6,
+                    "mismatch at ({i},{j}): {} vs {}",
+                    get(ctx, c, i, j),
+                    acc
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn parallel_strassen_matches_sequential_checksum() {
+        let n = 4 * LEAF;
+        let expected = {
+            let rt = SeqRuntime::new();
+            rt.run(|ctx| {
+                let a = generate(ctx, n, 1, LEAF);
+                let b = generate(ctx, n, 2, LEAF);
+                checksum(ctx, strassen(ctx, a, b, LEAF))
+            })
+        };
+        let rt = HhRuntime::with_workers(4);
+        let got = rt.run(|ctx| {
+            let a = generate(ctx, n, 1, LEAF);
+            let b = generate(ctx, n, 2, LEAF);
+            checksum(ctx, strassen(ctx, a, b, LEAF))
+        });
+        assert_eq!(expected, got);
+        assert_eq!(rt.check_disentangled(), 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Parallel BFS over a synthetic power-law graph: the `usp` and `usp-tree` benchmarks.
+//!
+//! `usp` records only distances (distant non-pointer writes); `usp-tree` additionally
+//! records the full shortest-path tree as per-vertex ancestor lists, which requires
+//! promoting writes — the workload where promotion cost dominates (§4.4, §5 of the
+//! paper). Run with:
+//!
+//! ```text
+//! cargo run --release --example graph_bfs -- [vertices] [workers]
+//! ```
+
+use hierheap::workloads::graph::{ancestor_list_len, bfs, generate, BfsState, BfsVariant};
+use hierheap::{HhRuntime, Runtime};
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(50_000);
+    let workers: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4));
+
+    let rt = HhRuntime::with_workers(workers);
+    let report = rt.run(|ctx| {
+        let g = generate(ctx, n, 12, 2048, 7);
+        println!("graph: {} vertices, {} edges", g.n, g.m);
+
+        // usp: unweighted single-source shortest path lengths.
+        let usp_state = BfsState::new(ctx, g.n, BfsVariant::Usp);
+        let t0 = Instant::now();
+        let visited = bfs(ctx, &g, &usp_state, 0, 64);
+        let t_usp = t0.elapsed();
+
+        // usp-tree: all shortest paths, recorded as ancestor lists.
+        let tree_state = BfsState::new(ctx, g.n, BfsVariant::UspTree);
+        let t0 = Instant::now();
+        let visited_tree = bfs(ctx, &g, &tree_state, 0, 64);
+        let t_tree = t0.elapsed();
+
+        // Validate: ancestor list length equals the recorded distance.
+        let mut checked = 0usize;
+        for v in (0..g.n).step_by((g.n / 200).max(1)) {
+            if usp_state.visited.get_mut(ctx, v) == 1 && v != 0 {
+                assert_eq!(
+                    ancestor_list_len(ctx, &tree_state, v) as u64,
+                    tree_state.dist.get_mut(ctx, v),
+                    "ancestor list of vertex {v}"
+                );
+                checked += 1;
+            }
+        }
+        let max_dist = (0..g.n)
+            .filter(|&v| usp_state.visited.get_mut(ctx, v) == 1)
+            .map(|v| usp_state.dist.get_mut(ctx, v))
+            .max()
+            .unwrap_or(0);
+        (visited, visited_tree, t_usp, t_tree, max_dist, checked)
+    });
+
+    let (visited, visited_tree, t_usp, t_tree, max_dist, checked) = report;
+    println!("usp      : visited {visited} vertices in {:.3}s (max distance {max_dist})", t_usp.as_secs_f64());
+    println!("usp-tree : visited {visited_tree} vertices in {:.3}s", t_tree.as_secs_f64());
+    println!("validated ancestor lists for {checked} sampled vertices");
+    let stats = rt.stats();
+    println!(
+        "promotions: {} objects / {} bytes (usp-tree's distant pointer writes)",
+        stats.promoted_objects,
+        stats.promoted_bytes()
+    );
+    assert_eq!(rt.check_disentangled(), 0);
+}

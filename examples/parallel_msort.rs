@@ -1,0 +1,57 @@
+//! Parallel imperative mergesort (the paper's Figure 1) compared across runtimes.
+//!
+//! Sorts a hash-random sequence with the imperative `msort` (in-place quicksort below
+//! the grain) on the sequential baseline and on the hierarchical runtime, and reports
+//! times, speedup, and memory statistics. Run with:
+//!
+//! ```text
+//! cargo run --release --example parallel_msort -- [n] [workers]
+//! ```
+
+use hierheap::workloads::seq::{random_input, MSeq};
+use hierheap::workloads::sort::{is_sorted, msort};
+use hierheap::{HhRuntime, ParCtx, Runtime, SeqRuntime};
+use std::time::Instant;
+
+const GRAIN: usize = 4096;
+
+fn sort_and_check<C: ParCtx>(ctx: &C, n: usize) -> (MSeq, bool) {
+    let input = random_input(ctx, n, GRAIN, 42);
+    let sorted = msort(ctx, input, GRAIN);
+    let ok = is_sorted(ctx, sorted);
+    (sorted, ok)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(200_000);
+    let workers: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4));
+
+    println!("sorting {n} random 64-bit keys (grain {GRAIN})");
+
+    // Sequential baseline.
+    let seq = SeqRuntime::new();
+    let t0 = Instant::now();
+    let seq_ok = seq.run(|ctx| sort_and_check(ctx, n).1);
+    let t_seq = t0.elapsed();
+    println!("seq      : {:>8.3}s  sorted={seq_ok}", t_seq.as_secs_f64());
+
+    // Hierarchical runtime.
+    let hh = HhRuntime::with_workers(workers);
+    let t0 = Instant::now();
+    let hh_ok = hh.run(|ctx| sort_and_check(ctx, n).1);
+    let t_hh = t0.elapsed();
+    let stats = hh.stats();
+    println!(
+        "parmem x{workers}: {:>8.3}s  sorted={hh_ok}  speedup={:.2}  gc={} collections  promoted={} objects",
+        t_hh.as_secs_f64(),
+        t_seq.as_secs_f64() / t_hh.as_secs_f64(),
+        stats.gc_count,
+        stats.promoted_objects,
+    );
+    assert!(seq_ok && hh_ok);
+    assert_eq!(hh.check_disentangled(), 0);
+}

@@ -1,0 +1,46 @@
+//! Renders the raytracer benchmark's sphere scene in parallel and writes a PPM image.
+//!
+//! ```text
+//! cargo run --release --example raytrace -- [side] [workers] [output.ppm]
+//! ```
+
+use hierheap::workloads::ray::render;
+use hierheap::workloads::seq::MSeq;
+use hierheap::{HhRuntime, Runtime};
+use std::io::Write;
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let side: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(300);
+    let workers: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4));
+    let out_path = args.next().unwrap_or_else(|| "raytrace.ppm".to_string());
+
+    let rt = HhRuntime::with_workers(workers);
+    let t0 = Instant::now();
+    let pixels: Vec<u64> = rt.run(|ctx| {
+        let img: MSeq = render(ctx, side, side, 300.min(side * side));
+        img.to_vec(ctx)
+    });
+    let elapsed = t0.elapsed();
+    println!(
+        "rendered {side}x{side} pixels on {workers} workers in {:.3}s",
+        elapsed.as_secs_f64()
+    );
+
+    // Write a binary PPM.
+    let mut data = Vec::with_capacity(side * side * 3 + 64);
+    data.extend_from_slice(format!("P6\n{side} {side}\n255\n").as_bytes());
+    for p in &pixels {
+        data.push(((p >> 16) & 0xFF) as u8);
+        data.push(((p >> 8) & 0xFF) as u8);
+        data.push((p & 0xFF) as u8);
+    }
+    match std::fs::File::create(&out_path).and_then(|mut f| f.write_all(&data)) {
+        Ok(()) => println!("wrote {out_path} ({} bytes)", data.len()),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+}

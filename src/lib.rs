@@ -1,0 +1,60 @@
+//! # hierheap — hierarchical memory management for mutable state
+//!
+//! A Rust reproduction of Guatto, Westrick, Raghunathan, Acar and Fluet,
+//! *Hierarchical Memory Management for Mutable State* (PPoPP 2018).
+//!
+//! This crate is a thin facade re-exporting the workspace's building blocks:
+//!
+//! * [`HhRuntime`] / [`HhConfig`] — the hierarchical-heap runtime with promotion
+//!   (the paper's contribution, crate `hh-runtime`);
+//! * [`SeqRuntime`], [`StwRuntime`], [`DlgRuntime`] — the comparison runtimes
+//!   (crate `hh-baselines`);
+//! * [`ParCtx`] / [`Runtime`] — the backend-generic operation interface
+//!   (crate `hh-api`);
+//! * [`workloads`] — the paper's 17-benchmark suite and its substrates;
+//! * [`harness`] — the experiment driver regenerating the paper's tables and figures.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hierheap::{HhRuntime, ParCtx, Runtime, ObjPtr};
+//!
+//! let rt = HhRuntime::with_workers(2);
+//! let value = rt.run(|ctx| {
+//!     // A mutable ref allocated by the parent task…
+//!     let shared = ctx.alloc_ref_ptr(ObjPtr::NULL);
+//!     ctx.join(
+//!         // …one child writes a locally allocated object into it (this promotes)…
+//!         |c| {
+//!             let local = c.alloc_ref_data(41);
+//!             c.write_ptr(shared, 0, local);
+//!         },
+//!         |_| (),
+//!     );
+//!     // …and the parent reads it back through the master copy.
+//!     let p = ctx.read_mut_ptr(shared, 0);
+//!     ctx.read_mut(p, 0) + 1
+//! });
+//! assert_eq!(value, 42);
+//! ```
+
+pub use hh_api::{f64_from_bits, f64_to_bits, hash64, ObjKind, ObjPtr, ParCtx, Rooted, RunStats, Runtime};
+pub use hh_baselines::{DlgRuntime, SeqRuntime, StwRuntime};
+pub use hh_runtime::{HhConfig, HhRuntime};
+
+/// The benchmark suite and its substrates (sequences, graphs, matrices, raytracer).
+pub mod workloads {
+    pub use hh_workloads::*;
+}
+
+/// The experiment driver (tables/figures of the paper's evaluation).
+pub mod harness {
+    pub use hh_harness::*;
+}
+
+/// Low-level building blocks, exposed for advanced use and for the tests.
+pub mod lowlevel {
+    pub use hh_heaps::{Heap, HeapId, HeapRegistry, HeapRwLock};
+    pub use hh_objmodel::{AppendVec, Chunk, ChunkId, ChunkStore, Header, ObjView};
+    pub use hh_sched::{Pool, Safepoints, Worker};
+}

@@ -1,0 +1,156 @@
+//! Cross-crate integration tests: the benchmark suite run end-to-end on all four
+//! runtimes through the public facade, checking agreement, disentanglement, and the
+//! headline qualitative results of the paper.
+
+use hierheap::workloads::suite::{run_timed, BenchId, Params};
+use hierheap::{DlgRuntime, HhConfig, HhRuntime, Runtime, SeqRuntime, StwRuntime};
+
+fn tiny() -> Params {
+    Params {
+        scale: 0.0002,
+        grain: 512,
+    }
+}
+
+/// The core agreement property: every deterministic benchmark computes the same result
+/// checksum on every runtime.
+#[test]
+fn all_runtimes_agree_on_deterministic_benchmarks() {
+    let p = tiny();
+    let deterministic: Vec<BenchId> = BenchId::ALL
+        .into_iter()
+        .filter(|b| *b != BenchId::Reachability) // benign race ⇒ nondeterministic count
+        .collect();
+    for id in deterministic {
+        let seq = SeqRuntime::new();
+        let expected = seq.run(|ctx| run_timed(ctx, id, p)).checksum;
+
+        let stw = StwRuntime::with_workers(3);
+        assert_eq!(
+            stw.run(|ctx| run_timed(ctx, id, p)).checksum,
+            expected,
+            "{} on stw",
+            id.name()
+        );
+
+        let hh = HhRuntime::with_workers(3);
+        assert_eq!(
+            hh.run(|ctx| run_timed(ctx, id, p)).checksum,
+            expected,
+            "{} on parmem",
+            id.name()
+        );
+        assert_eq!(hh.check_disentangled(), 0, "{} entangled", id.name());
+
+        // The DLG baseline cannot express the imperative benchmarks in the paper; here
+        // it can run them (same API), but to mirror the evaluation we only require
+        // agreement on the pure ones.
+        if id.is_pure() {
+            let dlg = DlgRuntime::with_workers(3);
+            assert_eq!(
+                dlg.run(|ctx| run_timed(ctx, id, p)).checksum,
+                expected,
+                "{} on dlg",
+                id.name()
+            );
+        }
+    }
+}
+
+/// §4.4: the pure `map` benchmark promotes nothing on the hierarchical runtime, while
+/// the Manticore-style baseline promotes the data of stolen tasks.
+#[test]
+fn promotion_volume_shape_matches_the_paper() {
+    let p = Params {
+        scale: 0.001,
+        grain: 256,
+    };
+    let hh = HhRuntime::with_workers(4);
+    hh.run(|ctx| run_timed(ctx, BenchId::Map, p));
+    assert_eq!(hh.stats().promoted_objects, 0, "parmem must not promote on map");
+
+    // The DLG baseline's promotion comes from data built by stolen tasks. With a
+    // flat-array sequence representation `map` builds nothing in its leaves, so the
+    // effect shows on `msort-pure`, whose leaves allocate their partitions locally (see
+    // EXPERIMENTS.md, E6). Run it a few times and require that at least one run with
+    // several workers promotes something (steals are scheduling-dependent).
+    let mut dlg_promoted = 0;
+    for _ in 0..5 {
+        let dlg = DlgRuntime::with_workers(4);
+        dlg.run(|ctx| run_timed(ctx, BenchId::MsortPure, p));
+        dlg_promoted += dlg.stats().promoted_words;
+        if dlg_promoted > 0 {
+            break;
+        }
+    }
+    assert!(
+        dlg_promoted > 0,
+        "the DLG baseline should promote data built by stolen tasks on msort-pure"
+    );
+}
+
+/// The imperative BFS variants exercise exactly the promotion machinery Figure 9
+/// predicts: `usp` does not promote, `usp-tree` does.
+#[test]
+fn bfs_promotion_matches_figure9() {
+    let p = Params {
+        scale: 0.001,
+        grain: 256,
+    };
+    let hh = HhRuntime::with_workers(4);
+    hh.run(|ctx| run_timed(ctx, BenchId::Usp, p));
+    assert_eq!(hh.stats().promoted_objects, 0, "usp must not promote");
+
+    let hh2 = HhRuntime::with_workers(4);
+    hh2.run(|ctx| run_timed(ctx, BenchId::UspTree, p));
+    assert!(
+        hh2.stats().promoted_objects > 0,
+        "usp-tree must perform promoting writes with multiple workers"
+    );
+    assert_eq!(hh2.check_disentangled(), 0);
+}
+
+/// Garbage collection triggers under allocation pressure on every runtime that
+/// implements it, without corrupting results.
+#[test]
+fn collections_happen_under_pressure_and_results_survive() {
+    let p = Params {
+        scale: 0.001,
+        grain: 512,
+    };
+    // Small GC thresholds force collections during msort-pure (allocation heavy).
+    let hh = HhRuntime::new(HhConfig {
+        n_workers: 3,
+        chunk_words: 1024,
+        gc_threshold_words: 8_000,
+        ..Default::default()
+    });
+    let seq = SeqRuntime::new();
+    let expected = seq.run(|ctx| run_timed(ctx, BenchId::MsortPure, p)).checksum;
+    let got = hh.run(|ctx| run_timed(ctx, BenchId::MsortPure, p)).checksum;
+    assert_eq!(expected, got);
+    assert!(
+        hh.stats().gc_count > 0,
+        "msort-pure with a small threshold must collect leaf heaps"
+    );
+}
+
+/// The facade's quickstart doc example, kept in sync as a real test.
+#[test]
+fn facade_quickstart_compiles_and_runs() {
+    use hierheap::{ObjPtr, ParCtx};
+    let rt = HhRuntime::with_workers(2);
+    let value = rt.run(|ctx| {
+        let shared = ctx.alloc_ref_ptr(ObjPtr::NULL);
+        ctx.join(
+            |c| {
+                let local = c.alloc_ref_data(41);
+                c.write_ptr(shared, 0, local);
+            },
+            |_| (),
+        );
+        let p = ctx.read_mut_ptr(shared, 0);
+        ctx.read_mut(p, 0) + 1
+    });
+    assert_eq!(value, 42);
+}
