@@ -31,22 +31,36 @@ pub fn i64_from_bits(bits: u64) -> i64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::Rng;
 
-    proptest! {
-        #[test]
-        fn f64_roundtrip(x in proptest::num::f64::ANY) {
+    #[test]
+    fn f64_roundtrip() {
+        let mut r = Rng::new(41);
+        for _ in 0..4096 {
+            // Random bit patterns cover normals, subnormals, infinities, and NaNs.
+            let x = f64::from_bits(r.next_u64());
             let back = f64_from_bits(f64_to_bits(x));
             if x.is_nan() {
-                prop_assert!(back.is_nan());
+                assert!(back.is_nan());
             } else {
-                prop_assert_eq!(back, x);
+                assert_eq!(back, x);
             }
         }
+        for x in [0.0, -0.0, 1.5, f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            let back = f64_from_bits(f64_to_bits(x));
+            assert!(back.is_nan() == x.is_nan() && (x.is_nan() || back == x));
+        }
+    }
 
-        #[test]
-        fn i64_roundtrip(x in any::<i64>()) {
-            prop_assert_eq!(i64_from_bits(i64_to_bits(x)), x);
+    #[test]
+    fn i64_roundtrip() {
+        let mut r = Rng::new(42);
+        for _ in 0..4096 {
+            let x = r.next_u64() as i64;
+            assert_eq!(i64_from_bits(i64_to_bits(x)), x);
+        }
+        for x in [i64::MIN, -1, 0, 1, i64::MAX] {
+            assert_eq!(i64_from_bits(i64_to_bits(x)), x);
         }
     }
 

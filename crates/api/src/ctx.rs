@@ -51,6 +51,175 @@ pub trait ParCtx: Sized {
         RA: Send,
         RB: Send;
 
+    // ------------------------------------------------------------------
+    // Bulk field operations (ParCtx v2).
+    //
+    // The scalar operations above pay one virtual call plus one forwarding-chain check
+    // per 64-bit word. The bulk operations below express a whole contiguous field range
+    // in one call so a runtime can amortize that bookkeeping per slice: the
+    // hierarchical runtime resolves `findMaster` once and holds the heap read lock
+    // across the slice, and the baselines resolve their forwarding barrier once.
+    //
+    // The default implementations are plain scalar loops, so every `ParCtx` impl is
+    // automatically correct; runtimes override them for speed. Bulk operations are
+    // observationally equivalent to the corresponding scalar loops (the
+    // `cross_runtime` property tests pin this down on all four runtimes).
+    // ------------------------------------------------------------------
+
+    /// Bulk `readImmutable`: reads fields `start .. start + out.len()` of an immutable
+    /// object into `out`.
+    fn read_imm_bulk(&self, obj: ObjPtr, start: usize, out: &mut [u64]) {
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = self.read_imm(obj, start + k);
+        }
+    }
+
+    /// Bulk `readMutable`: reads fields `start .. start + out.len()` through the master
+    /// copy into `out`.
+    fn read_mut_bulk(&self, obj: ObjPtr, start: usize, out: &mut [u64]) {
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = self.read_mut(obj, start + k);
+        }
+    }
+
+    /// Bulk `writeNonptr`: writes `vals` into fields `start .. start + vals.len()`,
+    /// updating the master copy if the object has been promoted.
+    fn write_nonptr_bulk(&self, obj: ObjPtr, start: usize, vals: &[u64]) {
+        for (k, &v) in vals.iter().enumerate() {
+            self.write_nonptr(obj, start + k, v);
+        }
+    }
+
+    /// Fills fields `start .. start + len` with `val` (a bulk non-pointer write of one
+    /// repeated value, without materializing a buffer).
+    fn fill_nonptr(&self, obj: ObjPtr, start: usize, len: usize, val: u64) {
+        for k in 0..len {
+            self.write_nonptr(obj, start + k, val);
+        }
+    }
+
+    /// Copies `len` non-pointer fields from `src[src_start..]` to `dst[dst_start..]`
+    /// (an object→object range copy). Reads go through the source's master copy and
+    /// writes through the destination's, exactly as the scalar loop would.
+    ///
+    /// `src` and `dst` may be the same object only if the ranges do not overlap.
+    fn copy_nonptr(
+        &self,
+        src: ObjPtr,
+        src_start: usize,
+        dst: ObjPtr,
+        dst_start: usize,
+        len: usize,
+    ) {
+        for k in 0..len {
+            let v = self.read_mut(src, src_start + k);
+            self.write_nonptr(dst, dst_start + k, v);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // N-ary fork-join (ParCtx v2).
+    // ------------------------------------------------------------------
+
+    /// N-ary `forkjoin`: runs every closure in `fns`, potentially in parallel, and
+    /// returns their results in order.
+    ///
+    /// The default implementation divides and conquers over binary [`ParCtx::join`],
+    /// so the task tree (and therefore the heap hierarchy) stays balanced: `n` closures
+    /// produce a tree of depth `⌈log₂ n⌉`. Closures run in child contexts created by
+    /// the underlying joins — except that a single remaining closure runs directly on
+    /// the context that holds it (just as the two arms of a plain `join` may), so
+    /// callers must not rely on every task getting its own fresh heap.
+    fn join_many<R, F>(&self, fns: Vec<F>) -> Vec<R>
+    where
+        F: FnOnce(&Self) -> R + Send,
+        R: Send,
+    {
+        match fns.len() {
+            0 => Vec::new(),
+            1 => {
+                let f = fns.into_iter().next().expect("len checked");
+                vec![f(self)]
+            }
+            n => {
+                let mut left = fns;
+                let right = left.split_off(n / 2);
+                let (mut ra, mut rb) =
+                    self.join(move |c| c.join_many(left), move |c| c.join_many(right));
+                ra.append(&mut rb);
+                ra
+            }
+        }
+    }
+
+    /// Grain-controlled parallel for: splits `range` divide-and-conquer style until
+    /// subranges are at most `grain` long, then invokes `body` on each leaf subrange
+    /// and polls [`ParCtx::maybe_collect`] after it.
+    ///
+    /// Leaf subranges are disjoint, cover `range` exactly, and arrive in no particular
+    /// order; the body must only perform writes that commute across leaves (the same
+    /// contract the workloads' hand-rolled splitters had). The body receives the leaf
+    /// *range* rather than a single index so it can use the bulk operations above.
+    /// Leaves run in the child contexts created by the recursive joins — except a
+    /// range that already fits in one grain, which runs directly on the calling
+    /// context — so bodies must not rely on a fresh heap per leaf.
+    fn par_for<F>(&self, range: std::ops::Range<usize>, grain: usize, body: F)
+    where
+        F: Fn(&Self, std::ops::Range<usize>) + Sync + Send + Copy,
+    {
+        let (lo, hi) = (range.start, range.end);
+        if hi <= lo {
+            return;
+        }
+        if hi - lo <= grain.max(1) {
+            body(self, lo..hi);
+            self.maybe_collect();
+        } else {
+            let mid = lo + (hi - lo) / 2;
+            self.join(
+                move |c| c.par_for(lo..mid, grain, body),
+                move |c| c.par_for(mid..hi, grain, body),
+            );
+        }
+    }
+
+    /// Grain-controlled parallel map: one task per grain-aligned block of `range`,
+    /// each invoking `body` on its block and polling [`ParCtx::maybe_collect`], with
+    /// the per-block results returned in range order.
+    ///
+    /// This is [`ParCtx::par_for`] for loops that produce a value per leaf (partial
+    /// reductions, per-block counts, per-block output lists) — it owns the
+    /// block-boundary arithmetic so callers don't hand-roll `b * grain ..
+    /// min((b + 1) * grain, n)` at every site. Blocks are aligned to multiples of
+    /// `grain` from `range.start`; the execution contract (disjoint coverage,
+    /// commuting writes, no fresh-heap guarantee for single-block ranges) matches
+    /// `par_for`.
+    fn par_map<R, F>(&self, range: std::ops::Range<usize>, grain: usize, body: F) -> Vec<R>
+    where
+        F: Fn(&Self, std::ops::Range<usize>) -> R + Sync + Send + Copy,
+        R: Send,
+    {
+        let (lo, hi) = (range.start, range.end);
+        if hi <= lo {
+            return Vec::new();
+        }
+        let grain = grain.max(1);
+        let n_blocks = (hi - lo).div_ceil(grain);
+        self.join_many(
+            (0..n_blocks)
+                .map(|b| {
+                    move |c: &Self| {
+                        let blo = lo + b * grain;
+                        let bhi = (blo + grain).min(hi);
+                        let r = body(c, blo..bhi);
+                        c.maybe_collect();
+                        r
+                    }
+                })
+                .collect(),
+        )
+    }
+
     /// Registers `obj` as a GC root for this task (shadow-stack substitute for stack maps).
     fn pin(&self, obj: ObjPtr);
 
@@ -204,7 +373,7 @@ mod tests {
             let mut objs = self.objects.borrow_mut();
             let idx = objs.len();
             let mut fields = vec![ObjPtr::NULL.to_bits(); n_ptr];
-            fields.extend(std::iter::repeat(0u64).take(n_nonptr));
+            fields.extend(std::iter::repeat_n(0u64, n_nonptr));
             objs.push((kind, n_ptr, fields));
             ObjPtr::new(hh_objmodel::ChunkId(0), idx as u32)
         }
@@ -313,5 +482,101 @@ mod tests {
         let val = ctx.with_pinned(obj, |c| c.read_mut(obj, 0));
         assert_eq!(val, 3);
         assert_eq!(ctx.pin_count(obj), 0);
+    }
+
+    #[test]
+    fn bulk_defaults_match_scalar_loops() {
+        let ctx = MockCtx::new();
+        let a = ctx.alloc_data_array(16);
+        let b = ctx.alloc_data_array(16);
+        let vals: Vec<u64> = (0..8u64).map(|i| i * 11 + 1).collect();
+        ctx.write_nonptr_bulk(a, 4, &vals);
+        for (k, &v) in vals.iter().enumerate() {
+            assert_eq!(ctx.read_mut(a, 4 + k), v);
+        }
+        let mut out = vec![0u64; 8];
+        ctx.read_mut_bulk(a, 4, &mut out);
+        assert_eq!(out, vals);
+        ctx.read_imm_bulk(a, 4, &mut out);
+        assert_eq!(out, vals);
+        ctx.fill_nonptr(a, 0, 4, 9);
+        assert_eq!(
+            (0..4).map(|i| ctx.read_mut(a, i)).collect::<Vec<_>>(),
+            vec![9; 4]
+        );
+        ctx.copy_nonptr(a, 4, b, 2, 8);
+        let mut copied = vec![0u64; 8];
+        ctx.read_mut_bulk(b, 2, &mut copied);
+        assert_eq!(copied, vals);
+        // Untouched destination fields stay zero.
+        assert_eq!(ctx.read_mut(b, 0), 0);
+        assert_eq!(ctx.read_mut(b, 10), 0);
+    }
+
+    #[test]
+    fn empty_bulk_ops_are_noops() {
+        let ctx = MockCtx::new();
+        let a = ctx.alloc_data_array(4);
+        ctx.write_nonptr_bulk(a, 0, &[]);
+        ctx.read_mut_bulk(a, 0, &mut []);
+        ctx.fill_nonptr(a, 0, 0, 7);
+        ctx.copy_nonptr(a, 0, a, 2, 0);
+        assert_eq!(
+            (0..4).map(|i| ctx.read_mut(a, i)).collect::<Vec<_>>(),
+            vec![0; 4]
+        );
+    }
+
+    #[test]
+    fn join_many_returns_results_in_order() {
+        let ctx = MockCtx::new();
+        let tasks: Vec<_> = (0..9u64).map(|i| move |_c: &MockCtx| i * i).collect();
+        let results = ctx.join_many(tasks);
+        assert_eq!(results, (0..9u64).map(|i| i * i).collect::<Vec<_>>());
+        let none: Vec<fn(&MockCtx) -> u64> = Vec::new();
+        assert!(ctx.join_many(none).is_empty());
+        let one: Vec<_> = vec![|_c: &MockCtx| 42u64];
+        assert_eq!(ctx.join_many(one), vec![42]);
+    }
+
+    #[test]
+    fn par_map_returns_block_results_in_order() {
+        let ctx = MockCtx::new();
+        // Blocks of 10 over 0..25: [0..10), [10..20), [20..25).
+        let sums = ctx.par_map(0..25, 10, |_c, r| {
+            (r.start, r.end, r.map(|i| i as u64).sum::<u64>())
+        });
+        assert_eq!(sums, vec![(0, 10, 45), (10, 20, 145), (20, 25, 110)]);
+        assert!(ctx.par_map(7..7, 4, |_c, _r| 0u64).is_empty());
+        // grain 0 is clamped to 1: one block per index.
+        assert_eq!(ctx.par_map(3..6, 0, |_c, r| r.start), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn par_for_covers_range_exactly_once() {
+        let ctx = MockCtx::new();
+        let hits = ctx.alloc_data_array(100);
+        ctx.par_for(0..100, 7, move |c, r| {
+            for i in r {
+                let prev = c.read_mut(hits, i);
+                c.write_nonptr(hits, i, prev + 1);
+            }
+        });
+        for i in 0..100 {
+            assert_eq!(
+                ctx.read_mut(hits, i),
+                1,
+                "index {i} visited wrong number of times"
+            );
+        }
+        // Empty and tiny ranges terminate without touching anything.
+        ctx.par_for(5..5, 4, move |_c, _r| {
+            unreachable!("empty range must not call body")
+        });
+        ctx.par_for(3..4, 0, move |c, r| {
+            assert_eq!(r, 3..4);
+            c.write_nonptr(hits, 3, 99);
+        });
+        assert_eq!(ctx.read_mut(hits, 3), 99);
     }
 }

@@ -1,4 +1,4 @@
-//! # hh-api — the high-level operation interface
+//! # hh-api — the high-level operation interface (ParCtx v2)
 //!
 //! The paper reduces full Standard ML plus nested parallelism to six high-level
 //! operations (its Figure 3): `forkjoin`, `alloc`, `readImmutable`, `readMutable`,
@@ -6,6 +6,28 @@
 //! heap runtime (`hh-runtime`) and the three baselines (`hh-baselines`) — implements
 //! exactly that interface, expressed here as the [`ParCtx`] trait, and every benchmark
 //! in `hh-workloads` is written once, generically, against it.
+//!
+//! ## The v2 surface: bulk operations and n-ary fork-join
+//!
+//! The paper's scalar operations pay one virtual call plus one forwarding-chain check
+//! per 64-bit word, and binary `forkjoin` forces every workload to hand-roll its own
+//! recursive range splitting. ParCtx v2 adds two families of provided methods that
+//! remove both costs without changing the model:
+//!
+//! * **Bulk field operations** — [`ParCtx::read_imm_bulk`], [`ParCtx::read_mut_bulk`],
+//!   [`ParCtx::write_nonptr_bulk`], [`ParCtx::fill_nonptr`], and
+//!   [`ParCtx::copy_nonptr`] (object→object range copy) express a whole contiguous
+//!   field range in one call. The default implementations are scalar loops (so every
+//!   `ParCtx` impl is automatically correct); the runtimes override them to resolve
+//!   `findMaster` (or the baselines' forwarding barrier) **once per slice** and hold
+//!   the master heap's read lock across it. Bulk traffic is reported through the
+//!   `bulk_*` counters of [`RunStats`].
+//! * **N-ary fork-join** — [`ParCtx::join_many`] runs any number of tasks with one
+//!   call (divide-and-conquer over binary [`ParCtx::join`], so the heap hierarchy
+//!   stays balanced), and [`ParCtx::par_for`] is the grain-controlled parallel loop
+//!   every workload previously hand-rolled: it hands each leaf task a disjoint
+//!   subrange, sized for the bulk operations above, and polls
+//!   [`ParCtx::maybe_collect`] at each leaf.
 //!
 //! In addition to the paper's operations the trait carries:
 //!
@@ -16,8 +38,8 @@
 //! * `maybe_collect`, the safe point at which a runtime may run a garbage collection.
 //!
 //! The [`Runtime`] trait is the harness-facing factory: it runs a root task on the
-//! runtime's scheduler and reports [`RunStats`] (GC time, promotions, peak memory) used
-//! to regenerate the paper's tables.
+//! runtime's scheduler and reports [`RunStats`] (GC time, promotions, bulk-operation
+//! volume, peak memory) used to regenerate the paper's tables.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -26,7 +26,11 @@ impl Rng {
     /// Creates a generator from a seed (any value; zero is remapped).
     pub fn new(seed: u64) -> Rng {
         Rng {
-            state: if seed == 0 { 0x853C_49E6_748F_EA9B } else { seed },
+            state: if seed == 0 {
+                0x853C_49E6_748F_EA9B
+            } else {
+                seed
+            },
         }
     }
 
@@ -63,7 +67,10 @@ mod tests {
         // Low-entropy inputs should produce well-spread outputs: check that the low bits
         // of consecutive hashes are not constant.
         let parity: u64 = (0..64).map(|i| hash64(i) & 1).sum();
-        assert!(parity > 16 && parity < 48, "parity {parity} suggests poor mixing");
+        assert!(
+            parity > 16 && parity < 48,
+            "parity {parity} suggests poor mixing"
+        );
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! Run statistics reported by every runtime.
 
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Counters accumulated by a runtime over one benchmark run.
@@ -8,7 +7,7 @@ use std::time::Duration;
 /// These are the quantities the paper's evaluation reports: GC time (the `GC_s` /
 /// `GC_72` columns of Figures 10–11), promotion volume (the §4.4 Manticore comparison),
 /// and peak heap occupancy (the memory consumption of Figure 13).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct RunStats {
     /// Wall-clock time spent inside garbage collections, summed over all workers.
     pub gc_time: Duration,
@@ -28,6 +27,16 @@ pub struct RunStats {
     pub peak_live_words: u64,
     /// Words copied by garbage collections (survivors).
     pub gc_copied_words: u64,
+    /// Number of bulk field operations (`read_imm_bulk`, `read_mut_bulk`,
+    /// `write_nonptr_bulk`, `fill_nonptr`, `copy_nonptr`) executed.
+    pub bulk_ops: u64,
+    /// Total words moved by bulk field operations.
+    pub bulk_words: u64,
+    /// Forwarding-chain / master-copy resolutions performed *inside* bulk operations.
+    /// A runtime that amortizes correctly performs at most one per object operand —
+    /// i.e. at most `2 * bulk_ops` in total (copies have two operands), independent of
+    /// slice length.
+    pub bulk_master_lookups: u64,
 }
 
 impl RunStats {
@@ -61,6 +70,19 @@ impl RunStats {
         self.heaps_created += other.heaps_created;
         self.peak_live_words = self.peak_live_words.max(other.peak_live_words);
         self.gc_copied_words += other.gc_copied_words;
+        self.bulk_ops += other.bulk_ops;
+        self.bulk_words += other.bulk_words;
+        self.bulk_master_lookups += other.bulk_master_lookups;
+    }
+
+    /// Average words per bulk operation (0.0 if no bulk operation ran) — the
+    /// amortization factor the bulk API buys over scalar access.
+    pub fn bulk_amortization(&self) -> f64 {
+        if self.bulk_ops == 0 {
+            0.0
+        } else {
+            self.bulk_words as f64 / self.bulk_ops as f64
+        }
     }
 }
 
@@ -96,18 +118,38 @@ mod tests {
             gc_count: 1,
             allocated_words: 100,
             peak_live_words: 50,
+            bulk_ops: 2,
+            bulk_words: 128,
+            bulk_master_lookups: 2,
             ..Default::default()
         };
         let b = RunStats {
             gc_count: 2,
             allocated_words: 200,
             peak_live_words: 30,
+            bulk_ops: 1,
+            bulk_words: 64,
+            bulk_master_lookups: 2,
             ..Default::default()
         };
         a.merge(&b);
         assert_eq!(a.gc_count, 3);
         assert_eq!(a.allocated_words, 300);
         assert_eq!(a.peak_live_words, 50);
+        assert_eq!(a.bulk_ops, 3);
+        assert_eq!(a.bulk_words, 192);
+        assert_eq!(a.bulk_master_lookups, 4);
+    }
+
+    #[test]
+    fn bulk_amortization_is_words_per_op() {
+        assert_eq!(RunStats::default().bulk_amortization(), 0.0);
+        let s = RunStats {
+            bulk_ops: 4,
+            bulk_words: 1024,
+            ..Default::default()
+        };
+        assert!((s.bulk_amortization() - 256.0).abs() < 1e-9);
     }
 
     #[test]

@@ -109,6 +109,154 @@ pub fn resolve(store: &ChunkStore, mut obj: ObjPtr) -> ObjPtr {
     }
 }
 
+/// As [`resolve`], but also counts the resolution in the bulk-operation statistics.
+///
+/// Every baseline bulk operation resolves forwarding through this wrapper, so the
+/// `bulk_master_lookups` counter is a measurement: if an implementation regressed to
+/// per-element resolution, the counter would expose it.
+#[inline]
+pub fn resolve_counted(
+    store: &ChunkStore,
+    counters: &crate::counters::Counters,
+    obj: ObjPtr,
+) -> ObjPtr {
+    counters.bulk_master_lookups.fetch_add(1, Ordering::Relaxed);
+    resolve(store, obj)
+}
+
+// ---------------------------------------------------------------------------
+// Shared bulk-operation bodies (ParCtx v2).
+//
+// All three baselines implement the bulk field operations the same way: one optional
+// safepoint poll, one counted forwarding resolution per object operand, then a straight
+// field loop over the view. `sp` is `None` for the sequential baseline (it has no
+// safepoint protocol) and `Some` for the parallel ones. Not polling inside the loop is
+// safe for the STW designs — a collection cannot start until every thread parks at a
+// poll, so no forwarding pointer can appear mid-slice — and for DLG it has exactly the
+// scalar loop's semantics with respect to concurrent promotion (the scalar path also
+// resolves once before each access).
+// ---------------------------------------------------------------------------
+
+use crate::counters::Counters;
+use hh_sched::Safepoints;
+
+/// Shared body of `read_imm_bulk`: immutable fields never change and never need the
+/// forwarding chain, so a single view resolution amortizes the whole slice.
+pub(crate) fn bulk_read_imm(
+    store: &ChunkStore,
+    counters: &Counters,
+    obj: ObjPtr,
+    start: usize,
+    out: &mut [u64],
+) {
+    if out.is_empty() {
+        return;
+    }
+    counters.record_bulk(out.len() as u64);
+    let v = store.view(obj);
+    for (k, slot) in out.iter_mut().enumerate() {
+        *slot = v.field(start + k);
+    }
+}
+
+/// Shared body of `read_mut_bulk`.
+pub(crate) fn bulk_read_mut(
+    store: &ChunkStore,
+    counters: &Counters,
+    sp: Option<&Safepoints>,
+    obj: ObjPtr,
+    start: usize,
+    out: &mut [u64],
+) {
+    if out.is_empty() {
+        return;
+    }
+    if let Some(sp) = sp {
+        sp.poll();
+    }
+    counters.record_bulk(out.len() as u64);
+    let obj = resolve_counted(store, counters, obj);
+    let v = store.view(obj);
+    for (k, slot) in out.iter_mut().enumerate() {
+        *slot = v.field(start + k);
+    }
+}
+
+/// Shared body of `write_nonptr_bulk`.
+pub(crate) fn bulk_write_nonptr(
+    store: &ChunkStore,
+    counters: &Counters,
+    sp: Option<&Safepoints>,
+    obj: ObjPtr,
+    start: usize,
+    vals: &[u64],
+) {
+    if vals.is_empty() {
+        return;
+    }
+    if let Some(sp) = sp {
+        sp.poll();
+    }
+    counters.record_bulk(vals.len() as u64);
+    let obj = resolve_counted(store, counters, obj);
+    let v = store.view(obj);
+    for (k, &val) in vals.iter().enumerate() {
+        v.set_field(start + k, val);
+    }
+}
+
+/// Shared body of `fill_nonptr`.
+pub(crate) fn bulk_fill_nonptr(
+    store: &ChunkStore,
+    counters: &Counters,
+    sp: Option<&Safepoints>,
+    obj: ObjPtr,
+    start: usize,
+    len: usize,
+    val: u64,
+) {
+    if len == 0 {
+        return;
+    }
+    if let Some(sp) = sp {
+        sp.poll();
+    }
+    counters.record_bulk(len as u64);
+    let obj = resolve_counted(store, counters, obj);
+    let v = store.view(obj);
+    for k in 0..len {
+        v.set_field(start + k, val);
+    }
+}
+
+/// Shared body of `copy_nonptr`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn bulk_copy_nonptr(
+    store: &ChunkStore,
+    counters: &Counters,
+    sp: Option<&Safepoints>,
+    src: ObjPtr,
+    src_start: usize,
+    dst: ObjPtr,
+    dst_start: usize,
+    len: usize,
+) {
+    if len == 0 {
+        return;
+    }
+    if let Some(sp) = sp {
+        sp.poll();
+    }
+    counters.record_bulk(len as u64);
+    let src = resolve_counted(store, counters, src);
+    let dst = resolve_counted(store, counters, dst);
+    let sv = store.view(src);
+    let dv = store.view(dst);
+    for k in 0..len {
+        dv.set_field(dst_start + k, sv.field(src_start + k));
+    }
+}
+
 /// A registry of per-task shadow stacks, so a collector can find every root.
 #[derive(Default)]
 pub struct RootRegistry {
@@ -187,9 +335,9 @@ pub fn semispace_collect(
     let mut pending: Vec<ObjPtr> = Vec::new();
 
     let alloc_to = |header: Header,
-                        to_chunks: &mut Vec<ChunkId>,
-                        to_set: &mut HashSet<ChunkId>,
-                        current: &mut Option<ChunkId>| {
+                    to_chunks: &mut Vec<ChunkId>,
+                    to_set: &mut HashSet<ChunkId>,
+                    current: &mut Option<ChunkId>| {
         if let Some(id) = *current {
             let chunk: &Arc<Chunk> = store.chunk(id);
             if let Some(ptr) = store.alloc_in_chunk(chunk, header) {
@@ -207,11 +355,11 @@ pub fn semispace_collect(
     };
 
     let forward = |obj: ObjPtr,
-                       pending: &mut Vec<ObjPtr>,
-                       to_chunks: &mut Vec<ChunkId>,
-                       to_set: &mut HashSet<ChunkId>,
-                       current: &mut Option<ChunkId>,
-                       copied_words: &mut usize| {
+                   pending: &mut Vec<ObjPtr>,
+                   to_chunks: &mut Vec<ChunkId>,
+                   to_set: &mut HashSet<ChunkId>,
+                   current: &mut Option<ChunkId>,
+                   copied_words: &mut usize| {
         if obj.is_null() {
             return ObjPtr::NULL;
         }

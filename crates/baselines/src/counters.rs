@@ -21,12 +21,20 @@ pub struct Counters {
     pub promoted_words: AtomicU64,
     /// Words copied by collections.
     pub gc_copied_words: AtomicU64,
+    /// Bulk field operations executed.
+    pub bulk_ops: AtomicU64,
+    /// Words moved by bulk field operations.
+    pub bulk_words: AtomicU64,
+    /// Forwarding resolutions performed inside bulk operations (at most one per object
+    /// operand).
+    pub bulk_master_lookups: AtomicU64,
 }
 
 impl Counters {
     /// Adds `d` to the GC time.
     pub fn add_gc_time(&self, d: Duration) {
-        self.gc_nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.gc_nanos
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Snapshot into the common [`RunStats`] format.
@@ -41,7 +49,19 @@ impl Counters {
             heaps_created: heaps,
             peak_live_words,
             gc_copied_words: self.gc_copied_words.load(Ordering::Relaxed),
+            bulk_ops: self.bulk_ops.load(Ordering::Relaxed),
+            bulk_words: self.bulk_words.load(Ordering::Relaxed),
+            bulk_master_lookups: self.bulk_master_lookups.load(Ordering::Relaxed),
         }
+    }
+
+    /// Records one bulk operation moving `words` words. Forwarding resolutions are
+    /// counted separately, at the `resolve` call sites themselves (see
+    /// `common::resolve_counted`), so `bulk_master_lookups` measures what actually
+    /// happened rather than restating what the implementation intends.
+    pub fn record_bulk(&self, words: u64) {
+        self.bulk_ops.fetch_add(1, Ordering::Relaxed);
+        self.bulk_words.fetch_add(words, Ordering::Relaxed);
     }
 
     /// Zeroes all counters.
@@ -54,6 +74,9 @@ impl Counters {
             &self.promoted_objects,
             &self.promoted_words,
             &self.gc_copied_words,
+            &self.bulk_ops,
+            &self.bulk_words,
+            &self.bulk_master_lookups,
         ] {
             c.store(0, Ordering::Relaxed);
         }

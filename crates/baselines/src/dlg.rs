@@ -93,7 +93,12 @@ impl DlgRuntime {
 
 impl DlgInner {
     fn total_allocated_words(&self) -> usize {
-        self.global.allocated_words() + self.locals.iter().map(|h| h.allocated_words()).sum::<usize>()
+        self.global.allocated_words()
+            + self
+                .locals
+                .iter()
+                .map(|h| h.allocated_words())
+                .sum::<usize>()
     }
 
     fn is_global(&self, obj: ObjPtr) -> bool {
@@ -131,7 +136,9 @@ impl DlgInner {
                 for f in 0..header.n_fields() {
                     cv.set_field(f, v.field(f));
                 }
-                this.counters.promoted_objects.fetch_add(1, Ordering::Relaxed);
+                this.counters
+                    .promoted_objects
+                    .fetch_add(1, Ordering::Relaxed);
                 this.counters
                     .promoted_words
                     .fetch_add(header.size_words() as u64, Ordering::Relaxed);
@@ -234,8 +241,14 @@ impl ParCtx for DlgCtx {
         let lane = self.worker.index();
         if self.stolen {
             // Communicated-task allocation: counts as promotion volume.
-            self.inner.counters.promoted_words.fetch_add(words, Ordering::Relaxed);
-            self.inner.counters.promoted_objects.fetch_add(1, Ordering::Relaxed);
+            self.inner
+                .counters
+                .promoted_words
+                .fetch_add(words, Ordering::Relaxed);
+            self.inner
+                .counters
+                .promoted_objects
+                .fetch_add(1, Ordering::Relaxed);
             self.inner.global.alloc(lane, header)
         } else {
             self.inner.locals[lane].alloc(0, header)
@@ -280,6 +293,68 @@ impl ParCtx for DlgCtx {
 
     fn obj_len(&self, obj: ObjPtr) -> usize {
         self.inner.store.view(obj).n_fields()
+    }
+
+    // Bulk operations (ParCtx v2): shared bodies in `common` — one safepoint poll and
+    // one forwarding resolution per operand (scalar-equivalent under concurrent
+    // promotion; see `common`).
+
+    fn read_imm_bulk(&self, obj: ObjPtr, start: usize, out: &mut [u64]) {
+        crate::common::bulk_read_imm(&self.inner.store, &self.inner.counters, obj, start, out);
+    }
+
+    fn read_mut_bulk(&self, obj: ObjPtr, start: usize, out: &mut [u64]) {
+        crate::common::bulk_read_mut(
+            &self.inner.store,
+            &self.inner.counters,
+            Some(&self.inner.safepoints),
+            obj,
+            start,
+            out,
+        );
+    }
+
+    fn write_nonptr_bulk(&self, obj: ObjPtr, start: usize, vals: &[u64]) {
+        crate::common::bulk_write_nonptr(
+            &self.inner.store,
+            &self.inner.counters,
+            Some(&self.inner.safepoints),
+            obj,
+            start,
+            vals,
+        );
+    }
+
+    fn fill_nonptr(&self, obj: ObjPtr, start: usize, len: usize, val: u64) {
+        crate::common::bulk_fill_nonptr(
+            &self.inner.store,
+            &self.inner.counters,
+            Some(&self.inner.safepoints),
+            obj,
+            start,
+            len,
+            val,
+        );
+    }
+
+    fn copy_nonptr(
+        &self,
+        src: ObjPtr,
+        src_start: usize,
+        dst: ObjPtr,
+        dst_start: usize,
+        len: usize,
+    ) {
+        crate::common::bulk_copy_nonptr(
+            &self.inner.store,
+            &self.inner.counters,
+            Some(&self.inner.safepoints),
+            src,
+            src_start,
+            dst,
+            dst_start,
+            len,
+        );
     }
 
     fn join<RA, RB, FA, FB>(&self, fa: FA, fb: FB) -> (RA, RB)
@@ -420,7 +495,11 @@ mod tests {
             let _ = holder;
         });
         let s = rt.stats();
-        assert!(s.promoted_objects >= 5, "chain must have been promoted, saw {}", s.promoted_objects);
+        assert!(
+            s.promoted_objects >= 5,
+            "chain must have been promoted, saw {}",
+            s.promoted_objects
+        );
     }
 
     // Test helper: reach into the runtime to promote an object to the global heap.

@@ -39,7 +39,11 @@ impl SeqRuntime {
     }
 
     /// Creates a sequential runtime with explicit chunk size and GC threshold (words).
-    pub fn with_params(chunk_words: usize, gc_threshold_words: usize, enable_gc: bool) -> SeqRuntime {
+    pub fn with_params(
+        chunk_words: usize,
+        gc_threshold_words: usize,
+        enable_gc: bool,
+    ) -> SeqRuntime {
         let store = Arc::new(ChunkStore::new(chunk_words));
         let heap = FlatHeap::new(Arc::clone(&store), OWNER_SEQ, 1);
         SeqRuntime {
@@ -135,6 +139,67 @@ impl ParCtx for SeqCtx {
         self.inner.store.view(obj).n_fields()
     }
 
+    // Bulk operations (ParCtx v2): shared bodies in `common` — one forwarding
+    // resolution per operand, no safepoints (single-threaded).
+
+    fn read_imm_bulk(&self, obj: ObjPtr, start: usize, out: &mut [u64]) {
+        crate::common::bulk_read_imm(&self.inner.store, &self.inner.counters, obj, start, out);
+    }
+
+    fn read_mut_bulk(&self, obj: ObjPtr, start: usize, out: &mut [u64]) {
+        crate::common::bulk_read_mut(
+            &self.inner.store,
+            &self.inner.counters,
+            None,
+            obj,
+            start,
+            out,
+        );
+    }
+
+    fn write_nonptr_bulk(&self, obj: ObjPtr, start: usize, vals: &[u64]) {
+        crate::common::bulk_write_nonptr(
+            &self.inner.store,
+            &self.inner.counters,
+            None,
+            obj,
+            start,
+            vals,
+        );
+    }
+
+    fn fill_nonptr(&self, obj: ObjPtr, start: usize, len: usize, val: u64) {
+        crate::common::bulk_fill_nonptr(
+            &self.inner.store,
+            &self.inner.counters,
+            None,
+            obj,
+            start,
+            len,
+            val,
+        );
+    }
+
+    fn copy_nonptr(
+        &self,
+        src: ObjPtr,
+        src_start: usize,
+        dst: ObjPtr,
+        dst_start: usize,
+        len: usize,
+    ) {
+        crate::common::bulk_copy_nonptr(
+            &self.inner.store,
+            &self.inner.counters,
+            None,
+            src,
+            src_start,
+            dst,
+            dst_start,
+            len,
+        );
+    }
+
     fn join<RA, RB, FA, FB>(&self, fa: FA, fb: FB) -> (RA, RB)
     where
         FA: FnOnce(&Self) -> RA + Send,
@@ -158,7 +223,8 @@ impl ParCtx for SeqCtx {
     }
 
     fn maybe_collect(&self) {
-        if self.inner.enable_gc && self.inner.heap.allocated_words() >= self.inner.gc_threshold_words
+        if self.inner.enable_gc
+            && self.inner.heap.allocated_words() >= self.inner.gc_threshold_words
         {
             self.inner.collect();
         }

@@ -183,6 +183,67 @@ impl ParCtx for StwCtx {
         self.inner.store.view(obj).n_fields()
     }
 
+    // Bulk operations (ParCtx v2): shared bodies in `common` — one safepoint poll and
+    // one forwarding resolution per operand.
+
+    fn read_imm_bulk(&self, obj: ObjPtr, start: usize, out: &mut [u64]) {
+        crate::common::bulk_read_imm(&self.inner.store, &self.inner.counters, obj, start, out);
+    }
+
+    fn read_mut_bulk(&self, obj: ObjPtr, start: usize, out: &mut [u64]) {
+        crate::common::bulk_read_mut(
+            &self.inner.store,
+            &self.inner.counters,
+            Some(&self.inner.safepoints),
+            obj,
+            start,
+            out,
+        );
+    }
+
+    fn write_nonptr_bulk(&self, obj: ObjPtr, start: usize, vals: &[u64]) {
+        crate::common::bulk_write_nonptr(
+            &self.inner.store,
+            &self.inner.counters,
+            Some(&self.inner.safepoints),
+            obj,
+            start,
+            vals,
+        );
+    }
+
+    fn fill_nonptr(&self, obj: ObjPtr, start: usize, len: usize, val: u64) {
+        crate::common::bulk_fill_nonptr(
+            &self.inner.store,
+            &self.inner.counters,
+            Some(&self.inner.safepoints),
+            obj,
+            start,
+            len,
+            val,
+        );
+    }
+
+    fn copy_nonptr(
+        &self,
+        src: ObjPtr,
+        src_start: usize,
+        dst: ObjPtr,
+        dst_start: usize,
+        len: usize,
+    ) {
+        crate::common::bulk_copy_nonptr(
+            &self.inner.store,
+            &self.inner.counters,
+            Some(&self.inner.safepoints),
+            src,
+            src_start,
+            dst,
+            dst_start,
+            len,
+        );
+    }
+
     fn join<RA, RB, FA, FB>(&self, fa: FA, fb: FB) -> (RA, RB)
     where
         FA: FnOnce(&Self) -> RA + Send,
@@ -281,7 +342,9 @@ mod tests {
             }
             sum(ctx, 0, 4096)
         });
-        let expected = (0..4096u64).map(hh_api::hash64).fold(0u64, u64::wrapping_add);
+        let expected = (0..4096u64)
+            .map(hh_api::hash64)
+            .fold(0u64, u64::wrapping_add);
         assert_eq!(total, expected);
     }
 
@@ -305,7 +368,10 @@ mod tests {
             assert_eq!(ctx.read_mut(keep, 0), 123);
         });
         let s = rt.stats();
-        assert!(s.gc_count >= 1, "expected at least one stop-the-world collection");
+        assert!(
+            s.gc_count >= 1,
+            "expected at least one stop-the-world collection"
+        );
         assert_eq!(s.gc_count, s.world_stops);
         assert_eq!(s.promoted_objects, 0);
     }

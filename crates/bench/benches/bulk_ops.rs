@@ -1,0 +1,187 @@
+//! Bulk vs. scalar array operations on the hierarchical runtime: the measurement
+//! behind the ParCtx v2 redesign.
+//!
+//! Each pair of targets performs the same logical work — reading, writing, filling, or
+//! copying a managed array — once through the scalar per-word operations and once
+//! through the bulk slice operations. The scalar path pays one virtual call plus one
+//! forwarding-chain check (and, on the slow path, one `findMaster` with a heap lock
+//! round-trip) per 64-bit word; the bulk path resolves the master once per slice. The
+//! ratio between each pair is the amortization win, both for plain arrays and for
+//! promoted arrays whose every access goes through the forwarding chain.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hh_api::{ObjPtr, ParCtx, Runtime};
+use hh_runtime::{HhConfig, HhRuntime};
+use std::hint::black_box;
+use std::time::Instant;
+
+const LEN: usize = 4096;
+
+fn bulk_vs_scalar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bulk_ops");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+
+    let rt = HhRuntime::new(HhConfig::with_workers(2));
+
+    // Local (never-promoted) arrays.
+    for (name, bulk) in [("scalar", false), ("bulk", true)] {
+        group.bench_function(format!("read_local/{name}"), |b| {
+            b.iter_custom(|iters| {
+                rt.run(|ctx| {
+                    let arr = ctx.alloc_data_array(LEN);
+                    let mut buf = vec![0u64; LEN];
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        if bulk {
+                            ctx.read_mut_bulk(arr, 0, &mut buf);
+                        } else {
+                            for (k, slot) in buf.iter_mut().enumerate() {
+                                *slot = ctx.read_mut(arr, k);
+                            }
+                        }
+                        black_box(buf[LEN / 2]);
+                    }
+                    start.elapsed()
+                })
+            });
+        });
+
+        group.bench_function(format!("write_local/{name}"), |b| {
+            b.iter_custom(|iters| {
+                rt.run(|ctx| {
+                    let arr = ctx.alloc_data_array(LEN);
+                    let vals: Vec<u64> = (0..LEN as u64).collect();
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        if bulk {
+                            ctx.write_nonptr_bulk(arr, 0, &vals);
+                        } else {
+                            for (k, &v) in vals.iter().enumerate() {
+                                ctx.write_nonptr(arr, k, v);
+                            }
+                        }
+                    }
+                    black_box(ctx.read_mut(arr, 1));
+                    start.elapsed()
+                })
+            });
+        });
+
+        group.bench_function(format!("fill_local/{name}"), |b| {
+            b.iter_custom(|iters| {
+                rt.run(|ctx| {
+                    let arr = ctx.alloc_data_array(LEN);
+                    let start = Instant::now();
+                    for i in 0..iters {
+                        if bulk {
+                            ctx.fill_nonptr(arr, 0, LEN, i);
+                        } else {
+                            for k in 0..LEN {
+                                ctx.write_nonptr(arr, k, i);
+                            }
+                        }
+                    }
+                    black_box(ctx.read_mut(arr, 1));
+                    start.elapsed()
+                })
+            });
+        });
+
+        group.bench_function(format!("copy_local/{name}"), |b| {
+            b.iter_custom(|iters| {
+                rt.run(|ctx| {
+                    let src = ctx.alloc_data_array(LEN);
+                    let dst = ctx.alloc_data_array(LEN);
+                    ctx.fill_nonptr(src, 0, LEN, 99);
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        if bulk {
+                            ctx.copy_nonptr(src, 0, dst, 0, LEN);
+                        } else {
+                            for k in 0..LEN {
+                                let v = ctx.read_mut(src, k);
+                                ctx.write_nonptr(dst, k, v);
+                            }
+                        }
+                    }
+                    black_box(ctx.read_mut(dst, 1));
+                    start.elapsed()
+                })
+            });
+        });
+    }
+
+    // Promoted arrays: every access through the stale pointer walks the forwarding
+    // chain, so this is where per-slice `findMaster` amortization matters most.
+    for (name, bulk) in [("scalar", false), ("bulk", true)] {
+        group.bench_function(format!("read_promoted/{name}"), |b| {
+            b.iter_custom(|iters| {
+                rt.run(|ctx| {
+                    let cell = ctx.alloc_ref_ptr(ObjPtr::NULL);
+                    let stale = ctx
+                        .join(
+                            |cc| {
+                                let arr = cc.alloc_data_array(LEN);
+                                cc.fill_nonptr(arr, 0, LEN, 5);
+                                cc.write_ptr(cell, 0, arr); // promotes
+                                arr
+                            },
+                            |_| ObjPtr::NULL,
+                        )
+                        .0;
+                    let mut buf = vec![0u64; LEN];
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        if bulk {
+                            ctx.read_mut_bulk(stale, 0, &mut buf);
+                        } else {
+                            for (k, slot) in buf.iter_mut().enumerate() {
+                                *slot = ctx.read_mut(stale, k);
+                            }
+                        }
+                        black_box(buf[LEN / 2]);
+                    }
+                    start.elapsed()
+                })
+            });
+        });
+
+        group.bench_function(format!("write_promoted/{name}"), |b| {
+            b.iter_custom(|iters| {
+                rt.run(|ctx| {
+                    let cell = ctx.alloc_ref_ptr(ObjPtr::NULL);
+                    let stale = ctx
+                        .join(
+                            |cc| {
+                                let arr = cc.alloc_data_array(LEN);
+                                cc.write_ptr(cell, 0, arr); // promotes
+                                arr
+                            },
+                            |_| ObjPtr::NULL,
+                        )
+                        .0;
+                    let vals: Vec<u64> = (0..LEN as u64).collect();
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        if bulk {
+                            ctx.write_nonptr_bulk(stale, 0, &vals);
+                        } else {
+                            for (k, &v) in vals.iter().enumerate() {
+                                ctx.write_nonptr(stale, k, v);
+                            }
+                        }
+                    }
+                    black_box(ctx.read_mut(stale, 1));
+                    start.elapsed()
+                })
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bulk_vs_scalar);
+criterion_main!(benches);

@@ -19,7 +19,12 @@ fn memory(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(1));
     group.warm_up_time(std::time::Duration::from_millis(300));
-    for bench in [BenchId::Map, BenchId::MsortPure, BenchId::Tourney, BenchId::Dedup] {
+    for bench in [
+        BenchId::Map,
+        BenchId::MsortPure,
+        BenchId::Tourney,
+        BenchId::Dedup,
+    ] {
         // Print the peak occupancies once (the actual Figure 13 quantity).
         let seq = SeqRuntime::new();
         seq.run(|ctx| run_timed(ctx, bench, params));

@@ -32,16 +32,26 @@ pub fn bench_workers() -> usize {
 /// returned so Criterion cannot optimize the run away).
 pub fn run_once(runtime: &str, workers: usize, bench: BenchId, params: Params) -> u64 {
     match runtime {
-        "seq" => SeqRuntime::new().run(|ctx| run_timed(ctx, bench, params)).checksum,
-        "stw" => StwRuntime::with_workers(workers)
-            .run(|ctx| run_timed(ctx, bench, params))
-            .checksum,
-        "dlg" => DlgRuntime::with_workers(workers)
-            .run(|ctx| run_timed(ctx, bench, params))
-            .checksum,
-        "parmem" => HhRuntime::new(HhConfig::with_workers(workers))
-            .run(|ctx| run_timed(ctx, bench, params))
-            .checksum,
+        "seq" => {
+            SeqRuntime::new()
+                .run(|ctx| run_timed(ctx, bench, params))
+                .checksum
+        }
+        "stw" => {
+            StwRuntime::with_workers(workers)
+                .run(|ctx| run_timed(ctx, bench, params))
+                .checksum
+        }
+        "dlg" => {
+            DlgRuntime::with_workers(workers)
+                .run(|ctx| run_timed(ctx, bench, params))
+                .checksum
+        }
+        "parmem" => {
+            HhRuntime::new(HhConfig::with_workers(workers))
+                .run(|ctx| run_timed(ctx, bench, params))
+                .checksum
+        }
         other => panic!("unknown runtime {other}"),
     }
 }

@@ -27,12 +27,20 @@ pub struct Counters {
     pub fast_ptr_writes: AtomicU64,
     /// Heaps created.
     pub heaps_created: AtomicU64,
+    /// Bulk field operations executed.
+    pub bulk_ops: AtomicU64,
+    /// Words moved by bulk field operations.
+    pub bulk_words: AtomicU64,
+    /// `findMaster` resolutions performed inside bulk operations (at most one per
+    /// object operand, i.e. amortized across each contiguous slice).
+    pub bulk_master_lookups: AtomicU64,
 }
 
 impl Counters {
     /// Adds `d` to the GC time counter.
     pub fn add_gc_time(&self, d: Duration) {
-        self.gc_nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.gc_nanos
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Builds a [`RunStats`] snapshot, combining these counters with the store's peak
@@ -48,7 +56,19 @@ impl Counters {
             heaps_created: self.heaps_created.load(Ordering::Relaxed),
             peak_live_words,
             gc_copied_words: self.gc_copied_words.load(Ordering::Relaxed),
+            bulk_ops: self.bulk_ops.load(Ordering::Relaxed),
+            bulk_words: self.bulk_words.load(Ordering::Relaxed),
+            bulk_master_lookups: self.bulk_master_lookups.load(Ordering::Relaxed),
         }
+    }
+
+    /// Records one bulk operation moving `words` words. Master lookups are counted
+    /// separately, at the `findMaster` call sites themselves, so `bulk_master_lookups`
+    /// measures what actually happened rather than restating what the implementation
+    /// intends.
+    pub fn record_bulk(&self, words: u64) {
+        self.bulk_ops.fetch_add(1, Ordering::Relaxed);
+        self.bulk_words.fetch_add(words, Ordering::Relaxed);
     }
 
     /// Resets every counter to zero.
@@ -63,6 +83,9 @@ impl Counters {
         self.slow_ptr_writes.store(0, Ordering::Relaxed);
         self.fast_ptr_writes.store(0, Ordering::Relaxed);
         self.heaps_created.store(0, Ordering::Relaxed);
+        self.bulk_ops.store(0, Ordering::Relaxed);
+        self.bulk_words.store(0, Ordering::Relaxed);
+        self.bulk_master_lookups.store(0, Ordering::Relaxed);
     }
 }
 

@@ -91,6 +91,43 @@ impl ParCtx for HhCtx {
         self.inner.registry.store().view(obj).n_fields()
     }
 
+    fn read_imm_bulk(&self, obj: ObjPtr, start: usize, out: &mut [u64]) {
+        // Immutable fields never change and never need the forwarding chain: a single
+        // view resolution amortizes the whole slice.
+        if out.is_empty() {
+            return;
+        }
+        self.inner.counters.record_bulk(out.len() as u64);
+        let v = self.inner.registry.store().view(obj);
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = v.field(start + k);
+        }
+    }
+
+    fn read_mut_bulk(&self, obj: ObjPtr, start: usize, out: &mut [u64]) {
+        self.inner.read_mut_bulk_impl(obj, start, out);
+    }
+
+    fn write_nonptr_bulk(&self, obj: ObjPtr, start: usize, vals: &[u64]) {
+        self.inner.write_nonptr_bulk_impl(obj, start, vals);
+    }
+
+    fn fill_nonptr(&self, obj: ObjPtr, start: usize, len: usize, val: u64) {
+        self.inner.fill_nonptr_impl(obj, start, len, val);
+    }
+
+    fn copy_nonptr(
+        &self,
+        src: ObjPtr,
+        src_start: usize,
+        dst: ObjPtr,
+        dst_start: usize,
+        len: usize,
+    ) {
+        self.inner
+            .copy_nonptr_impl(src, src_start, dst, dst_start, len);
+    }
+
     fn join<RA, RB, FA, FB>(&self, fa: FA, fb: FB) -> (RA, RB)
     where
         FA: FnOnce(&Self) -> RA + Send,
@@ -102,7 +139,10 @@ impl ParCtx for HhCtx {
         // both child heaps back into the parent heap (a constant-time list splice).
         let heap_f = self.inner.registry.new_child_heap(self.heap);
         let heap_g = self.inner.registry.new_child_heap(self.heap);
-        self.inner.counters.heaps_created.fetch_add(2, Ordering::Relaxed);
+        self.inner
+            .counters
+            .heaps_created
+            .fetch_add(2, Ordering::Relaxed);
 
         let inner_a = Arc::clone(&self.inner);
         let inner_b = Arc::clone(&self.inner);

@@ -98,6 +98,114 @@ impl Inner {
         res
     }
 
+    // ------------------------------------------------------------------
+    // Bulk field operations (ParCtx v2).
+    //
+    // The scalar operations above pay one `findMaster` (forwarding-chain walk plus a
+    // heap lock round-trip) per word in the slow path, and one forwarding check per
+    // word even in the fast path. The bulk operations resolve the master copy exactly
+    // once per object operand and hold that heap's READ lock across the whole slice:
+    // the lock is what keeps a concurrent promotion from installing a new copy
+    // mid-slice (promotion takes the exclusive lock), so the slice is read or written
+    // on a single authoritative copy.
+    // ------------------------------------------------------------------
+
+    /// As [`Inner::find_master`], but also counts the lookup in the bulk-op statistics.
+    /// Every bulk implementation resolves masters through this wrapper, so the
+    /// `bulk_master_lookups` counter is a measurement: if an implementation regressed
+    /// to per-element resolution, the counter would expose it.
+    fn find_master_counted(&self, obj: ObjPtr) -> (ObjPtr, HeapId) {
+        self.counters
+            .bulk_master_lookups
+            .fetch_add(1, Ordering::Relaxed);
+        self.find_master(obj)
+    }
+
+    /// Bulk `readMutable`: one `findMaster`, then a straight field loop under the
+    /// master heap's read lock.
+    pub(crate) fn read_mut_bulk_impl(&self, obj: ObjPtr, start: usize, out: &mut [u64]) {
+        if out.is_empty() {
+            return;
+        }
+        self.counters.record_bulk(out.len() as u64);
+        let store = self.registry.store();
+        let (master, heap) = self.find_master_counted(obj);
+        let v = store.view(master);
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = v.field(start + k);
+        }
+        self.registry.heap(heap).lock.unlock_shared();
+    }
+
+    /// Bulk `writeNonptr`: one `findMaster`, then a straight field-store loop under the
+    /// master heap's read lock.
+    pub(crate) fn write_nonptr_bulk_impl(&self, obj: ObjPtr, start: usize, vals: &[u64]) {
+        if vals.is_empty() {
+            return;
+        }
+        self.counters.record_bulk(vals.len() as u64);
+        let store = self.registry.store();
+        let (master, heap) = self.find_master_counted(obj);
+        let v = store.view(master);
+        for (k, &val) in vals.iter().enumerate() {
+            v.set_field(start + k, val);
+        }
+        self.registry.heap(heap).lock.unlock_shared();
+    }
+
+    /// Bulk fill: one `findMaster`, then a repeated store under the read lock.
+    pub(crate) fn fill_nonptr_impl(&self, obj: ObjPtr, start: usize, len: usize, val: u64) {
+        if len == 0 {
+            return;
+        }
+        self.counters.record_bulk(len as u64);
+        let store = self.registry.store();
+        let (master, heap) = self.find_master_counted(obj);
+        let v = store.view(master);
+        for k in 0..len {
+            v.set_field(start + k, val);
+        }
+        self.registry.heap(heap).lock.unlock_shared();
+    }
+
+    /// Object→object range copy: one `findMaster` per operand (two in total).
+    ///
+    /// The source slice is staged through a stack-side buffer between the two lock
+    /// scopes, so at most one heap read lock is held at a time — taking both at once
+    /// could deadlock against a writer waiting between the two acquisitions under the
+    /// writer-preferring heap lock.
+    pub(crate) fn copy_nonptr_impl(
+        &self,
+        src: ObjPtr,
+        src_start: usize,
+        dst: ObjPtr,
+        dst_start: usize,
+        len: usize,
+    ) {
+        if len == 0 {
+            return;
+        }
+        self.counters.record_bulk(len as u64);
+        let store = self.registry.store();
+        let mut buf = vec![0u64; len];
+        {
+            let (master, heap) = self.find_master_counted(src);
+            let v = store.view(master);
+            for (k, slot) in buf.iter_mut().enumerate() {
+                *slot = v.field(src_start + k);
+            }
+            self.registry.heap(heap).lock.unlock_shared();
+        }
+        {
+            let (master, heap) = self.find_master_counted(dst);
+            let v = store.view(master);
+            for (k, &val) in buf.iter().enumerate() {
+                v.set_field(dst_start + k, val);
+            }
+            self.registry.heap(heap).lock.unlock_shared();
+        }
+    }
+
     /// `writePtr` (Figure 7, lines 1–12).
     pub(crate) fn write_ptr_impl(
         &self,
@@ -114,7 +222,9 @@ impl Inner {
             let v = store.view(obj);
             if !v.has_fwd() && self.registry.heap_of(obj) == current_heap {
                 v.set_field(field, ptr.to_bits());
-                self.counters.fast_ptr_writes.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .fast_ptr_writes
+                    .fetch_add(1, Ordering::Relaxed);
                 return;
             }
         }
@@ -133,13 +243,17 @@ impl Inner {
             // Lines 7–10: the pointee is at the same level or above; write directly.
             store.view(master).set_field(field, ptr.to_bits());
             self.registry.heap(master_heap).lock.unlock_shared();
-            self.counters.slow_ptr_writes.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .slow_ptr_writes
+                .fetch_add(1, Ordering::Relaxed);
             return;
         }
 
         // Lines 11–12: writing would create a down-pointer; promote first.
         self.registry.heap(master_heap).lock.unlock_shared();
-        self.counters.promoting_writes.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .promoting_writes
+            .fetch_add(1, Ordering::Relaxed);
         self.write_promote(master, field, ptr);
     }
 }

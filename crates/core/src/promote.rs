@@ -138,7 +138,9 @@ impl Inner {
                 cv.set_field(f, v.field(f));
             }
             let words = header.size_words();
-            self.counters.promoted_objects.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .promoted_objects
+                .fetch_add(1, Ordering::Relaxed);
             self.counters
                 .promoted_words
                 .fetch_add(words as u64, Ordering::Relaxed);

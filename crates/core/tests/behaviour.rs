@@ -4,7 +4,6 @@
 use hh_api::{ParCtx, Runtime};
 use hh_objmodel::{ObjKind, ObjPtr};
 use hh_runtime::{HhConfig, HhRuntime};
-use proptest::prelude::*;
 
 fn runtime(workers: usize) -> HhRuntime {
     HhRuntime::new(HhConfig {
@@ -49,7 +48,10 @@ fn children_writing_local_data_into_parent_ref_promotes() {
     assert_eq!(observed, (111, 222));
     assert_eq!(rt.check_disentangled(), 0);
     let stats = rt.stats();
-    assert!(stats.promoted_objects >= 1, "a promotion must have occurred");
+    assert!(
+        stats.promoted_objects >= 1,
+        "a promotion must have occurred"
+    );
 }
 
 /// Promotion through several levels: the deepest task writes into a root-allocated ref,
@@ -177,7 +179,10 @@ fn master_copy_is_authoritative_after_repeated_promotion() {
         (before, after)
     });
     assert_eq!(v_before, 7);
-    assert_eq!(v_after, 99, "update through the old copy must reach the master");
+    assert_eq!(
+        v_after, 99,
+        "update through the old copy must reach the master"
+    );
     assert_eq!(rt.check_disentangled(), 0);
 }
 
@@ -197,10 +202,7 @@ fn cas_increments_are_not_lost() {
                     }
                 }
             } else {
-                c.join(
-                    |c| bump(c, counter, n / 2),
-                    |c| bump(c, counter, n - n / 2),
-                );
+                c.join(|c| bump(c, counter, n / 2), |c| bump(c, counter, n - n / 2));
             }
         }
         bump(ctx, counter, total);
@@ -298,7 +300,10 @@ fn maybe_collect_honours_threshold() {
             ctx.maybe_collect();
         }
     });
-    assert!(rt.stats().gc_count >= 1, "threshold crossings must trigger collections");
+    assert!(
+        rt.stats().gc_count >= 1,
+        "threshold crossings must trigger collections"
+    );
 }
 
 /// Disabling the fast paths (ablation A1) must not change results, only counters.
@@ -347,8 +352,7 @@ fn tournament_reduction_uses_only_local_writes() {
                 (node, c.read_mut(node, 1))
             } else {
                 let mid = lo + (hi - lo) / 2;
-                let ((ln, lv), (rn, rv)) =
-                    c.join(|c| tourney(c, lo, mid), |c| tourney(c, mid, hi));
+                let ((ln, lv), (rn, rv)) = c.join(|c| tourney(c, lo, mid), |c| tourney(c, mid, hi));
                 let winner_val = lv.max(rv);
                 let node = c.alloc(1, 1, ObjKind::Node);
                 c.write_nonptr(node, 1, winner_val);
@@ -361,7 +365,10 @@ fn tournament_reduction_uses_only_local_writes() {
         let (_root, max) = tourney(ctx, 0, 64);
         max
     });
-    let expected = (0..64u64).map(|i| hh_api::hash64(i) % 1_000_000).max().unwrap();
+    let expected = (0..64u64)
+        .map(|i| hh_api::hash64(i) % 1_000_000)
+        .max()
+        .unwrap();
     assert_eq!(max, expected);
     assert_eq!(rt.check_disentangled(), 0);
     // Parent pointers are written after the children's heaps have been joined into the
@@ -369,20 +376,20 @@ fn tournament_reduction_uses_only_local_writes() {
     assert_eq!(rt.stats().promoted_objects, 0);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Random fork trees where every leaf performs a mix of local allocation, up-pointer
-    /// writes, and down-pointer (promoting) writes into a root-allocated pointer array.
-    /// Afterwards the hierarchy must be disentangled and every array slot must hold
-    /// either NULL or a readable object with the leaf's signature value.
-    #[test]
-    fn prop_random_mutation_trees_stay_disentangled(
-        depth in 1usize..5,
-        slots in 1usize..8,
-        seed in any::<u64>(),
-        workers in 1usize..4,
-    ) {
+/// Random fork trees where every leaf performs a mix of local allocation, up-pointer
+/// writes, and down-pointer (promoting) writes into a root-allocated pointer array.
+/// Afterwards the hierarchy must be disentangled and every array slot must hold
+/// either NULL or a readable object with the leaf's signature value.
+///
+/// Randomized with a deterministic seed (the build has no network access for proptest).
+#[test]
+fn prop_random_mutation_trees_stay_disentangled() {
+    let mut rng = hh_api::Rng::new(0xBEE5);
+    for _case in 0..24 {
+        let depth = 1 + (rng.next_u64() % 4) as usize;
+        let slots = 1 + (rng.next_u64() % 7) as usize;
+        let seed = rng.next_u64();
+        let workers = 1 + (rng.next_u64() % 3) as usize;
         let rt = runtime(workers);
         let slots_u64 = slots as u64;
         let ok = rt.run(move |ctx| {
@@ -410,7 +417,7 @@ proptest! {
             go(ctx, table, slots_u64, depth, seed % 1024);
             // Validate every slot.
             for s in 0..slots {
-                let p = ctx.read_mut_ptr(table, s as usize);
+                let p = ctx.read_mut_ptr(table, s);
                 if p.is_null() {
                     continue;
                 }
@@ -425,7 +432,7 @@ proptest! {
             }
             true
         });
-        prop_assert!(ok, "a table slot held an inconsistent object");
-        prop_assert_eq!(rt.check_disentangled(), 0);
+        assert!(ok, "a table slot held an inconsistent object");
+        assert_eq!(rt.check_disentangled(), 0);
     }
 }

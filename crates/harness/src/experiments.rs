@@ -50,7 +50,13 @@ impl ExpConfig {
 pub fn fig8(iterations: u64) -> Table {
     let mut table = Table::new(
         "Figure 8 — cost of memory operations (ns/op, hierarchical runtime)",
-        &["object", "read-imm", "read-mut", "write-nonptr", "write-ptr"],
+        &[
+            "object",
+            "read-imm",
+            "read-mut",
+            "write-nonptr",
+            "write-ptr",
+        ],
     );
     let rt = HhRuntime::new(HhConfig::with_workers(2));
     let rows = rt.run(|ctx| {
@@ -183,7 +189,11 @@ fn time_op_in<C: ParCtx>(_ctx: &C, iters: u64, op: &mut dyn FnMut(&C)) -> f64 {
 pub fn fig9(cfg: ExpConfig) -> Table {
     let mut table = Table::new(
         "Figure 9 — representative operations per benchmark",
-        &["benchmark", "representative operation", "promoted objects (measured, parmem)"],
+        &[
+            "benchmark",
+            "representative operation",
+            "promoted objects (measured, parmem)",
+        ],
     );
     let params = Params {
         scale: cfg.scale.min(0.001),
@@ -293,7 +303,10 @@ pub fn fig12(cfg: ExpConfig) -> Table {
         header.push(format!("P={p}"));
     }
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    let mut table = Table::new("Figure 12 — speedups of the hierarchical runtime", &header_refs);
+    let mut table = Table::new(
+        "Figure 12 — speedups of the hierarchical runtime",
+        &header_refs,
+    );
     let params = cfg.params();
 
     for bench in benches {
@@ -362,7 +375,13 @@ pub fn fig13(cfg: ExpConfig) -> Table {
 pub fn promotion_volume(cfg: ExpConfig) -> Table {
     let mut table = Table::new(
         "Promotion volume (§4.4)",
-        &["benchmark", "runtime", "workers", "promoted objects", "promoted MB"],
+        &[
+            "benchmark",
+            "runtime",
+            "workers",
+            "promoted objects",
+            "promoted MB",
+        ],
     );
     let params = cfg.params();
     for bench in [BenchId::Map, BenchId::MsortPure] {
@@ -392,7 +411,12 @@ pub fn promotion_volume(cfg: ExpConfig) -> Table {
 pub fn ablation_fastpath(cfg: ExpConfig) -> Table {
     let mut table = Table::new(
         "Ablation A1 — fast paths on/off (parmem)",
-        &["benchmark", "fast paths (s)", "no fast paths (s)", "slowdown"],
+        &[
+            "benchmark",
+            "fast paths (s)",
+            "no fast paths (s)",
+            "slowdown",
+        ],
     );
     let params = cfg.params();
     for bench in [BenchId::Msort, BenchId::Tourney, BenchId::Usp] {

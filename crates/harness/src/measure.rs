@@ -4,7 +4,6 @@ use hh_api::{RunStats, Runtime};
 use hh_baselines::{DlgRuntime, SeqRuntime, StwRuntime};
 use hh_runtime::{HhConfig, HhRuntime};
 use hh_workloads::suite::{run_timed, BenchId, Params};
-use serde::Serialize;
 use std::time::Duration;
 
 /// The four runtimes of the evaluation.
@@ -43,7 +42,7 @@ impl RuntimeKind {
 }
 
 /// One benchmark run on one runtime configuration.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Measurement {
     /// Runtime short name (`seq`, `stw`, `dlg`, `parmem`).
     pub runtime: String,
@@ -102,11 +101,7 @@ pub fn measure(kind: RuntimeKind, workers: usize, bench: BenchId, params: Params
 }
 
 /// Runs the hierarchical runtime with explicit configuration (used by the ablations).
-pub fn measure_parmem_with_config(
-    config: HhConfig,
-    bench: BenchId,
-    params: Params,
-) -> Measurement {
+pub fn measure_parmem_with_config(config: HhConfig, bench: BenchId, params: Params) -> Measurement {
     let workers = config.n_workers;
     let rt = HhRuntime::new(config);
     run_on(&rt, bench, params, workers)

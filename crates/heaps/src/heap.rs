@@ -172,11 +172,16 @@ impl Heap {
 
     /// Replaces this heap's chunk list wholesale (used by the collector to install the
     /// to-space as the new from-space). Returns the old chunk list.
-    pub fn replace_chunks(&self, new_chunks: Vec<ChunkId>, new_allocated_words: usize) -> Vec<ChunkId> {
+    pub fn replace_chunks(
+        &self,
+        new_chunks: Vec<ChunkId>,
+        new_allocated_words: usize,
+    ) -> Vec<ChunkId> {
         let mut st = self.alloc.lock();
         let old = std::mem::replace(&mut st.chunks, new_chunks);
         st.current = st.chunks.last().copied();
-        self.allocated_words.store(new_allocated_words, Ordering::Relaxed);
+        self.allocated_words
+            .store(new_allocated_words, Ordering::Relaxed);
         self.collections.fetch_add(1, Ordering::Relaxed);
         old
     }

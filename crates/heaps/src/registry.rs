@@ -286,7 +286,10 @@ mod tests {
         // After joining a into root, root is still an ancestor of aa through the merge.
         reg.join_heap(root, a);
         assert!(reg.is_ancestor_or_self(root, aa));
-        assert!(reg.is_ancestor_or_self(a, aa), "merged heap resolves to root");
+        assert!(
+            reg.is_ancestor_or_self(a, aa),
+            "merged heap resolves to root"
+        );
     }
 
     #[test]

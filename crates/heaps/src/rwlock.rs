@@ -96,7 +96,10 @@ impl HeapRwLock {
     /// Panics if the lock is not held in WRITE mode.
     pub fn unlock_exclusive(&self) {
         let mut st = self.state.lock();
-        assert!(st.writer, "unlock_exclusive without matching lock_exclusive");
+        assert!(
+            st.writer,
+            "unlock_exclusive without matching lock_exclusive"
+        );
         st.writer = false;
         if st.waiting_writers > 0 {
             self.writers_cv.notify_one();
@@ -172,7 +175,11 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(max_seen.load(Ordering::SeqCst), 1, "two writers inside the lock");
+        assert_eq!(
+            max_seen.load(Ordering::SeqCst),
+            1,
+            "two writers inside the lock"
+        );
     }
 
     #[test]
@@ -228,7 +235,10 @@ mod tests {
         });
         // Give the writer time to start waiting; a new reader must now be refused.
         std::thread::sleep(Duration::from_millis(50));
-        assert!(!l.try_lock_shared(), "reader admitted past a waiting writer");
+        assert!(
+            !l.try_lock_shared(),
+            "reader admitted past a waiting writer"
+        );
         l.unlock_shared();
         writer.join().unwrap();
         assert!(l.try_lock_shared());

@@ -35,9 +35,12 @@ fn segment_capacity(seg: usize) -> usize {
     BASE << seg
 }
 
+/// A lazily allocated segment: a boxed slice of once-initializable slots.
+type Segment<T> = OnceLock<Box<[OnceLock<T>]>>;
+
 /// A concurrent append-only vector with stable references.
 pub struct AppendVec<T> {
-    segments: Box<[OnceLock<Box<[OnceLock<T>]>>]>,
+    segments: Box<[Segment<T>]>,
     len: AtomicUsize,
 }
 
@@ -118,7 +121,6 @@ impl<T> AppendVec<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use std::sync::Arc;
 
     #[test]
@@ -224,28 +226,49 @@ mod tests {
         assert_eq!(v.len(), 20_000);
     }
 
-    proptest! {
-        #[test]
-        fn prop_push_get_roundtrip(values in proptest::collection::vec(any::<u64>(), 0..500)) {
+    // Randomized (deterministic-seed) property checks; the build has no network
+    // access, so these use a local LCG instead of proptest.
+    #[test]
+    fn prop_push_get_roundtrip() {
+        let mut state = 0xDEAD_BEEF_CAFE_F00Du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        for _ in 0..32 {
+            let len = (next() % 500) as usize;
+            let values: Vec<u64> = (0..len).map(|_| next()).collect();
             let v = AppendVec::new();
             for (i, &x) in values.iter().enumerate() {
-                prop_assert_eq!(v.push(x), i);
+                assert_eq!(v.push(x), i);
             }
-            prop_assert_eq!(v.len(), values.len());
+            assert_eq!(v.len(), values.len());
             for (i, &x) in values.iter().enumerate() {
-                prop_assert_eq!(*v.get(i).unwrap(), x);
+                assert_eq!(*v.get(i).unwrap(), x);
             }
             let collected: Vec<u64> = v.iter().copied().collect();
-            prop_assert_eq!(collected, values);
+            assert_eq!(collected, values);
         }
+    }
 
-        #[test]
-        fn prop_locate_monotonic(i in 0usize..1_000_000) {
+    #[test]
+    fn prop_locate_monotonic() {
+        let mut state = 0x1234_5678_9ABC_DEF1u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        for _ in 0..4096 {
+            let i = (next() % 1_000_000) as usize;
             let (seg, slot) = locate(i);
-            prop_assert!(slot < segment_capacity(seg));
+            assert!(slot < segment_capacity(seg));
             // Start of the segment plus slot recovers the index.
             let seg_start = BASE * ((1usize << seg) - 1);
-            prop_assert_eq!(seg_start + slot, i);
+            assert_eq!(seg_start + slot, i);
         }
     }
 }

@@ -232,7 +232,12 @@ mod tests {
         all.sort_unstable();
         // Every reservation is 7 words, so successive offsets differ by at least 7.
         for w in all.windows(2) {
-            assert!(w[1] >= w[0] + 7, "overlapping reservations: {} {}", w[0], w[1]);
+            assert!(
+                w[1] >= w[0] + 7,
+                "overlapping reservations: {} {}",
+                w[0],
+                w[1]
+            );
         }
     }
 }

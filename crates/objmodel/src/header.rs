@@ -81,8 +81,14 @@ impl Header {
     /// Panics if `n_ptr > n_fields` or if either count exceeds its encodable range.
     pub fn new(n_fields: usize, n_ptr: usize, kind: ObjKind) -> Header {
         assert!(n_ptr <= n_fields, "n_ptr ({n_ptr}) > n_fields ({n_fields})");
-        assert!((n_fields as u64) <= MAX_FIELDS, "too many fields: {n_fields}");
-        assert!((n_ptr as u64) <= MAX_PTR_FIELDS, "too many pointer fields: {n_ptr}");
+        assert!(
+            (n_fields as u64) <= MAX_FIELDS,
+            "too many fields: {n_fields}"
+        );
+        assert!(
+            (n_ptr as u64) <= MAX_PTR_FIELDS,
+            "too many pointer fields: {n_ptr}"
+        );
         Header {
             n_fields: n_fields as u32,
             n_ptr: n_ptr as u32,
@@ -146,7 +152,6 @@ impl Header {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn roundtrip_simple() {
@@ -204,23 +209,45 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn prop_header_roundtrip(n_fields in 0usize..100_000, ptr_frac in 0u32..=100, kind in 0u8..8) {
-            let n_ptr = ((n_fields as u64 * ptr_frac as u64 / 100) as usize).min(MAX_PTR_FIELDS as usize);
+    // Randomized (deterministic-seed) property checks; the build has no network
+    // access, so these use the workspace's own generator instead of proptest.
+    #[test]
+    fn prop_header_roundtrip() {
+        let mut h64 = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            h64 = h64
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            h64
+        };
+        for _ in 0..256 {
+            let n_fields = (next() % 100_000) as usize;
+            let ptr_frac = next() % 101;
+            let kind = (next() % 8) as u8;
+            let n_ptr = ((n_fields as u64 * ptr_frac / 100) as usize).min(MAX_PTR_FIELDS as usize);
             let h = Header::new(n_fields, n_ptr, ObjKind::from_u8(kind));
             let h2 = Header::decode(h.encode());
-            prop_assert_eq!(h, h2);
-            prop_assert_eq!(h2.n_fields(), n_fields);
-            prop_assert_eq!(h2.n_ptr(), n_ptr);
+            assert_eq!(h, h2);
+            assert_eq!(h2.n_fields(), n_fields);
+            assert_eq!(h2.n_ptr(), n_ptr);
         }
+    }
 
-        #[test]
-        fn prop_field_partition(n_fields in 0usize..1000, n_ptr_raw in 0usize..1000) {
-            let n_ptr = n_ptr_raw.min(n_fields);
+    #[test]
+    fn prop_field_partition() {
+        let mut h64 = 0x853C_49E6_748F_EA9Bu64;
+        let mut next = move || {
+            h64 = h64
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            h64
+        };
+        for _ in 0..256 {
+            let n_fields = (next() % 1000) as usize;
+            let n_ptr = ((next() % 1000) as usize).min(n_fields);
             let h = Header::new(n_fields, n_ptr, ObjKind::Tuple);
             let ptr_count = (0..n_fields).filter(|&i| h.is_ptr_field(i)).count();
-            prop_assert_eq!(ptr_count, n_ptr);
+            assert_eq!(ptr_count, n_ptr);
         }
     }
 }

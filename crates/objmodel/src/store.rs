@@ -49,7 +49,10 @@ impl ChunkStore {
     /// Creates a store whose freshly allocated chunks default to `default_chunk_words`
     /// words (larger objects get a dedicated chunk of exactly the needed size).
     pub fn new(default_chunk_words: usize) -> Self {
-        assert!(default_chunk_words >= 16, "chunks must hold at least one small object");
+        assert!(
+            default_chunk_words >= 16,
+            "chunks must hold at least one small object"
+        );
         ChunkStore {
             chunks: AppendVec::new(),
             alloc_lock: parking_lot::Mutex::new(()),
@@ -113,7 +116,8 @@ impl ChunkStore {
         let chunk = self.chunk(id);
         if !chunk.is_retired() {
             chunk.retire();
-            self.live_words.fetch_sub(chunk.capacity(), Ordering::Relaxed);
+            self.live_words
+                .fetch_sub(chunk.capacity(), Ordering::Relaxed);
             self.chunks_retired.fetch_add(1, Ordering::Relaxed);
         }
     }

@@ -82,7 +82,11 @@ impl<'a> ObjView<'a> {
     /// Decodes the object's header.
     #[inline]
     pub fn header(&self) -> Header {
-        Header::decode(self.chunk.word(self.base + OFF_HEADER).load(Ordering::Acquire))
+        Header::decode(
+            self.chunk
+                .word(self.base + OFF_HEADER)
+                .load(Ordering::Acquire),
+        )
     }
 
     /// Total number of fields.
@@ -166,15 +170,20 @@ impl<'a> ObjView<'a> {
     /// `*getField(obj, field) <- val` as a store.
     #[inline]
     pub fn set_field(&self, i: usize, val: u64) {
-        self.chunk.word(self.field_index(i)).store(val, Ordering::Release);
+        self.chunk
+            .word(self.field_index(i))
+            .store(val, Ordering::Release);
     }
 
     /// Atomic compare-and-swap on a field; returns the previous value on failure.
     #[inline]
     pub fn cas_field(&self, i: usize, expected: u64, new: u64) -> Result<u64, u64> {
-        self.chunk
-            .word(self.field_index(i))
-            .compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire)
+        self.chunk.word(self.field_index(i)).compare_exchange(
+            expected,
+            new,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        )
     }
 
     /// Atomic fetch-add on a (non-pointer) field, returning the previous value.

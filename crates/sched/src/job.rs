@@ -69,7 +69,9 @@ impl JobCell {
 
 impl std::fmt::Debug for JobCell {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("JobCell").field("done", &self.is_done()).finish()
+        f.debug_struct("JobCell")
+            .field("done", &self.is_done())
+            .finish()
     }
 }
 

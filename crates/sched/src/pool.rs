@@ -172,16 +172,18 @@ impl Worker {
 
     /// The worker the calling thread is running on, if it is a pool worker.
     pub fn current_in(pool: &Pool) -> Option<Worker> {
-        CURRENT_WORKER.with(|c| c.get()).and_then(|(pool_id, index)| {
-            if pool_id == Arc::as_ptr(&pool.inner) as usize {
-                Some(Worker {
-                    pool: Arc::clone(&pool.inner),
-                    index,
-                })
-            } else {
-                None
-            }
-        })
+        CURRENT_WORKER
+            .with(|c| c.get())
+            .and_then(|(pool_id, index)| {
+                if pool_id == Arc::as_ptr(&pool.inner) as usize {
+                    Some(Worker {
+                        pool: Arc::clone(&pool.inner),
+                        index,
+                    })
+                } else {
+                    None
+                }
+            })
     }
 }
 
@@ -273,7 +275,10 @@ impl Pool {
         self.inner.injector.push(Arc::clone(&job));
         self.inner.notify_all();
         job.wait_blocking();
-        let outcome = result.lock().take().expect("root job completed without result");
+        let outcome = result
+            .lock()
+            .take()
+            .expect("root job completed without result");
         match outcome {
             Ok(r) => r,
             Err(p) => resume_unwind(p),
@@ -310,8 +315,7 @@ fn worker_loop(pool: Arc<PoolInner>, index: usize) {
                 if pool.injector.is_empty() && pool.shutdown.load(Ordering::Acquire) {
                     break;
                 }
-                pool.idle_cv
-                    .wait_for(&mut guard, Duration::from_millis(1));
+                pool.idle_cv.wait_for(&mut guard, Duration::from_millis(1));
             }
         }
     }

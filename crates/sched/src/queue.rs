@@ -111,6 +111,10 @@ mod tests {
         }
         let total_taken: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
         assert_eq!(total_taken, n, "every job removed exactly once");
-        assert_eq!(executed.load(Ordering::SeqCst), n, "every job executed exactly once");
+        assert_eq!(
+            executed.load(Ordering::SeqCst),
+            n,
+            "every job executed exactly once"
+        );
     }
 }

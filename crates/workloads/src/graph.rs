@@ -54,7 +54,7 @@ pub fn generate<C: ParCtx>(ctx: &C, n: usize, avg_degree: usize, grain: usize, s
             return avg_degree; // the source has ordinary degree
         }
         let h = hash64(seed ^ v as u64);
-        let extra = if h % 97 == 0 {
+        let extra = if h.is_multiple_of(97) {
             avg_degree * 16 // hub
         } else {
             (h % (2 * avg_degree as u64 + 1)) as usize
@@ -71,49 +71,36 @@ pub fn generate<C: ParCtx>(ctx: &C, n: usize, avg_degree: usize, grain: usize, s
     }
     offsets.set(ctx, n, total);
     let m = total as usize;
-    // Edge targets filled in parallel per vertex block.
+    // Edge targets filled in parallel per vertex block: each leaf reads its slice of
+    // the offsets array in one bulk read, builds the covered edge range in a buffer,
+    // and publishes it with one bulk write.
     let targets = MSeq::alloc(ctx, m);
-    fill_edges(ctx, offsets, targets, 0, n, grain, n, seed);
+    ctx.par_for(0..n, grain, move |c, vertices| {
+        let (lo, hi) = (vertices.start, vertices.end);
+        let mut offs = vec![0u64; hi - lo + 1];
+        offsets.get_bulk(c, lo, &mut offs);
+        let edge_lo = offs[0] as usize;
+        let edge_hi = offs[hi - lo] as usize;
+        let mut buf = vec![0u64; edge_hi - edge_lo];
+        for v in lo..hi {
+            let start = offs[v - lo] as usize - edge_lo;
+            let end = offs[v - lo + 1] as usize - edge_lo;
+            if end == start {
+                continue;
+            }
+            // Structural edge first (to v/2), then hash-random edges.
+            buf[start] = (v / 2) as u64;
+            for (k, slot) in (start + 1..end).enumerate() {
+                buf[slot] = hash64(seed ^ ((v as u64) << 24) ^ k as u64) % n as u64;
+            }
+        }
+        targets.set_bulk(c, edge_lo, &buf);
+    });
     Graph {
         n,
         m,
         offsets,
         targets,
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn fill_edges<C: ParCtx>(
-    ctx: &C,
-    offsets: MSeq,
-    targets: MSeq,
-    lo: usize,
-    hi: usize,
-    grain: usize,
-    n: usize,
-    seed: u64,
-) {
-    if hi - lo <= grain.max(1) {
-        for v in lo..hi {
-            let start = offsets.get(ctx, v) as usize;
-            let end = offsets.get(ctx, v + 1) as usize;
-            if end == start {
-                continue;
-            }
-            // Structural edge first (to v/2), then hash-random edges.
-            targets.set(ctx, start, (v / 2) as u64);
-            for (k, slot) in (start + 1..end).enumerate() {
-                let t = hash64(seed ^ ((v as u64) << 24) ^ k as u64) % n as u64;
-                targets.set(ctx, slot, t);
-            }
-        }
-        ctx.maybe_collect();
-    } else {
-        let mid = lo + (hi - lo) / 2;
-        ctx.join(
-            |c| fill_edges(c, offsets, targets, lo, mid, grain, n, seed),
-            |c| fill_edges(c, offsets, targets, mid, hi, grain, n, seed),
-        );
     }
 }
 
@@ -163,13 +150,7 @@ impl BfsState {
 /// The frontier bookkeeping (which vertices to expand next) is scheduler-side Rust data;
 /// the per-vertex state updated at every visit is managed data, preserving the paper's
 /// memory-operation mix per variant (Figure 9).
-pub fn bfs<C: ParCtx>(
-    ctx: &C,
-    g: &Graph,
-    state: &BfsState,
-    source: usize,
-    grain: usize,
-) -> usize {
+pub fn bfs<C: ParCtx>(ctx: &C, g: &Graph, state: &BfsState, source: usize, grain: usize) -> usize {
     let mut frontier: Vec<u32> = vec![source as u32];
     state.visited.set(ctx, source, 1);
     state.dist.set(ctx, source, 0);
@@ -179,7 +160,7 @@ pub fn bfs<C: ParCtx>(
     let mut visited_count = 1usize;
     let mut round = 1u64;
     while !frontier.is_empty() {
-        let next = expand(ctx, g, state, &frontier, 0, frontier.len(), round, grain);
+        let next = expand(ctx, g, state, &frontier, round, grain);
         visited_count += next.len();
         frontier = next;
         round += 1;
@@ -187,64 +168,62 @@ pub fn bfs<C: ParCtx>(
     visited_count
 }
 
-#[allow(clippy::too_many_arguments)]
+/// Expands one BFS round: one [`ParCtx::par_map`] task per grain-sized frontier
+/// block, each returning the vertices it newly visited; the per-block results are
+/// concatenated in frontier order.
 fn expand<C: ParCtx>(
     ctx: &C,
     g: &Graph,
     state: &BfsState,
     frontier: &[u32],
-    lo: usize,
-    hi: usize,
     round: u64,
     grain: usize,
 ) -> Vec<u32> {
-    if hi - lo <= grain.max(1) {
+    let blocks = ctx.par_map(0..frontier.len(), grain, move |c, r| {
         let mut out = Vec::new();
-        for &u in &frontier[lo..hi] {
+        for &u in &frontier[r] {
             let u = u as usize;
-            let deg = g.degree(ctx, u);
+            let deg = g.degree(c, u);
             for k in 0..deg {
-                let v = g.neighbour(ctx, u, k);
+                let v = g.neighbour(c, u, k);
                 let newly_visited = match state.variant {
                     BfsVariant::Reachability => {
-                        // Plain read + write; the benign race may visit a vertex twice.
-                        if state.visited.get_mut(ctx, v) == 0 {
-                            state.visited.set(ctx, v, 1);
+                        // Plain read + write; the benign race may visit a
+                        // vertex twice.
+                        if state.visited.get_mut(c, v) == 0 {
+                            state.visited.set(c, v, 1);
                             true
                         } else {
                             false
                         }
                     }
                     BfsVariant::Usp | BfsVariant::UspTree => {
-                        ctx.cas_nonptr(state.visited.raw(), v, 0, 1).is_ok()
+                        c.cas_nonptr(state.visited.raw(), v, 0, 1).is_ok()
                     }
                 };
                 if newly_visited {
-                    state.dist.set(ctx, v, round);
+                    state.dist.set(c, v, round);
                     if state.variant == BfsVariant::UspTree {
-                        // A[v] := u :: A[u]  — allocate the cons cell locally and write
-                        // it into the (root-allocated) ancestor array: a promoting write.
-                        let tail = ctx.read_mut_ptr(state.ancestors, u);
-                        let cell = ctx.alloc(1, 1, ObjKind::Cons);
-                        ctx.write_ptr(cell, 0, tail);
-                        ctx.write_nonptr(cell, 1, u as u64);
-                        ctx.write_ptr(state.ancestors, v, cell);
+                        // A[v] := u :: A[u]  — allocate the cons cell locally
+                        // and write it into the (root-allocated) ancestor
+                        // array: a promoting write.
+                        let tail = c.read_mut_ptr(state.ancestors, u);
+                        let cell = c.alloc(1, 1, ObjKind::Cons);
+                        c.write_ptr(cell, 0, tail);
+                        c.write_nonptr(cell, 1, u as u64);
+                        c.write_ptr(state.ancestors, v, cell);
                     }
                     out.push(v as u32);
                 }
             }
         }
-        ctx.maybe_collect();
         out
-    } else {
-        let mid = lo + (hi - lo) / 2;
-        let (mut a, b) = ctx.join(
-            |c| expand(c, g, state, frontier, lo, mid, round, grain),
-            |c| expand(c, g, state, frontier, mid, hi, round, grain),
-        );
-        a.extend_from_slice(&b);
-        a
+    });
+    let mut merged = Vec::new();
+    for block in blocks {
+        merged.extend_from_slice(&block);
     }
+    merged
 }
 
 /// Runs `copies` independent `usp-tree` BFS instances in parallel over the same graph
@@ -256,20 +235,16 @@ pub fn multi_usp_tree<C: ParCtx>(
     source: usize,
     grain: usize,
 ) -> usize {
-    fn go<C: ParCtx>(ctx: &C, g: &Graph, lo: usize, hi: usize, source: usize, grain: usize) -> usize {
-        if hi - lo == 1 {
-            let state = BfsState::new(ctx, g.n, BfsVariant::UspTree);
-            bfs(ctx, g, &state, source, grain)
-        } else {
-            let mid = lo + (hi - lo) / 2;
-            let (a, b) = ctx.join(
-                |c| go(c, g, lo, mid, source, grain),
-                |c| go(c, g, mid, hi, source, grain),
-            );
-            a + b
-        }
-    }
-    go(ctx, g, 0, copies.max(1), source, grain)
+    // One n-ary fork with one task per BFS copy, each owning its private state.
+    let tasks: Vec<_> = (0..copies.max(1))
+        .map(|_copy| {
+            move |c: &C| {
+                let state = BfsState::new(c, g.n, BfsVariant::UspTree);
+                bfs(c, g, &state, source, grain)
+            }
+        })
+        .collect();
+    ctx.join_many(tasks).into_iter().sum()
 }
 
 /// Length of the ancestor list recorded for vertex `v` (validation helper).
@@ -286,8 +261,8 @@ pub fn ancestor_list_len<C: ParCtx>(ctx: &C, state: &BfsState, v: usize) -> usiz
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hh_baselines::SeqRuntime;
     use hh_api::Runtime as _;
+    use hh_baselines::SeqRuntime;
     use hh_runtime::HhRuntime;
 
     fn reference_bfs_distances<C: ParCtx>(ctx: &C, g: &Graph, source: usize) -> Vec<u64> {
@@ -325,7 +300,12 @@ mod tests {
                 "expected most vertices reachable from the source, got {reachable}/{}",
                 g.n
             );
-            let max_d = dist.iter().filter(|&&d| d != u64::MAX).max().copied().unwrap();
+            let max_d = dist
+                .iter()
+                .filter(|&&d| d != u64::MAX)
+                .max()
+                .copied()
+                .unwrap();
             assert!(max_d <= 40, "diameter-ish bound violated: {max_d}");
         });
     }
@@ -340,10 +320,10 @@ mod tests {
             let visited = bfs(ctx, &g, &state, 0, 16);
             let expected_visited = expected.iter().filter(|&&d| d != u64::MAX).count();
             assert_eq!(visited, expected_visited);
-            for v in 0..g.n {
-                if expected[v] != u64::MAX {
+            for (v, &exp) in expected.iter().enumerate() {
+                if exp != u64::MAX {
                     assert_eq!(state.visited.get_mut(ctx, v), 1);
-                    assert_eq!(state.dist.get_mut(ctx, v), expected[v], "distance of {v}");
+                    assert_eq!(state.dist.get_mut(ctx, v), exp, "distance of {v}");
                 } else {
                     assert_eq!(state.visited.get_mut(ctx, v), 0);
                 }
@@ -359,13 +339,13 @@ mod tests {
             let expected = reference_bfs_distances(ctx, &g, 0);
             let state = BfsState::new(ctx, g.n, BfsVariant::UspTree);
             let _visited = bfs(ctx, &g, &state, 0, 32);
-            for v in 0..g.n {
-                if expected[v] != u64::MAX && expected[v] > 0 {
-                    assert_eq!(state.dist.get_mut(ctx, v), expected[v], "distance of {v}");
+            for (v, &exp) in expected.iter().enumerate() {
+                if exp != u64::MAX && exp > 0 {
+                    assert_eq!(state.dist.get_mut(ctx, v), exp, "distance of {v}");
                     // The ancestor list of v has exactly dist(v) entries.
                     assert_eq!(
                         ancestor_list_len(ctx, &state, v),
-                        expected[v] as usize,
+                        exp as usize,
                         "ancestor list of {v}"
                     );
                 }

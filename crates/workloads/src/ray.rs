@@ -128,7 +128,11 @@ fn trace_pixel(px: usize, py: usize, width: usize, height: usize) -> u64 {
                     break;
                 }
             }
-            let diffuse = if lit { normal.dot(to_light).max(0.0) } else { 0.0 };
+            let diffuse = if lit {
+                normal.dot(to_light).max(0.0)
+            } else {
+                0.0
+            };
             s.color.scale(0.2 + 0.8 * diffuse)
         }
     };
@@ -151,8 +155,8 @@ pub fn image_checksum<C: ParCtx>(ctx: &C, img: MSeq) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hh_baselines::SeqRuntime;
     use hh_api::Runtime as _;
+    use hh_baselines::SeqRuntime;
     use hh_runtime::HhRuntime;
 
     #[test]
@@ -164,9 +168,15 @@ mod tests {
             let pixels = img.to_vec(ctx);
             // The centre of the image hits the red sphere; the corners are background.
             let centre = pixels[32 * 64 + 32];
-            assert!((centre >> 16) & 0xFF > 60, "centre pixel should be reddish: {centre:#x}");
+            assert!(
+                (centre >> 16) & 0xFF > 60,
+                "centre pixel should be reddish: {centre:#x}"
+            );
             let corner = pixels[0];
-            assert!(corner & 0xFF <= 0x20, "corner should be dark background: {corner:#x}");
+            assert!(
+                corner & 0xFF <= 0x20,
+                "corner should be dark background: {corner:#x}"
+            );
             // Every pixel is a valid packed RGB value.
             assert!(pixels.iter().all(|p| *p <= 0x00FF_FFFF));
         });

@@ -52,19 +52,26 @@ fn child<C: ParCtx>(ctx: &C, m: QMat, k: usize) -> QMat {
 /// Generates an `n × n` quadtree matrix (n must be a power of two ≥ [`LEAF`]) whose
 /// element `(i, j)` is a hash of the seed and position.
 pub fn generate<C: ParCtx>(ctx: &C, n: usize, seed: u64, grain: usize) -> QMat {
-    assert!(n >= LEAF && n.is_power_of_two(), "n must be a power of two >= LEAF");
+    assert!(
+        n >= LEAF && n.is_power_of_two(),
+        "n must be a power of two >= LEAF"
+    );
     gen_rec(ctx, n, 0, 0, seed, grain)
 }
 
 fn gen_rec<C: ParCtx>(ctx: &C, n: usize, row: usize, col: usize, seed: u64, grain: usize) -> QMat {
     if n == LEAF {
         let leaf = leaf_alloc(ctx);
+        // Build the whole block in a buffer and publish it with one bulk write.
+        let mut buf = [0u64; LEAF * LEAF];
         for i in 0..LEAF {
             for j in 0..LEAF {
-                let v = (hash64(seed ^ ((row + i) as u64) << 20 ^ (col + j) as u64) % 100) as f64 / 100.0;
-                ctx.write_nonptr(leaf, i * LEAF + j, f64_to_bits(v));
+                let v = (hash64(seed ^ ((row + i) as u64) << 20 ^ (col + j) as u64) % 100) as f64
+                    / 100.0;
+                buf[i * LEAF + j] = f64_to_bits(v);
             }
         }
+        ctx.write_nonptr_bulk(leaf, 0, &buf);
         ctx.maybe_collect();
         return QMat { node: leaf, n };
     }
@@ -77,17 +84,20 @@ fn gen_rec<C: ParCtx>(ctx: &C, n: usize, row: usize, col: usize, seed: u64, grai
             _ => gen_rec(c, h, row + h, col + h, seed, grain),
         }
     };
-    let (nw, ne, sw, se) = if n > grain {
-        let ((nw, ne), (sw, se)) = ctx.join(
-            |c| c.join(|c| build(c, 0), |c| build(c, 1)),
-            |c| c.join(|c| build(c, 2), |c| build(c, 3)),
-        );
-        (nw, ne, sw, se)
+    let quads = if n > grain {
+        // A 4-ary fork: one task per quadrant.
+        ctx.join_many((0..4).map(|which| move |c: &C| build(c, which)).collect())
     } else {
-        (build(ctx, 0), build(ctx, 1), build(ctx, 2), build(ctx, 3))
+        (0..4).map(|which| build(ctx, which)).collect()
     };
     QMat {
-        node: node_alloc(ctx, nw.node, ne.node, sw.node, se.node),
+        node: node_alloc(
+            ctx,
+            quads[0].node,
+            quads[1].node,
+            quads[2].node,
+            quads[3].node,
+        ),
         n,
     }
 }
@@ -97,13 +107,20 @@ fn zip<C: ParCtx>(ctx: &C, a: QMat, b: QMat, sub: bool) -> QMat {
     debug_assert_eq!(a.n, b.n);
     if a.n == LEAF {
         let leaf = leaf_alloc(ctx);
-        for k in 0..LEAF * LEAF {
-            let x = f64_from_bits(ctx.read_imm(a.node, k));
-            let y = f64_from_bits(ctx.read_imm(b.node, k));
-            let v = if sub { x - y } else { x + y };
-            ctx.write_nonptr(leaf, k, f64_to_bits(v));
+        // Two bulk immutable reads, combine in a buffer, one bulk write.
+        let mut xs = [0u64; LEAF * LEAF];
+        let mut ys = [0u64; LEAF * LEAF];
+        ctx.read_imm_bulk(a.node, 0, &mut xs);
+        ctx.read_imm_bulk(b.node, 0, &mut ys);
+        for (x, &y) in xs.iter_mut().zip(ys.iter()) {
+            let (xf, yf) = (f64_from_bits(*x), f64_from_bits(y));
+            *x = f64_to_bits(if sub { xf - yf } else { xf + yf });
         }
-        return QMat { node: leaf, n: LEAF };
+        ctx.write_nonptr_bulk(leaf, 0, &xs);
+        return QMat {
+            node: leaf,
+            n: LEAF,
+        };
     }
     let parts: Vec<ObjPtr> = (0..4)
         .map(|k| zip(ctx, child(ctx, a, k), child(ctx, b, k), sub).node)
@@ -124,16 +141,23 @@ fn sub<C: ParCtx>(ctx: &C, a: QMat, b: QMat) -> QMat {
 
 fn leaf_mul<C: ParCtx>(ctx: &C, a: QMat, b: QMat) -> QMat {
     let out = leaf_alloc(ctx);
+    // Bulk-read both operand blocks once, multiply in registers/stack, publish with
+    // one bulk write.
+    let mut xs = [0u64; LEAF * LEAF];
+    let mut ys = [0u64; LEAF * LEAF];
+    ctx.read_imm_bulk(a.node, 0, &mut xs);
+    ctx.read_imm_bulk(b.node, 0, &mut ys);
+    let mut buf = [0u64; LEAF * LEAF];
     for i in 0..LEAF {
         for j in 0..LEAF {
             let mut acc = 0.0f64;
             for k in 0..LEAF {
-                acc += f64_from_bits(ctx.read_imm(a.node, i * LEAF + k))
-                    * f64_from_bits(ctx.read_imm(b.node, k * LEAF + j));
+                acc += f64_from_bits(xs[i * LEAF + k]) * f64_from_bits(ys[k * LEAF + j]);
             }
-            ctx.write_nonptr(out, i * LEAF + j, f64_to_bits(acc));
+            buf[i * LEAF + j] = f64_to_bits(acc);
         }
     }
+    ctx.write_nonptr_bulk(out, 0, &buf);
     QMat { node: out, n: LEAF }
 }
 
@@ -195,21 +219,15 @@ pub fn strassen<C: ParCtx>(ctx: &C, a: QMat, b: QMat, parallel_cutoff: usize) ->
         }
     };
 
-    let ms: [QMat; 7] = if a.n > parallel_cutoff {
-        let ((m1, (m2, m3)), ((m4, m5), (m6, m7))) = ctx.join(
-            |c| c.join(|c| m(c, 0), |c| c.join(|c| m(c, 1), |c| m(c, 2))),
-            |c| {
-                c.join(
-                    |c| c.join(|c| m(c, 3), |c| m(c, 4)),
-                    |c| c.join(|c| m(c, 5), |c| m(c, 6)),
-                )
-            },
-        );
-        [m1, m2, m3, m4, m5, m6, m7]
+    let ms: Vec<QMat> = if a.n > parallel_cutoff {
+        // The seven Strassen products as one 7-ary fork.
+        ctx.join_many((0..7).map(|which| move |c: &C| m(c, which)).collect())
     } else {
-        [m(ctx, 0), m(ctx, 1), m(ctx, 2), m(ctx, 3), m(ctx, 4), m(ctx, 5), m(ctx, 6)]
+        (0..7).map(|which| m(ctx, which)).collect()
     };
-    let [m1, m2, m3, m4, m5, m6, m7] = ms;
+    let [m1, m2, m3, m4, m5, m6, m7]: [QMat; 7] = ms
+        .try_into()
+        .unwrap_or_else(|_| unreachable!("exactly seven products"));
 
     let c11 = add(ctx, sub(ctx, add(ctx, m1, m4), m5), m7);
     let c12 = add(ctx, m3, m5);
@@ -248,8 +266,8 @@ pub fn checksum<C: ParCtx>(ctx: &C, m: QMat) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hh_baselines::SeqRuntime;
     use hh_api::Runtime as _;
+    use hh_baselines::SeqRuntime;
     use hh_runtime::HhRuntime;
 
     #[test]

@@ -206,7 +206,9 @@ pub fn run_timed<C: ParCtx>(ctx: &C, id: BenchId, p: Params) -> BenchOutcome {
             let n = p.scaled(100_000_000, 20_000);
             let input = random_input(ctx, n, p.grain, 1);
             timed(|| {
-                let out = map(ctx, input, p.grain, |x| x ^ (x >> 7).wrapping_mul(0x9E3779B9));
+                let out = map(ctx, input, p.grain, |x| {
+                    x ^ (x >> 7).wrapping_mul(0x9E3779B9)
+                });
                 checksum(ctx, out)
             })
         }
@@ -277,9 +279,7 @@ pub fn run_timed<C: ParCtx>(ctx: &C, id: BenchId, p: Params) -> BenchOutcome {
         BenchId::Strassen => {
             // Paper: n = 1024 with 64×64 leaves. Scale the side length (power of two).
             let target = (1024.0 * p.scale.cbrt()) as usize;
-            let n = target
-                .next_power_of_two()
-                .clamp(2 * strassen::LEAF, 1024);
+            let n = target.next_power_of_two().clamp(2 * strassen::LEAF, 1024);
             let a = strassen::generate(ctx, n, 9, strassen::LEAF * 2);
             let b = strassen::generate(ctx, n, 10, strassen::LEAF * 2);
             timed(|| {
@@ -356,8 +356,8 @@ pub fn outcomes_agree(a: &BenchOutcome, b: &BenchOutcome) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hh_baselines::{DlgRuntime, SeqRuntime, StwRuntime};
     use hh_api::Runtime;
+    use hh_baselines::{DlgRuntime, SeqRuntime, StwRuntime};
     use hh_runtime::HhRuntime;
 
     #[test]
@@ -367,7 +367,10 @@ mod tests {
             assert!(!b.representative_operation().is_empty());
         }
         assert_eq!(BenchId::from_name("no-such-bench"), None);
-        assert_eq!(BenchId::PURE.len() + BenchId::IMPERATIVE.len(), BenchId::ALL.len());
+        assert_eq!(
+            BenchId::PURE.len() + BenchId::IMPERATIVE.len(),
+            BenchId::ALL.len()
+        );
     }
 
     /// Every benchmark produces the same checksum on the sequential baseline and on the
@@ -392,7 +395,12 @@ mod tests {
                 expected.checksum,
                 got.checksum
             );
-            assert_eq!(hh.check_disentangled(), 0, "{} left entanglement", id.name());
+            assert_eq!(
+                hh.check_disentangled(),
+                0,
+                "{} left entanglement",
+                id.name()
+            );
         }
     }
 

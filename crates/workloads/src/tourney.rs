@@ -27,14 +27,22 @@ pub struct Tournament {
 }
 
 /// Builds the tournament tree over `fitness[lo..hi)` and returns the winning node.
+///
+/// The tree structure itself — a parent-pointer write at every join point, which is the
+/// benchmark's representative "local non-promoting write" — is preserved; only the
+/// splitting goes through [`ParCtx::join_many`] and the leaf reads its fitness slice in
+/// one bulk operation.
 fn play<C: ParCtx>(ctx: &C, fitness: MSeq, lo: usize, hi: usize, grain: usize) -> (ObjPtr, u64) {
     debug_assert!(hi > lo);
     if hi - lo <= grain.max(1) {
-        // Sequential block: create contestants and play them off left to right.
-        let mut best = make_contestant(ctx, fitness.get(ctx, lo));
+        // Sequential block: bulk-read the fitness slice, then create contestants and
+        // play them off left to right.
+        let mut buf = vec![0u64; hi - lo];
+        fitness.get_bulk(ctx, lo, &mut buf);
+        let mut best = make_contestant(ctx, buf[0]);
         let mut best_fit = ctx.read_mut(best, F_FITNESS);
-        for i in lo + 1..hi {
-            let challenger = make_contestant(ctx, fitness.get(ctx, i));
+        for &f in &buf[1..] {
+            let challenger = make_contestant(ctx, f);
             let challenger_fit = ctx.read_mut(challenger, F_FITNESS);
             if challenger_fit > best_fit {
                 ctx.write_ptr(best, F_PARENT, challenger);
@@ -48,10 +56,16 @@ fn play<C: ParCtx>(ctx: &C, fitness: MSeq, lo: usize, hi: usize, grain: usize) -
         (best, best_fit)
     } else {
         let mid = lo + (hi - lo) / 2;
-        let ((lw, lf), (rw, rf)) = ctx.join(
-            |c| play(c, fitness, lo, mid, grain),
-            |c| play(c, fitness, mid, hi, grain),
+        let halves = vec![(lo, mid), (mid, hi)];
+        let results = ctx.join_many(
+            halves
+                .into_iter()
+                .map(|(l, h)| move |c: &C| play(c, fitness, l, h, grain))
+                .collect(),
         );
+        let [(lw, lf), (rw, rf)]: [(ObjPtr, u64); 2] = results
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("exactly two halves"));
         // The join point: record who eliminated the loser.
         if lf >= rf {
             ctx.write_ptr(rw, F_PARENT, lw);
@@ -71,7 +85,10 @@ fn make_contestant<C: ParCtx>(ctx: &C, fitness: u64) -> ObjPtr {
 
 /// Runs the tournament over a fitness sequence.
 pub fn tourney<C: ParCtx>(ctx: &C, fitness: MSeq, grain: usize) -> Tournament {
-    assert!(!fitness.is_empty(), "a tournament needs at least one contestant");
+    assert!(
+        !fitness.is_empty(),
+        "a tournament needs at least one contestant"
+    );
     let (winner, winner_fitness) = play(ctx, fitness, 0, fitness.len(), grain);
     Tournament {
         winner,
@@ -97,8 +114,8 @@ pub fn chain_to_winner<C: ParCtx>(ctx: &C, mut node: ObjPtr, limit: usize) -> Op
 mod tests {
     use super::*;
     use crate::seq::random_input;
-    use hh_baselines::SeqRuntime;
     use hh_api::Runtime as _;
+    use hh_baselines::SeqRuntime;
     use hh_runtime::HhRuntime;
 
     #[test]

@@ -16,10 +16,11 @@ use std::time::Instant;
 fn main() {
     let mut args = std::env::args().skip(1);
     let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(50_000);
-    let workers: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4));
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+    });
 
     let rt = HhRuntime::with_workers(workers);
     let report = rt.run(|ctx| {
@@ -59,8 +60,14 @@ fn main() {
     });
 
     let (visited, visited_tree, t_usp, t_tree, max_dist, checked) = report;
-    println!("usp      : visited {visited} vertices in {:.3}s (max distance {max_dist})", t_usp.as_secs_f64());
-    println!("usp-tree : visited {visited_tree} vertices in {:.3}s", t_tree.as_secs_f64());
+    println!(
+        "usp      : visited {visited} vertices in {:.3}s (max distance {max_dist})",
+        t_usp.as_secs_f64()
+    );
+    println!(
+        "usp-tree : visited {visited_tree} vertices in {:.3}s",
+        t_tree.as_secs_f64()
+    );
     println!("validated ancestor lists for {checked} sampled vertices");
     let stats = rt.stats();
     println!(

@@ -25,10 +25,11 @@ fn sort_and_check<C: ParCtx>(ctx: &C, n: usize) -> (MSeq, bool) {
 fn main() {
     let mut args = std::env::args().skip(1);
     let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(200_000);
-    let workers: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4));
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+    });
 
     println!("sorting {n} random 64-bit keys (grain {GRAIN})");
 

@@ -46,7 +46,10 @@ fn main() {
     });
 
     println!("sibling observed:    {:?}", observed.0);
-    println!("parent observes:     ({}, {:#x})", observed.1 .0, observed.1 .1);
+    println!(
+        "parent observes:     ({}, {:#x})",
+        observed.1 .0, observed.1 .1
+    );
 
     let stats = rt.stats();
     println!(

@@ -13,10 +13,11 @@ use std::time::Instant;
 fn main() {
     let mut args = std::env::args().skip(1);
     let side: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(300);
-    let workers: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4));
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+    });
     let out_path = args.next().unwrap_or_else(|| "raytrace.ppm".to_string());
 
     let rt = HhRuntime::with_workers(workers);

@@ -9,12 +9,49 @@
 //!   (the paper's contribution, crate `hh-runtime`);
 //! * [`SeqRuntime`], [`StwRuntime`], [`DlgRuntime`] — the comparison runtimes
 //!   (crate `hh-baselines`);
-//! * [`ParCtx`] / [`Runtime`] — the backend-generic operation interface
-//!   (crate `hh-api`);
+//! * [`ParCtx`] / [`Runtime`] — the backend-generic operation interface, **v2**: the
+//!   paper's six scalar operations plus bulk field operations (`read_imm_bulk`,
+//!   `read_mut_bulk`, `write_nonptr_bulk`, `fill_nonptr`, `copy_nonptr`) and n-ary
+//!   fork-join (`join_many`, `par_for`) — crate `hh-api`;
 //! * [`workloads`] — the paper's 17-benchmark suite and its substrates;
 //! * [`harness`] — the experiment driver regenerating the paper's tables and figures.
 //!
 //! ## Quickstart
+//!
+//! Parallel loops go through `par_for`, which hands each leaf task a disjoint index
+//! range; array traffic goes through the bulk operations, which resolve the
+//! promotion/forwarding check once per slice instead of once per word:
+//!
+//! ```
+//! use hierheap::{HhRuntime, ParCtx, Runtime};
+//!
+//! let rt = HhRuntime::with_workers(2);
+//! let sum = rt.run(|ctx| {
+//!     let n = 10_000;
+//!     let arr = ctx.alloc_data_array(n);
+//!     // Parallel fill: each leaf computes its slice into a buffer and publishes it
+//!     // with one bulk write.
+//!     ctx.par_for(0..n, 1024, move |c, r| {
+//!         let lo = r.start;
+//!         let buf: Vec<u64> = r.map(|i| (i as u64) * 3).collect();
+//!         c.write_nonptr_bulk(arr, lo, &buf);
+//!     });
+//!     // N-ary fork-join: one task per block, each bulk-reading its slice.
+//!     let blocks: Vec<_> = (0..10)
+//!         .map(|b| {
+//!             move |c: &hierheap::HhCtx| {
+//!                 let mut buf = vec![0u64; n / 10];
+//!                 c.read_mut_bulk(arr, b * (n / 10), &mut buf);
+//!                 buf.into_iter().sum::<u64>()
+//!             }
+//!         })
+//!         .collect();
+//!     ctx.join_many(blocks).into_iter().sum::<u64>()
+//! });
+//! assert_eq!(sum, (0..10_000u64).map(|i| i * 3).sum());
+//! ```
+//!
+//! Mutation, promotion, and the master-copy protocol work exactly as in v1:
 //!
 //! ```
 //! use hierheap::{HhRuntime, ParCtx, Runtime, ObjPtr};
@@ -38,9 +75,11 @@
 //! assert_eq!(value, 42);
 //! ```
 
-pub use hh_api::{f64_from_bits, f64_to_bits, hash64, ObjKind, ObjPtr, ParCtx, Rooted, RunStats, Runtime};
+pub use hh_api::{
+    f64_from_bits, f64_to_bits, hash64, ObjKind, ObjPtr, ParCtx, Rng, Rooted, RunStats, Runtime,
+};
 pub use hh_baselines::{DlgRuntime, SeqRuntime, StwRuntime};
-pub use hh_runtime::{HhConfig, HhRuntime};
+pub use hh_runtime::{HhConfig, HhCtx, HhRuntime};
 
 /// The benchmark suite and its substrates (sequences, graphs, matrices, raytracer).
 pub mod workloads {

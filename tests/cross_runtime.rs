@@ -3,7 +3,9 @@
 //! headline qualitative results of the paper.
 
 use hierheap::workloads::suite::{run_timed, BenchId, Params};
-use hierheap::{DlgRuntime, HhConfig, HhRuntime, Runtime, SeqRuntime, StwRuntime};
+use hierheap::{
+    hash64, DlgRuntime, HhConfig, HhRuntime, ObjPtr, ParCtx, Rng, Runtime, SeqRuntime, StwRuntime,
+};
 
 fn tiny() -> Params {
     Params {
@@ -67,7 +69,11 @@ fn promotion_volume_shape_matches_the_paper() {
     };
     let hh = HhRuntime::with_workers(4);
     hh.run(|ctx| run_timed(ctx, BenchId::Map, p));
-    assert_eq!(hh.stats().promoted_objects, 0, "parmem must not promote on map");
+    assert_eq!(
+        hh.stats().promoted_objects,
+        0,
+        "parmem must not promote on map"
+    );
 
     // The DLG baseline's promotion comes from data built by stolen tasks. With a
     // flat-array sequence representation `map` builds nothing in its leaves, so the
@@ -126,13 +132,310 @@ fn collections_happen_under_pressure_and_results_survive() {
         ..Default::default()
     });
     let seq = SeqRuntime::new();
-    let expected = seq.run(|ctx| run_timed(ctx, BenchId::MsortPure, p)).checksum;
+    let expected = seq
+        .run(|ctx| run_timed(ctx, BenchId::MsortPure, p))
+        .checksum;
     let got = hh.run(|ctx| run_timed(ctx, BenchId::MsortPure, p)).checksum;
     assert_eq!(expected, got);
     assert!(
         hh.stats().gc_count > 0,
         "msort-pure with a small threshold must collect leaf heaps"
     );
+}
+
+// ---------------------------------------------------------------------------
+// ParCtx v2: bulk operations are observationally equivalent to scalar loops.
+// ---------------------------------------------------------------------------
+
+/// Applies a deterministic random mix of scalar and bulk operations to two arrays and
+/// returns both arrays' final contents. Run once with `use_bulk = false` (scalar loops
+/// only) and once with `use_bulk = true`; the results must be identical on every
+/// runtime.
+type ArrayPair = (Vec<u64>, Vec<u64>);
+
+fn random_op_mix<C: ParCtx>(ctx: &C, seed: u64, use_bulk: bool) -> ArrayPair {
+    const LEN: usize = 257; // deliberately not a power of two
+    let a = ctx.alloc_data_array(LEN);
+    let b = ctx.alloc_data_array(LEN);
+    let mut rng = Rng::new(seed);
+    for _ in 0..40 {
+        let start = (rng.next_u64() % (LEN as u64 - 1)) as usize;
+        let len = 1 + (rng.next_u64() % (LEN - start) as u64) as usize;
+        let op = rng.next_u64() % 4;
+        match op {
+            0 => {
+                // Bulk write vs. scalar write loop.
+                let vals: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
+                if use_bulk {
+                    ctx.write_nonptr_bulk(a, start, &vals);
+                } else {
+                    for (k, &v) in vals.iter().enumerate() {
+                        ctx.write_nonptr(a, start + k, v);
+                    }
+                }
+            }
+            1 => {
+                // Fill vs. scalar fill loop.
+                let v = rng.next_u64();
+                if use_bulk {
+                    ctx.fill_nonptr(b, start, len, v);
+                } else {
+                    for k in 0..len {
+                        ctx.write_nonptr(b, start + k, v);
+                    }
+                }
+            }
+            2 => {
+                // Object→object copy vs. scalar copy loop.
+                if use_bulk {
+                    ctx.copy_nonptr(a, start, b, start, len);
+                } else {
+                    for k in 0..len {
+                        let v = ctx.read_mut(a, start + k);
+                        ctx.write_nonptr(b, start + k, v);
+                    }
+                }
+            }
+            _ => {
+                // Read-modify-write through the bulk read vs. scalar reads.
+                let mut buf = vec![0u64; len];
+                if use_bulk {
+                    ctx.read_mut_bulk(a, start, &mut buf);
+                } else {
+                    for (k, slot) in buf.iter_mut().enumerate() {
+                        *slot = ctx.read_mut(a, start + k);
+                    }
+                }
+                for x in buf.iter_mut() {
+                    *x = x.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17);
+                }
+                if use_bulk {
+                    ctx.write_nonptr_bulk(a, start, &buf);
+                } else {
+                    for (k, &v) in buf.iter().enumerate() {
+                        ctx.write_nonptr(a, start + k, v);
+                    }
+                }
+            }
+        }
+    }
+    let read_all = |obj: ObjPtr| -> Vec<u64> {
+        let mut out = vec![0u64; LEN];
+        if use_bulk {
+            ctx.read_mut_bulk(obj, 0, &mut out);
+        } else {
+            for (k, slot) in out.iter_mut().enumerate() {
+                *slot = ctx.read_mut(obj, k);
+            }
+        }
+        out
+    };
+    (read_all(a), read_all(b))
+}
+
+/// Property: on all four runtimes, a random mix of bulk operations leaves memory in
+/// exactly the state the corresponding scalar loops would.
+#[test]
+fn bulk_ops_equal_scalar_loops_on_all_runtimes() {
+    for seed in [1u64, 42, 0xC0FFEE] {
+        let reference = SeqRuntime::new().run(|ctx| random_op_mix(ctx, seed, false));
+        let runs: [(&str, ArrayPair); 4] = [
+            (
+                "seq",
+                SeqRuntime::new().run(|ctx| random_op_mix(ctx, seed, true)),
+            ),
+            (
+                "stw",
+                StwRuntime::with_workers(3).run(|ctx| random_op_mix(ctx, seed, true)),
+            ),
+            (
+                "dlg",
+                DlgRuntime::with_workers(3).run(|ctx| random_op_mix(ctx, seed, true)),
+            ),
+            (
+                "parmem",
+                HhRuntime::with_workers(3).run(|ctx| random_op_mix(ctx, seed, true)),
+            ),
+        ];
+        for (name, got) in runs {
+            assert_eq!(
+                got, reference,
+                "bulk vs scalar mismatch on {name} (seed {seed})"
+            );
+        }
+        // Scalar loops on the parallel runtimes agree too (sanity of the reference).
+        let hh_scalar = HhRuntime::with_workers(3).run(|ctx| random_op_mix(ctx, seed, false));
+        assert_eq!(
+            hh_scalar, reference,
+            "scalar mismatch on parmem (seed {seed})"
+        );
+    }
+}
+
+/// Property: bulk operations remain correct under concurrent promotion — a child task
+/// bulk-writes an array that gets promoted mid-run, and the parent then reads the
+/// values through the master copy.
+#[test]
+fn bulk_writes_survive_concurrent_promotion() {
+    const LEN: usize = 300;
+    for trial in 0..5u64 {
+        let rt = HhRuntime::with_workers(4);
+        let (expected, got) = rt.run(|ctx| {
+            let cell = ctx.alloc_ref_ptr(ObjPtr::NULL);
+            let (vals, _) = ctx.join(
+                |c| {
+                    // The child allocates the array locally and seeds it.
+                    let arr = c.alloc_data_array(LEN);
+                    c.fill_nonptr(arr, 0, LEN, 7);
+                    // Writing the array into the root-allocated cell promotes it: the
+                    // child's `arr` pointer now leads to the master through a
+                    // forwarding chain.
+                    c.write_ptr(cell, 0, arr);
+                    // Bulk-write through the stale pointer; the runtime must resolve
+                    // the master once and land every word there.
+                    let vals: Vec<u64> = (0..LEN as u64).map(|i| hash64(trial ^ i)).collect();
+                    c.write_nonptr_bulk(arr, 0, &vals);
+                    // And a bulk read through the stale pointer sees them.
+                    let mut back = vec![0u64; LEN];
+                    c.read_mut_bulk(arr, 0, &mut back);
+                    assert_eq!(back, vals, "child read-back through forwarding chain");
+                    vals
+                },
+                |_| (),
+            );
+            // The parent reads through the master copy.
+            let master = ctx.read_mut_ptr(cell, 0);
+            let mut out = vec![0u64; LEN];
+            ctx.read_mut_bulk(master, 0, &mut out);
+            (vals, out)
+        });
+        assert_eq!(
+            got, expected,
+            "parent must see the child's bulk writes (trial {trial})"
+        );
+        assert_eq!(rt.check_disentangled(), 0);
+        let stats = rt.stats();
+        assert!(
+            stats.promoted_objects > 0,
+            "the write_ptr must have promoted"
+        );
+        assert!(stats.bulk_ops > 0);
+    }
+}
+
+/// A genuinely *racing* variant of the promotion test: one child continuously
+/// bulk-writes uniform patterns into arrays it allocated, while its sibling
+/// concurrently promotes those same arrays by publishing them into a root-allocated
+/// cell (the array pointer crosses between the tasks through a Rust-side atomic, so
+/// the promotion really does run while bulk writes are in flight).
+///
+/// The heap read lock held across each bulk slice must make every bulk operation
+/// atomic with respect to the promotion copy (`write_promote` takes the exclusive
+/// lock on the whole pointee→master path): every observer — the writer reading back
+/// through its stale pointer, and the parent reading the master copy — must always
+/// see a *uniform* array, never a torn half-pattern. A regression that dropped the
+/// lock (or released it before the loop) shows up here as a torn read.
+#[test]
+fn bulk_writes_race_concurrent_promotion_without_tearing() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    const LEN: usize = 512;
+    const ROUNDS: u64 = 30;
+    const PATTERNS: u64 = 40;
+    for trial in 0..3u64 {
+        let rt = HhRuntime::with_workers(4);
+        let torn = rt.run(|ctx| {
+            let cell = ctx.alloc_ref_ptr(ObjPtr::NULL);
+            // Rust-side mailbox handing freshly allocated array pointers to the
+            // promoter; `done` ends the promoter's spin loop.
+            let mailbox = AtomicU64::new(0);
+            let done = AtomicU64::new(0);
+            let (mut torn, _) = ctx.join(
+                |c| {
+                    let mut torn = 0u64;
+                    let mut back = vec![0u64; LEN];
+                    for round in 0..ROUNDS {
+                        let arr = c.alloc_data_array(LEN);
+                        c.fill_nonptr(arr, 0, LEN, u64::MAX);
+                        mailbox.store(arr.to_bits(), Ordering::Release);
+                        for pat in 0..PATTERNS {
+                            let val = trial << 32 | round << 16 | pat;
+                            c.fill_nonptr(arr, 0, LEN, val);
+                            c.read_mut_bulk(arr, 0, &mut back);
+                            if back.windows(2).any(|w| w[0] != w[1]) {
+                                torn += 1;
+                            }
+                        }
+                    }
+                    done.store(1, Ordering::Release);
+                    torn
+                },
+                |c| {
+                    // Promote whatever array the writer last published, as soon as
+                    // it appears, while the writer keeps bulk-writing it.
+                    let mut last = 0u64;
+                    while done.load(Ordering::Acquire) == 0 {
+                        let bits = mailbox.load(Ordering::Acquire);
+                        if bits != 0 && bits != last {
+                            last = bits;
+                            c.write_ptr(cell, 0, ObjPtr::from_bits(bits));
+                        }
+                        std::hint::spin_loop();
+                    }
+                },
+            );
+            // The parent observes the last promoted array through the master copy.
+            let master = ctx.read_mut_ptr(cell, 0);
+            if !master.is_null() {
+                let mut out = vec![0u64; LEN];
+                ctx.read_mut_bulk(master, 0, &mut out);
+                if out.windows(2).any(|w| w[0] != w[1]) {
+                    torn += 1;
+                }
+            }
+            torn
+        });
+        assert_eq!(
+            torn, 0,
+            "torn bulk slice under concurrent promotion (trial {trial})"
+        );
+        assert_eq!(rt.check_disentangled(), 0);
+        assert!(
+            rt.stats().promoted_objects > 0,
+            "the promoter must have promoted at least one in-flight array (trial {trial})"
+        );
+    }
+}
+
+/// The acceptance property of the bulk redesign: the hierarchical runtime resolves
+/// `findMaster` at most once per object operand of each bulk operation — i.e. at most
+/// `2 * bulk_ops` lookups in total — independent of slice length.
+#[test]
+fn bulk_master_lookups_are_amortized_per_slice() {
+    let p = tiny();
+    for id in [
+        BenchId::Map,
+        BenchId::Tabulate,
+        BenchId::Msort,
+        BenchId::Smvm,
+    ] {
+        let rt = HhRuntime::with_workers(3);
+        rt.run(|ctx| run_timed(ctx, id, p));
+        let s = rt.stats();
+        assert!(s.bulk_ops > 0, "{} should use bulk operations", id.name());
+        assert!(
+            s.bulk_master_lookups <= 2 * s.bulk_ops,
+            "{}: {} master lookups for {} bulk ops — not amortized per slice",
+            id.name(),
+            s.bulk_master_lookups,
+            s.bulk_ops
+        );
+        assert!(
+            s.bulk_amortization() > 4.0,
+            "{}: bulk ops moved only {:.1} words each on average",
+            id.name(),
+            s.bulk_amortization()
+        );
+    }
 }
 
 /// The facade's quickstart doc example, kept in sync as a real test.

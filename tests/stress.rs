@@ -41,9 +41,10 @@ fn contended_promotions_to_a_single_root_cell() {
         (ctx.read_mut(p, 0), ctx.read_mut(p, 1))
     });
     assert!(value < 32, "winner id out of range: {value}");
-    // The record's two fields were written by the same task iteration, so they must be
-    // consistent with each other.
-    assert_eq!(tag ^ value, tag ^ value & u64::MAX);
+    // The record's two fields were written by the same task iteration (field0 = id,
+    // field1 = id ^ round with round < 20), so they must be consistent: a torn record
+    // would make the recovered round out of range.
+    assert!(tag ^ value < 20, "torn record: round {}", tag ^ value);
     assert_eq!(rt.check_disentangled(), 0);
     assert!(rt.stats().promoted_objects > 0);
 }
@@ -92,7 +93,10 @@ fn wide_fanout_allocates_and_joins_many_heaps() {
     });
     let expected = (0..2048u64).map(hh_api_hash).fold(0u64, u64::wrapping_add);
     assert_eq!(sum, expected);
-    assert!(rt.heaps_created() >= 2 * 2047, "two heaps per fork expected");
+    assert!(
+        rt.heaps_created() >= 2 * 2047,
+        "two heaps per fork expected"
+    );
     assert_eq!(rt.check_disentangled(), 0);
 }
 
@@ -108,9 +112,7 @@ fn panics_propagate_and_runtime_survives() {
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         rt.run(|ctx| {
             ctx.join(
-                |c| {
-                    c.join(|_| panic!("injected failure"), |_| ())
-                },
+                |c| c.join(|_| panic!("injected failure"), |_| ()),
                 |c| c.alloc_ref_data(1),
             )
         })
@@ -143,12 +145,19 @@ fn repeated_collections_keep_pinned_data_and_account_memory() {
             }
             ctx.force_collect();
             for i in 0..64 {
-                assert_eq!(ctx.read_mut(keep, i), (i as u64) * 3, "round {round}, slot {i}");
+                assert_eq!(
+                    ctx.read_mut(keep, i),
+                    (i as u64) * 3,
+                    "round {round}, slot {i}"
+                );
             }
         }
         ctx.unpin(keep);
     });
     let stats = rt.stats();
     assert_eq!(stats.gc_count, 20);
-    assert!(stats.gc_copied_words >= 20 * 66, "survivor copied each round");
+    assert!(
+        stats.gc_copied_words >= 20 * 66,
+        "survivor copied each round"
+    );
 }

@@ -1,0 +1,284 @@
+//! An offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this shim supplies the subset
+//! of Criterion's API the workspace's bench targets use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter` / `iter_custom`, and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! warmup-then-measure loop that prints mean per-iteration times. It produces honest
+//! wall-clock numbers, not Criterion's statistical analysis; the point is that
+//! `cargo bench` compiles, runs, and reports comparable figures without the network.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to each bench target by [`criterion_main!`].
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+    default_warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            default_measurement_time: Duration::from_millis(500),
+            default_warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: self.default_sample_size,
+            measurement_time: self.default_measurement_time,
+            warm_up_time: self.default_warm_up_time,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<S: Into<String>, F>(&mut self, name: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(name, f);
+        group.finish();
+        self
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _criterion: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the target measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets throughput metadata (accepted for API compatibility; not reported).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its mean per-iteration time.
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some(report) => println!(
+                "{}/{:<32} {:>12}  ({} iters, {} samples)",
+                self.name,
+                id,
+                format_time(report.mean),
+                report.iters,
+                report.samples
+            ),
+            None => println!("{}/{id}: no measurement recorded", self.name),
+        }
+        self
+    }
+
+    /// Ends the group (Criterion-compatible no-op beyond formatting).
+    pub fn finish(&mut self) {}
+}
+
+/// Throughput metadata (accepted but unused by this shim).
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+struct Report {
+    mean: Duration,
+    iters: u64,
+    samples: usize,
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Times `routine`, called once per iteration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+
+        // Pick an iteration count per sample aiming at measurement_time total.
+        let budget = self.measurement_time.max(Duration::from_millis(1));
+        let total_iters = (budget.as_nanos() / per_iter.as_nanos().max(1)).max(1) as u64;
+        let samples = self.sample_size.max(2);
+        let iters_per_sample = (total_iters / samples as u64).max(1);
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += iters_per_sample;
+        }
+        self.report = Some(Report {
+            mean: total / iters.max(1) as u32,
+            iters,
+            samples,
+        });
+    }
+
+    /// Times `routine`, which receives an iteration count and returns the elapsed time
+    /// for exactly that many iterations (Criterion's `iter_custom`).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        // Calibrate: one small batch to estimate per-iteration cost.
+        let probe_iters = 16u64;
+        let probe = routine(probe_iters).max(Duration::from_nanos(1));
+        let per_iter = probe / probe_iters as u32;
+
+        let budget = self.measurement_time.max(Duration::from_millis(1));
+        let total_iters = (budget.as_nanos() / per_iter.as_nanos().max(1)).max(1) as u64;
+        let samples = self.sample_size.max(2);
+        let iters_per_sample = (total_iters / samples as u64).max(1);
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..samples {
+            total += routine(iters_per_sample);
+            iters += iters_per_sample;
+        }
+        self.report = Some(Report {
+            mean: total / iters.max(1) as u32,
+            iters,
+            samples,
+        });
+    }
+}
+
+fn format_time(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a bench group: `criterion_group!(benches, target_a, target_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point: `criterion_main!(benches);`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_a_report() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.measurement_time(Duration::from_millis(5));
+        group.warm_up_time(Duration::from_millis(1));
+        group.bench_function("spin", |b| b.iter(|| black_box(3u64).wrapping_mul(7)));
+        group.finish();
+    }
+
+    #[test]
+    fn iter_custom_records_a_report() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.measurement_time(Duration::from_millis(5));
+        group.warm_up_time(Duration::from_millis(1));
+        group.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                let start = Instant::now();
+                for i in 0..iters {
+                    black_box(i);
+                }
+                start.elapsed()
+            })
+        });
+    }
+
+    #[test]
+    fn format_time_scales_units() {
+        assert!(format_time(Duration::from_nanos(12)).contains("ns"));
+        assert!(format_time(Duration::from_micros(12)).contains("µs"));
+        assert!(format_time(Duration::from_millis(12)).contains("ms"));
+        assert!(format_time(Duration::from_secs(2)).contains(" s"));
+    }
+}
