@@ -23,6 +23,17 @@ pub struct RunStats {
     pub promoted_words: u64,
     /// Number of heaps created (hierarchical runtime) or local heaps (DLG baseline).
     pub heaps_created: u64,
+    /// Heap creations skipped by the lazy steal-time heap policy: an unstolen branch
+    /// runs in its parent's heap, eliding the child heap and its join splice
+    /// (hierarchical runtime only; 0 elsewhere).
+    pub heaps_elided: u64,
+    /// Successful work steals observed by the scheduler. Resettable on the
+    /// hierarchical runtime (fed by the on-steal hook); pool-lifetime on the baselines.
+    pub sched_steals: u64,
+    /// Times a scheduler worker parked while idle (pool-lifetime counter).
+    pub sched_parks: u64,
+    /// Wakeups delivered to parked scheduler workers (pool-lifetime counter).
+    pub sched_wakes: u64,
     /// Peak number of live words held in chunks at any point of the run.
     pub peak_live_words: u64,
     /// Words copied by garbage collections (survivors).
@@ -68,6 +79,10 @@ impl RunStats {
         self.promoted_objects += other.promoted_objects;
         self.promoted_words += other.promoted_words;
         self.heaps_created += other.heaps_created;
+        self.heaps_elided += other.heaps_elided;
+        self.sched_steals += other.sched_steals;
+        self.sched_parks += other.sched_parks;
+        self.sched_wakes += other.sched_wakes;
         self.peak_live_words = self.peak_live_words.max(other.peak_live_words);
         self.gc_copied_words += other.gc_copied_words;
         self.bulk_ops += other.bulk_ops;

@@ -47,6 +47,12 @@ impl Counters {
             promoted_objects: self.promoted_objects.load(Ordering::Relaxed),
             promoted_words: self.promoted_words.load(Ordering::Relaxed),
             heaps_created: heaps,
+            // The baselines have no lazy heap policy; scheduler counters are overlaid
+            // from the pool by each runtime's `Runtime::stats`.
+            heaps_elided: 0,
+            sched_steals: 0,
+            sched_parks: 0,
+            sched_wakes: 0,
             peak_live_words,
             gc_copied_words: self.gc_copied_words.load(Ordering::Relaxed),
             bulk_ops: self.bulk_ops.load(Ordering::Relaxed),

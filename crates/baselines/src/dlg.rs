@@ -73,6 +73,12 @@ impl DlgRuntime {
             let sp = Arc::clone(&safepoints);
             pool.set_idle_hook(move |_| sp.poll());
         }
+        // Parking interplay: see `StwRuntime::with_params` — a requested collection
+        // wakes pool-parked workers so they reach the safepoint promptly.
+        {
+            let waker = pool.waker();
+            safepoints.set_wake_hook(move || waker.wake_all());
+        }
         DlgRuntime {
             inner: Arc::new(DlgInner {
                 store,
@@ -367,8 +373,7 @@ impl ParCtx for DlgCtx {
         self.inner.safepoints.poll();
         let inner_a = Arc::clone(&self.inner);
         let inner_b = Arc::clone(&self.inner);
-        let parent_worker = self.worker.index();
-        self.worker.join(
+        self.worker.join_context(
             move || {
                 let worker = Worker::current_in(&inner_a.pool)
                     .expect("task branch must execute on a pool worker");
@@ -376,10 +381,12 @@ impl ParCtx for DlgCtx {
                 let ctx = DlgCtx::new(inner_a, worker, false);
                 fa(&ctx)
             },
-            move || {
+            // The scheduler's per-fork steal flag replaces the old worker-index
+            // comparison: a stolen right branch models a task communicated between
+            // processors, whose allocations Manticore promotes to the global heap.
+            move |stolen| {
                 let worker = Worker::current_in(&inner_b.pool)
                     .expect("task branch must execute on a pool worker");
-                let stolen = worker.index() != parent_worker;
                 let ctx = DlgCtx::new(inner_b, worker, stolen);
                 fb(&ctx)
             },
@@ -431,9 +438,15 @@ impl Runtime for DlgRuntime {
 
     fn stats(&self) -> RunStats {
         let peak = self.inner.store.stats().peak_words as u64;
-        self.inner
+        let mut stats = self
+            .inner
             .counters
-            .snapshot(peak, 1 + self.inner.locals.len() as u64)
+            .snapshot(peak, 1 + self.inner.locals.len() as u64);
+        let sched = self.inner.pool.sched_stats();
+        stats.sched_steals = sched.steals as u64;
+        stats.sched_parks = sched.parks as u64;
+        stats.sched_wakes = sched.wakes as u64;
+        stats
     }
 
     fn reset_stats(&self) {

@@ -62,6 +62,13 @@ impl StwRuntime {
             let sp = Arc::clone(&safepoints);
             pool.set_idle_hook(move |_| sp.poll());
         }
+        // Parking interplay: workers asleep on the pool condvar are not polling, so a
+        // requested collection must kick them awake; they then re-run the idle hook,
+        // hit `poll`, and park at the safepoint where the collector can count them.
+        {
+            let waker = pool.waker();
+            safepoints.set_wake_hook(move || waker.wake_all());
+        }
         StwRuntime {
             inner: Arc::new(StwInner {
                 store,
@@ -315,7 +322,12 @@ impl Runtime for StwRuntime {
 
     fn stats(&self) -> RunStats {
         let peak = self.inner.store.stats().peak_words as u64;
-        self.inner.counters.snapshot(peak, 1)
+        let mut stats = self.inner.counters.snapshot(peak, 1);
+        let sched = self.inner.pool.sched_stats();
+        stats.sched_steals = sched.steals as u64;
+        stats.sched_parks = sched.parks as u64;
+        stats.sched_wakes = sched.wakes as u64;
+        stats
     }
 
     fn reset_stats(&self) {

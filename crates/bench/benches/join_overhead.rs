@@ -1,0 +1,87 @@
+//! Join overhead — the cost of one fork/join in the common, *unstolen* case.
+//!
+//! This is the microbenchmark behind the scheduler v2 acceptance criterion: the
+//! paper's design only works if an unstolen `forkjoin` is near-free, because the
+//! work-first scheduler makes the unstolen case overwhelmingly common. Each sample
+//! performs a long flat run of trivial joins on a **single-worker** pool/runtime (so
+//! no branch can be stolen) and reports the per-join cost:
+//!
+//! * `pool/raw-join` — the bare scheduler primitive (stack job + Chase–Lev push/pop +
+//!   sleeper check); the floor everything else builds on;
+//! * `parmem/lazy-heaps` — the hierarchical runtime's `join` under the default lazy
+//!   steal-time heap policy: no heap creation, no splice, just two contexts;
+//! * `parmem/eager-heaps` — the v1 fork shape (two child heaps + two `join_heap`
+//!   splices per fork), kept as ablation A2: the gap to `lazy-heaps` is what the
+//!   steal-time policy buys;
+//! * `stw/join` — the stop-the-world baseline's join (safepoint poll + root-registry
+//!   registration per branch), for context.
+//!
+//! A multi-worker `parmem/lazy-heaps-P4` configuration is included to confirm the
+//! unstolen fast path stays cheap when thieves *could* interfere.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hh_api::{ParCtx, Runtime};
+use hh_baselines::StwRuntime;
+use hh_runtime::{HhConfig, HhRuntime};
+use hh_sched::Pool;
+use std::time::{Duration, Instant};
+
+/// Runs exactly `iters` trivial joins inside one root task and returns the elapsed
+/// time (the `iter_custom` contract: one "iteration" is one join; the `run` entry cost
+/// amortizes over the thousands of joins per sample).
+fn per_join<R: Runtime>(rt: &R, iters: u64) -> Duration {
+    rt.run(|ctx| {
+        let start = Instant::now();
+        for _ in 0..iters.max(1) {
+            let (a, b) = ctx.join(|_| 1u64, |_| 2u64);
+            black_box(a + b);
+        }
+        start.elapsed()
+    })
+}
+
+fn join_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_overhead");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(200));
+
+    group.bench_function("pool/raw-join", |b| {
+        let pool = Pool::new(1);
+        b.iter_custom(|iters| {
+            pool.run(|w| {
+                let start = Instant::now();
+                for _ in 0..iters.max(1) {
+                    let (a, b) = w.join(|| 1u64, || 2u64);
+                    black_box(a + b);
+                }
+                start.elapsed()
+            })
+        })
+    });
+
+    group.bench_function("parmem/lazy-heaps", |b| {
+        let rt = HhRuntime::with_workers(1);
+        b.iter_custom(|iters| per_join(&rt, iters));
+    });
+
+    group.bench_function("parmem/eager-heaps", |b| {
+        let rt = HhRuntime::new(HhConfig::eager_heaps(1));
+        b.iter_custom(|iters| per_join(&rt, iters));
+    });
+
+    group.bench_function("parmem/lazy-heaps-P4", |b| {
+        let rt = HhRuntime::with_workers(4);
+        b.iter_custom(|iters| per_join(&rt, iters));
+    });
+
+    group.bench_function("stw/join", |b| {
+        let rt = StwRuntime::with_workers(1);
+        b.iter_custom(|iters| per_join(&rt, iters));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, join_overhead);
+criterion_main!(benches);

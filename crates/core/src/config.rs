@@ -22,6 +22,17 @@ pub struct HhConfig {
     /// Enable the fast path of `writePtr` (skip master lookup and depth comparison when
     /// the object is in the current task's heap and has no forwarding pointer).
     pub enable_write_ptr_fast_path: bool,
+    /// Create child heaps lazily, at steal time (scheduler v2 / ablation A2).
+    ///
+    /// When enabled (the default), `join` does not create heaps up front: both
+    /// branches of an unstolen fork run in the parent's heap — the branch that was not
+    /// stolen executes sequentially on the forking worker, so this is observably the
+    /// sequential execution — and a fresh child heap is created only when a thief
+    /// actually takes the right branch. Skipped creations are counted in the
+    /// `heaps_elided` statistic. When disabled, every fork eagerly creates two child
+    /// heaps and splices them back at the join, as in the v1 runtime; the flag exists
+    /// so that ablation and the promotion-machinery tests can pin the eager shape.
+    pub lazy_child_heaps: bool,
 }
 
 impl HhConfig {
@@ -45,6 +56,22 @@ impl Default for HhConfig {
             enable_gc: true,
             enable_read_write_fast_path: true,
             enable_write_ptr_fast_path: true,
+            lazy_child_heaps: true,
+        }
+    }
+}
+
+impl HhConfig {
+    /// Configuration with the v1 eager per-fork child heaps (see
+    /// [`HhConfig::lazy_child_heaps`]). Used by the ablation experiments and by tests
+    /// that exercise the promotion machinery deterministically (an unstolen branch
+    /// under the lazy policy allocates in the parent's heap, so its publishing writes
+    /// are same-heap and promote nothing).
+    pub fn eager_heaps(n_workers: usize) -> Self {
+        HhConfig {
+            n_workers,
+            lazy_child_heaps: false,
+            ..Default::default()
         }
     }
 }

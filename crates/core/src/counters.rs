@@ -27,6 +27,12 @@ pub struct Counters {
     pub fast_ptr_writes: AtomicU64,
     /// Heaps created.
     pub heaps_created: AtomicU64,
+    /// Heap creations (and their `join_heap` splices) skipped because the fork was not
+    /// stolen and the branch ran in the parent's heap (lazy steal-time heap policy).
+    pub heaps_elided: AtomicU64,
+    /// Successful steals observed through the scheduler's on-steal hook (resettable,
+    /// unlike the pool-lifetime counters).
+    pub sched_steals: AtomicU64,
     /// Bulk field operations executed.
     pub bulk_ops: AtomicU64,
     /// Words moved by bulk field operations.
@@ -54,6 +60,12 @@ impl Counters {
             promoted_objects: self.promoted_objects.load(Ordering::Relaxed),
             promoted_words: self.promoted_words.load(Ordering::Relaxed),
             heaps_created: self.heaps_created.load(Ordering::Relaxed),
+            heaps_elided: self.heaps_elided.load(Ordering::Relaxed),
+            sched_steals: self.sched_steals.load(Ordering::Relaxed),
+            // Parking counters live in the scheduler pool; the runtime overlays them
+            // in `Runtime::stats`.
+            sched_parks: 0,
+            sched_wakes: 0,
             peak_live_words,
             gc_copied_words: self.gc_copied_words.load(Ordering::Relaxed),
             bulk_ops: self.bulk_ops.load(Ordering::Relaxed),
@@ -83,6 +95,8 @@ impl Counters {
         self.slow_ptr_writes.store(0, Ordering::Relaxed);
         self.fast_ptr_writes.store(0, Ordering::Relaxed);
         self.heaps_created.store(0, Ordering::Relaxed);
+        self.heaps_elided.store(0, Ordering::Relaxed);
+        self.sched_steals.store(0, Ordering::Relaxed);
         self.bulk_ops.store(0, Ordering::Relaxed);
         self.bulk_words.store(0, Ordering::Relaxed);
         self.bulk_master_lookups.store(0, Ordering::Relaxed);

@@ -5,9 +5,30 @@ use hh_api::ParCtx;
 use hh_heaps::HeapId;
 use hh_objmodel::{Header, ObjKind, ObjPtr};
 use hh_sched::Worker;
-use std::cell::RefCell;
+use parking_lot::Mutex;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+
+/// The shared shadow stack of one heap's **ownership domain**: the heap's owner plus
+/// every task borrowing the heap under the lazy steal-time policy. All of those tasks
+/// execute on one worker thread (that is what made the elision sound), nested on its
+/// call stack, so a single pin vector — allocated once when the heap's owner context
+/// is created, and shared by `Arc::clone` with each borrower — holds every pin that
+/// can point into the heap. That makes it the complete root set for any collection of
+/// the heap, no matter which domain member triggers it or which sibling frames a
+/// help-loop interleaving has suspended. The mutex is uncontended (single-thread
+/// access); it exists to keep the frame `Send + Sync` across the fork closures.
+struct RootFrame {
+    pins: Mutex<Vec<ObjPtr>>,
+}
+
+impl RootFrame {
+    fn new() -> Arc<RootFrame> {
+        Arc::new(RootFrame {
+            pins: Mutex::new(Vec::new()),
+        })
+    }
+}
 
 /// The context of one running task in the hierarchical-heap runtime.
 ///
@@ -15,20 +36,62 @@ use std::sync::Arc;
 /// and for every child task by [`HhCtx::join`] (the paper's `forkjoin`, Figure 5). It
 /// knows the task's heap — always a leaf of the hierarchy while the task runs — and
 /// carries the task's shadow stack of GC roots.
+///
+/// Under the lazy steal-time heap policy (`lazy_child_heaps`, the default), a context
+/// either **owns** its heap (the root task, a stolen branch, or any branch in eager
+/// mode — the heap was created for this task) or **borrows** the parent's heap (an
+/// unstolen branch, which runs sequentially on the forking worker). Owners collect on
+/// threshold between their joins; borrowers collect the shared heap only while no
+/// stolen task is in flight (the steal gate), using the heap domain's shared shadow
+/// stack as the root set. See [`RootFrame`], [`HhCtx::maybe_collect_borrowed`] and
+/// DESIGN.md §4.2.
 pub struct HhCtx {
     inner: Arc<Inner>,
     heap: HeapId,
     worker: Worker,
-    roots: RefCell<Vec<ObjPtr>>,
+    /// True if this task's heap was created for it (root / stolen / eager mode), false
+    /// if it runs in its parent's heap under the lazy policy.
+    owns_heap: bool,
+    /// The shadow stack of this task's heap domain — shared with the heap's owner and
+    /// every other borrower of the heap (see [`RootFrame`]). Owners allocate a fresh
+    /// one; borrowers clone the forking context's, so the fork fast path stays
+    /// allocation-free.
+    frame: Arc<RootFrame>,
+    /// Keeps `HhCtx: !Sync` (as it was when the shadow stack was a `RefCell`): a
+    /// context belongs to the task executing it, and the GC gating arguments assume
+    /// no other thread can drive its operations — without this marker, a branch
+    /// closure could capture `&HhCtx` of the suspended parent and, from a stolen
+    /// branch, race its allocations and collections from another worker.
+    _not_sync: std::marker::PhantomData<std::cell::Cell<()>>,
 }
 
 impl HhCtx {
-    pub(crate) fn new(inner: Arc<Inner>, heap: HeapId, worker: Worker) -> HhCtx {
+    pub(crate) fn new(inner: Arc<Inner>, heap: HeapId, worker: Worker, owns_heap: bool) -> HhCtx {
         HhCtx {
             inner,
             heap,
             worker,
-            roots: RefCell::new(Vec::new()),
+            owns_heap,
+            frame: RootFrame::new(),
+            _not_sync: std::marker::PhantomData,
+        }
+    }
+
+    /// A context that borrows the forking context's heap (lazy policy, unstolen
+    /// branch): same heap, same shared shadow stack.
+    fn new_borrowed(
+        domain_frame: Arc<RootFrame>,
+        inner: Arc<Inner>,
+        heap: HeapId,
+        worker: Worker,
+    ) -> HhCtx {
+        HhCtx {
+            inner,
+            heap,
+            worker,
+            owns_heap: false,
+            frame: domain_frame,
+            _not_sync: std::marker::PhantomData,
         }
     }
 
@@ -37,22 +100,111 @@ impl HhCtx {
         self.heap
     }
 
-    /// Depth of this task's heap in the hierarchy (root task = 0).
+    /// True if this task's heap was created for it; false for an unstolen branch
+    /// running in its parent's heap (lazy steal-time heap policy).
+    pub fn owns_heap(&self) -> bool {
+        self.owns_heap
+    }
+
+    /// Depth of this task's heap in the hierarchy (root task = 0). Under the lazy
+    /// policy an unstolen branch reports its parent's depth — it *is* running in the
+    /// parent's heap.
     pub fn depth(&self) -> u32 {
         self.inner.registry.heap(self.heap).depth()
     }
 
-    /// Forces a collection of this task's heap regardless of the threshold. Only pinned
-    /// objects are guaranteed to be retained (unpinned from-space data stays readable
-    /// through forwarding but no longer counts as live memory).
-    pub fn force_collect(&self) {
-        let mut roots = self.roots.borrow_mut();
+    /// Forces a collection of this task's heap, regardless of the threshold, when it
+    /// is safe to run one. Only pinned objects are guaranteed to be retained
+    /// (unpinned from-space data stays readable through forwarding but no longer
+    /// counts as live memory). The heap domain's shared shadow stack forms the root
+    /// set.
+    ///
+    /// On a task that owns its heap this always collects (between its joins nothing
+    /// else can reach the heap). On a task that *borrows* its heap (lazy policy),
+    /// the collection is best-effort: an in-flight stolen task may be reading this
+    /// heap lock-free as one of its ancestors, so the call is skipped — never run
+    /// unsoundly — unless the steal gate is free. Returns `true` if a collection ran.
+    pub fn force_collect(&self) -> bool {
+        if !self.owns_heap {
+            // Same gating as `maybe_collect_borrowed`; `try_write` (not a blocking
+            // `write`) also avoids self-deadlock when the caller is itself a
+            // descendant of a stolen task that holds the gate's read lock.
+            let Ok(_gate) = self.inner.steal_gate.try_write() else {
+                return false;
+            };
+            let mut roots = self.frame.pins.lock();
+            self.inner.collect_heap(self.heap, &mut roots);
+            return true;
+        }
+        let mut roots = self.frame.pins.lock();
         self.inner.collect_heap(self.heap, &mut roots);
+        true
     }
 
-    /// Number of currently pinned roots (diagnostics).
+    /// Number of currently pinned roots in this task's heap domain (diagnostics).
     pub fn root_count(&self) -> usize {
-        self.roots.borrow().len()
+        self.frame.pins.lock().len()
+    }
+
+    /// The v1 eager fork shape (`lazy_child_heaps == false`): one fresh heap per
+    /// child, run both branches, then join both child heaps back into the parent heap
+    /// (a constant-time list splice). Kept for ablation A2 and for tests that need
+    /// every branch to own a heap.
+    fn join_eager<RA, RB, FA, FB>(&self, fa: FA, fb: FB) -> (RA, RB)
+    where
+        FA: FnOnce(&Self) -> RA + Send,
+        FB: FnOnce(&Self) -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        let heap_f = self.inner.registry.new_child_heap(self.heap);
+        let heap_g = self.inner.registry.new_child_heap(self.heap);
+        self.inner
+            .counters
+            .heaps_created
+            .fetch_add(2, Ordering::Relaxed);
+
+        let inner_a = Arc::clone(&self.inner);
+        let inner_b = Arc::clone(&self.inner);
+        let (ra, rb) = self.worker.join(
+            move || {
+                let worker = Worker::current_in(&inner_a.pool)
+                    .expect("task branch must execute on a pool worker");
+                let ctx = HhCtx::new(inner_a, heap_f, worker, true);
+                fa(&ctx)
+            },
+            move || {
+                let worker = Worker::current_in(&inner_b.pool)
+                    .expect("task branch must execute on a pool worker");
+                let ctx = HhCtx::new(inner_b, heap_g, worker, true);
+                fb(&ctx)
+            },
+        );
+
+        self.inner.registry.join_heap(self.heap, heap_f);
+        self.inner.registry.join_heap(self.heap, heap_g);
+        (ra, rb)
+    }
+
+    /// Threshold collection for a context that borrows its heap.
+    ///
+    /// Sound because nothing outside this heap's ownership domain can observe the
+    /// heap mid-collection once `steal_gate.try_write()` succeeds: no stolen task is
+    /// in flight anywhere (each holds a read lock for its whole run and could be
+    /// reading this heap as an ancestor), and none can start until the write guard
+    /// drops. Everything *inside* the domain runs on this worker's thread, suspended
+    /// beneath this frame, and its pins all live in the shared domain frame — the
+    /// complete root set, rewritten in place by the collector. Ancestors above the
+    /// owner cannot hold pointers into a heap created after their frames suspended.
+    fn maybe_collect_borrowed(&self) {
+        let Ok(_gate) = self.inner.steal_gate.try_write() else {
+            return;
+        };
+        // The domain frame holds every pin that can point into this heap — the
+        // owner's and every borrower's, including frames suspended by help-loop
+        // interleaving — so it is the complete root set (see `RootFrame`).
+        let mut roots = self.frame.pins.lock();
+        self.inner.collect_heap(self.heap, &mut roots);
     }
 }
 
@@ -135,52 +287,95 @@ impl ParCtx for HhCtx {
         RA: Send,
         RB: Send,
     {
-        // forkjoin (Figure 5): one fresh heap per child, run both branches, then join
-        // both child heaps back into the parent heap (a constant-time list splice).
-        let heap_f = self.inner.registry.new_child_heap(self.heap);
-        let heap_g = self.inner.registry.new_child_heap(self.heap);
-        self.inner
-            .counters
-            .heaps_created
-            .fetch_add(2, Ordering::Relaxed);
-
+        if !self.inner.config.lazy_child_heaps {
+            return self.join_eager(fa, fb);
+        }
+        // forkjoin, steal-time heap placement: no heap is created up front. The left
+        // branch always runs inline on this worker, sequentially — it continues in
+        // the parent's heap. The right branch learns from the scheduler whether it
+        // was actually stolen (the on-steal hook): if so, the *thief* creates one
+        // fresh child heap for it (paying the heap cost only where parallelism
+        // actually happened); if not, it runs sequentially after the left branch,
+        // also in the parent's heap, and the fork was heap-free.
+        let parent_heap = self.heap;
+        let frame_a = Arc::clone(&self.frame);
+        let frame_b = Arc::clone(&self.frame);
         let inner_a = Arc::clone(&self.inner);
         let inner_b = Arc::clone(&self.inner);
-        let (ra, rb) = self.worker.join(
+        let (ra, (rb, stolen_heap)) = self.worker.join_context(
             move || {
                 let worker = Worker::current_in(&inner_a.pool)
                     .expect("task branch must execute on a pool worker");
-                let ctx = HhCtx::new(inner_a, heap_f, worker);
+                // The left branch always executes inline on the forking worker: it
+                // continues in the parent's heap, with its shadow stack chained to
+                // the suspended forking frame.
+                let ctx = HhCtx::new_borrowed(frame_a, inner_a, parent_heap, worker);
                 fa(&ctx)
             },
-            move || {
+            move |stolen| {
                 let worker = Worker::current_in(&inner_b.pool)
                     .expect("task branch must execute on a pool worker");
-                let ctx = HhCtx::new(inner_b, heap_g, worker);
-                fb(&ctx)
+                if stolen {
+                    // Hold the steal gate (shared) for the whole stolen run: this
+                    // task reads its ancestor heaps lock-free, so borrowers must not
+                    // collect them while it is in flight (see
+                    // `maybe_collect_borrowed`).
+                    let gate_owner = Arc::clone(&inner_b);
+                    let _gate = gate_owner
+                        .steal_gate
+                        .read()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    let heap = inner_b.registry.new_child_heap(parent_heap);
+                    let counters = &inner_b.counters;
+                    counters.heaps_created.fetch_add(1, Ordering::Relaxed);
+                    // The left sibling's heap is still elided.
+                    counters.heaps_elided.fetch_add(1, Ordering::Relaxed);
+                    let ctx = HhCtx::new(inner_b, heap, worker, true);
+                    (fb(&ctx), Some(heap))
+                } else {
+                    inner_b
+                        .counters
+                        .heaps_elided
+                        .fetch_add(2, Ordering::Relaxed);
+                    // Unstolen: runs on the forking worker, in the parent's heap,
+                    // chained to the suspended forking frame.
+                    let ctx = HhCtx::new_borrowed(frame_b, inner_b, parent_heap, worker);
+                    (fb(&ctx), None)
+                }
             },
         );
-
-        self.inner.registry.join_heap(self.heap, heap_f);
-        self.inner.registry.join_heap(self.heap, heap_g);
+        // Only a stolen branch created a heap, so only that one needs the join splice.
+        if let Some(heap) = stolen_heap {
+            self.inner.registry.join_heap(parent_heap, heap);
+        }
         (ra, rb)
     }
 
     fn pin(&self, obj: ObjPtr) {
-        self.roots.borrow_mut().push(obj);
+        self.frame.pins.lock().push(obj);
     }
 
     fn unpin(&self, obj: ObjPtr) {
-        let mut roots = self.roots.borrow_mut();
+        let mut roots = self.frame.pins.lock();
         if let Some(pos) = roots.iter().rposition(|r| *r == obj) {
             roots.swap_remove(pos);
         }
     }
 
     fn maybe_collect(&self) {
-        if self.inner.should_collect(self.heap) {
-            let mut roots = self.roots.borrow_mut();
+        if !self.inner.should_collect(self.heap) {
+            return;
+        }
+        if self.owns_heap {
+            // The owner collects between its own joins: it has no live descendants
+            // then, and no concurrent task has this heap on its ancestor path.
+            let mut roots = self.frame.pins.lock();
             self.inner.collect_heap(self.heap, &mut roots);
+        } else {
+            // A borrower may collect the shared heap only when provably nothing else
+            // can observe it (no stolen task in flight, chain covers all of the
+            // heap's live contexts) — the common case in sequential stretches.
+            self.maybe_collect_borrowed();
         }
     }
 

@@ -16,7 +16,15 @@ pub(crate) struct Inner {
     pub(crate) registry: HeapRegistry,
     pub(crate) pool: Pool,
     pub(crate) config: HhConfig,
-    pub(crate) counters: Counters,
+    /// Shared with the scheduler's on-steal hook (which must not hold an `Arc<Inner>`,
+    /// or the pool would keep its owner alive in a cycle).
+    pub(crate) counters: Arc<Counters>,
+    /// The steal gate of the lazy heap policy: every *stolen* branch holds a read
+    /// lock for its whole execution, and a task that borrows its heap may collect it
+    /// only under `try_write` — i.e. only while no stolen task (which could be
+    /// reading this heap as one of its ancestors) is in flight, with new steals
+    /// blocking for the (short) duration of the collection. See DESIGN.md §4.2.
+    pub(crate) steal_gate: std::sync::RwLock<()>,
 }
 
 /// The hierarchical-heap runtime with mutation support (`mlton-parmem` in the paper's
@@ -44,12 +52,23 @@ impl HhRuntime {
         let store = Arc::new(ChunkStore::new(config.chunk_words));
         let registry = HeapRegistry::new(store);
         let pool = Pool::new(config.n_workers);
+        let counters = Arc::new(Counters::default());
+        // The scheduler's on-steal hook: count steals into the runtime's resettable
+        // statistics. (The per-fork steal observation that drives lazy heap creation
+        // flows through `Worker::join_context` in `HhCtx::join` instead.)
+        {
+            let counters = Arc::clone(&counters);
+            pool.set_steal_hook(move |_thief, _victim| {
+                counters.sched_steals.fetch_add(1, Ordering::Relaxed);
+            });
+        }
         HhRuntime {
             inner: Arc::new(Inner {
                 registry,
                 pool,
                 config,
-                counters: Counters::default(),
+                counters,
+                steal_gate: std::sync::RwLock::new(()),
             }),
         }
     }
@@ -73,6 +92,12 @@ impl HhRuntime {
     /// Number of heaps created so far (for tests and diagnostics).
     pub fn heaps_created(&self) -> u64 {
         self.inner.counters.heaps_created.load(Ordering::Relaxed)
+    }
+
+    /// Number of heap creations elided by the lazy steal-time heap policy (for tests
+    /// and diagnostics).
+    pub fn heaps_elided(&self) -> u64 {
+        self.inner.counters.heaps_elided.load(Ordering::Relaxed)
     }
 }
 
@@ -98,14 +123,20 @@ impl Runtime for HhRuntime {
             // the hierarchy in the paper's Figure 2.
             let root_heap = inner.registry.new_root_heap();
             inner.counters.heaps_created.fetch_add(1, Ordering::Relaxed);
-            let ctx = HhCtx::new(Arc::clone(&inner), root_heap, worker.clone());
+            let ctx = HhCtx::new(Arc::clone(&inner), root_heap, worker.clone(), true);
             f(&ctx)
         })
     }
 
     fn stats(&self) -> RunStats {
         let peak = self.inner.registry.store().stats().peak_words as u64;
-        self.inner.counters.snapshot(peak)
+        let mut stats = self.inner.counters.snapshot(peak);
+        // Parking statistics live in the pool (cumulative over its lifetime); steals
+        // are counted through the on-steal hook so they reset with the other counters.
+        let sched = self.inner.pool.sched_stats();
+        stats.sched_parks = sched.parks as u64;
+        stats.sched_wakes = sched.wakes as u64;
+        stats
     }
 
     fn reset_stats(&self) {
@@ -146,9 +177,48 @@ mod tests {
         });
         let s = rt.stats();
         assert!(s.allocated_words >= 120);
-        assert!(s.heaps_created >= 3, "root + two children");
+        // Lazy steal-time heaps on a single worker: nothing is ever stolen, so the
+        // fork creates no heaps — both elisions are accounted instead.
+        assert_eq!(s.heaps_created, 1, "only the root heap");
+        assert_eq!(s.heaps_elided, 2, "one unstolen fork elides two heaps");
         assert!(s.peak_live_words > 0);
         rt.reset_stats();
         assert_eq!(rt.stats().allocated_words, 0);
+    }
+
+    #[test]
+    fn eager_config_creates_two_heaps_per_fork() {
+        let rt = HhRuntime::new(HhConfig::eager_heaps(1));
+        rt.run(|ctx| {
+            let _ = ctx.join(|c| c.alloc_data_array(10), |c| c.alloc_data_array(10));
+        });
+        let s = rt.stats();
+        assert_eq!(s.heaps_created, 3, "root + two children");
+        assert_eq!(s.heaps_elided, 0);
+    }
+
+    #[test]
+    fn heap_accounting_is_conserved_across_policies() {
+        // Per fork: created + elided == 2 in both modes, regardless of stealing.
+        for workers in [1, 4] {
+            let rt = HhRuntime::with_workers(workers);
+            rt.run(|ctx| {
+                fn tree<C: hh_api::ParCtx>(c: &C, depth: usize) {
+                    if depth == 0 {
+                        let _ = c.alloc_data_array(8);
+                    } else {
+                        c.join(|c| tree(c, depth - 1), |c| tree(c, depth - 1));
+                    }
+                }
+                tree(ctx, 6);
+            });
+            let s = rt.stats();
+            let forks = (1u64 << 6) - 1; // 63 join calls in a depth-6 full binary tree
+            assert_eq!(
+                (s.heaps_created - 1) + s.heaps_elided,
+                2 * forks,
+                "workers={workers}: non-root creations plus elisions must cover every fork"
+            );
+        }
     }
 }

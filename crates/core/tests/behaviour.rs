@@ -14,12 +14,29 @@ fn runtime(workers: usize) -> HhRuntime {
     })
 }
 
+/// A runtime with the v1 eager per-fork child heaps. The promotion tests below write
+/// from an *unstolen* child into a parent object; under the default lazy steal-time
+/// heap policy such a child runs in the parent's heap (the write is same-heap and
+/// correctly promotes nothing), so to exercise the promotion machinery
+/// deterministically they pin the eager shape. Steal-driven promotion under the lazy
+/// policy is covered by `prop_random_mutation_trees_stay_disentangled` and the
+/// cross-runtime suite.
+fn eager_runtime(workers: usize) -> HhRuntime {
+    HhRuntime::new(HhConfig {
+        n_workers: workers,
+        chunk_words: 1024,
+        gc_threshold_words: 64 * 1024,
+        lazy_child_heaps: false,
+        ..Default::default()
+    })
+}
+
 /// A reference allocated by the parent and written by both children with locally
 /// allocated data: the canonical entanglement scenario of §2. Writing must promote, all
 /// reads must go through the master copy, and the final hierarchy must be disentangled.
 #[test]
 fn children_writing_local_data_into_parent_ref_promotes() {
-    let rt = runtime(2);
+    let rt = eager_runtime(2);
     let observed = rt.run(|ctx| {
         let shared = ctx.alloc_ref_ptr(ObjPtr::NULL);
         let (_, _) = ctx.join(
@@ -58,7 +75,7 @@ fn children_writing_local_data_into_parent_ref_promotes() {
 /// so the promoted copy must land at the root and every intermediate read must agree.
 #[test]
 fn deep_promotion_reaches_the_root() {
-    let rt = runtime(2);
+    let rt = eager_runtime(2);
     let value = rt.run(|ctx| {
         let shared = ctx.alloc_ref_ptr(ObjPtr::NULL);
         fn descend<C: ParCtx>(c: &C, shared: ObjPtr, depth: usize) {
@@ -106,7 +123,7 @@ fn up_pointer_writes_do_not_promote() {
 /// original values.
 #[test]
 fn promotion_copies_transitively_reachable_data() {
-    let rt = runtime(2);
+    let rt = eager_runtime(2);
     let collected = rt.run(|ctx| {
         let shared = ctx.alloc_ref_ptr(ObjPtr::NULL);
         let (_, _) = ctx.join(
@@ -283,6 +300,63 @@ fn collection_preserves_pinned_survivors() {
         "garbage arrays must not be copied (copied {} words)",
         stats.gc_copied_words
     );
+}
+
+/// Lazy steal-time heaps: tasks that *borrow* the root heap still perform threshold
+/// collections when nothing else can observe the heap (deterministically so on one
+/// worker, where no steal can ever be in flight), and the collection treats the pins
+/// of every suspended ancestor frame as roots — a leaf must never collect away an
+/// object its grandparent pinned.
+#[test]
+fn lazy_borrower_collections_preserve_ancestor_pins() {
+    let rt = HhRuntime::new(HhConfig {
+        n_workers: 1,
+        chunk_words: 256,
+        gc_threshold_words: 10_000,
+        ..Default::default()
+    });
+    rt.run(|ctx| {
+        // Pin in the root frame, then descend through borrowing forks whose leaves
+        // allocate garbage and poll; the collections they trigger run against the
+        // shared root heap.
+        let keep = ctx.alloc_data_array(32);
+        for i in 0..32 {
+            ctx.write_nonptr(keep, i, (i as u64) * 7);
+        }
+        ctx.pin(keep);
+        fn churn<C: ParCtx>(c: &C, depth: usize, keep: ObjPtr) {
+            if depth == 0 {
+                for _ in 0..20 {
+                    let _garbage = c.alloc_data_array(200);
+                    c.maybe_collect();
+                }
+            } else {
+                c.join(
+                    |c| churn(c, depth - 1, keep),
+                    |c| {
+                        // The right branch pins through its own (borrowing) frame
+                        // too; both pins must survive collections triggered deeper.
+                        c.pin(keep);
+                        churn(c, depth - 1, keep);
+                        c.unpin(keep);
+                    },
+                );
+            }
+        }
+        churn(ctx, 3, keep);
+        for i in 0..32 {
+            assert_eq!(ctx.read_mut(keep, i), (i as u64) * 7, "slot {i}");
+        }
+        ctx.unpin(keep);
+    });
+    let stats = rt.stats();
+    assert!(stats.heaps_elided > 0, "all forks must have been elided");
+    assert!(
+        stats.gc_count >= 1,
+        "borrowing leaves must still collect under pressure (got {})",
+        stats.gc_count
+    );
+    assert_eq!(rt.check_disentangled(), 0);
 }
 
 /// The GC threshold actually triggers collections through `maybe_collect`.

@@ -12,16 +12,18 @@
 //!   fig13       memory consumption and inflation
 //!   promotion   promotion volume on `map` (§4.4)
 //!   ablation    fast-path ablation (DESIGN.md A1)
+//!   sched       scheduler counters (steals, parks, wakes, heaps elided)
 //!   all         everything above
 //! ```
 
 use hh_harness::experiments::{
-    ablation_fastpath, fig10, fig11, fig12, fig13, fig8, fig9, promotion_volume, ExpConfig,
+    ablation_fastpath, fig10, fig11, fig12, fig13, fig8, fig9, promotion_volume, sched_counters,
+    ExpConfig,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig8|fig9|fig10|fig11|fig12|fig13|promotion|ablation|all> \
+        "usage: repro <fig8|fig9|fig10|fig11|fig12|fig13|promotion|ablation|sched|all> \
          [--scale S] [--procs P] [--grain G]"
     );
     std::process::exit(2);
@@ -76,6 +78,7 @@ fn main() {
         "fig13" => println!("{}", fig13(cfg).render()),
         "promotion" => println!("{}", promotion_volume(cfg).render()),
         "ablation" => println!("{}", ablation_fastpath(cfg).render()),
+        "sched" => println!("{}", sched_counters(cfg).render()),
         _ => usage(),
     };
 
@@ -89,6 +92,7 @@ fn main() {
             "fig13",
             "promotion",
             "ablation",
+            "sched",
         ] {
             run(name);
         }

@@ -186,13 +186,20 @@ fn time_op_in<C: ParCtx>(_ctx: &C, iters: u64, op: &mut dyn FnMut(&C)) -> f64 {
 
 /// Figure 9: each benchmark's representative memory operation, plus the measured
 /// promotion counts on the hierarchical runtime as corroboration.
+///
+/// The measurement pins the eager per-fork heap shape (ablation A2): Figure 9
+/// classifies each benchmark's representative *operation*, so the corroborating
+/// counts must not depend on how many forks the scheduler happened to steal (under
+/// the default lazy steal-time policy, an unstolen task's publishing writes are
+/// same-heap and promote nothing — on a single-core machine the whole column would
+/// read 0).
 pub fn fig9(cfg: ExpConfig) -> Table {
     let mut table = Table::new(
         "Figure 9 — representative operations per benchmark",
         &[
             "benchmark",
             "representative operation",
-            "promoted objects (measured, parmem)",
+            "promoted objects (measured, parmem, eager heaps)",
         ],
     );
     let params = Params {
@@ -200,7 +207,7 @@ pub fn fig9(cfg: ExpConfig) -> Table {
         grain: cfg.grain,
     };
     for id in BenchId::ALL {
-        let m = measure(RuntimeKind::Parmem, cfg.procs.min(4), id, params);
+        let m = measure_parmem_with_config(HhConfig::eager_heaps(cfg.procs.min(4)), id, params);
         table.row(vec![
             id.name().to_string(),
             id.representative_operation().to_string(),
@@ -403,6 +410,41 @@ pub fn promotion_volume(cfg: ExpConfig) -> Table {
 }
 
 // ---------------------------------------------------------------------------
+// Scheduler counters (not in the paper; scheduler v2 observability).
+// ---------------------------------------------------------------------------
+
+/// Scheduler summary: per benchmark, the hierarchical runtime's steal / park / wake
+/// counters and the heap accounting of the lazy steal-time heap policy. `heaps_elided`
+/// is the direct measure of how often the common (unstolen) fork path ran heap-free;
+/// `parks`/`wakes` show the idle protocol actually sleeping instead of spinning.
+pub fn sched_counters(cfg: ExpConfig) -> Table {
+    let mut table = Table::new(
+        "Scheduler counters (parmem, lazy steal-time heaps)",
+        &[
+            "benchmark",
+            "steals",
+            "parks",
+            "wakes",
+            "heaps created",
+            "heaps elided",
+        ],
+    );
+    let params = cfg.params();
+    for id in BenchId::ALL {
+        let m = measure(RuntimeKind::Parmem, cfg.procs, id, params);
+        table.row(vec![
+            id.name().to_string(),
+            m.stats.sched_steals.to_string(),
+            m.stats.sched_parks.to_string(),
+            m.stats.sched_wakes.to_string(),
+            m.stats.heaps_created.to_string(),
+            m.stats.heaps_elided.to_string(),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
 // Ablations (not in the paper; DESIGN.md A1/A2).
 // ---------------------------------------------------------------------------
 
@@ -476,6 +518,31 @@ mod tests {
         let t = fig12(cfg);
         assert_eq!(t.n_rows(), 7);
         assert!(t.render().contains("P=2"));
+    }
+
+    #[test]
+    fn sched_counters_cover_the_suite_and_show_elisions() {
+        let t = sched_counters(ExpConfig {
+            scale: 0.0005,
+            procs: 2,
+            grain: 256,
+        });
+        assert_eq!(t.n_rows(), BenchId::ALL.len());
+        let rendered = t.render();
+        // Every fork-join workload must elide heaps under the lazy policy: each data
+        // row's last column (heaps elided) must be positive.
+        for line in rendered.lines().skip(3) {
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            if toks.is_empty() {
+                continue;
+            }
+            let elided: u64 = toks.last().unwrap().parse().expect("elided column");
+            assert!(
+                elided > 0,
+                "{}: no heaps elided on a fork-join workload",
+                toks[0]
+            );
+        }
     }
 
     #[test]

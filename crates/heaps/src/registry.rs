@@ -3,17 +3,20 @@
 use crate::heap::Heap;
 use crate::id::HeapId;
 use hh_objmodel::{AppendVec, ChunkStore, Header, ObjPtr};
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// The global table of heaps plus the operations that maintain the hierarchy.
 ///
 /// The registry owns the [`ChunkStore`] so that `heapOf` — chunk lookup followed by
 /// merge-link resolution — is a single-object operation.
+///
+/// Heap creation is lock-free: ids are reserved by the [`AppendVec`]'s fetch-and-add
+/// (see [`AppendVec::push_with`]), so concurrent steals — the only multi-threaded
+/// source of heap creation under the lazy steal-time policy — never serialize on a
+/// global mutex.
 pub struct HeapRegistry {
     store: Arc<ChunkStore>,
     heaps: AppendVec<Arc<Heap>>,
-    create_lock: Mutex<()>,
 }
 
 impl HeapRegistry {
@@ -22,7 +25,6 @@ impl HeapRegistry {
         HeapRegistry {
             store,
             heaps: AppendVec::new(),
-            create_lock: Mutex::new(()),
         }
     }
 
@@ -38,11 +40,13 @@ impl HeapRegistry {
     }
 
     fn create(&self, parent: HeapId, depth: u32) -> HeapId {
-        let _guard = self.create_lock.lock();
-        let id = HeapId(self.heaps.len() as u32);
-        let idx = self.heaps.push(Arc::new(Heap::new(id, parent, depth)));
-        debug_assert_eq!(idx, id.raw() as usize);
-        id
+        // Atomic id reservation: the AppendVec's fetch-and-add assigns the index and
+        // the heap is constructed *with* that index, so id == table slot holds by
+        // construction, without a creation lock.
+        let idx = self
+            .heaps
+            .push_with(|idx| Arc::new(Heap::new(HeapId(idx as u32), parent, depth)));
+        HeapId(idx as u32)
     }
 
     /// Creates a root heap (depth 0, no parent).

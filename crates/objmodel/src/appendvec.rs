@@ -10,7 +10,7 @@
 //! from one-time segment initialization. A reader that races with a push spins briefly
 //! until the slot is published (this window is a few instructions long).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Number of segments. Segment `s` holds `BASE << s` slots, so 34 segments cover far
@@ -42,6 +42,10 @@ type Segment<T> = OnceLock<Box<[OnceLock<T>]>>;
 pub struct AppendVec<T> {
     segments: Box<[Segment<T>]>,
     len: AtomicUsize,
+    /// Set when a [`push_with`](Self::push_with) constructor panicked after its index
+    /// was reserved: that slot can never be published, so readers must fail instead
+    /// of spinning forever waiting for it.
+    poisoned: AtomicBool,
 }
 
 impl<T> Default for AppendVec<T> {
@@ -58,6 +62,7 @@ impl<T> AppendVec<T> {
         AppendVec {
             segments: segments.into_boxed_slice(),
             len: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
         }
     }
 
@@ -84,13 +89,49 @@ impl<T> AppendVec<T> {
 
     /// Appends `value`, returning its index. Safe to call from any number of threads.
     pub fn push(&self, value: T) -> usize {
+        self.push_with(|_| value)
+    }
+
+    /// Reserves the next index with one fetch-and-add, builds the value *from that
+    /// index* with `make`, and publishes it. This is the lock-free replacement for the
+    /// "lock, read len, construct, push" pattern: callers whose values embed their own
+    /// index (heap ids, chunk ids) get atomic id reservation for free.
+    ///
+    /// Readers that race with the publication spin in [`get`](Self::get) for the few
+    /// instructions between index assignment and the slot store (now including `make`,
+    /// which should therefore stay cheap).
+    ///
+    /// If `make` panics, the reserved slot can never be filled; the vector is then
+    /// **poisoned** and any [`get`](Self::get) that would otherwise wait for an
+    /// unpublished slot panics instead of spinning forever, so the original panic
+    /// stays fail-stop rather than turning into a livelock.
+    pub fn push_with(&self, make: impl FnOnce(usize) -> T) -> usize {
         let index = self.len.fetch_add(1, Ordering::AcqRel);
+        // From here until the slot is set, an unwind would strand the reserved
+        // index: flag it so waiting readers fail fast.
+        struct PoisonOnUnwind<'a> {
+            flag: &'a AtomicBool,
+            armed: bool,
+        }
+        impl Drop for PoisonOnUnwind<'_> {
+            fn drop(&mut self) {
+                if self.armed {
+                    self.flag.store(true, Ordering::Release);
+                }
+            }
+        }
+        let mut guard = PoisonOnUnwind {
+            flag: &self.poisoned,
+            armed: true,
+        };
         let (seg, slot) = locate(index);
         assert!(seg < SEGMENTS, "AppendVec capacity exhausted");
         let segment = self.segment(seg);
+        let value = make(index);
         if segment[slot].set(value).is_err() {
             unreachable!("AppendVec slot {index} initialized twice");
         }
+        guard.armed = false;
         index
     }
 
@@ -108,6 +149,10 @@ impl<T> AppendVec<T> {
             if let Some(v) = segment[slot].get() {
                 return Some(v);
             }
+            assert!(
+                !self.poisoned.load(Ordering::Acquire),
+                "AppendVec poisoned: a push_with constructor panicked after reserving index"
+            );
             std::hint::spin_loop();
         }
     }
@@ -147,6 +192,52 @@ mod tests {
             assert_eq!(*v.get(i).unwrap(), i * 3);
         }
         assert!(v.get(1000).is_none());
+    }
+
+    #[test]
+    fn push_with_hands_out_the_assigned_index() {
+        let v: AppendVec<usize> = AppendVec::new();
+        for _ in 0..500 {
+            let idx = v.push_with(|i| i * 7);
+            assert_eq!(*v.get(idx).unwrap(), idx * 7);
+        }
+    }
+
+    #[test]
+    fn panicking_push_with_poisons_instead_of_hanging_readers() {
+        let v: AppendVec<usize> = AppendVec::new();
+        v.push(7);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            v.push_with(|_| panic!("constructor failure"))
+        }));
+        assert!(outcome.is_err());
+        // Already-published slots stay readable…
+        assert_eq!(*v.get(0).unwrap(), 7);
+        // …but waiting on the stranded slot fails fast instead of spinning forever.
+        let read = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| v.get(1)));
+        assert!(read.is_err(), "reader of the stranded slot must panic");
+    }
+
+    #[test]
+    fn concurrent_push_with_assigns_unique_self_describing_indices() {
+        let v: Arc<AppendVec<usize>> = Arc::new(AppendVec::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let v = Arc::clone(&v);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..2000 {
+                    let idx = v.push_with(|i| i);
+                    assert_eq!(*v.get(idx).unwrap(), idx);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(v.len(), 8 * 2000);
+        for i in 0..v.len() {
+            assert_eq!(*v.get(i).unwrap(), i, "slot {i} holds its own index");
+        }
     }
 
     #[test]

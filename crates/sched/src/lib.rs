@@ -1,4 +1,4 @@
-//! # hh-sched — work-stealing fork/join scheduler
+//! # hh-sched — work-stealing fork/join scheduler (v2)
 //!
 //! The paper's runtime (Appendix B) schedules nested fork/join tasks with a
 //! work-stealing scheduler: `forkjoin` is cheap because the left branch runs immediately
@@ -7,22 +7,31 @@
 //!
 //! This crate reproduces that structure for the Rust runtimes in this repository:
 //!
-//! * a [`Pool`] of worker OS threads, each with its own LIFO [`JobQueue`] plus a shared
-//!   injector for external (root) work;
-//! * [`Worker::join`], the work-first fork/join primitive: the left closure runs inline,
-//!   the right is pushed onto the current worker's queue, and while the right branch is
-//!   stolen the parent *helps* by executing other local jobs or stealing;
+//! * a [`Pool`] of worker OS threads, each with its own lock-free Chase–Lev
+//!   [`JobQueue`] (owner-LIFO, thief-FIFO), plus a mutex-protected injector for
+//!   external (root) work;
+//! * [`Worker::join`] / [`Worker::join_context`], the work-first fork/join primitive:
+//!   the left closure runs inline, the right lives in a **stack-resident job** (no
+//!   heap allocation on the unstolen fast path) pushed onto the current worker's
+//!   deque. `join_context` hands the right branch a `stolen` flag — the on-steal hook
+//!   through which upper layers pay steal-only costs, like the hierarchical runtime's
+//!   lazy child-heap creation;
+//! * a parking-based idle protocol: pushes wake at most one sleeper (and only when the
+//!   sleeper counter says someone is parked), idle workers spin briefly over
+//!   randomized steal victims and then park on a condvar; wake tokens close the
+//!   park-vs-push race. See `pool::worker_loop`;
 //! * a [`Safepoints`] coordinator used by the stop-the-world baseline runtime to park
-//!   every worker at a safe point while a single thread collects.
+//!   every worker at a safe point while a single thread collects; its wake hook plugs
+//!   into [`Pool::waker`] so parked workers promptly reach the safepoint.
 //!
-//! The queues use a mutex-protected deque rather than a lock-free Chase–Lev deque: the
-//! evaluation of this repository compares *runtimes against each other on the same
-//! scheduler*, so scheduler constant factors cancel out, and the simpler structure is
-//! easy to show correct (see `queue::tests`).
+//! DESIGN.md (repository root) describes the deque memory orderings, the wake-token
+//! protocol, and the steal-time heap-creation interplay in detail.
 //!
-//! The only `unsafe` code in the whole workspace lives in [`job::erase_lifetime`], which
-//! lifetime-erases the boxed right-branch closure exactly the way rayon does; soundness
-//! is argued there (the parent never returns before the branch has finished executing).
+//! The `unsafe` code in this crate is confined to the job layer ([`job`]): stack jobs
+//! are lifetime-erased exactly the way rayon's are, and soundness is argued where the
+//! erasure happens (the forking frame never returns before the branch has finished
+//! executing); the Chase–Lev deque's orderings follow Lê et al. (PPoPP 2013) and are
+//! exercised by a growth-and-theft stress test in `queue::tests`.
 
 #![warn(missing_docs)]
 
@@ -31,7 +40,7 @@ pub mod pool;
 pub mod queue;
 pub mod safepoint;
 
-pub use job::JobCell;
-pub use pool::{Pool, PoolConfig, Worker};
-pub use queue::JobQueue;
+pub use job::JobRef;
+pub use pool::{Pool, PoolConfig, PoolWaker, SchedStats, Worker};
+pub use queue::{Injector, JobQueue};
 pub use safepoint::Safepoints;

@@ -1,12 +1,21 @@
-//! The worker pool and the work-first `join` primitive.
+//! The worker pool and the work-first `join` primitive (scheduler v2).
+//!
+//! The fast path of a fork is allocation-free and lock-free: the right branch lives in
+//! a stack-resident [`StackJob`], its one-word handle is published on the forking
+//! worker's Chase–Lev deque, and — in the common, unstolen case — popped back and run
+//! inline. Waking is pay-per-sleeper: a push only touches the sleep lock when the
+//! sleeper count says somebody is actually parked, and then wakes exactly one worker.
+//! Idle workers spin briefly (stealing from randomized victims), then park on a
+//! condvar until a push, an injection, a shutdown, or an external
+//! [`Pool::wake_all`] (used by the stop-the-world baseline's safepoint protocol).
 
-use crate::job::{erase_lifetime, JobCell};
-use crate::queue::JobQueue;
+use crate::job::{HeapJob, JobRef, StackJob};
+use crate::queue::{Injector, JobQueue};
 use parking_lot::{Condvar, Mutex};
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// Configuration for a [`Pool`].
@@ -27,45 +36,165 @@ impl Default for PoolConfig {
 }
 
 type IdleHook = Arc<dyn Fn(usize) + Send + Sync>;
+type StealHook = Arc<dyn Fn(usize, usize) + Send + Sync>;
+
+/// How many fruitless scan rounds an idle worker spins through before it announces
+/// itself as a sleeper and parks. Each round scans every victim once.
+const SPIN_ROUNDS: usize = 32;
+
+/// Safety-net parking timeout. Wakeups are delivered through the token protocol; the
+/// timeout only bounds the damage of a protocol bug and keeps the idle hook running
+/// (slowly) even for a worker that somehow missed a wake.
+const PARK_TIMEOUT: Duration = Duration::from_millis(10);
+
+/// Scheduler counters exposed to runtimes and the harness.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Successful steals from worker deques (injector pops are not steals).
+    pub steals: usize,
+    /// Times a worker parked on the sleep condvar.
+    pub parks: usize,
+    /// Wakeups delivered to parked workers (tokens deposited).
+    pub wakes: usize,
+}
+
+/// State guarded by the sleep lock: outstanding wake tokens. A parking worker consumes
+/// a token instead of sleeping; a worker woken by the condvar consumes the token that
+/// woke it. Tokens make the wake protocol immune to the push-vs-park race.
+#[derive(Default)]
+struct SleepState {
+    tokens: usize,
+}
 
 struct PoolInner {
     queues: Vec<JobQueue>,
-    injector: JobQueue,
+    injector: Injector,
     shutdown: AtomicBool,
-    idle_lock: Mutex<()>,
-    idle_cv: Condvar,
+    /// Number of workers parked or committed to parking (announced sleepers).
+    sleepers: AtomicUsize,
+    sleep: Mutex<SleepState>,
+    sleep_cv: Condvar,
     idle_hook: Mutex<Option<IdleHook>>,
+    /// Bumped on every `set_idle_hook`; lets workers cache the hook (satellite: no
+    /// lock-and-clone per idle iteration).
+    idle_hook_epoch: AtomicUsize,
+    steal_hook: OnceLock<StealHook>,
+    /// Per-worker xorshift state for randomized victim selection.
+    rng: Vec<AtomicU64>,
     live_workers: AtomicUsize,
     steals: AtomicUsize,
+    parks: AtomicUsize,
+    wakes: AtomicUsize,
 }
 
 impl PoolInner {
-    fn notify_all(&self) {
-        let _g = self.idle_lock.lock();
-        self.idle_cv.notify_all();
+    /// Wakes one parked worker, if any. Call *after* publishing work; the SeqCst fence
+    /// pairs with the sleeper's announce-then-recheck sequence, so either this load
+    /// sees the sleeper (and leaves a token) or the sleeper's recheck sees the work.
+    fn wake_one(&self) {
+        fence(Ordering::SeqCst);
+        if self.sleepers.load(Ordering::Relaxed) > 0 {
+            let mut st = self.sleep.lock();
+            if st.tokens < self.queues.len() {
+                st.tokens += 1;
+                self.wakes.fetch_add(1, Ordering::Relaxed);
+            }
+            self.sleep_cv.notify_one();
+        }
     }
 
-    /// Steals a job from the injector or from any worker queue other than `me`.
-    fn steal_any(&self, me: usize) -> Option<Arc<JobCell>> {
+    /// Wakes every parked worker (shutdown, or an external event like a pending
+    /// stop-the-world collection that parked workers must go poll).
+    fn wake_all(&self) {
+        let n = self.queues.len();
+        let mut st = self.sleep.lock();
+        self.wakes.fetch_add(n - st.tokens, Ordering::Relaxed);
+        st.tokens = n;
+        self.sleep_cv.notify_all();
+    }
+
+    /// One xorshift64 step of worker `me`'s private generator. The slot is atomic only
+    /// to be shareable; each worker touches its own.
+    fn next_rand(&self, me: usize) -> u64 {
+        let mut x = self.rng[me].load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng[me].store(x, Ordering::Relaxed);
+        x
+    }
+
+    /// Steals a job from the injector or from a worker deque other than `me`,
+    /// scanning victims from a random starting point so contending thieves spread out
+    /// instead of converging on the same victims.
+    fn steal_any(&self, me: usize) -> Option<JobRef> {
         if let Some(j) = self.injector.steal() {
             return Some(j);
         }
         let n = self.queues.len();
-        for k in 1..=n {
-            let victim = (me + k) % n;
+        if n <= 1 {
+            return None;
+        }
+        let start = (self.next_rand(me) % n as u64) as usize;
+        for k in 0..n {
+            let victim = (start + k) % n;
             if victim == me {
                 continue;
             }
             if let Some(j) = self.queues[victim].steal() {
                 self.steals.fetch_add(1, Ordering::Relaxed);
+                if let Some(hook) = self.steal_hook.get() {
+                    hook(me, victim);
+                }
                 return Some(j);
             }
         }
         None
     }
 
-    fn idle_hook(&self) -> Option<IdleHook> {
+    /// True if any queue (injector included) has visible work. Used only in the
+    /// sleeper's pre-park recheck — this is the fix for the missed-wakeup window: the
+    /// old recheck consulted the injector only, so a job pushed to a *peer deque* just
+    /// before the wait slept the full timeout.
+    fn has_any_work(&self) -> bool {
+        !self.injector.is_empty() || self.queues.iter().any(|q| !q.is_empty())
+    }
+
+    fn idle_hook_epoch(&self) -> usize {
+        self.idle_hook_epoch.load(Ordering::Acquire)
+    }
+
+    fn load_idle_hook(&self) -> Option<IdleHook> {
         self.idle_hook.lock().clone()
+    }
+}
+
+/// A worker-local cache of the pool's idle hook, refreshed only when the hook is
+/// replaced (epoch check: one relaxed load per idle iteration instead of a
+/// lock-and-clone).
+struct CachedIdleHook {
+    epoch: usize,
+    hook: Option<IdleHook>,
+}
+
+impl CachedIdleHook {
+    fn new() -> Self {
+        CachedIdleHook {
+            epoch: usize::MAX,
+            hook: None,
+        }
+    }
+
+    #[inline]
+    fn run(&mut self, pool: &PoolInner, index: usize) {
+        let epoch = pool.idle_hook_epoch();
+        if epoch != self.epoch {
+            self.hook = pool.load_idle_hook();
+            self.epoch = epoch;
+        }
+        if let Some(hook) = &self.hook {
+            hook(index);
+        }
     }
 }
 
@@ -103,12 +232,9 @@ impl Worker {
 
     /// The work-first fork/join primitive.
     ///
-    /// Runs `fa` inline on the current worker while exposing `fb` to thieves. If nobody
-    /// steals `fb`, the current worker pops it back and runs it itself (the common,
-    /// cheap case the paper's scheduler optimizes for); if it was stolen, the worker
-    /// *helps* — executing other local jobs or stealing elsewhere — until `fb`'s latch
-    /// is set. Panics in either branch are re-raised here after both branches have
-    /// finished, so the scheduler never leaks a running job that borrows a dead frame.
+    /// Runs `fa` inline on the current worker while exposing `fb` to thieves; see
+    /// [`Worker::join_context`] for the mechanics. Use `join_context` when the right
+    /// branch needs to know whether it was actually stolen.
     pub fn join<RA, RB, FA, FB>(&self, fa: FA, fb: FB) -> (RA, RB)
     where
         FA: FnOnce() -> RA + Send,
@@ -116,54 +242,83 @@ impl Worker {
         RA: Send,
         RB: Send,
     {
-        let result_b: Mutex<Option<std::thread::Result<RB>>> = Mutex::new(None);
-        let job = {
-            let slot = &result_b;
-            let f: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-                let r = catch_unwind(AssertUnwindSafe(fb));
-                *slot.lock() = Some(r);
-            });
-            // SAFETY: `job` captures `slot`, a borrow of this frame. We do not return
-            // from `join` (even on panic of `fa`) until the job's latch is set or the
-            // job has been popped back un-stolen and executed inline, so the borrow
-            // outlives every execution of the closure.
-            JobCell::new(unsafe { erase_lifetime(f) })
-        };
-        self.pool.queues[self.index].push(Arc::clone(&job));
-        // Wake an idle worker: there is stealable work now.
-        self.pool.notify_all();
+        self.join_context(fa, |_stolen| fb())
+    }
+
+    /// The work-first fork/join primitive, steal-aware.
+    ///
+    /// Runs `fa` inline on the current worker while exposing `fb` to thieves through a
+    /// stack-resident job — **no heap allocation happens on this path**. If nobody
+    /// steals `fb`, the current worker pops it back and runs it inline with
+    /// `stolen == false` (the common, cheap case the paper's scheduler optimizes
+    /// for); if a thief took it, the thief runs it with `stolen == true` — this is the
+    /// on-steal hook through which upper layers observe steals (the hierarchical
+    /// runtime creates child heaps there, lazily) — while the current worker *helps*:
+    /// executing other local jobs or stealing elsewhere until `fb`'s latch is set.
+    /// Panics in either branch are re-raised here after both branches have finished,
+    /// so the scheduler never leaks a running job that borrows a dead frame.
+    pub fn join_context<RA, RB, FA, FB>(&self, fa: FA, fb: FB) -> (RA, RB)
+    where
+        FA: FnOnce() -> RA + Send,
+        FB: FnOnce(bool) -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        // The Chase–Lev deque's push/pop are owner-only, so resolve the index of the
+        // worker actually executing this call from TLS instead of trusting
+        // `self.index`: `Worker` is `Clone + Send`, and a handle captured into a
+        // branch closure that gets *stolen* would otherwise push to the victim's
+        // deque from the thief's thread — unsynchronized and unsound. With the TLS
+        // index a captured handle simply forks on whichever of the pool's workers is
+        // running it.
+        let index = CURRENT_WORKER
+            .with(|c| c.get())
+            .and_then(|(pool_id, index)| {
+                (pool_id == Arc::as_ptr(&self.pool) as usize).then_some(index)
+            })
+            .expect("Worker::join must be called on a worker thread of the same pool");
+        let job = StackJob::new(fb);
+        // SAFETY: we do not return from this frame (even on panic of `fa`) until the
+        // job's latch is set or the job has been popped back un-stolen and executed
+        // inline, so the job outlives every execution of its handle.
+        self.pool.queues[index].push(unsafe { job.as_job_ref() });
+        // Wake an idle worker only if somebody is actually parked.
+        self.pool.wake_one();
 
         let result_a = catch_unwind(AssertUnwindSafe(fa));
 
         // Retrieve the right branch: pop it back if still local, otherwise help until
         // the thief finishes it.
+        let mut idle_hook = CachedIdleHook::new();
         while !job.is_done() {
-            if let Some(j) = self.pool.queues[self.index].pop() {
-                // Either our own right branch or a job pushed by a nested join we are
-                // helping with; both are safe and useful to run here.
-                j.execute();
-                if Arc::ptr_eq(&j, &job) {
+            if let Some(j) = self.pool.queues[index].pop() {
+                if j.points_to(job.header_ptr()) {
+                    // Unstolen fast path: run the branch inline, no heap, no latch
+                    // contention.
+                    // SAFETY: we hold the unique reclaimed handle.
+                    unsafe { job.run_inline(false) };
                     break;
                 }
-            } else if let Some(j) = self.pool.steal_any(self.index) {
-                j.execute();
+                // A job pushed by an enclosing join on this worker; running it here is
+                // safe (same thread, its frame is suspended below ours) and useful.
+                // SAFETY: popped from our own deque, executed exactly once.
+                unsafe { j.execute(false) };
+            } else if let Some(j) = self.pool.steal_any(index) {
+                // SAFETY: stolen handle, executed exactly once.
+                unsafe { j.execute(true) };
             } else {
                 // Nothing to help with. Give the idle hook a chance to run — the
                 // stop-the-world baseline uses it to park waiting workers at a
                 // safepoint so a pending collection can proceed — then yield.
-                if let Some(hook) = self.pool.idle_hook() {
-                    hook(self.index);
-                }
+                idle_hook.run(&self.pool, index);
                 std::thread::yield_now();
             }
         }
         debug_assert!(job.is_done());
 
-        let rb = result_b
-            .lock()
-            .take()
-            .expect("right branch completed without storing a result");
-        match (result_a, rb) {
+        // SAFETY: the job is done and this frame is its unique consumer.
+        let result_b = unsafe { job.take_result() };
+        match (result_a, result_b) {
             (Ok(ra), Ok(rb)) => (ra, rb),
             (Err(p), _) => resume_unwind(p),
             (Ok(_), Err(p)) => resume_unwind(p),
@@ -187,6 +342,29 @@ impl Worker {
     }
 }
 
+/// A cheap, clonable handle that can wake every parked worker of a pool. Handed to
+/// external coordination layers (the safepoint protocol) that must get parked workers
+/// moving again without owning the pool.
+///
+/// Holds only a `Weak` reference: wakers typically end up stored inside structures
+/// the pool itself references (the baselines install one in their `Safepoints`, whose
+/// `poll` is the pool's idle hook), and a strong reference would make that loop leak
+/// the pool's state. A waker whose pool is gone is a no-op.
+#[derive(Clone)]
+pub struct PoolWaker {
+    inner: std::sync::Weak<PoolInner>,
+}
+
+impl PoolWaker {
+    /// Wakes all parked workers so they re-scan for work and re-run the idle hook.
+    /// No-op if the pool has been dropped.
+    pub fn wake_all(&self) {
+        if let Some(pool) = self.inner.upgrade() {
+            pool.wake_all();
+        }
+    }
+}
+
 /// A pool of worker threads executing fork/join tasks.
 pub struct Pool {
     inner: Arc<PoolInner>,
@@ -204,13 +382,21 @@ impl Pool {
         let n = config.n_workers.max(1);
         let inner = Arc::new(PoolInner {
             queues: (0..n).map(|_| JobQueue::new()).collect(),
-            injector: JobQueue::new(),
+            injector: Injector::new(),
             shutdown: AtomicBool::new(false),
-            idle_lock: Mutex::new(()),
-            idle_cv: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            sleep: Mutex::new(SleepState::default()),
+            sleep_cv: Condvar::new(),
             idle_hook: Mutex::new(None),
+            idle_hook_epoch: AtomicUsize::new(0),
+            steal_hook: OnceLock::new(),
+            rng: (0..n)
+                .map(|i| AtomicU64::new(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(i as u64 + 1)))
+                .collect(),
             live_workers: AtomicUsize::new(0),
             steals: AtomicUsize::new(0),
+            parks: AtomicUsize::new(0),
+            wakes: AtomicUsize::new(0),
         });
         let mut handles = Vec::with_capacity(n);
         for index in 0..n {
@@ -235,10 +421,37 @@ impl Pool {
         self.inner.steals.load(Ordering::Relaxed)
     }
 
+    /// Snapshot of the scheduler counters (cumulative over the pool's lifetime).
+    pub fn sched_stats(&self) -> SchedStats {
+        SchedStats {
+            steals: self.inner.steals.load(Ordering::Relaxed),
+            parks: self.inner.parks.load(Ordering::Relaxed),
+            wakes: self.inner.wakes.load(Ordering::Relaxed),
+        }
+    }
+
     /// Installs a hook called by idle workers between steal attempts. The stop-the-world
     /// baseline uses this to park idle workers at safepoints during a collection.
+    /// Workers cache the hook and refresh it on replacement.
     pub fn set_idle_hook(&self, hook: impl Fn(usize) + Send + Sync + 'static) {
         *self.inner.idle_hook.lock() = Some(Arc::new(hook));
+        self.inner.idle_hook_epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Installs the on-steal hook, called as `hook(thief, victim)` on every successful
+    /// steal from a worker deque. Set-once (typically at runtime construction);
+    /// subsequent calls are ignored. The *per-fork* steal observation — "was this
+    /// particular right branch stolen?" — is delivered through
+    /// [`Worker::join_context`]'s flag instead.
+    pub fn set_steal_hook(&self, hook: impl Fn(usize, usize) + Send + Sync + 'static) {
+        let _ = self.inner.steal_hook.set(Arc::new(hook));
+    }
+
+    /// A handle that can wake all parked workers (see [`PoolWaker`]).
+    pub fn waker(&self) -> PoolWaker {
+        PoolWaker {
+            inner: Arc::downgrade(&self.inner),
+        }
     }
 
     /// Runs `f` on some worker thread and blocks the calling (external) thread until it
@@ -270,10 +483,10 @@ impl Pool {
             });
             // SAFETY: we block on `wait_blocking` below until the job has executed, so
             // the borrows of `result` and `inner` outlive the closure's execution.
-            JobCell::new(unsafe { erase_lifetime(f) })
+            unsafe { HeapJob::new(f) }
         };
-        self.inner.injector.push(Arc::clone(&job));
-        self.inner.notify_all();
+        self.inner.injector.push(job.as_job_ref());
+        self.inner.wake_one();
         job.wait_blocking();
         let outcome = result
             .lock()
@@ -289,35 +502,78 @@ impl Pool {
 impl Drop for Pool {
     fn drop(&mut self) {
         self.inner.shutdown.store(true, Ordering::Release);
-        self.inner.notify_all();
+        self.inner.wake_all();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
     }
 }
 
+/// The worker main loop: run local work, steal, spin briefly, then park.
+///
+/// Parking protocol (the replacement for the old 1 ms condvar poll): the worker
+/// announces itself in `sleepers`, re-checks *all* queues plus the shutdown flag
+/// (closing the missed-wakeup window), and only then parks. Every wake source —
+/// `wake_one` after a push, `wake_all` on shutdown or from a [`PoolWaker`] — either
+/// sees the announcement and deposits a wake token under the sleep lock, or is
+/// ordered before the recheck so the recheck finds the work. Tokens are consumed
+/// either instead of parking or on wake, so no wake is ever lost.
 fn worker_loop(pool: Arc<PoolInner>, index: usize) {
     set_current_worker(&pool, index);
     pool.live_workers.fetch_add(1, Ordering::Relaxed);
-    loop {
-        let job = pool.queues[index].pop().or_else(|| pool.steal_any(index));
-        match job {
-            Some(j) => j.execute(),
-            None => {
-                if pool.shutdown.load(Ordering::Acquire) {
-                    break;
+    let mut idle_hook = CachedIdleHook::new();
+    'main: loop {
+        // Phase 1: drain local work and steal.
+        if let Some(j) = pool.queues[index].pop() {
+            // SAFETY: popped from our own deque; executed exactly once.
+            unsafe { j.execute(false) };
+            continue 'main;
+        }
+        if let Some(j) = pool.steal_any(index) {
+            // SAFETY: stolen handle; executed exactly once.
+            unsafe { j.execute(true) };
+            continue 'main;
+        }
+        if pool.shutdown.load(Ordering::Acquire) {
+            break 'main;
+        }
+
+        // Phase 2: bounded spin, re-trying randomized steals and running the idle
+        // hook (the stop-the-world baselines poll safepoints there).
+        for _ in 0..SPIN_ROUNDS {
+            idle_hook.run(&pool, index);
+            if let Some(j) = pool.steal_any(index) {
+                // SAFETY: stolen handle; executed exactly once.
+                unsafe { j.execute(true) };
+                continue 'main;
+            }
+            if pool.shutdown.load(Ordering::Acquire) {
+                break 'main;
+            }
+            std::thread::yield_now();
+        }
+
+        // Phase 3: park. Announce first; the SeqCst ordering against a pusher's
+        // publish-then-check means either the pusher sees us (token) or we see the
+        // pushed work in the recheck.
+        pool.sleepers.fetch_add(1, Ordering::SeqCst);
+        if pool.has_any_work() || pool.shutdown.load(Ordering::Acquire) {
+            pool.sleepers.fetch_sub(1, Ordering::SeqCst);
+            continue 'main;
+        }
+        {
+            let mut st = pool.sleep.lock();
+            if st.tokens > 0 {
+                st.tokens -= 1;
+            } else {
+                pool.parks.fetch_add(1, Ordering::Relaxed);
+                pool.sleep_cv.wait_for(&mut st, PARK_TIMEOUT);
+                if st.tokens > 0 {
+                    st.tokens -= 1;
                 }
-                if let Some(hook) = pool.idle_hook() {
-                    hook(index);
-                }
-                let mut guard = pool.idle_lock.lock();
-                // Re-check for work under the lock to avoid missed wakeups.
-                if pool.injector.is_empty() && pool.shutdown.load(Ordering::Acquire) {
-                    break;
-                }
-                pool.idle_cv.wait_for(&mut guard, Duration::from_millis(1));
             }
         }
+        pool.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
     pool.live_workers.fetch_sub(1, Ordering::Relaxed);
     clear_current_worker();
@@ -327,14 +583,19 @@ fn worker_loop(pool: Arc<PoolInner>, index: usize) {
 mod tests {
     use super::*;
 
-    fn fib(w: &Worker, n: u64) -> u64 {
+    /// Fork/join fib. The current worker is re-derived inside each branch (as the
+    /// real runtimes do): a *stolen* branch executes on a different worker, and using
+    /// a captured parent `Worker` there would push onto the victim's deque from the
+    /// thief's thread, violating the Chase–Lev owner-only contract.
+    fn fib(pool: &Pool, n: u64) -> u64 {
         if n < 2 {
             return n;
         }
         if n < 12 {
             return fib_seq(n);
         }
-        let (a, b) = w.join(|| fib(w, n - 1), || fib(w, n - 2));
+        let w = Worker::current_in(pool).expect("fib must run on a pool worker");
+        let (a, b) = w.join(|| fib(pool, n - 1), || fib(pool, n - 2));
         a + b
     }
 
@@ -344,6 +605,25 @@ mod tests {
         } else {
             fib_seq(n - 1) + fib_seq(n - 2)
         }
+    }
+
+    /// A fork tree whose leaves do real sequential work *and yield the CPU once*: on
+    /// single-core machines (CI containers often have one) a fast owner can otherwise
+    /// finish an entire run inside one OS timeslice, so the thief threads are never
+    /// scheduled and no steal can be observed. The yield hands them a slice while the
+    /// owner's deque is full of pending right branches.
+    fn steal_prone_tree(pool: &Pool, depth: usize) -> u64 {
+        if depth == 0 {
+            let v = std::hint::black_box(fib_seq(18));
+            std::thread::yield_now();
+            return v % 2;
+        }
+        let w = Worker::current_in(pool).expect("on a pool worker");
+        let (a, b) = w.join(
+            || steal_prone_tree(pool, depth - 1),
+            || steal_prone_tree(pool, depth - 1),
+        );
+        a + b
     }
 
     #[test]
@@ -356,14 +636,14 @@ mod tests {
     #[test]
     fn nested_join_computes_fib() {
         let pool = Pool::new(4);
-        let r = pool.run(|w| fib(w, 24));
+        let r = pool.run(|_| fib(&pool, 24));
         assert_eq!(r, 46_368);
     }
 
     #[test]
     fn join_on_single_worker_pool_still_completes() {
         let pool = Pool::new(1);
-        let r = pool.run(|w| fib(w, 20));
+        let r = pool.run(|_| fib(&pool, 20));
         assert_eq!(r, 6_765);
     }
 
@@ -388,6 +668,51 @@ mod tests {
     }
 
     #[test]
+    fn join_context_reports_unstolen_on_one_worker() {
+        // On a single-worker pool nothing can be stolen, so every right branch must
+        // see `stolen == false`.
+        let pool = Pool::new(1);
+        let stolen_seen = pool.run(|w| {
+            let mut any = false;
+            for _ in 0..100 {
+                let (_, s) = w.join_context(|| (), |stolen| stolen);
+                any |= s;
+            }
+            any
+        });
+        assert!(!stolen_seen);
+    }
+
+    #[test]
+    fn join_context_observes_steals_under_parallel_slack() {
+        // With several workers and real, yielding work in both branches, at least one
+        // right branch should report having been stolen (retry to absorb scheduling
+        // noise; the leaves yield so thieves run even on a single-core machine).
+        fn probe(pool: &Pool, depth: usize) -> usize {
+            if depth == 0 {
+                std::hint::black_box(fib_seq(18));
+                std::thread::yield_now();
+                return 0;
+            }
+            let w = Worker::current_in(pool).expect("on a pool worker");
+            let (a, b) = w.join_context(
+                || probe(pool, depth - 1),
+                |stolen| probe(pool, depth - 1) + usize::from(stolen),
+            );
+            a + b
+        }
+        let pool = Pool::new(4);
+        for attempt in 0..10 {
+            let stolen = pool.run(|_| probe(&pool, 6));
+            if stolen > 0 {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10 * attempt));
+        }
+        panic!("expected at least one stolen right branch across ten runs");
+    }
+
+    #[test]
     fn deep_unbalanced_join_tree() {
         // A degenerate chain of joins stresses the help-while-waiting path.
         fn chain(w: &Worker, depth: usize) -> usize {
@@ -409,14 +734,36 @@ mod tests {
         // none, so retry a few times before declaring the work-stealing path dead.
         let pool = Pool::new(4);
         for attempt in 0..10 {
-            let r = pool.run(|w| fib(w, 27));
-            assert_eq!(r, 196_418);
+            let r = pool.run(|_| steal_prone_tree(&pool, 6));
+            assert_eq!(r, 0, "fib_seq(18) is even, so every leaf contributes 0");
             if pool.steal_count() > 0 {
                 return;
             }
             std::thread::sleep(Duration::from_millis(10 * attempt));
         }
         panic!("expected at least one steal across ten runs");
+    }
+
+    #[test]
+    fn steal_hook_fires_on_steals() {
+        let pool = Pool::new(4);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h2 = Arc::clone(&hits);
+        pool.set_steal_hook(move |thief, victim| {
+            assert_ne!(thief, victim);
+            h2.fetch_add(1, Ordering::Relaxed);
+        });
+        for attempt in 0..10 {
+            let r = pool.run(|_| steal_prone_tree(&pool, 6));
+            assert_eq!(r, 0);
+            let observed = hits.load(Ordering::Relaxed);
+            if observed > 0 {
+                assert_eq!(observed, pool.steal_count());
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10 * attempt));
+        }
+        panic!("steal hook never fired");
     }
 
     #[test]
@@ -452,8 +799,46 @@ mod tests {
         pool.set_idle_hook(move |_| {
             h2.fetch_add(1, Ordering::Relaxed);
         });
-        std::thread::sleep(Duration::from_millis(30));
+        std::thread::sleep(Duration::from_millis(50));
         assert!(hits.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn replaced_idle_hook_is_picked_up_by_cached_workers() {
+        let pool = Pool::new(2);
+        let first = Arc::new(AtomicUsize::new(0));
+        let second = Arc::new(AtomicUsize::new(0));
+        let f2 = Arc::clone(&first);
+        pool.set_idle_hook(move |_| {
+            f2.fetch_add(1, Ordering::Relaxed);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        let s2 = Arc::clone(&second);
+        pool.set_idle_hook(move |_| {
+            s2.fetch_add(1, Ordering::Relaxed);
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(first.load(Ordering::Relaxed) > 0);
+        assert!(
+            second.load(Ordering::Relaxed) > 0,
+            "epoch-cached workers must refresh to the replacement hook"
+        );
+    }
+
+    #[test]
+    fn workers_park_when_idle_and_wake_for_work() {
+        let pool = Pool::new(3);
+        // Give the workers time to burn through their spin budget and park.
+        std::thread::sleep(Duration::from_millis(60));
+        let parked = pool.sched_stats().parks;
+        assert!(parked > 0, "idle workers should park, not busy-wait");
+        // Parked workers must still pick work up promptly.
+        let r = pool.run(|w| {
+            let (a, b) = w.join(|| 20u64, || 22u64);
+            a + b
+        });
+        assert_eq!(r, 42);
+        assert!(pool.sched_stats().wakes > 0, "the push must wake a sleeper");
     }
 
     #[test]

@@ -1,120 +1,408 @@
-//! Per-worker job queues.
+//! Work-stealing deques.
 //!
-//! Each worker owns a [`JobQueue`]. The owner pushes and pops at the back (LIFO, which
-//! preserves the depth-first execution order that makes hierarchical heaps cheap), while
-//! thieves steal from the front (FIFO, stealing the shallowest — largest — task first,
-//! the standard work-stealing heuristic the paper's scheduler also uses).
+//! Each worker owns a [`JobQueue`] — a lock-free Chase–Lev deque (Chase & Lev, SPAA
+//! 2005, with the C11 orderings of Lê et al., PPoPP 2013). The owner pushes and pops at
+//! the bottom (LIFO, which preserves the depth-first execution order that makes
+//! hierarchical heaps cheap), while thieves steal from the top (FIFO, stealing the
+//! shallowest — largest — task first, the standard work-stealing heuristic the paper's
+//! scheduler also uses). Owner operations are a handful of atomic instructions with no
+//! locks; thieves synchronize through a single CAS on `top`.
+//!
+//! The element type is [`JobRef`], a single word, so buffer slots are plain
+//! `AtomicPtr`s and the classic algorithm applies without torn-read caveats. The
+//! buffer grows geometrically when full; retired buffers are kept alive until the
+//! deque is dropped (racing thieves may still read them), which bounds the waste to
+//! less than the final buffer's size.
+//!
+//! External (non-worker) threads inject root jobs through the [`Injector`], a small
+//! mutex-protected FIFO: injection happens once per `Pool::run`, so it is nowhere near
+//! a fast path and the simple structure is easy to show correct.
 
-use crate::job::JobCell;
+use crate::job::{JobHeader, JobRef};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
 
-/// A mutex-protected work-stealing deque of jobs.
-#[derive(Default)]
+/// Initial deque capacity (must be a power of two). Forks deeper than this are rare,
+/// but growth is supported and tested.
+const INITIAL_CAPACITY: usize = 64;
+
+/// A fixed-capacity ring buffer of job slots. Never shrinks; replaced wholesale on
+/// growth.
+struct Buffer {
+    slots: Box<[AtomicPtr<JobHeader>]>,
+    mask: usize,
+}
+
+impl Buffer {
+    fn new(capacity: usize) -> Box<Buffer> {
+        debug_assert!(capacity.is_power_of_two());
+        let slots: Vec<AtomicPtr<JobHeader>> = (0..capacity)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect();
+        Box::new(Buffer {
+            slots: slots.into_boxed_slice(),
+            mask: capacity - 1,
+        })
+    }
+
+    #[inline]
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn put(&self, index: isize, job: JobRef) {
+        // Relaxed: publication happens through the Release store of `bottom` (push) or
+        // the CAS on `top` (after growth).
+        self.slots[index as usize & self.mask].store(job.as_ptr(), Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn get(&self, index: isize) -> JobRef {
+        JobRef::from_ptr(self.slots[index as usize & self.mask].load(Ordering::Relaxed))
+    }
+}
+
+/// A lock-free Chase–Lev work-stealing deque of [`JobRef`]s.
+///
+/// Contract: [`JobQueue::push`] and [`JobQueue::pop`] may only be called by the owning
+/// worker thread; [`JobQueue::steal`] may be called by any thread. Each pushed job is
+/// removed exactly once (by pop or by steal), never duplicated, never lost.
 pub struct JobQueue {
-    inner: Mutex<VecDeque<Arc<JobCell>>>,
+    /// Next slot the owner will push into. Only the owner writes it.
+    bottom: AtomicIsize,
+    /// Next slot thieves will steal from. Advanced by CAS.
+    top: AtomicIsize,
+    /// Current ring buffer. Only the owner replaces it (on growth).
+    buffer: AtomicPtr<Buffer>,
+    /// Retired buffers, kept alive until drop because in-flight thieves may still read
+    /// them. Geometric growth keeps the total below one final-buffer's worth.
+    /// The `Box` is load-bearing despite clippy's advice: thieves hold `&Buffer`
+    /// obtained from the raw `buffer` pointer, so the `Buffer` struct itself must not
+    /// move when the retirement vector grows.
+    #[allow(clippy::vec_box)]
+    retired: Mutex<Vec<Box<Buffer>>>,
+}
+
+// SAFETY: all shared state is atomic; the owner-only contract on push/pop is
+// documented above and upheld by the pool (each worker touches only its own queue's
+// owner operations).
+unsafe impl Send for JobQueue {}
+unsafe impl Sync for JobQueue {}
+
+impl Default for JobQueue {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl JobQueue {
-    /// Creates an empty queue.
+    /// Creates an empty deque.
     pub fn new() -> Self {
-        Self::default()
+        JobQueue {
+            bottom: AtomicIsize::new(0),
+            top: AtomicIsize::new(0),
+            buffer: AtomicPtr::new(Box::into_raw(Buffer::new(INITIAL_CAPACITY))),
+            retired: Mutex::new(Vec::new()),
+        }
     }
 
-    /// Owner operation: pushes a job at the back.
-    pub fn push(&self, job: Arc<JobCell>) {
-        self.inner.lock().push_back(job);
+    #[inline]
+    fn buffer(&self, order: Ordering) -> &Buffer {
+        // SAFETY: the buffer pointer is always valid: it is only replaced by the owner,
+        // and old buffers are retired (kept alive), not freed, until `drop`.
+        unsafe { &*self.buffer.load(order) }
+    }
+
+    /// Owner operation: pushes a job at the bottom.
+    pub fn push(&self, job: JobRef) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        let buf = self.buffer(Ordering::Relaxed);
+        if b - t >= buf.capacity() as isize {
+            self.grow(b, t);
+        }
+        let buf = self.buffer(Ordering::Relaxed);
+        buf.put(b, job);
+        // Publish the slot write before making it visible to thieves.
+        fence(Ordering::Release);
+        self.bottom.store(b + 1, Ordering::Relaxed);
+    }
+
+    /// Owner operation: doubles the buffer, copying the live range `[t, b)`.
+    #[cold]
+    fn grow(&self, b: isize, t: isize) {
+        let old = self.buffer(Ordering::Relaxed);
+        let new = Buffer::new(old.capacity() * 2);
+        for i in t..b {
+            new.put(i, old.get(i));
+        }
+        let new_ptr = Box::into_raw(new);
+        let old_ptr = self.buffer.swap(new_ptr, Ordering::Release);
+        // SAFETY: old_ptr came from Box::into_raw in `new`/`grow` and is retired, not
+        // freed, because thieves may still hold a reference to it.
+        self.retired.lock().push(unsafe { Box::from_raw(old_ptr) });
     }
 
     /// Owner operation: pops the most recently pushed job.
-    pub fn pop(&self) -> Option<Arc<JobCell>> {
-        self.inner.lock().pop_back()
+    pub fn pop(&self) -> Option<JobRef> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        let buf = self.buffer(Ordering::Relaxed);
+        self.bottom.store(b, Ordering::Relaxed);
+        // The SeqCst fence orders the `bottom` store against the `top` load below —
+        // the flag-and-read handshake with concurrent thieves.
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let job = buf.get(b);
+            if t == b {
+                // Last element: race the thieves for it with a CAS on top.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                won.then_some(job)
+            } else {
+                Some(job)
+            }
+        } else {
+            // Empty: restore bottom.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
     }
 
-    /// Thief operation: steals the oldest job.
-    pub fn steal(&self) -> Option<Arc<JobCell>> {
-        self.inner.lock().pop_front()
+    /// Thief operation: steals the oldest job. Retries internally on CAS contention
+    /// and returns `None` only when the deque is (momentarily) empty.
+    pub fn steal(&self) -> Option<JobRef> {
+        loop {
+            let t = self.top.load(Ordering::Acquire);
+            // Order the `top` load before the `bottom` load (pairs with the fence in
+            // `pop`).
+            fence(Ordering::SeqCst);
+            let b = self.bottom.load(Ordering::Acquire);
+            if t >= b {
+                return None;
+            }
+            // Read the slot *before* the CAS: a successful CAS licenses the value read.
+            let buf = self.buffer(Ordering::Acquire);
+            let job = buf.get(t);
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(job);
+            }
+            // Lost the race to another thief (or to the owner's pop); try again.
+            std::hint::spin_loop();
+        }
     }
 
     /// Number of queued jobs (racy, for heuristics and tests only).
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
     }
 
     /// True if no jobs are queued (racy, for heuristics and tests only).
     pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Drop for JobQueue {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access in drop; the pointer came from Box::into_raw.
+        drop(unsafe { Box::from_raw(*self.buffer.get_mut()) });
+        // Retired buffers drop with the Vec. Any un-executed JobRefs are plain
+        // pointers owned elsewhere (stack frames / Pool::run boxes); nothing to free.
+    }
+}
+
+/// The mutex-protected FIFO through which external threads inject root jobs.
+#[derive(Default)]
+pub struct Injector {
+    inner: Mutex<VecDeque<JobRef>>,
+}
+
+impl Injector {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a root job (called from external threads).
+    pub fn push(&self, job: JobRef) {
+        self.inner.lock().push_back(job);
+    }
+
+    /// Dequeues the oldest root job (called by workers).
+    pub fn steal(&self) -> Option<JobRef> {
+        self.inner.lock().pop_front()
+    }
+
+    /// True if no root jobs are waiting (racy, for sleep rechecks only).
+    pub fn is_empty(&self) -> bool {
         self.inner.lock().is_empty()
+    }
+}
+
+// Conversion helpers between JobRef and raw slot pointers, private to this crate.
+impl JobRef {
+    #[inline]
+    fn as_ptr(self) -> *mut JobHeader {
+        self.raw() as *mut JobHeader
+    }
+
+    #[inline]
+    fn from_ptr(p: *mut JobHeader) -> JobRef {
+        // SAFETY: `p` was produced by `as_ptr` on a JobRef stored in this deque.
+        unsafe { JobRef::from_raw(p) }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use crate::job::HeapJob;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
 
-    fn marker_job(counter: &Arc<AtomicUsize>) -> Arc<JobCell> {
-        let c = Arc::clone(counter);
-        JobCell::new(Box::new(move || {
-            c.fetch_add(1, Ordering::SeqCst);
-        }))
+    /// A boxed marker job that bumps a counter when executed; the boxes are kept alive
+    /// by the caller for the duration of the test (`JobRef`s point into them, so the
+    /// jobs must not move — hence `Box` despite clippy's `vec_box` advice).
+    #[allow(clippy::vec_box)]
+    fn marker_jobs(n: usize, counter: &Arc<AtomicUsize>) -> Vec<Box<HeapJob>> {
+        (0..n)
+            .map(|_| {
+                let c = Arc::clone(counter);
+                unsafe {
+                    HeapJob::new(Box::new(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    }))
+                }
+            })
+            .collect()
     }
 
     #[test]
     fn lifo_for_owner_fifo_for_thief() {
         let q = JobQueue::new();
         let counter = Arc::new(AtomicUsize::new(0));
-        let a = marker_job(&counter);
-        let b = marker_job(&counter);
-        let c = marker_job(&counter);
-        q.push(Arc::clone(&a));
-        q.push(Arc::clone(&b));
-        q.push(Arc::clone(&c));
+        let jobs = marker_jobs(3, &counter);
+        for j in &jobs {
+            q.push(j.as_job_ref());
+        }
         assert_eq!(q.len(), 3);
-        // Thief takes the oldest (a); owner takes the newest (c).
+        // Thief takes the oldest (job 0); owner takes the newest (job 2).
         let stolen = q.steal().unwrap();
-        assert!(Arc::ptr_eq(&stolen, &a));
+        assert!(stolen.points_to(jobs[0].as_job_ref().raw()));
         let popped = q.pop().unwrap();
-        assert!(Arc::ptr_eq(&popped, &c));
+        assert!(popped.points_to(jobs[2].as_job_ref().raw()));
         let remaining = q.pop().unwrap();
-        assert!(Arc::ptr_eq(&remaining, &b));
+        assert!(remaining.points_to(jobs[1].as_job_ref().raw()));
         assert!(q.is_empty());
         assert!(q.pop().is_none());
         assert!(q.steal().is_none());
     }
 
     #[test]
-    fn concurrent_pop_and_steal_never_duplicate_or_lose_jobs() {
+    fn growth_preserves_every_job_in_order() {
+        let q = JobQueue::new();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let n = INITIAL_CAPACITY * 8 + 3; // force three growths
+        let jobs = marker_jobs(n, &counter);
+        for j in &jobs {
+            q.push(j.as_job_ref());
+        }
+        assert_eq!(q.len(), n);
+        // Owner pops everything back in LIFO order.
+        for k in (0..n).rev() {
+            let popped = q.pop().unwrap();
+            assert!(popped.points_to(jobs[k].as_job_ref().raw()), "index {k}");
+        }
+        assert!(q.pop().is_none());
+    }
+
+    /// The satellite stress test: one owner thread interleaving pushes and pops with
+    /// several concurrent thieves, across multiple buffer growths. Every job must be
+    /// executed exactly once — no duplication, no loss.
+    #[test]
+    fn stress_concurrent_pop_and_steal_never_duplicates_or_loses_jobs() {
+        const N: usize = 50_000;
+        const THIEVES: usize = 5;
         let q = Arc::new(JobQueue::new());
         let executed = Arc::new(AtomicUsize::new(0));
-        let n = 10_000usize;
-        for _ in 0..n {
-            q.push(marker_job(&executed));
-        }
-        let mut handles = Vec::new();
-        for t in 0..6 {
+        let jobs = Arc::new(marker_jobs(N, &executed));
+        let stop = Arc::new(AtomicUsize::new(0));
+
+        let mut thieves = Vec::new();
+        for _ in 0..THIEVES {
             let q = Arc::clone(&q);
-            handles.push(std::thread::spawn(move || {
+            let stop = Arc::clone(&stop);
+            let _jobs = Arc::clone(&jobs); // keep the boxes alive in every thread
+            thieves.push(std::thread::spawn(move || {
                 let mut taken = 0usize;
                 loop {
-                    let job = if t % 2 == 0 { q.pop() } else { q.steal() };
-                    match job {
-                        Some(j) => {
-                            j.execute();
+                    match q.steal() {
+                        Some(job) => {
+                            unsafe { job.execute(true) };
                             taken += 1;
                         }
-                        None => break,
+                        None => {
+                            if stop.load(Ordering::Acquire) == 1 {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
                     }
                 }
                 taken
             }));
         }
-        let total_taken: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
-        assert_eq!(total_taken, n, "every job removed exactly once");
+
+        // Owner: push in bursts (forcing growth), pop in bursts (racing the thieves
+        // for the tail), like a join-heavy worker would.
+        let mut popped = 0usize;
+        for (i, j) in jobs.iter().enumerate() {
+            q.push(j.as_job_ref());
+            if i % 3 == 0 {
+                if let Some(job) = q.pop() {
+                    unsafe { job.execute(false) };
+                    popped += 1;
+                }
+            }
+        }
+        while let Some(job) = q.pop() {
+            unsafe { job.execute(false) };
+            popped += 1;
+        }
+        stop.store(1, Ordering::Release);
+        let stolen: usize = thieves.into_iter().map(|h| h.join().unwrap()).sum();
+
+        assert_eq!(popped + stolen, N, "every job removed exactly once");
         assert_eq!(
             executed.load(Ordering::SeqCst),
-            n,
+            N,
             "every job executed exactly once"
         );
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let jobs = marker_jobs(2, &counter);
+        inj.push(jobs[0].as_job_ref());
+        inj.push(jobs[1].as_job_ref());
+        assert!(!inj.is_empty());
+        assert!(inj.steal().unwrap().points_to(jobs[0].as_job_ref().raw()));
+        assert!(inj.steal().unwrap().points_to(jobs[1].as_job_ref().raw()));
+        assert!(inj.steal().is_none());
+        assert!(inj.is_empty());
     }
 }

@@ -19,11 +19,14 @@
 
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 #[derive(Default)]
 struct State {
     parked: usize,
 }
+
+type WakeHook = Arc<dyn Fn() + Send + Sync>;
 
 /// Stop-the-world coordination for the baseline collectors.
 #[derive(Default)]
@@ -35,6 +38,12 @@ pub struct Safepoints {
     resume_cv: Condvar,
     collector_lock: Mutex<()>,
     world_stops: AtomicUsize,
+    /// Invoked right after a collection is requested. The parking scheduler needs
+    /// this: workers parked on the pool's sleep condvar are not polling, so the
+    /// collector would otherwise wait out their parking timeout. The baselines install
+    /// `PoolWaker::wake_all` here, which kicks every parked worker back into its idle
+    /// loop where the idle hook polls (and parks them at this safepoint instead).
+    wake_hook: OnceLock<WakeHook>,
 }
 
 impl Safepoints {
@@ -65,6 +74,12 @@ impl Safepoints {
     /// Number of stop-the-world pauses that have completed.
     pub fn world_stops(&self) -> usize {
         self.world_stops.load(Ordering::SeqCst)
+    }
+
+    /// Installs the hook run whenever a collection is requested (see the field doc).
+    /// Set-once; later calls are ignored.
+    pub fn set_wake_hook(&self, hook: impl Fn() + Send + Sync + 'static) {
+        let _ = self.wake_hook.set(Arc::new(hook));
     }
 
     /// True if a collection has been requested and mutators should park.
@@ -101,6 +116,11 @@ impl Safepoints {
         match self.collector_lock.try_lock() {
             Some(_guard) => {
                 self.requested.store(true, Ordering::Release);
+                // Get parked scheduler workers moving so they hit a poll and park
+                // *here* instead of sleeping out their pool timeout.
+                if let Some(hook) = self.wake_hook.get() {
+                    hook();
+                }
                 {
                     let mut st = self.state.lock();
                     // Wait until every *other* registered thread is parked. The target is

@@ -333,7 +333,11 @@ mod tests {
 
     #[test]
     fn parallel_usp_tree_promotes_and_matches_distances() {
-        let rt = HhRuntime::with_workers(4);
+        // Eager per-fork heaps: the promotion assertion below must not depend on
+        // whether the scheduler happened to steal (under the default lazy steal-time
+        // heap policy, unstolen leaves run in the parent's heap and their
+        // tree-extension writes are same-heap).
+        let rt = HhRuntime::new(hh_runtime::HhConfig::eager_heaps(4));
         rt.run(|ctx| {
             let g = generate(ctx, 1500, 4, 64, 5);
             let expected = reference_bfs_distances(ctx, &g, 0);

@@ -10,7 +10,7 @@
 //! ```
 
 use hierheap::workloads::graph::{ancestor_list_len, bfs, generate, BfsState, BfsVariant};
-use hierheap::{HhRuntime, Runtime};
+use hierheap::{HhConfig, HhRuntime, Runtime};
 use std::time::Instant;
 
 fn main() {
@@ -22,7 +22,10 @@ fn main() {
             .unwrap_or(4)
     });
 
-    let rt = HhRuntime::with_workers(workers);
+    // Eager per-fork heaps so the promotion counts below reflect usp-tree's
+    // representative operation independent of how many forks were stolen (under the
+    // default lazy steal-time heap policy an unstolen leaf promotes nothing).
+    let rt = HhRuntime::new(HhConfig::eager_heaps(workers));
     let report = rt.run(|ctx| {
         let g = generate(ctx, n, 12, 2048, 7);
         println!("graph: {} vertices, {} edges", g.n, g.m);

@@ -11,7 +11,12 @@
 use hierheap::{HhConfig, HhRuntime, ObjKind, ObjPtr, ParCtx, Runtime};
 
 fn main() {
-    let rt = HhRuntime::new(HhConfig::with_workers(4));
+    // Eager per-fork child heaps, so the promotion shown below happens regardless of
+    // whether the scheduler steals: under the default lazy steal-time heap policy
+    // (`HhConfig::lazy_child_heaps`) an unstolen child runs in the parent's heap and
+    // its publishing write is an ordinary same-heap store — the promotion machinery
+    // only pays off when tasks actually ran in parallel.
+    let rt = HhRuntime::new(HhConfig::eager_heaps(4));
 
     let observed = rt.run(|ctx| {
         // A mutable ref cell, allocated at the root of the heap hierarchy.

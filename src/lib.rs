@@ -16,6 +16,16 @@
 //! * [`workloads`] — the paper's 17-benchmark suite and its substrates;
 //! * [`harness`] — the experiment driver regenerating the paper's tables and figures.
 //!
+//! Scheduling uses the v2 work-first scheduler (crate `hh-sched`): lock-free
+//! Chase–Lev deques, stack-resident fork jobs (an unstolen `join` allocates
+//! nothing), parking-based wakeups, and **lazy steal-time child heaps** — a fork
+//! creates heaps only when its right branch is actually stolen, which is what makes
+//! the common sequential case near-free (see the `heaps_elided` statistic in
+//! [`RunStats`] and the `join_overhead` bench). The design — object model, stack-map
+//! substitution, scheduler protocols, GC ownership rule, ablations — is documented
+//! in [`DESIGN.md`](https://github.com/paper-repo-growth/hierheap/blob/main/DESIGN.md)
+//! at the repository root.
+//!
 //! ## Quickstart
 //!
 //! Parallel loops go through `par_for`, which hands each leaf task a disjoint index
