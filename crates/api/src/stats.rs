@@ -48,6 +48,21 @@ pub struct RunStats {
     /// i.e. at most `2 * bulk_ops` in total (copies have two operands), independent of
     /// slice length.
     pub bulk_master_lookups: u64,
+    /// Collections whose zone spanned more than one heap — an internal node of the
+    /// hierarchy plus its completed descendants (hierarchical runtime only).
+    pub subtree_collections: u64,
+    /// Number of chunks ever minted by the chunk store (monotone).
+    pub chunks_created: u64,
+    /// Times a retired chunk was reused for a new owner instead of minting a fresh
+    /// one (monotone).
+    pub chunks_recycled: u64,
+    /// Default-sized chunk requests served from a per-thread allocation cache.
+    pub alloc_cache_hits: u64,
+    /// Words currently held by active chunks (gauge, at snapshot time).
+    pub live_words: u64,
+    /// Words currently parked on the store's free lists and allocation caches
+    /// (gauge, at snapshot time).
+    pub free_words: u64,
 }
 
 impl RunStats {
@@ -88,6 +103,25 @@ impl RunStats {
         self.bulk_ops += other.bulk_ops;
         self.bulk_words += other.bulk_words;
         self.bulk_master_lookups += other.bulk_master_lookups;
+        self.subtree_collections += other.subtree_collections;
+        self.chunks_created += other.chunks_created;
+        self.chunks_recycled += other.chunks_recycled;
+        self.alloc_cache_hits += other.alloc_cache_hits;
+        // Gauges: merged snapshots keep the larger instantaneous value, like peaks.
+        self.live_words = self.live_words.max(other.live_words);
+        self.free_words = self.free_words.max(other.free_words);
+    }
+
+    /// Fraction of chunk requests served by reuse rather than fresh minting
+    /// (0.0 when no chunk was ever handed out). `chunks_created + chunks_recycled`
+    /// counts every chunk the store ever handed to a heap.
+    pub fn recycle_rate(&self) -> f64 {
+        let total = self.chunks_created + self.chunks_recycled;
+        if total == 0 {
+            0.0
+        } else {
+            self.chunks_recycled as f64 / total as f64
+        }
     }
 
     /// Average words per bulk operation (0.0 if no bulk operation ran) — the
@@ -154,6 +188,46 @@ mod tests {
         assert_eq!(a.bulk_ops, 3);
         assert_eq!(a.bulk_words, 192);
         assert_eq!(a.bulk_master_lookups, 4);
+    }
+
+    #[test]
+    fn recycle_rate_counts_reuse_over_all_handouts() {
+        assert_eq!(RunStats::default().recycle_rate(), 0.0);
+        let s = RunStats {
+            chunks_created: 6,
+            chunks_recycled: 2,
+            ..Default::default()
+        };
+        assert!((s.recycle_rate() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_handles_memory_lifecycle_fields() {
+        let mut a = RunStats {
+            subtree_collections: 1,
+            chunks_recycled: 3,
+            chunks_created: 5,
+            alloc_cache_hits: 7,
+            live_words: 100,
+            free_words: 10,
+            ..Default::default()
+        };
+        let b = RunStats {
+            subtree_collections: 2,
+            chunks_recycled: 1,
+            chunks_created: 2,
+            alloc_cache_hits: 1,
+            live_words: 50,
+            free_words: 60,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.subtree_collections, 3);
+        assert_eq!(a.chunks_recycled, 4);
+        assert_eq!(a.chunks_created, 7);
+        assert_eq!(a.alloc_cache_hits, 8);
+        assert_eq!(a.live_words, 100, "gauges merge by max");
+        assert_eq!(a.free_words, 60, "gauges merge by max");
     }
 
     #[test]

@@ -46,10 +46,21 @@ impl FlatHeap {
     }
 
     /// Allocates an object in lane `lane`.
+    ///
+    /// Objects larger than the store's default chunk size get a dedicated chunk
+    /// without displacing the lane's current bump chunk, so a large-object detour
+    /// does not abandon the partially filled chunk that subsequent small objects
+    /// still fit in.
     pub fn alloc(&self, lane: usize, header: Header) -> ObjPtr {
         let lane = lane % self.lanes.len();
         let size = header.size_words();
         let mut cur = self.lanes[lane].lock();
+        if self.store.needs_dedicated_chunk(header) {
+            let (chunk, ptr) = self.store.alloc_dedicated(self.owner_raw, header);
+            self.chunks.lock().push(chunk.id());
+            self.allocated_words.fetch_add(size, Ordering::Relaxed);
+            return ptr;
+        }
         if let Some(id) = *cur {
             let chunk = self.store.chunk(id);
             if let Some(ptr) = self.store.alloc_in_chunk(chunk, header) {
@@ -88,6 +99,70 @@ impl FlatHeap {
     /// The chunk store this heap allocates from.
     pub fn store(&self) -> &Arc<ChunkStore> {
         &self.store
+    }
+
+    /// Retires every chunk of this heap and resets its allocation state. Used by the
+    /// runtimes to dispose of a completed run's memory before recycling (memory v2).
+    pub fn dispose(&self) {
+        for c in self.replace_chunks(Vec::new(), 0) {
+            self.store.retire_chunk(c);
+        }
+    }
+}
+
+/// Run-boundary bookkeeping shared by the baseline runtimes (memory v2).
+///
+/// The flat heaps of a completed run are unreachable once `run` has returned, but
+/// stale `ObjPtr`s in that run's Rust locals resolved through forwarding until then —
+/// so disposal (retire + reclaim into the store's free lists) happens at the *next*
+/// run start, and only once no other run is active. This mirrors `HhRuntime`'s reuse
+/// horizon; see DESIGN.md §5.
+#[derive(Default)]
+pub struct RunEpoch {
+    state: Mutex<EpochState>,
+}
+
+#[derive(Default)]
+struct EpochState {
+    /// Number of `run` calls currently executing.
+    active: usize,
+    /// True once at least one run has completed since the last disposal.
+    completed: bool,
+}
+
+impl RunEpoch {
+    /// Creates the bookkeeping for a freshly constructed runtime.
+    pub fn new() -> RunEpoch {
+        RunEpoch::default()
+    }
+
+    /// Marks a run as starting. If no other run is active and a previous run has
+    /// completed, `dispose` runs first — the runtime retires its heaps' chunks and
+    /// reclaims the store's quarantine there. The returned guard marks the run as
+    /// completed when dropped, so a panicking run closure cannot leave the epoch
+    /// permanently active (which would disable recycling for good).
+    #[must_use = "dropping the guard ends the run"]
+    pub fn begin(&self, dispose: impl FnOnce()) -> RunEpochGuard<'_> {
+        let mut st = self.state.lock();
+        if st.active == 0 && st.completed {
+            dispose();
+            st.completed = false;
+        }
+        st.active += 1;
+        RunEpochGuard { epoch: self }
+    }
+}
+
+/// Ends a run on drop; see [`RunEpoch::begin`].
+pub struct RunEpochGuard<'a> {
+    epoch: &'a RunEpoch,
+}
+
+impl Drop for RunEpochGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.epoch.state.lock();
+        st.active -= 1;
+        st.completed = true;
     }
 }
 
@@ -338,6 +413,15 @@ pub fn semispace_collect(
                     to_chunks: &mut Vec<ChunkId>,
                     to_set: &mut HashSet<ChunkId>,
                     current: &mut Option<ChunkId>| {
+        // Large survivors get a dedicated chunk without displacing the current bump
+        // chunk, so a large-object detour does not abandon the partially filled
+        // chunk that subsequent small survivors still fit in.
+        if store.needs_dedicated_chunk(header) {
+            let (chunk, ptr) = store.alloc_dedicated(owner_raw, header);
+            to_chunks.push(chunk.id());
+            to_set.insert(chunk.id());
+            return ptr;
+        }
         if let Some(id) = *current {
             let chunk: &Arc<Chunk> = store.chunk(id);
             if let Some(ptr) = store.alloc_in_chunk(chunk, header) {

@@ -1,6 +1,7 @@
 //! Statistics counters shared by the baseline runtimes.
 
 use hh_api::RunStats;
+use hh_objmodel::StoreStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -37,8 +38,9 @@ impl Counters {
             .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
-    /// Snapshot into the common [`RunStats`] format.
-    pub fn snapshot(&self, peak_live_words: u64, heaps: u64) -> RunStats {
+    /// Snapshot into the common [`RunStats`] format, merging in the chunk store's
+    /// memory accounting.
+    pub fn snapshot(&self, store: &StoreStats, heaps: u64) -> RunStats {
         RunStats {
             gc_time: Duration::from_nanos(self.gc_nanos.load(Ordering::Relaxed)),
             gc_count: self.gc_count.load(Ordering::Relaxed),
@@ -53,11 +55,19 @@ impl Counters {
             sched_steals: 0,
             sched_parks: 0,
             sched_wakes: 0,
-            peak_live_words,
+            peak_live_words: store.peak_words as u64,
             gc_copied_words: self.gc_copied_words.load(Ordering::Relaxed),
             bulk_ops: self.bulk_ops.load(Ordering::Relaxed),
             bulk_words: self.bulk_words.load(Ordering::Relaxed),
             bulk_master_lookups: self.bulk_master_lookups.load(Ordering::Relaxed),
+            // Flat heaps never collect subtrees; the store lifecycle fields apply to
+            // every runtime.
+            subtree_collections: 0,
+            chunks_created: store.chunks_created as u64,
+            chunks_recycled: store.chunks_recycled as u64,
+            alloc_cache_hits: store.alloc_cache_hits as u64,
+            live_words: store.live_words as u64,
+            free_words: store.free_words as u64,
         }
     }
 
@@ -98,12 +108,20 @@ mod tests {
         let c = Counters::default();
         c.allocated_words.fetch_add(5, Ordering::Relaxed);
         c.world_stops.fetch_add(2, Ordering::Relaxed);
-        let s = c.snapshot(9, 3);
+        let store = StoreStats {
+            peak_words: 9,
+            chunks_recycled: 4,
+            free_words: 11,
+            ..Default::default()
+        };
+        let s = c.snapshot(&store, 3);
         assert_eq!(s.allocated_words, 5);
         assert_eq!(s.world_stops, 2);
         assert_eq!(s.peak_live_words, 9);
         assert_eq!(s.heaps_created, 3);
+        assert_eq!(s.chunks_recycled, 4);
+        assert_eq!(s.free_words, 11);
         c.reset();
-        assert_eq!(c.snapshot(0, 0).allocated_words, 0);
+        assert_eq!(c.snapshot(&StoreStats::default(), 0).allocated_words, 0);
     }
 }

@@ -16,7 +16,7 @@
 //!   local heaps independently — that does not affect the promotion-cost comparison this
 //!   baseline exists for; the paper does not report Manticore GC percentages either).
 
-use crate::common::{resolve, semispace_collect, FlatHeap, RootRegistry, OWNER_GLOBAL};
+use crate::common::{resolve, semispace_collect, FlatHeap, RootRegistry, RunEpoch, OWNER_GLOBAL};
 use crate::counters::Counters;
 use hh_api::{ParCtx, RunStats, Runtime};
 use hh_objmodel::{ChunkStore, Header, ObjKind, ObjPtr};
@@ -34,6 +34,7 @@ pub(crate) struct DlgInner {
     pub(crate) safepoints: Arc<Safepoints>,
     pub(crate) pool: Pool,
     pub(crate) counters: Counters,
+    pub(crate) epoch: RunEpoch,
     pub(crate) promote_lock: Mutex<()>,
     pub(crate) gc_threshold_words: usize,
     pub(crate) chunk_words: usize,
@@ -88,6 +89,7 @@ impl DlgRuntime {
                 safepoints,
                 pool,
                 counters: Counters::default(),
+                epoch: RunEpoch::new(),
                 promote_lock: Mutex::new(()),
                 gc_threshold_words,
                 chunk_words,
@@ -429,6 +431,16 @@ impl Runtime for DlgRuntime {
         R: Send,
         F: FnOnce(&Self::Ctx) -> R + Send,
     {
+        // Completed runs' memory is disposed of and recycled here, at the reuse
+        // horizon (see `RunEpoch`); the guard ends the run even if `f` panics out
+        // through `Pool::run`.
+        let _epoch = self.inner.epoch.begin(|| {
+            self.inner.global.dispose();
+            for local in &self.inner.locals {
+                local.dispose();
+            }
+            self.inner.store.reclaim_retired();
+        });
         let inner = Arc::clone(&self.inner);
         self.inner.pool.run(move |worker| {
             let ctx = DlgCtx::new(inner, worker.clone(), false);
@@ -437,11 +449,10 @@ impl Runtime for DlgRuntime {
     }
 
     fn stats(&self) -> RunStats {
-        let peak = self.inner.store.stats().peak_words as u64;
-        let mut stats = self
-            .inner
-            .counters
-            .snapshot(peak, 1 + self.inner.locals.len() as u64);
+        let mut stats = self.inner.counters.snapshot(
+            &self.inner.store.stats(),
+            1 + self.inner.locals.len() as u64,
+        );
         let sched = self.inner.pool.sched_stats();
         stats.sched_steals = sched.steals as u64;
         stats.sched_parks = sched.parks as u64;

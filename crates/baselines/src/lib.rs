@@ -2,7 +2,7 @@
 //!
 //! The paper's evaluation compares its hierarchical-heap runtime (`mlton-parmem`)
 //! against three other systems. This crate provides Rust stand-ins for each, all
-//! implementing the same [`ParCtx`](hh_api::ParCtx) / [`Runtime`](hh_api::Runtime)
+//! implementing the same [`ParCtx`] / [`Runtime`]
 //! interface as `hh-runtime` so every benchmark runs unchanged on all of them:
 //!
 //! * [`SeqRuntime`] — the sequential `mlton` baseline: a single heap, no locks, `join`

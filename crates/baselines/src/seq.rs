@@ -5,7 +5,7 @@
 //! heap exceeds its threshold. Benchmark times measured on this runtime are the `T_s`
 //! baseline against which the parallel runtimes' overhead and speedup are computed.
 
-use crate::common::{resolve, semispace_collect, FlatHeap, RootRegistry};
+use crate::common::{resolve, semispace_collect, FlatHeap, RootRegistry, RunEpoch};
 use crate::counters::Counters;
 use hh_api::{ParCtx, RunStats, Runtime};
 use hh_objmodel::{ChunkStore, Header, ObjKind, ObjPtr};
@@ -22,6 +22,7 @@ struct SeqInner {
     heap: FlatHeap,
     roots: RootRegistry,
     counters: Counters,
+    epoch: RunEpoch,
     gc_threshold_words: usize,
     chunk_words: usize,
     enable_gc: bool,
@@ -52,6 +53,7 @@ impl SeqRuntime {
                 heap,
                 roots: RootRegistry::new(),
                 counters: Counters::default(),
+                epoch: RunEpoch::new(),
                 gc_threshold_words,
                 chunk_words,
                 enable_gc,
@@ -251,6 +253,12 @@ impl Runtime for SeqRuntime {
         R: Send,
         F: FnOnce(&Self::Ctx) -> R + Send,
     {
+        // Completed runs' memory is disposed of and recycled here, at the reuse
+        // horizon (see `RunEpoch`); the guard ends the run even if `f` panics.
+        let _epoch = self.inner.epoch.begin(|| {
+            self.inner.heap.dispose();
+            self.inner.store.reclaim_retired();
+        });
         let (root_id, roots) = self.inner.roots.register();
         let ctx = SeqCtx {
             inner: Arc::clone(&self.inner),
@@ -261,8 +269,7 @@ impl Runtime for SeqRuntime {
     }
 
     fn stats(&self) -> RunStats {
-        let peak = self.inner.store.stats().peak_words as u64;
-        self.inner.counters.snapshot(peak, 1)
+        self.inner.counters.snapshot(&self.inner.store.stats(), 1)
     }
 
     fn reset_stats(&self) {

@@ -9,7 +9,7 @@
 //! the world is stopped. This reproduces the property the paper's speedup comparison
 //! hinges on: GC work is serialized and every processor pays for it.
 
-use crate::common::{resolve, semispace_collect, FlatHeap, RootRegistry, OWNER_GLOBAL};
+use crate::common::{resolve, semispace_collect, FlatHeap, RootRegistry, RunEpoch, OWNER_GLOBAL};
 use crate::counters::Counters;
 use hh_api::{ParCtx, RunStats, Runtime};
 use hh_objmodel::{ChunkStore, Header, ObjKind, ObjPtr};
@@ -26,6 +26,7 @@ pub(crate) struct StwInner {
     pub(crate) safepoints: Arc<Safepoints>,
     pub(crate) pool: Pool,
     pub(crate) counters: Counters,
+    pub(crate) epoch: RunEpoch,
     pub(crate) gc_threshold_words: usize,
     pub(crate) chunk_words: usize,
     pub(crate) enable_gc: bool,
@@ -77,6 +78,7 @@ impl StwRuntime {
                 safepoints,
                 pool,
                 counters: Counters::default(),
+                epoch: RunEpoch::new(),
                 gc_threshold_words,
                 chunk_words,
                 enable_gc,
@@ -313,6 +315,13 @@ impl Runtime for StwRuntime {
         R: Send,
         F: FnOnce(&Self::Ctx) -> R + Send,
     {
+        // Completed runs' memory is disposed of and recycled here, at the reuse
+        // horizon (see `RunEpoch`); the guard ends the run even if `f` panics out
+        // through `Pool::run`.
+        let _epoch = self.inner.epoch.begin(|| {
+            self.inner.heap.dispose();
+            self.inner.store.reclaim_retired();
+        });
         let inner = Arc::clone(&self.inner);
         self.inner.pool.run(move |worker| {
             let ctx = StwCtx::new(inner, worker.clone());
@@ -321,8 +330,7 @@ impl Runtime for StwRuntime {
     }
 
     fn stats(&self) -> RunStats {
-        let peak = self.inner.store.stats().peak_words as u64;
-        let mut stats = self.inner.counters.snapshot(peak, 1);
+        let mut stats = self.inner.counters.snapshot(&self.inner.store.stats(), 1);
         let sched = self.inner.pool.sched_stats();
         stats.sched_steals = sched.steals as u64;
         stats.sched_parks = sched.parks as u64;

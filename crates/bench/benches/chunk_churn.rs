@@ -1,0 +1,101 @@
+//! Chunk churn — steady-state allocation with a bounded footprint (memory v2).
+//!
+//! This is the microbenchmark behind the memory v2 acceptance criterion. Each
+//! configuration reuses **one runtime across every iteration**: an iteration is one
+//! `run` performing a fixed amount of allocation churn (transient arrays plus
+//! threshold collections, with one pinned survivor). Before chunk recycling, every
+//! run's chunks were immortal — the store's footprint grew linearly with the
+//! iteration count. With the memory v2 lifecycle, a completed run's chunks are
+//! retired, reclaimed into size-classed free lists at the next run's start, and
+//! reused, so peak resident words stay flat no matter how many iterations execute.
+//!
+//! Besides the timing (which shows what recycling costs or saves on the allocation
+//! path), the bench prints a footprint summary per configuration at the end:
+//! `peak` must sit within a small factor of `live + free` after warmup instead of
+//! scaling with the iteration count, and `recycle%` shows how much of the chunk
+//! traffic the free lists absorbed.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hh_api::{ParCtx, RunStats, Runtime};
+use hh_baselines::{SeqRuntime, StwRuntime};
+use hh_runtime::{HhConfig, HhRuntime};
+use std::time::Duration;
+
+/// One iteration's churn: allocate and drop `rounds` transient arrays while keeping
+/// a pinned survivor, polling the collector throughout.
+fn churn(ctx: &impl ParCtx, rounds: usize) -> u64 {
+    let keep = ctx.alloc_data_array(64);
+    for i in 0..64 {
+        ctx.write_nonptr(keep, i, i as u64);
+    }
+    ctx.pin(keep);
+    for _ in 0..rounds {
+        let garbage = ctx.alloc_data_array(512);
+        ctx.write_nonptr(garbage, 0, 1);
+        ctx.maybe_collect();
+    }
+    let out = ctx.read_mut(keep, 63);
+    ctx.unpin(keep);
+    out
+}
+
+const ROUNDS: usize = 2_000;
+
+fn footprint_line(name: &str, stats: &RunStats) -> String {
+    format!(
+        "{name:>18}: peak {:>8} Kw, live {:>6} Kw, free {:>6} Kw, recycled {:>5} ({:.0}% of chunk traffic)",
+        stats.peak_live_words / 1024,
+        stats.live_words / 1024,
+        stats.free_words / 1024,
+        stats.chunks_recycled,
+        stats.recycle_rate() * 100.0
+    )
+}
+
+fn chunk_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chunk_churn");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+
+    let mut summaries: Vec<String> = Vec::new();
+
+    {
+        let rt = HhRuntime::new(HhConfig {
+            n_workers: 1,
+            chunk_words: 8 * 1024,
+            gc_threshold_words: 256 * 1024,
+            ..Default::default()
+        });
+        group.bench_function("parmem/recycling", |b| {
+            b.iter(|| black_box(rt.run(|ctx| churn(ctx, ROUNDS))))
+        });
+        summaries.push(footprint_line("parmem", &rt.stats()));
+    }
+
+    {
+        let rt = SeqRuntime::new();
+        group.bench_function("seq/recycling", |b| {
+            b.iter(|| black_box(rt.run(|ctx| churn(ctx, ROUNDS))))
+        });
+        summaries.push(footprint_line("seq", &rt.stats()));
+    }
+
+    {
+        let rt = StwRuntime::with_workers(2);
+        group.bench_function("stw/recycling", |b| {
+            b.iter(|| black_box(rt.run(|ctx| churn(ctx, ROUNDS))))
+        });
+        summaries.push(footprint_line("stw", &rt.stats()));
+    }
+
+    group.finish();
+
+    eprintln!("\nchunk_churn footprint after all iterations (bounded, not ∝ iterations):");
+    for line in summaries {
+        eprintln!("{line}");
+    }
+}
+
+criterion_group!(benches, chunk_churn);
+criterion_main!(benches);

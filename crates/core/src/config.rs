@@ -22,6 +22,13 @@ pub struct HhConfig {
     /// Enable the fast path of `writePtr` (skip master lookup and depth comparison when
     /// the object is in the current task's heap and has no forwarding pointer).
     pub enable_write_ptr_fast_path: bool,
+    /// Cap, in words, on the chunk store's free pool (memory v2).
+    ///
+    /// Chunks retired by collections flow back to the allocator through size-classed
+    /// free lists once they pass the reuse horizon (see DESIGN.md §5). When the free
+    /// pool would exceed this many words, the excess chunks are released instead of
+    /// kept for reuse, bounding the runtime's resident footprint between bursts.
+    pub max_free_words: usize,
     /// Create child heaps lazily, at steal time (scheduler v2 / ablation A2).
     ///
     /// When enabled (the default), `join` does not create heaps up front: both
@@ -56,6 +63,7 @@ impl Default for HhConfig {
             enable_gc: true,
             enable_read_write_fast_path: true,
             enable_write_ptr_fast_path: true,
+            max_free_words: 64 * 1024 * 1024, // 512 MiB of reusable chunk memory
             lazy_child_heaps: true,
         }
     }
@@ -86,6 +94,7 @@ mod tests {
         assert!(c.n_workers >= 1);
         assert!(c.chunk_words >= 16);
         assert!(c.gc_threshold_words > c.chunk_words);
+        assert!(c.max_free_words > c.gc_threshold_words);
         assert!(c.enable_gc && c.enable_read_write_fast_path && c.enable_write_ptr_fast_path);
     }
 

@@ -1,6 +1,7 @@
 //! Statistics counters shared by all tasks of a runtime.
 
 use hh_api::RunStats;
+use hh_objmodel::StoreStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -40,6 +41,9 @@ pub struct Counters {
     /// `findMaster` resolutions performed inside bulk operations (at most one per
     /// object operand, i.e. amortized across each contiguous slice).
     pub bulk_master_lookups: AtomicU64,
+    /// Collections whose zone spanned more than one heap (an internal node plus its
+    /// completed descendants — see `Inner::collect_subtree`).
+    pub subtree_collections: AtomicU64,
 }
 
 impl Counters {
@@ -49,9 +53,9 @@ impl Counters {
             .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
-    /// Builds a [`RunStats`] snapshot, combining these counters with the store's peak
-    /// occupancy (supplied by the caller).
-    pub fn snapshot(&self, peak_live_words: u64) -> RunStats {
+    /// Builds a [`RunStats`] snapshot, combining these counters with the chunk
+    /// store's memory accounting (supplied by the caller).
+    pub fn snapshot(&self, store: &StoreStats) -> RunStats {
         RunStats {
             gc_time: Duration::from_nanos(self.gc_nanos.load(Ordering::Relaxed)),
             gc_count: self.gc_count.load(Ordering::Relaxed),
@@ -66,11 +70,17 @@ impl Counters {
             // in `Runtime::stats`.
             sched_parks: 0,
             sched_wakes: 0,
-            peak_live_words,
+            peak_live_words: store.peak_words as u64,
             gc_copied_words: self.gc_copied_words.load(Ordering::Relaxed),
             bulk_ops: self.bulk_ops.load(Ordering::Relaxed),
             bulk_words: self.bulk_words.load(Ordering::Relaxed),
             bulk_master_lookups: self.bulk_master_lookups.load(Ordering::Relaxed),
+            subtree_collections: self.subtree_collections.load(Ordering::Relaxed),
+            chunks_created: store.chunks_created as u64,
+            chunks_recycled: store.chunks_recycled as u64,
+            alloc_cache_hits: store.alloc_cache_hits as u64,
+            live_words: store.live_words as u64,
+            free_words: store.free_words as u64,
         }
     }
 
@@ -100,6 +110,7 @@ impl Counters {
         self.bulk_ops.store(0, Ordering::Relaxed);
         self.bulk_words.store(0, Ordering::Relaxed);
         self.bulk_master_lookups.store(0, Ordering::Relaxed);
+        self.subtree_collections.store(0, Ordering::Relaxed);
     }
 }
 
@@ -108,17 +119,31 @@ mod tests {
     use super::*;
 
     #[test]
-    fn snapshot_reflects_counters() {
+    fn snapshot_reflects_counters_and_store() {
         let c = Counters::default();
         c.allocated_words.fetch_add(10, Ordering::Relaxed);
         c.promoted_objects.fetch_add(2, Ordering::Relaxed);
         c.promoted_words.fetch_add(6, Ordering::Relaxed);
+        c.subtree_collections.fetch_add(1, Ordering::Relaxed);
         c.add_gc_time(Duration::from_millis(3));
-        let s = c.snapshot(77);
+        let store = StoreStats {
+            peak_words: 77,
+            live_words: 40,
+            free_words: 8,
+            chunks_recycled: 3,
+            alloc_cache_hits: 5,
+            ..Default::default()
+        };
+        let s = c.snapshot(&store);
         assert_eq!(s.allocated_words, 10);
         assert_eq!(s.promoted_objects, 2);
         assert_eq!(s.promoted_words, 6);
         assert_eq!(s.peak_live_words, 77);
+        assert_eq!(s.live_words, 40);
+        assert_eq!(s.free_words, 8);
+        assert_eq!(s.chunks_recycled, 3);
+        assert_eq!(s.alloc_cache_hits, 5);
+        assert_eq!(s.subtree_collections, 1);
         assert!(s.gc_time >= Duration::from_millis(3));
     }
 
@@ -127,9 +152,11 @@ mod tests {
         let c = Counters::default();
         c.allocated_words.fetch_add(10, Ordering::Relaxed);
         c.gc_count.fetch_add(1, Ordering::Relaxed);
+        c.subtree_collections.fetch_add(1, Ordering::Relaxed);
         c.reset();
-        let s = c.snapshot(0);
+        let s = c.snapshot(&StoreStats::default());
         assert_eq!(s.allocated_words, 0);
         assert_eq!(s.gc_count, 0);
+        assert_eq!(s.subtree_collections, 0);
     }
 }

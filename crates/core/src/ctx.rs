@@ -32,8 +32,9 @@ impl RootFrame {
 
 /// The context of one running task in the hierarchical-heap runtime.
 ///
-/// A context is created for the root task by [`HhRuntime::run`](crate::HhRuntime::run)
-/// and for every child task by [`HhCtx::join`] (the paper's `forkjoin`, Figure 5). It
+/// A context is created for the root task by `HhRuntime::run` (see
+/// [`Runtime::run`](hh_api::Runtime::run)) and for every child task by `join` (the
+/// paper's `forkjoin`, Figure 5). It
 /// knows the task's heap — always a leaf of the hierarchy while the task runs — and
 /// carries the task's shadow stack of GC roots.
 ///
@@ -43,8 +44,8 @@ impl RootFrame {
 /// unstolen branch, which runs sequentially on the forking worker). Owners collect on
 /// threshold between their joins; borrowers collect the shared heap only while no
 /// stolen task is in flight (the steal gate), using the heap domain's shared shadow
-/// stack as the root set. See [`RootFrame`], [`HhCtx::maybe_collect_borrowed`] and
-/// DESIGN.md §4.2.
+/// stack as the root set. See the `RootFrame` and `maybe_collect_borrowed`
+/// internals and DESIGN.md §4.2 / §5.
 pub struct HhCtx {
     inner: Arc<Inner>,
     heap: HeapId,
@@ -133,7 +134,7 @@ impl HhCtx {
                 return false;
             };
             let mut roots = self.frame.pins.lock();
-            self.inner.collect_heap(self.heap, &mut roots);
+            self.inner.collect_subtree(self.heap, &mut roots);
             return true;
         }
         let mut roots = self.frame.pins.lock();
@@ -186,16 +187,26 @@ impl HhCtx {
         (ra, rb)
     }
 
-    /// Threshold collection for a context that borrows its heap.
+    /// Threshold collection for a context that borrows its heap: a *subtree*
+    /// collection of the borrowed heap plus its completed descendants.
     ///
     /// Sound because nothing outside this heap's ownership domain can observe the
-    /// heap mid-collection once `steal_gate.try_write()` succeeds: no stolen task is
-    /// in flight anywhere (each holds a read lock for its whole run and could be
+    /// subtree mid-collection once `steal_gate.try_write()` succeeds: no stolen task
+    /// is in flight anywhere (each holds a read lock for its whole run and could be
     /// reading this heap as an ancestor), and none can start until the write guard
-    /// drops. Everything *inside* the domain runs on this worker's thread, suspended
+    /// drops. Any live *descendant* heap was created by a steal, so — with the gate
+    /// held — its owner has already finished and the heap only awaits its join
+    /// splice; no task runs in it and its pins were dropped when its task completed.
+    /// Everything *inside* the domain runs on this worker's thread, suspended
     /// beneath this frame, and its pins all live in the shared domain frame — the
     /// complete root set, rewritten in place by the collector. Ancestors above the
-    /// owner cannot hold pointers into a heap created after their frames suspended.
+    /// owner cannot hold pointers into a heap created after their frames suspended,
+    /// and no heap outside the subtree can point into it (that would be
+    /// entanglement). A completed descendant's unpinned data (e.g. a branch's return
+    /// value, held only in a suspended Rust frame) is not retained; like all unpinned
+    /// from-space data it stays readable through the retired chunks until the
+    /// store's reuse horizon, and is rescued by the next collection that can reach
+    /// it. See DESIGN.md §5.
     fn maybe_collect_borrowed(&self) {
         let Ok(_gate) = self.inner.steal_gate.try_write() else {
             return;
@@ -204,7 +215,7 @@ impl HhCtx {
         // owner's and every borrower's, including frames suspended by help-loop
         // interleaving — so it is the complete root set (see `RootFrame`).
         let mut roots = self.frame.pins.lock();
-        self.inner.collect_heap(self.heap, &mut roots);
+        self.inner.collect_subtree(self.heap, &mut roots);
     }
 }
 

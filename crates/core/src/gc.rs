@@ -1,54 +1,116 @@
-//! Promotion-aware semispace collection of a leaf heap
-//! (the paper's §3.4 and Appendix A, Figure 14).
+//! Promotion-aware semispace collection of a heap-hierarchy subtree
+//! (the paper's §3.4 and Appendix A, Figure 14, generalized from one leaf heap to a
+//! subtree: an internal node plus its completed descendants).
 
 use crate::runtime::Inner;
 use hh_heaps::HeapId;
-use hh_objmodel::{ChunkId, Header, ObjPtr};
-use std::collections::HashSet;
+use hh_objmodel::{ChunkId, ChunkStore, Header, ObjPtr};
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// To-space allocation state used during one collection.
+/// To-space allocation state of one heap participating in a collection.
+#[derive(Default)]
 struct ToSpace {
     chunks: Vec<ChunkId>,
-    chunk_set: HashSet<ChunkId>,
     current: Option<ChunkId>,
     copied_words: usize,
 }
 
-impl ToSpace {
-    fn new() -> ToSpace {
-        ToSpace {
-            chunks: Vec::new(),
-            chunk_set: HashSet::new(),
-            current: None,
-            copied_words: 0,
-        }
-    }
+/// One promotion-aware Cheney collection over a set of heaps (the *zone*).
+///
+/// Every object is evacuated into a to-space owned by its own (resolved) heap, so a
+/// subtree collection preserves each survivor's placement in the hierarchy — a
+/// completed descendant's live data stays in that descendant, ready for the join
+/// splice that will eventually merge it upward.
+struct SubtreeCollector<'a> {
+    inner: &'a Inner,
+    /// The heaps being evacuated.
+    zone: HashSet<HeapId>,
+    /// Per-heap to-space allocation state.
+    tos: HashMap<HeapId, ToSpace>,
+    /// Every to-space chunk of this collection (for the "already copied" test).
+    to_chunks: HashSet<ChunkId>,
+    /// Worklist of copies whose pointer fields still need scanning.
+    pending: Vec<ObjPtr>,
+}
 
-    fn alloc(
-        &mut self,
-        store: &Arc<hh_objmodel::ChunkStore>,
-        owner_raw: u32,
-        header: Header,
-    ) -> ObjPtr {
-        if let Some(cur) = self.current {
+impl SubtreeCollector<'_> {
+    /// Allocates a copy of `header` in `heap`'s to-space.
+    ///
+    /// Objects larger than the default chunk size get a dedicated chunk without
+    /// displacing the current bump chunk, so a large-object detour does not abandon
+    /// the partially filled chunk that subsequent small survivors still fit in.
+    fn alloc_to(&mut self, store: &Arc<ChunkStore>, heap: HeapId, header: Header) -> ObjPtr {
+        let to = self.tos.entry(heap).or_default();
+        let size = header.size_words();
+        to.copied_words += size;
+        if store.needs_dedicated_chunk(header) {
+            let (chunk, ptr) = store.alloc_dedicated(heap.raw(), header);
+            to.chunks.push(chunk.id());
+            self.to_chunks.insert(chunk.id());
+            return ptr;
+        }
+        if let Some(cur) = to.current {
             let chunk = store.chunk(cur);
             if let Some(ptr) = store.alloc_in_chunk(chunk, header) {
-                self.copied_words += header.size_words();
                 return ptr;
             }
         }
-        let chunk = store.alloc_chunk(owner_raw, header.size_words());
+        let chunk = store.alloc_chunk(heap.raw(), size);
         let ptr = store
             .alloc_in_chunk(&chunk, header)
             .expect("fresh to-space chunk too small");
-        self.current = Some(chunk.id());
-        self.chunks.push(chunk.id());
-        self.chunk_set.insert(chunk.id());
-        self.copied_words += header.size_words();
+        to.current = Some(chunk.id());
+        to.chunks.push(chunk.id());
+        self.to_chunks.insert(chunk.id());
         ptr
+    }
+
+    /// `cheneyCopy` (Figure 14), worklist formulation over a multi-heap zone. Returns
+    /// the relocated address of `obj` with respect to this collection.
+    fn forward(&mut self, obj: ObjPtr) -> ObjPtr {
+        if obj.is_null() {
+            return ObjPtr::NULL;
+        }
+        // Copy the `&Inner` out so the store borrow is independent of `&mut self`.
+        let inner = self.inner;
+        let store = inner.registry.store();
+        let mut cur = obj;
+        loop {
+            // Case 1: already a to-space copy made by this collection.
+            if self.to_chunks.contains(&cur.chunk()) {
+                return cur;
+            }
+            // Case 2: outside the collection zone — an ancestor heap (including
+            // copies introduced by earlier promotions) or, defensively, any other
+            // heap. Note that `heap_of` resolves merges, so chunks retired by earlier
+            // collections whose owner resolves into the zone are treated as in-zone:
+            // a reachable object stranded in a retired chunk is rescued here.
+            let heap = self.inner.registry.heap_of(cur);
+            if !self.zone.contains(&heap) {
+                return cur;
+            }
+            let v = store.view(cur);
+            // Follow forwarding chains (they may lead to a promotion copy above us,
+            // to a to-space copy, or to another from-space object of the zone).
+            if v.has_fwd() {
+                cur = v.fwd();
+                continue;
+            }
+            // Case 3: live from-space object of the zone — evacuate it into its own
+            // heap's to-space.
+            let header = v.header();
+            let copy = self.alloc_to(store, heap, header);
+            let cv = store.view(copy);
+            for f in 0..header.n_fields() {
+                cv.set_field(f, v.field(f));
+            }
+            v.set_fwd(copy);
+            self.pending.push(copy);
+            return copy;
+        }
     }
 }
 
@@ -63,100 +125,112 @@ impl Inner {
     /// rewriting each root to its new location.
     ///
     /// Thanks to disentanglement no other task can hold pointers into a leaf heap, so
-    /// the owning task collects it without any locking or synchronization — exactly the
-    /// independence property the paper's design is built around. The collection is the
-    /// promotion-aware Cheney copy of Figure 14:
-    ///
-    /// * a forwarding chain that leads into the to-space identifies a copy made by this
-    ///   collection — reuse it;
-    /// * a chain that leads out of the collected heap (into an ancestor from-space)
-    ///   identifies a copy made by an earlier *promotion* — reuse it, thereby
-    ///   eliminating the duplicate left in this heap;
-    /// * otherwise the object is live data of this heap and is evacuated to to-space.
+    /// the owning task collects it without any locking or synchronization — exactly
+    /// the independence property the paper's design is built around. This is the
+    /// degenerate (single-heap) case of [`Inner::collect_subtree`].
     pub(crate) fn collect_heap(&self, heap_id: HeapId, roots: &mut [ObjPtr]) {
+        let top = self.registry.resolve(heap_id);
+        self.collect_zone(vec![top], roots);
+    }
+
+    /// Collects the whole live subtree rooted at `heap_id`: the (resolved) heap
+    /// itself plus every live descendant, in one promotion-aware Cheney pass.
+    ///
+    /// The live descendants are heaps created by steals whose fork has not joined
+    /// yet. The caller must hold the steal gate exclusively (see
+    /// `HhCtx::maybe_collect_borrowed`): that guarantees no stolen task is executing
+    /// anywhere, so every such descendant's owner has already finished — the heap is
+    /// merely waiting for its join splice — and the only running tasks of the subtree
+    /// are the caller's own domain, whose pins form `roots`. Memory merged upward at
+    /// earlier joins (now part of the internal node's chunk list) is evacuated along
+    /// with everything else, so it stops being immortal.
+    pub(crate) fn collect_subtree(&self, heap_id: HeapId, roots: &mut [ObjPtr]) {
+        let top = self.registry.resolve(heap_id);
+        let zone = self.registry.live_subtree(top);
+        self.collect_zone(zone, roots);
+    }
+
+    /// The shared collection body: evacuates `zone` (a set of live heaps), treating
+    /// `roots` as the root set and rewriting each root to its new location.
+    ///
+    /// The collection is the promotion-aware Cheney copy of Figure 14:
+    ///
+    /// * a forwarding chain that leads into a to-space identifies a copy made by this
+    ///   collection — reuse it;
+    /// * a chain that leads out of the zone (into an ancestor from-space) identifies
+    ///   a copy made by an earlier *promotion* — reuse it, thereby eliminating the
+    ///   duplicate left in this subtree;
+    /// * otherwise the object is live data of the zone and is evacuated into the
+    ///   to-space of its own heap.
+    fn collect_zone(&self, zone: Vec<HeapId>, roots: &mut [ObjPtr]) {
         if !self.config.enable_gc {
             return;
         }
         let start = Instant::now();
         let store = self.registry.store();
-        let heap_id = self.registry.resolve(heap_id);
-        let heap = self.registry.heap(heap_id);
-        let old_chunks = heap.chunks();
+        let old_chunks: Vec<(HeapId, Vec<ChunkId>)> = zone
+            .iter()
+            .map(|&h| (h, self.registry.heap(h).chunks()))
+            .collect();
+        let n_heaps = zone.len();
 
-        let mut to = ToSpace::new();
-        let mut pending: Vec<ObjPtr> = Vec::new();
-
+        let mut col = SubtreeCollector {
+            inner: self,
+            zone: zone.into_iter().collect(),
+            tos: HashMap::new(),
+            to_chunks: HashSet::new(),
+            pending: Vec::new(),
+        };
         for r in roots.iter_mut() {
-            *r = self.cheney_forward(heap_id, *r, &mut to, &mut pending);
+            *r = col.forward(*r);
         }
-        while let Some(copy) = pending.pop() {
+        while let Some(copy) = col.pending.pop() {
             let v = store.view(copy);
             for f in 0..v.n_ptr() {
                 let old = v.field_ptr(f);
-                let new = self.cheney_forward(heap_id, old, &mut to, &mut pending);
+                let new = col.forward(old);
                 v.set_field_ptr(f, new);
             }
         }
 
-        // Install the to-space as the heap's new from-space and retire the old chunks.
-        // Old chunk contents stay readable (this is a simulator: memory is reclaimed
-        // only in the accounting sense), which keeps stale `ObjPtr` copies held in Rust
-        // locals harmless — they resolve through forwarding pointers on their next
-        // mutable access. See DESIGN.md (substitution for precise stack maps).
-        let new_chunks = to.chunks.clone();
-        heap.replace_chunks(new_chunks, to.copied_words);
-        for c in &old_chunks {
-            store.retire_chunk(*c);
+        // Install each heap's to-space as its new from-space and retire the old
+        // chunks. Old chunk contents stay readable until the store's reuse horizon
+        // passes (they enter the quarantine — see `ChunkStore::reclaim_retired`),
+        // which keeps stale `ObjPtr` copies held in Rust locals harmless — they
+        // resolve through forwarding pointers on their next mutable access. See
+        // DESIGN.md §2 (substitution for precise stack maps) and §5.
+        let mut copied_total = 0usize;
+        for (heap, old) in old_chunks {
+            let mut to = col.tos.remove(&heap).unwrap_or_default();
+            copied_total += to.copied_words;
+            // `replace_chunks` resumes bump allocation from the *last* chunk of the
+            // list; make sure that is the partially filled bump chunk, not a full
+            // dedicated large-object chunk that happened to be evacuated after it.
+            if let Some(cur) = to.current {
+                if to.chunks.last() != Some(&cur) {
+                    if let Some(pos) = to.chunks.iter().position(|&c| c == cur) {
+                        to.chunks.remove(pos);
+                        to.chunks.push(cur);
+                    }
+                }
+            }
+            self.registry
+                .heap(heap)
+                .replace_chunks(to.chunks, to.copied_words);
+            for c in old {
+                store.retire_chunk(c);
+            }
         }
 
         self.counters.gc_count.fetch_add(1, Ordering::Relaxed);
+        if n_heaps > 1 {
+            self.counters
+                .subtree_collections
+                .fetch_add(1, Ordering::Relaxed);
+        }
         self.counters
             .gc_copied_words
-            .fetch_add(to.copied_words as u64, Ordering::Relaxed);
+            .fetch_add(copied_total as u64, Ordering::Relaxed);
         self.counters.add_gc_time(start.elapsed());
-    }
-
-    /// `cheneyCopy` (Figure 14), worklist formulation. Returns the relocated address of
-    /// `obj` with respect to a collection of `top_heap`.
-    fn cheney_forward(
-        &self,
-        top_heap: HeapId,
-        obj: ObjPtr,
-        to: &mut ToSpace,
-        pending: &mut Vec<ObjPtr>,
-    ) -> ObjPtr {
-        if obj.is_null() {
-            return ObjPtr::NULL;
-        }
-        let store = self.registry.store();
-        let mut cur = obj;
-        loop {
-            // Case 1: already a to-space copy made by this collection.
-            if to.chunk_set.contains(&cur.chunk()) {
-                return cur;
-            }
-            // Case 2: outside the collection zone — either an ancestor heap (including
-            // copies introduced by earlier promotions) or, defensively, any other heap.
-            if self.registry.heap_of(cur) != top_heap {
-                return cur;
-            }
-            let v = store.view(cur);
-            // Follow forwarding chains (they may lead to a promotion copy above us, to a
-            // to-space copy, or to another from-space object of this heap).
-            if v.has_fwd() {
-                cur = v.fwd();
-                continue;
-            }
-            // Case 3: live from-space object of this heap — evacuate it.
-            let header = v.header();
-            let copy = to.alloc(store, top_heap.raw(), header);
-            let cv = store.view(copy);
-            for f in 0..header.n_fields() {
-                cv.set_field(f, v.field(f));
-            }
-            v.set_fwd(copy);
-            pending.push(copy);
-            return copy;
-        }
     }
 }

@@ -4,11 +4,32 @@ use crate::config::HhConfig;
 use crate::counters::Counters;
 use crate::ctx::HhCtx;
 use hh_api::{RunStats, Runtime};
-use hh_heaps::HeapRegistry;
+use hh_heaps::{HeapId, HeapRegistry};
 use hh_objmodel::ChunkStore;
 use hh_sched::Pool;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+
+/// Bookkeeping of active and completed `run` calls: the memory of a completed run's
+/// heap tree is disposed of — and the store's quarantine reclaimed — at the start of
+/// the next run, once no other run is active (the reuse horizon; see
+/// `ChunkStore::reclaim_retired` and DESIGN.md §5).
+#[derive(Default)]
+struct RunEpoch {
+    /// Number of `run` calls currently executing.
+    active: usize,
+    /// Completed runs awaiting disposal.
+    completed_roots: Vec<CompletedRun>,
+}
+
+/// A completed run: its root heap plus the registry-index range of heaps created
+/// while it was active. Disposal scans only that range instead of every heap the
+/// runtime ever created, so the per-run cost is bounded by the run's own heap count
+/// (plus any concurrently created heaps, which the ancestor filter skips).
+struct CompletedRun {
+    root: HeapId,
+    heaps: std::ops::Range<usize>,
+}
 
 /// Shared state of one hierarchical-heap runtime: the heap registry (which owns the
 /// chunk store), the scheduler pool, the configuration, and the statistics counters.
@@ -25,6 +46,66 @@ pub(crate) struct Inner {
     /// reading this heap as one of its ancestors) is in flight, with new steals
     /// blocking for the (short) duration of the collection. See DESIGN.md §4.2.
     pub(crate) steal_gate: std::sync::RwLock<()>,
+    run_epoch: parking_lot::Mutex<RunEpoch>,
+}
+
+impl Inner {
+    /// Starts a run: disposes of the heap trees of previously completed runs and
+    /// passes the store's reuse horizon if no other run is active, then creates this
+    /// run's root heap.
+    ///
+    /// Retired chunks stay readable until here so that stale `ObjPtr`s in the
+    /// completed runs' Rust locals kept resolving through forwarding; those locals
+    /// are gone once their run returned, and concurrent runs' trees are disjoint
+    /// (disentanglement), so reclaiming with *no* run active is the sound horizon.
+    /// Consequently an `ObjPtr` must not be carried from one `run` into a later one:
+    /// its chunk may have been recycled for the new run (debug builds catch such
+    /// stale pointers via the zeroed headers and the chunk generation tag).
+    fn begin_run(&self) -> (HeapId, usize) {
+        let mut epoch = self.run_epoch.lock();
+        if epoch.active == 0 {
+            for run in epoch.completed_roots.drain(..) {
+                self.registry.dispose_subtree_in(run.root, run.heaps);
+            }
+            self.registry.store().reclaim_retired();
+        }
+        epoch.active += 1;
+        drop(epoch);
+        // Watermark before creating the root: every heap of this run (the root
+        // included) gets an index at or above it.
+        let heaps_before = self.registry.n_heaps();
+        let root = self.registry.new_root_heap();
+        self.counters.heaps_created.fetch_add(1, Ordering::Relaxed);
+        (root, heaps_before)
+    }
+
+    /// Ends a run: its heap tree becomes disposable at the next `begin_run` that
+    /// observes no active runs.
+    fn end_run(&self, root: HeapId, heaps_before: usize, heaps_after: usize) {
+        let mut epoch = self.run_epoch.lock();
+        epoch.active -= 1;
+        epoch.completed_roots.push(CompletedRun {
+            root,
+            heaps: heaps_before..heaps_after,
+        });
+    }
+}
+
+/// Ends the run on drop, so a panicking run closure (propagated by `Pool::run`)
+/// cannot leave the epoch permanently active — which would disable disposal and
+/// recycling for the rest of the runtime's life.
+struct EndRunGuard<'a> {
+    inner: &'a Inner,
+    root: HeapId,
+    heaps_before: usize,
+}
+
+impl Drop for EndRunGuard<'_> {
+    fn drop(&mut self) {
+        let heaps_after = self.inner.registry.n_heaps();
+        self.inner
+            .end_run(self.root, self.heaps_before, heaps_after);
+    }
 }
 
 /// The hierarchical-heap runtime with mutation support (`mlton-parmem` in the paper's
@@ -50,6 +131,7 @@ impl HhRuntime {
     /// Creates a runtime from a configuration.
     pub fn new(config: HhConfig) -> HhRuntime {
         let store = Arc::new(ChunkStore::new(config.chunk_words));
+        store.set_max_free_words(config.max_free_words);
         let registry = HeapRegistry::new(store);
         let pool = Pool::new(config.n_workers);
         let counters = Arc::new(Counters::default());
@@ -69,6 +151,7 @@ impl HhRuntime {
                 config,
                 counters,
                 steal_gate: std::sync::RwLock::new(()),
+                run_epoch: parking_lot::Mutex::new(RunEpoch::default()),
             }),
         }
     }
@@ -87,6 +170,13 @@ impl HhRuntime {
     /// invariant holds). Only meaningful while no tasks are running.
     pub fn check_disentangled(&self) -> usize {
         self.inner.registry.check_disentangled().len()
+    }
+
+    /// Snapshot of the chunk store's memory accounting and lifecycle state (chunk
+    /// counts per state, free/live/peak words — for tests, the harness, and
+    /// diagnostics).
+    pub fn store_stats(&self) -> hh_objmodel::StoreStats {
+        self.inner.registry.store().stats()
     }
 
     /// Number of heaps created so far (for tests and diagnostics).
@@ -117,20 +207,26 @@ impl Runtime for HhRuntime {
         R: Send,
         F: FnOnce(&Self::Ctx) -> R + Send,
     {
+        // Each root task gets a fresh root heap, mirroring `main` owning the root of
+        // the hierarchy in the paper's Figure 2. `begin_run` also disposes of earlier
+        // runs' heap trees and recycles their chunks (see `Inner::begin_run`); the
+        // guard ends the run even if `f` panics out through `Pool::run`.
+        let (root_heap, heaps_before) = self.inner.begin_run();
+        let _guard = EndRunGuard {
+            inner: &self.inner,
+            root: root_heap,
+            heaps_before,
+        };
         let inner = Arc::clone(&self.inner);
         self.inner.pool.run(move |worker| {
-            // Each root task gets a fresh root heap, mirroring `main` owning the root of
-            // the hierarchy in the paper's Figure 2.
-            let root_heap = inner.registry.new_root_heap();
-            inner.counters.heaps_created.fetch_add(1, Ordering::Relaxed);
             let ctx = HhCtx::new(Arc::clone(&inner), root_heap, worker.clone(), true);
             f(&ctx)
         })
     }
 
     fn stats(&self) -> RunStats {
-        let peak = self.inner.registry.store().stats().peak_words as u64;
-        let mut stats = self.inner.counters.snapshot(peak);
+        let store_stats = self.inner.registry.store().stats();
+        let mut stats = self.inner.counters.snapshot(&store_stats);
         // Parking statistics live in the pool (cumulative over its lifetime); steals
         // are counted through the on-steal hook so they reset with the other counters.
         let sched = self.inner.pool.sched_stats();

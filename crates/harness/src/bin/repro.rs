@@ -13,17 +13,18 @@
 //!   promotion   promotion volume on `map` (§4.4)
 //!   ablation    fast-path ablation (DESIGN.md A1)
 //!   sched       scheduler counters (steals, parks, wakes, heaps elided)
+//!   mem         memory lifecycle (peak/live/free words, recycle rates)
 //!   all         everything above
 //! ```
 
 use hh_harness::experiments::{
-    ablation_fastpath, fig10, fig11, fig12, fig13, fig8, fig9, promotion_volume, sched_counters,
-    ExpConfig,
+    ablation_fastpath, fig10, fig11, fig12, fig13, fig8, fig9, mem_lifecycle, promotion_volume,
+    sched_counters, ExpConfig,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig8|fig9|fig10|fig11|fig12|fig13|promotion|ablation|sched|all> \
+        "usage: repro <fig8|fig9|fig10|fig11|fig12|fig13|promotion|ablation|sched|mem|all> \
          [--scale S] [--procs P] [--grain G]"
     );
     std::process::exit(2);
@@ -79,6 +80,7 @@ fn main() {
         "promotion" => println!("{}", promotion_volume(cfg).render()),
         "ablation" => println!("{}", ablation_fastpath(cfg).render()),
         "sched" => println!("{}", sched_counters(cfg).render()),
+        "mem" => println!("{}", mem_lifecycle(cfg).render()),
         _ => usage(),
     };
 
@@ -93,6 +95,7 @@ fn main() {
             "promotion",
             "ablation",
             "sched",
+            "mem",
         ] {
             run(name);
         }

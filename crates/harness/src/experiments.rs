@@ -1,8 +1,9 @@
 //! The experiments: one function per table / figure of the paper's evaluation.
 
-use crate::measure::{measure, measure_parmem_with_config, Measurement, RuntimeKind};
+use crate::measure::{measure, measure_on, measure_parmem_with_config, Measurement, RuntimeKind};
 use crate::table::{megabytes, percent, ratio, secs, Table};
 use hh_api::{ObjKind, ParCtx, Runtime};
+use hh_baselines::{DlgRuntime, SeqRuntime, StwRuntime};
 use hh_objmodel::ObjPtr;
 use hh_runtime::{HhConfig, HhRuntime};
 use hh_workloads::suite::{BenchId, Params};
@@ -445,6 +446,86 @@ pub fn sched_counters(cfg: ExpConfig) -> Table {
 }
 
 // ---------------------------------------------------------------------------
+// Memory lifecycle (not in the paper; memory v2 observability).
+// ---------------------------------------------------------------------------
+
+/// Memory-lifecycle summary (`repro mem`): per benchmark and runtime, the steady-state
+/// footprint — peak/live/free words — plus how much of the chunk traffic was served by
+/// recycling rather than fresh allocation.
+///
+/// Each benchmark runs **twice on one runtime**: the reuse horizon passes between
+/// runs (a completed run's heap tree is disposed of and its chunks reclaimed when the
+/// next run begins, DESIGN.md §5), so the second run's chunk demand is served from
+/// the free lists. The table reports the state after the second run; `recycle%` is
+/// the fraction of all chunks ever handed out that were reused buffers.
+pub fn mem_lifecycle(cfg: ExpConfig) -> Table {
+    mem_lifecycle_for(cfg, &BenchId::ALL)
+}
+
+fn mem_lifecycle_for(cfg: ExpConfig, benches: &[BenchId]) -> Table {
+    let mut table = Table::new(
+        "Memory lifecycle — steady state after two runs (peak/live/free in Kwords)",
+        &[
+            "benchmark",
+            "runtime",
+            "peak",
+            "live",
+            "free",
+            "recycled",
+            "recycle%",
+            "cache hits",
+            "subtree GCs",
+        ],
+    );
+    let params = cfg.params();
+    let kwords = |w: u64| format!("{:.1}", w as f64 / 1024.0);
+    for &bench in benches {
+        for kind in [
+            RuntimeKind::Seq,
+            RuntimeKind::Stw,
+            RuntimeKind::Dlg,
+            RuntimeKind::Parmem,
+        ] {
+            let m = match kind {
+                RuntimeKind::Seq => {
+                    let rt = SeqRuntime::new();
+                    measure_on(&rt, bench, params, 1);
+                    measure_on(&rt, bench, params, 1)
+                }
+                RuntimeKind::Stw => {
+                    let rt = StwRuntime::with_workers(cfg.procs);
+                    measure_on(&rt, bench, params, cfg.procs);
+                    measure_on(&rt, bench, params, cfg.procs)
+                }
+                RuntimeKind::Dlg => {
+                    let rt = DlgRuntime::with_workers(cfg.procs);
+                    measure_on(&rt, bench, params, cfg.procs);
+                    measure_on(&rt, bench, params, cfg.procs)
+                }
+                RuntimeKind::Parmem => {
+                    let rt = HhRuntime::new(HhConfig::with_workers(cfg.procs));
+                    measure_on(&rt, bench, params, cfg.procs);
+                    measure_on(&rt, bench, params, cfg.procs)
+                }
+            };
+            let s = &m.stats;
+            table.row(vec![
+                bench.name().to_string(),
+                kind.short().to_string(),
+                kwords(s.peak_live_words),
+                kwords(s.live_words),
+                kwords(s.free_words),
+                s.chunks_recycled.to_string(),
+                percent(s.recycle_rate()),
+                s.alloc_cache_hits.to_string(),
+                s.subtree_collections.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
 // Ablations (not in the paper; DESIGN.md A1/A2).
 // ---------------------------------------------------------------------------
 
@@ -541,6 +622,28 @@ mod tests {
                 elided > 0,
                 "{}: no heaps elided on a fork-join workload",
                 toks[0]
+            );
+        }
+    }
+
+    #[test]
+    fn mem_lifecycle_reports_recycling_in_steady_state() {
+        let t = mem_lifecycle_for(tiny_cfg(), &[BenchId::Reduce, BenchId::MsortPure]);
+        assert_eq!(t.n_rows(), 2 * 4);
+        let rendered = t.render();
+        // Every runtime reuses chunk memory on its second run: the recycled column
+        // (index 5) must be positive on each data row.
+        for line in rendered.lines().skip(3) {
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            if toks.is_empty() {
+                continue;
+            }
+            let recycled: u64 = toks[5].parse().expect("recycled column");
+            assert!(
+                recycled > 0,
+                "{} on {}: no chunks recycled across runs",
+                toks[0],
+                toks[1]
             );
         }
     }

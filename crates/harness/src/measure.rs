@@ -65,7 +65,18 @@ impl Measurement {
     }
 }
 
-fn run_on<R: Runtime>(rt: &R, bench: BenchId, params: Params, workers: usize) -> Measurement {
+/// Runs `bench` once on an *existing* runtime and collects its statistics.
+///
+/// Unlike [`measure`], which constructs a fresh runtime, this lets callers reuse one
+/// runtime across several runs — the pattern the memory-lifecycle experiments need,
+/// since chunks retired by one run are recycled by the next (`repro mem`, the
+/// `chunk_churn` bench).
+pub fn measure_on<R: Runtime>(
+    rt: &R,
+    bench: BenchId,
+    params: Params,
+    workers: usize,
+) -> Measurement {
     let outcome = rt.run(|ctx| run_timed(ctx, bench, params));
     Measurement {
         runtime: rt.name().to_string(),
@@ -83,19 +94,19 @@ pub fn measure(kind: RuntimeKind, workers: usize, bench: BenchId, params: Params
     match kind {
         RuntimeKind::Seq => {
             let rt = SeqRuntime::new();
-            run_on(&rt, bench, params, 1)
+            measure_on(&rt, bench, params, 1)
         }
         RuntimeKind::Stw => {
             let rt = StwRuntime::with_workers(workers);
-            run_on(&rt, bench, params, workers)
+            measure_on(&rt, bench, params, workers)
         }
         RuntimeKind::Dlg => {
             let rt = DlgRuntime::with_workers(workers);
-            run_on(&rt, bench, params, workers)
+            measure_on(&rt, bench, params, workers)
         }
         RuntimeKind::Parmem => {
             let rt = HhRuntime::new(HhConfig::with_workers(workers));
-            run_on(&rt, bench, params, workers)
+            measure_on(&rt, bench, params, workers)
         }
     }
 }
@@ -104,7 +115,7 @@ pub fn measure(kind: RuntimeKind, workers: usize, bench: BenchId, params: Params
 pub fn measure_parmem_with_config(config: HhConfig, bench: BenchId, params: Params) -> Measurement {
     let workers = config.n_workers;
     let rt = HhRuntime::new(config);
-    run_on(&rt, bench, params, workers)
+    measure_on(&rt, bench, params, workers)
 }
 
 #[cfg(test)]

@@ -117,9 +117,19 @@ impl Heap {
     ///
     /// Thread-safe: the owning task allocates here, but promotions performed by other
     /// tasks (holding this heap's WRITE lock) also allocate into ancestor heaps.
+    ///
+    /// Objects larger than the store's default chunk size get a dedicated chunk
+    /// *without* displacing the current bump chunk, so a large-object detour does not
+    /// abandon the partially filled chunk that subsequent small objects still fit in.
     pub fn alloc_obj(&self, store: &ChunkStore, header: Header) -> ObjPtr {
         let size = header.size_words();
         let mut st = self.alloc.lock();
+        if store.needs_dedicated_chunk(header) {
+            let (chunk, ptr) = store.alloc_dedicated(self.id.raw(), header);
+            st.chunks.push(chunk.id());
+            self.allocated_words.fetch_add(size, Ordering::Relaxed);
+            return ptr;
+        }
         if let Some(cur) = st.current {
             let chunk = store.chunk(cur);
             if let Some(ptr) = store.alloc_in_chunk(chunk, header) {
@@ -186,6 +196,16 @@ impl Heap {
         old
     }
 
+    /// Empties the heap's allocation state and returns every chunk it held. Unlike
+    /// [`Heap::replace_chunks`] this does not count as a collection; it is used by
+    /// the runtimes to dispose of a completed run's heap tree before recycling.
+    pub fn take_all_chunks(&self) -> Vec<ChunkId> {
+        let mut st = self.alloc.lock();
+        st.current = None;
+        self.allocated_words.store(0, Ordering::Relaxed);
+        std::mem::take(&mut st.chunks)
+    }
+
     /// Point-in-time statistics.
     pub fn stats(&self) -> HeapStats {
         HeapStats {
@@ -248,6 +268,22 @@ mod tests {
         let p = h.alloc_obj(&store, header);
         assert_eq!(store.view(p).n_fields(), 1000);
         assert_eq!(store.chunk_owner(p), 3);
+    }
+
+    #[test]
+    fn large_object_detour_keeps_the_current_chunk() {
+        let store = store(); // 64-word chunks
+        let h = Heap::new(HeapId(0), HeapId::NONE, 0);
+        let small = Header::new(2, 0, ObjKind::Tuple); // 4 words
+        let first = h.alloc_obj(&store, small);
+        // A large object must get a dedicated chunk…
+        let big = h.alloc_obj(&store, Header::new(500, 0, ObjKind::ArrayData));
+        // …and the next small object must land back in the first, partially filled
+        // chunk rather than opening a third one.
+        let second = h.alloc_obj(&store, small);
+        assert_eq!(second.chunk(), first.chunk(), "current chunk was abandoned");
+        assert_ne!(big.chunk(), first.chunk());
+        assert_eq!(h.n_chunks(), 2);
     }
 
     #[test]

@@ -159,6 +159,62 @@ impl HeapRegistry {
         }
     }
 
+    /// Every live heap in the subtree rooted at (the resolved version of) `root`:
+    /// the root itself plus each live descendant, i.e. heaps created by steals that
+    /// have not yet been merged back by their fork's join.
+    ///
+    /// O(heaps ever created): the registry keeps no child lists, so this scans the
+    /// table. Collections are rare (they trigger on multi-megabyte thresholds), which
+    /// keeps the scan off every hot path; a per-heap child index would pay its
+    /// maintenance cost on every fork instead.
+    pub fn live_subtree(&self, root: HeapId) -> Vec<HeapId> {
+        let root = self.resolve(root);
+        let mut out = Vec::new();
+        for idx in 0..self.heaps.len() {
+            let id = HeapId(idx as u32);
+            if self.heap(id).is_live() && self.is_ancestor_or_self(root, id) {
+                out.push(id);
+            }
+        }
+        out
+    }
+
+    /// Disposes of the heap subtree rooted at `root`: every chunk of every live heap
+    /// in the subtree is retired (entering the store's quarantine) and the heaps'
+    /// allocation states are emptied.
+    ///
+    /// Used by runtimes once a run has completed and its result has been consumed:
+    /// the tree is unreachable, so its memory can flow back to the allocator via
+    /// [`ChunkStore::reclaim_retired`]. Returns the number of chunks retired.
+    pub fn dispose_subtree(&self, root: HeapId) -> usize {
+        self.dispose_subtree_in(root, 0..self.heaps.len())
+    }
+
+    /// As [`HeapRegistry::dispose_subtree`], restricted to heaps whose registry index
+    /// lies in `ids` — the range a runtime recorded while the run was active. This
+    /// keeps the disposal scan proportional to the *run's* heap count instead of
+    /// every heap the registry ever created (heaps never leave the table), which
+    /// matters when one runtime serves many runs back to back. `root` need not lie
+    /// in the range check itself; it is disposed unconditionally.
+    pub fn dispose_subtree_in(&self, root: HeapId, ids: std::ops::Range<usize>) -> usize {
+        let root = self.resolve(root);
+        let mut retired = 0;
+        let mut dispose_one = |id: HeapId| {
+            for chunk in self.heap(id).take_all_chunks() {
+                self.store.retire_chunk(chunk);
+                retired += 1;
+            }
+        };
+        dispose_one(root);
+        for idx in ids {
+            let id = HeapId(idx as u32);
+            if id != root && self.heap(id).is_live() && self.is_ancestor_or_self(root, id) {
+                dispose_one(id);
+            }
+        }
+        retired
+    }
+
     /// Walks every pointer field of every object in every live heap and checks the
     /// disentanglement invariant: each pointee's heap is an ancestor of (or equal to)
     /// the pointer's heap. Returns the list of violations as
@@ -330,6 +386,44 @@ mod tests {
         assert_eq!(violations.len(), 1);
         assert_eq!(violations[0].1, left);
         assert_eq!(violations[0].3, right);
+    }
+
+    #[test]
+    fn live_subtree_tracks_merges() {
+        let reg = registry();
+        let root = reg.new_root_heap();
+        let a = reg.new_child_heap(root);
+        let b = reg.new_child_heap(root);
+        let aa = reg.new_child_heap(a);
+        let other_root = reg.new_root_heap();
+        let mut sub = reg.live_subtree(root);
+        sub.sort();
+        assert_eq!(sub, vec![root, a, b, aa]);
+        assert!(!sub.contains(&other_root));
+        reg.join_heap(a, aa);
+        reg.join_heap(root, a);
+        let mut sub = reg.live_subtree(root);
+        sub.sort();
+        assert_eq!(sub, vec![root, b], "merged heaps leave the live subtree");
+        assert_eq!(reg.live_subtree(other_root), vec![other_root]);
+    }
+
+    #[test]
+    fn dispose_subtree_retires_every_chunk() {
+        let reg = registry();
+        let root = reg.new_root_heap();
+        let child = reg.new_child_heap(root);
+        let _p = reg.alloc_obj(root, Header::new(3, 0, ObjKind::Tuple));
+        let _q = reg.alloc_obj(child, Header::new(3, 0, ObjKind::Tuple));
+        let live_before = reg.store().stats().live_words;
+        assert!(live_before > 0);
+        let retired = reg.dispose_subtree(root);
+        assert!(retired >= 2);
+        assert_eq!(reg.heap(root).n_chunks(), 0);
+        assert_eq!(reg.heap(child).n_chunks(), 0);
+        let s = reg.store().stats();
+        assert_eq!(s.live_words, 0);
+        assert_eq!(s.chunks_quarantined, retired);
     }
 
     #[test]

@@ -29,6 +29,15 @@ pub struct Chunk {
     /// True once the chunk's contents have been retired by a collection; retained only
     /// for accounting (stale pointers must no longer be dereferenced).
     retired: std::sync::atomic::AtomicBool,
+    /// Reuse generation: 0 for a freshly minted chunk, bumped on every recycle
+    /// (reuse). Lets tests and debug checks detect stale [`ObjPtr`]s that
+    /// survived past a chunk's reuse horizon (the pointer itself carries no
+    /// generation, but the chunk it claims to point into does).
+    generation: AtomicU32,
+    /// Intrusive link used by the store's lock-free free lists (Treiber stacks).
+    /// `u32::MAX` means "not linked". Only the store touches this field, and only
+    /// while the chunk is in the free state.
+    pub(crate) free_next: AtomicU32,
     words: Box<[AtomicU64]>,
 }
 
@@ -41,6 +50,8 @@ impl Chunk {
             owner: AtomicU32::new(owner),
             top: AtomicUsize::new(0),
             retired: std::sync::atomic::AtomicBool::new(false),
+            generation: AtomicU32::new(0),
+            free_next: AtomicU32::new(u32::MAX),
             words: words.into_boxed_slice(),
         }
     }
@@ -95,9 +106,47 @@ impl Chunk {
         self.retired.store(true, Ordering::Release);
     }
 
+    /// Atomically transitions the chunk to retired; returns `true` for exactly one
+    /// caller, making retirement accounting race-free.
+    pub(crate) fn try_retire(&self) -> bool {
+        self.retired
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
     /// True if the chunk has been retired.
     pub fn is_retired(&self) -> bool {
         self.retired.load(Ordering::Acquire)
+    }
+
+    /// The chunk's reuse generation: 0 until the chunk's first reuse, then one
+    /// more per reuse. An `ObjPtr` formed while the chunk was in an earlier generation
+    /// is stale and must not be dereferenced.
+    #[inline]
+    pub fn generation(&self) -> u32 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Resets the chunk for reuse by a new owner: the previously used word prefix is
+    /// zeroed (so recycled chunks behave like fresh, zero-filled ones and stale
+    /// headers read as empty objects), the bump cursor restarts at 0, the retired
+    /// flag clears, and the generation advances.
+    ///
+    /// The caller (the store) must guarantee the reuse horizon: no stale `ObjPtr`
+    /// into this chunk may be dereferenced again. In this codebase that horizon is
+    /// "no run of the owning runtime is active" — see `ChunkStore::reclaim_retired`
+    /// and DESIGN.md §5.
+    pub(crate) fn recycle(&self, new_owner: u32) {
+        let used = self.used();
+        for i in 0..used {
+            self.words[i].store(0, Ordering::Relaxed);
+        }
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        self.owner.store(new_owner, Ordering::Release);
+        self.retired.store(false, Ordering::Release);
+        // Publish the cleared words and state before the cursor restart makes the
+        // chunk allocatable again.
+        self.top.store(0, Ordering::Release);
     }
 
     /// Attempts to reserve `n_words` contiguous words, returning the starting offset.
@@ -207,6 +256,27 @@ mod tests {
         assert!(!c.is_retired());
         c.retire();
         assert!(c.is_retired());
+    }
+
+    #[test]
+    fn recycle_resets_contents_and_bumps_generation() {
+        let c = Chunk::new(ChunkId(0), 3, 64);
+        let off = c.try_bump(8).unwrap() as usize;
+        c.word(off).store(0xDEAD_BEEF, Ordering::Relaxed);
+        c.retire();
+        assert_eq!(c.generation(), 0);
+        c.recycle(9);
+        assert_eq!(c.generation(), 1);
+        assert_eq!(c.owner(), 9);
+        assert!(!c.is_retired());
+        assert_eq!(c.used(), 0);
+        assert_eq!(
+            c.word(off).load(Ordering::Relaxed),
+            0,
+            "old data must be gone"
+        );
+        // The chunk allocates from the start again, like a fresh one.
+        assert_eq!(c.try_bump(4), Some(0));
     }
 
     #[test]

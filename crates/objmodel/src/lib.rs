@@ -11,8 +11,12 @@
 //!
 //! * an [`ObjPtr`] packs a *(chunk id, word offset)* pair into 64 bits,
 //! * a [`Chunk`] is a fixed block of `AtomicU64` words with bump-pointer allocation,
+//!   a generation tag, and a reset-for-reuse operation,
 //! * the [`ChunkStore`] is an append-only table mapping chunk ids to chunks (the stand-in
-//!   for address-mask metadata lookup), and
+//!   for address-mask metadata lookup) **plus the chunk memory lifecycle**: retired
+//!   chunks are quarantined, reclaimed into size-classed lock-free free lists at the
+//!   reuse horizon, and served back out through per-thread allocation caches (memory
+//!   v2, DESIGN.md §5), and
 //! * an [`ObjView`] gives structured access to one object: its [`Header`], its dedicated
 //!   forwarding-pointer slot, and its pointer / non-pointer fields.
 //!

@@ -1,48 +1,192 @@
-//! The chunk store: the global table mapping chunk ids to chunks.
+//! The chunk store: the global table mapping chunk ids to chunks, plus the chunk
+//! memory lifecycle (free lists, recycling, allocation caches).
 //!
 //! This is the stand-in for MLton's address-masked chunk metadata: given an [`ObjPtr`],
 //! `heapOf` needs the chunk's metadata in O(1). The store also carries the global memory
-//! accounting used to reproduce the paper's Figure 13 (memory consumption and inflation):
-//! total words currently held by live chunks and the peak ever reached.
+//! accounting used to reproduce the paper's Figure 13 (memory consumption and
+//! inflation): total words currently held by live chunks and the peak ever reached.
+//!
+//! ## Chunk lifecycle
+//!
+//! A chunk moves through four states (see DESIGN.md §5 for the full story):
+//!
+//! ```text
+//! fresh ──mint──▶ active ──retire──▶ quarantined ──reclaim──▶ free ──reuse──▶ active
+//!                                                    │
+//!                                                    └──(over max_free_words)──▶ released
+//! ```
+//!
+//! * **active**: owned by a heap, counted in `live_words`.
+//! * **quarantined**: retired by a collection. The chunk's contents stay readable —
+//!   stale [`ObjPtr`]s held in Rust locals resolve to current data through the
+//!   forwarding pointers the evacuation installed (the stack-map substitution,
+//!   DESIGN.md §2) — so a retired chunk must not be reused while any task of the run
+//!   that produced those pointers is still alive.
+//! * **free**: past the reuse horizon ([`ChunkStore::reclaim_retired`], called by
+//!   runtimes between runs), parked on a size-classed lock-free free list and counted
+//!   in `free_words`.
+//! * **released**: the free pool exceeded [`ChunkStore::set_max_free_words`]; the chunk is
+//!   dropped from all accounting, modelling a buffer returned to the OS. (The backing
+//!   allocation itself stays in the table because `ObjPtr` resolution requires the
+//!   id → chunk mapping to be stable; release is an accounting notion, exactly like
+//!   retirement.)
+//!
+//! Reuse re-tags the chunk with its new owner, zeroes the previously used words, and
+//! advances the chunk's *generation* so stale pointers from before the reuse are
+//! detectable (see [`Chunk::generation`]).
+//!
+//! ## Allocation caches
+//!
+//! Fetching a chunk used to serialize every caller on one mutex plus the table append.
+//! [`ChunkStore::alloc_chunk`] now serves default-sized requests from a small
+//! per-thread shard cache, refilled in batches from the free lists (or minted in a
+//! batch under one lock acquisition), so the hot allocation path touches only its own
+//! shard. Cache hits are counted in [`StoreStats::alloc_cache_hits`].
 
 use crate::appendvec::AppendVec;
 use crate::chunk::{Chunk, ChunkId};
 use crate::header::Header;
 use crate::objptr::ObjPtr;
 use crate::view::ObjView;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Default chunk capacity in words (64 Ki words = 512 KiB).
 pub const DEFAULT_CHUNK_WORDS: usize = 64 * 1024;
 
-/// Snapshot of the store's memory accounting.
+/// Number of size classes: class `k` holds chunks whose capacity lies in
+/// `[default << k, default << (k+1))`; the top class is open-ended.
+const N_CLASSES: usize = 24;
+
+/// Number of allocation-cache shards (threads hash onto these).
+const N_SHARDS: usize = 16;
+
+/// Chunks fetched per cache refill / minted per batch.
+const REFILL_BATCH: usize = 4;
+
+/// Snapshot of the store's memory accounting and chunk lifecycle state.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct StoreStats {
-    /// Words currently held by non-retired chunks.
+    /// Words currently held by active (non-retired) chunks.
     pub live_words: usize,
     /// Highest value `live_words` has ever reached.
     pub peak_words: usize,
     /// Total words ever allocated in chunks (monotone).
     pub total_allocated_words: usize,
+    /// Words currently parked on the free lists and allocation caches.
+    pub free_words: usize,
     /// Number of chunks ever created.
     pub chunks_created: usize,
-    /// Number of chunks retired by collections.
+    /// Number of retire events performed by collections (monotone; a recycled chunk
+    /// can retire again).
     pub chunks_retired: usize,
+    /// Number of times a free chunk was reused for a new owner (monotone).
+    pub chunks_recycled: usize,
+    /// Number of chunks whose buffers were released because the free pool exceeded
+    /// its cap (terminal state).
+    pub chunks_released: usize,
+    /// Chunks currently owned by heaps.
+    pub chunks_active: usize,
+    /// Chunks retired but not yet past the reuse horizon.
+    pub chunks_quarantined: usize,
+    /// Chunks currently parked on free lists / allocation caches.
+    pub chunks_free: usize,
+    /// Default-sized chunk requests served directly from a per-thread cache.
+    pub alloc_cache_hits: usize,
 }
 
-/// The global chunk table plus memory accounting.
+/// A lock-free Treiber stack of chunk ids, linked through [`Chunk::free_next`].
+///
+/// The head packs `(tag << 32) | index` with `u32::MAX` as the empty index; the tag
+/// advances on every successful push and pop, which rules out ABA (chunks are never
+/// deallocated, so reading a stale `free_next` is harmless — the CAS then fails on
+/// the tag). Deliberately no `Default`: a zeroed head would decode as "chunk 0 is
+/// free", not as empty.
+struct FreeStack {
+    head: AtomicU64,
+}
+
+const EMPTY: u32 = u32::MAX;
+
+impl FreeStack {
+    fn new() -> FreeStack {
+        FreeStack {
+            head: AtomicU64::new(EMPTY as u64),
+        }
+    }
+
+    fn push(&self, table: &AppendVec<Arc<Chunk>>, id: ChunkId) {
+        let chunk = table.get(id.0 as usize).expect("pushing unknown chunk");
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            chunk.free_next.store(head as u32, Ordering::Release);
+            let next = ((head >> 32).wrapping_add(1) << 32) | id.0 as u64;
+            match self
+                .head
+                .compare_exchange_weak(head, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return,
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    fn pop(&self, table: &AppendVec<Arc<Chunk>>) -> Option<ChunkId> {
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            let idx = head as u32;
+            if idx == EMPTY {
+                return None;
+            }
+            let chunk = table.get(idx as usize).expect("free list holds unknown id");
+            let next_idx = chunk.free_next.load(Ordering::Acquire);
+            let next = ((head >> 32).wrapping_add(1) << 32) | next_idx as u64;
+            match self
+                .head
+                .compare_exchange_weak(head, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return Some(ChunkId(idx)),
+                Err(h) => head = h,
+            }
+        }
+    }
+}
+
+/// One allocation-cache shard: a small stash of ready-to-use default-class chunks.
+#[derive(Default)]
+struct CacheShard {
+    ids: parking_lot::Mutex<Vec<ChunkId>>,
+}
+
+/// The global chunk table plus memory accounting and the chunk lifecycle.
 pub struct ChunkStore {
     chunks: AppendVec<Arc<Chunk>>,
     /// Serializes id assignment with table insertion so `chunk.id()` always equals the
-    /// chunk's index. Chunk creation is rare (one per ~512 KiB of allocation), so this
-    /// lock is never contended in practice.
+    /// chunk's index. Minting is rare — default-sized requests are batched through the
+    /// allocation caches — so this lock is never contended in practice.
     alloc_lock: parking_lot::Mutex<()>,
     default_chunk_words: usize,
+    /// Size-classed free lists of reusable chunks.
+    free: [FreeStack; N_CLASSES],
+    /// Chunks retired by collections, awaiting the reuse horizon.
+    quarantine: parking_lot::Mutex<Vec<ChunkId>>,
+    /// Per-thread stashes of default-class chunks (see module docs).
+    shards: Box<[CacheShard]>,
+    /// Cap on `free_words`: reclaimed chunks beyond it are released instead of reused.
+    max_free_words: AtomicUsize,
+
+    // -- accounting gauges and counters ------------------------------------
     live_words: AtomicUsize,
     peak_words: AtomicUsize,
     total_words: AtomicUsize,
+    free_words: AtomicUsize,
     chunks_retired: AtomicUsize,
+    chunks_recycled: AtomicUsize,
+    chunks_released: AtomicUsize,
+    chunks_active: AtomicUsize,
+    chunks_quarantined: AtomicUsize,
+    chunks_free: AtomicUsize,
+    alloc_cache_hits: AtomicUsize,
 }
 
 impl ChunkStore {
@@ -57,10 +201,21 @@ impl ChunkStore {
             chunks: AppendVec::new(),
             alloc_lock: parking_lot::Mutex::new(()),
             default_chunk_words,
+            free: std::array::from_fn(|_| FreeStack::new()),
+            quarantine: parking_lot::Mutex::new(Vec::new()),
+            shards: (0..N_SHARDS).map(|_| CacheShard::default()).collect(),
+            max_free_words: AtomicUsize::new(usize::MAX),
             live_words: AtomicUsize::new(0),
             peak_words: AtomicUsize::new(0),
             total_words: AtomicUsize::new(0),
+            free_words: AtomicUsize::new(0),
             chunks_retired: AtomicUsize::new(0),
+            chunks_recycled: AtomicUsize::new(0),
+            chunks_released: AtomicUsize::new(0),
+            chunks_active: AtomicUsize::new(0),
+            chunks_quarantined: AtomicUsize::new(0),
+            chunks_free: AtomicUsize::new(0),
+            alloc_cache_hits: AtomicUsize::new(0),
         }
     }
 
@@ -74,26 +229,185 @@ impl ChunkStore {
         self.default_chunk_words
     }
 
-    /// Allocates a new chunk owned by raw heap `owner`, large enough for at least
-    /// `min_words` words.
-    pub fn alloc_chunk(&self, owner: u32, min_words: usize) -> Arc<Chunk> {
-        let n_words = min_words.max(self.default_chunk_words);
+    /// Sets the cap on the free pool: when [`ChunkStore::reclaim_retired`] would push
+    /// `free_words` beyond this, the excess chunks are released instead of kept for
+    /// reuse. Defaults to unlimited.
+    pub fn set_max_free_words(&self, words: usize) {
+        self.max_free_words.store(words, Ordering::Relaxed);
+    }
+
+    /// Size class of a chunk of `capacity` words (see [`N_CLASSES`]).
+    fn class_of(&self, capacity: usize) -> usize {
+        let mut class = 0;
+        while class + 1 < N_CLASSES && capacity >= (self.default_chunk_words << (class + 1)) {
+            class += 1;
+        }
+        class
+    }
+
+    /// Smallest class every chunk of which satisfies a request of `min_words`
+    /// (oversized mints are rounded up to this class's boundary, so class
+    /// membership and fit coincide everywhere but the open-ended top class).
+    fn class_for_request(&self, min_words: usize) -> usize {
+        let mut class = 0;
+        while class + 1 < N_CLASSES && (self.default_chunk_words << class) < min_words {
+            class += 1;
+        }
+        class
+    }
+
+    /// The calling thread's cache shard.
+    fn shard(&self) -> &CacheShard {
+        use std::cell::Cell;
+        static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+        thread_local! {
+            static THREAD_SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+        }
+        let slot = THREAD_SLOT.with(|s| {
+            let mut v = s.get();
+            if v == usize::MAX {
+                v = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+                s.set(v);
+            }
+            v
+        });
+        &self.shards[slot % N_SHARDS]
+    }
+
+    /// Mints a brand-new chunk (id == table index) in the **active** state.
+    fn mint_active(&self, owner: u32, n_words: usize) -> Arc<Chunk> {
         let chunk = {
             let _guard = self.alloc_lock.lock();
-            let id = ChunkId(self.chunks.len() as u32);
-            let chunk = Arc::new(Chunk::new(id, owner, n_words));
-            let idx = self.chunks.push(Arc::clone(&chunk));
-            debug_assert_eq!(idx, id.0 as usize, "chunk id / index mismatch");
-            chunk
+            self.mint_locked(owner, n_words)
         };
-        self.account_new_chunk(n_words);
+        self.total_words.fetch_add(n_words, Ordering::Relaxed);
+        self.chunks_active.fetch_add(1, Ordering::Relaxed);
+        self.note_live(n_words);
         chunk
     }
 
-    fn account_new_chunk(&self, n_words: usize) {
-        self.total_words.fetch_add(n_words, Ordering::Relaxed);
+    /// Table insertion under `alloc_lock` (shared by single and batched minting).
+    fn mint_locked(&self, owner: u32, n_words: usize) -> Arc<Chunk> {
+        let id = ChunkId(self.chunks.len() as u32);
+        let chunk = Arc::new(Chunk::new(id, owner, n_words));
+        let idx = self.chunks.push(Arc::clone(&chunk));
+        debug_assert_eq!(idx, id.0 as usize, "chunk id / index mismatch");
+        chunk
+    }
+
+    fn note_live(&self, n_words: usize) {
         let live = self.live_words.fetch_add(n_words, Ordering::Relaxed) + n_words;
         self.peak_words.fetch_max(live, Ordering::Relaxed);
+    }
+
+    /// Moves a free chunk into the active state for `owner`, recycling (resetting and
+    /// re-tagging) it if it has been used before.
+    fn activate_free(&self, id: ChunkId, owner: u32) -> Arc<Chunk> {
+        let chunk = Arc::clone(self.chunk(id));
+        if chunk.is_retired() {
+            chunk.recycle(owner);
+            self.chunks_recycled.fetch_add(1, Ordering::Relaxed);
+        } else {
+            // Fresh chunk parked by a batched mint: never used, just take ownership.
+            chunk.set_owner(owner);
+        }
+        let cap = chunk.capacity();
+        self.free_words.fetch_sub(cap, Ordering::Relaxed);
+        self.chunks_free.fetch_sub(1, Ordering::Relaxed);
+        self.chunks_active.fetch_add(1, Ordering::Relaxed);
+        self.note_live(cap);
+        chunk
+    }
+
+    /// Allocates a chunk owned by raw heap `owner`, large enough for at least
+    /// `min_words` words: from the calling thread's cache, then the free lists, then
+    /// freshly minted.
+    pub fn alloc_chunk(&self, owner: u32, min_words: usize) -> Arc<Chunk> {
+        if min_words <= self.default_chunk_words {
+            // Common case: a default-class chunk via the per-thread cache.
+            let shard = self.shard();
+            if let Some(id) = shard.ids.lock().pop() {
+                self.alloc_cache_hits.fetch_add(1, Ordering::Relaxed);
+                return self.activate_free(id, owner);
+            }
+            // Refill: batch-pop recycled chunks, else batch-mint fresh ones.
+            let mut batch: Vec<ChunkId> = Vec::with_capacity(REFILL_BATCH);
+            while batch.len() < REFILL_BATCH {
+                match self.free[0].pop(&self.chunks) {
+                    Some(id) => batch.push(id),
+                    None => break,
+                }
+            }
+            if batch.is_empty() {
+                let n = self.default_chunk_words;
+                // The cache never stashes more than the configured retention pool:
+                // `batch - 1` chunks stay behind as free words after one is handed
+                // out, so the batch shrinks when `max_free_words` is small (down to
+                // 1, i.e. no caching at all).
+                let limit = self.max_free_words.load(Ordering::Relaxed);
+                let batch_size = (limit / n).saturating_add(1).clamp(1, REFILL_BATCH);
+                let minted = {
+                    let _guard = self.alloc_lock.lock();
+                    (0..batch_size)
+                        .map(|_| self.mint_locked(crate::chunk::RAW_HEAP_NONE, n))
+                        .collect::<Vec<_>>()
+                };
+                self.total_words
+                    .fetch_add(n * minted.len(), Ordering::Relaxed);
+                // All minted chunks start in the free state; the one we hand out is
+                // activated below like any other free chunk.
+                self.free_words
+                    .fetch_add(n * minted.len(), Ordering::Relaxed);
+                self.chunks_free.fetch_add(minted.len(), Ordering::Relaxed);
+                batch.extend(minted.iter().map(|c| c.id()));
+            }
+            let take = batch.pop().expect("refill produced at least one chunk");
+            if !batch.is_empty() {
+                shard.ids.lock().append(&mut batch);
+            }
+            return self.activate_free(take, owner);
+        }
+
+        // Oversized request: search the free classes before minting a dedicated
+        // chunk. Oversized mints are rounded **up to their class boundary**
+        // (`default << k`), so every chunk's capacity meets its class guarantee
+        // exactly: an identical request on a rerun (the common case) pops the very
+        // chunk it retired on the first attempt, and chunks in `(1x, 2x)` of the
+        // default size cannot pollute class 0. The capacity check only matters in
+        // the open-ended top class.
+        let class = self.class_for_request(min_words);
+        for k in class..(class + 2).min(N_CLASSES) {
+            if let Some(id) = self.free[k].pop(&self.chunks) {
+                if self.chunk(id).capacity() >= min_words {
+                    return self.activate_free(id, owner);
+                }
+                // Top-class chunks are open-ended; a too-small one goes back.
+                self.free[k].push(&self.chunks, id);
+            }
+        }
+        let rounded = (self.default_chunk_words << class).max(min_words);
+        self.mint_active(owner, rounded)
+    }
+
+    /// True if an object with `header` needs a dedicated chunk (it does not fit a
+    /// default-sized one).
+    #[inline]
+    pub fn needs_dedicated_chunk(&self, header: Header) -> bool {
+        header.size_words() > self.default_chunk_words
+    }
+
+    /// Allocates a dedicated chunk for one large object and the object inside it,
+    /// returning both. Callers splice the chunk into their own chunk list *without*
+    /// making it the current bump chunk, so a large-object detour never abandons a
+    /// partially filled chunk (the shared body of the large-object paths in
+    /// `Heap::alloc_obj`, `FlatHeap::alloc`, and both collectors' to-space
+    /// allocators).
+    pub fn alloc_dedicated(&self, owner: u32, header: Header) -> (Arc<Chunk>, ObjPtr) {
+        let chunk = self.alloc_chunk(owner, header.size_words());
+        let ptr = self
+            .alloc_in_chunk(&chunk, header)
+            .expect("dedicated chunk too small for the object it was sized for");
+        (chunk, ptr)
     }
 
     /// Looks up a chunk by id.
@@ -110,25 +424,82 @@ impl ChunkStore {
     }
 
     /// Retires a chunk after its live contents were evacuated: memory accounting drops
-    /// its words and the chunk is flagged so stale pointers can be detected in debug
-    /// builds.
+    /// its words and the chunk enters the quarantine, from which
+    /// [`ChunkStore::reclaim_retired`] later moves it to the free lists.
     pub fn retire_chunk(&self, id: ChunkId) {
         let chunk = self.chunk(id);
-        if !chunk.is_retired() {
-            chunk.retire();
+        if chunk.try_retire() {
             self.live_words
                 .fetch_sub(chunk.capacity(), Ordering::Relaxed);
             self.chunks_retired.fetch_add(1, Ordering::Relaxed);
+            self.chunks_active.fetch_sub(1, Ordering::Relaxed);
+            self.chunks_quarantined.fetch_add(1, Ordering::Relaxed);
+            self.quarantine.lock().push(id);
         }
+    }
+
+    /// Moves every quarantined chunk to the free lists (or releases it once the free
+    /// pool exceeds [`ChunkStore::set_max_free_words`]), making the memory retired by
+    /// past collections available for reuse.
+    ///
+    /// # Reuse horizon
+    ///
+    /// The caller asserts that no stale [`ObjPtr`] into a quarantined chunk will be
+    /// dereferenced again. Retired chunks stay readable precisely so that pointers
+    /// held in Rust locals keep resolving through forwarding (DESIGN.md §2); those
+    /// locals die with the tasks of the run that created them, so the runtimes call
+    /// this between runs, when no task is live. Returns the number of chunks moved
+    /// to the free lists.
+    pub fn reclaim_retired(&self) -> usize {
+        let cap_limit = self.max_free_words.load(Ordering::Relaxed);
+        // First pass every per-thread stash through the cap: the horizon is a
+        // quiescent point, and flushing prevents chunks from being stranded in the
+        // cache of a thread that stops allocating. Stash chunks are already in the
+        // free state, so over-cap ones move free → released.
+        for shard in self.shards.iter() {
+            for id in shard.ids.lock().drain(..) {
+                let cap = self.chunk(id).capacity();
+                if self.free_words.load(Ordering::Relaxed) <= cap_limit {
+                    self.free[self.class_of(cap)].push(&self.chunks, id);
+                } else {
+                    self.free_words.fetch_sub(cap, Ordering::Relaxed);
+                    self.chunks_free.fetch_sub(1, Ordering::Relaxed);
+                    self.chunks_released.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        // The quarantine is drained *after* the stashes, so freshly retired chunks
+        // sit on top of the LIFO free stacks and are the first ones reused.
+        let drained: Vec<ChunkId> = std::mem::take(&mut *self.quarantine.lock());
+        let mut freed = 0;
+        for id in drained {
+            let chunk = self.chunk(id);
+            debug_assert!(chunk.is_retired(), "quarantine holds a non-retired chunk");
+            let cap = chunk.capacity();
+            self.chunks_quarantined.fetch_sub(1, Ordering::Relaxed);
+            if self.free_words.load(Ordering::Relaxed) + cap <= cap_limit {
+                self.free_words.fetch_add(cap, Ordering::Relaxed);
+                self.chunks_free.fetch_add(1, Ordering::Relaxed);
+                self.free[self.class_of(cap)].push(&self.chunks, id);
+                freed += 1;
+            } else {
+                // Over the cap: model returning the buffer to the OS. The chunk stays
+                // in the table (ObjPtr resolution needs id stability) but leaves all
+                // accounting for good.
+                self.chunks_released.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        freed
     }
 
     /// Resolves an object pointer to a view of the object.
     ///
-    /// Pointers into retired chunks remain dereferenceable: retirement is an accounting
-    /// notion (the evacuated from-space no longer counts towards live memory), and stale
-    /// pointers held outside the managed heap resolve to current data through the
-    /// forwarding pointers the evacuation installed. See DESIGN.md (stack-map
-    /// substitution) for why this is the faithful simulation choice.
+    /// Pointers into retired chunks remain dereferenceable until the chunk passes the
+    /// reuse horizon: retirement is an accounting notion (the evacuated from-space no
+    /// longer counts towards live memory), and stale pointers held outside the managed
+    /// heap resolve to current data through the forwarding pointers the evacuation
+    /// installed. See DESIGN.md §2 (stack-map substitution) and §5 (reuse horizon)
+    /// for why this is the faithful simulation choice.
     #[inline]
     pub fn view(&self, ptr: ObjPtr) -> ObjView<'_> {
         debug_assert!(!ptr.is_null(), "dereferencing NULL ObjPtr");
@@ -159,8 +530,15 @@ impl ChunkStore {
             live_words: self.live_words.load(Ordering::Relaxed),
             peak_words: self.peak_words.load(Ordering::Relaxed),
             total_allocated_words: self.total_words.load(Ordering::Relaxed),
+            free_words: self.free_words.load(Ordering::Relaxed),
             chunks_created: self.chunks.len(),
             chunks_retired: self.chunks_retired.load(Ordering::Relaxed),
+            chunks_recycled: self.chunks_recycled.load(Ordering::Relaxed),
+            chunks_released: self.chunks_released.load(Ordering::Relaxed),
+            chunks_active: self.chunks_active.load(Ordering::Relaxed),
+            chunks_quarantined: self.chunks_quarantined.load(Ordering::Relaxed),
+            chunks_free: self.chunks_free.load(Ordering::Relaxed),
+            alloc_cache_hits: self.alloc_cache_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -277,5 +655,193 @@ mod tests {
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 8 * 200, "chunk ids must be unique");
+    }
+
+    // -- lifecycle: recycling, caches, release, conservation -------------------
+
+    /// Keeps allocating until the calling thread's cache (pre-filled by batched
+    /// minting) is empty, so the next allocation must consult the free lists.
+    fn drain_cache(store: &ChunkStore) -> Vec<StdArc<Chunk>> {
+        (0..REFILL_BATCH).map(|_| store.alloc_chunk(0, 0)).collect()
+    }
+
+    #[test]
+    fn retire_reclaim_recycle_roundtrip() {
+        let store = ChunkStore::new(128);
+        let held = drain_cache(&store);
+        let a = StdArc::clone(&held[0]);
+        let p = store
+            .alloc_in_chunk(&a, Header::new(2, 0, ObjKind::Tuple))
+            .unwrap();
+        store.view(p).set_field(0, 7);
+        let gen_before = a.generation();
+        store.retire_chunk(a.id());
+        // Quarantined: contents still readable, nothing reusable yet.
+        assert_eq!(store.view(p).field(0), 7);
+        assert_eq!(store.stats().chunks_quarantined, 1);
+        assert_eq!(store.stats().free_words, 0);
+
+        assert_eq!(store.reclaim_retired(), 1);
+        let s = store.stats();
+        assert_eq!(s.chunks_quarantined, 0);
+        assert_eq!(s.chunks_free, 1);
+        assert_eq!(s.free_words, 128);
+
+        // The next default-sized request (cache is empty) reuses the same buffer for
+        // the new owner.
+        let b = store.alloc_chunk(9, 0);
+        assert_eq!(b.id(), a.id(), "free chunk must be reused");
+        assert_eq!(b.owner(), 9);
+        assert_eq!(b.generation(), gen_before + 1);
+        assert!(!b.is_retired());
+        assert_eq!(b.used(), 0, "object area must be reset");
+        let s = store.stats();
+        assert_eq!(s.chunks_recycled, 1);
+        assert_eq!(s.free_words, 0);
+        assert_eq!(s.live_words, 128 * REFILL_BATCH);
+    }
+
+    #[test]
+    fn reclaim_releases_beyond_the_free_cap() {
+        let store = ChunkStore::new(100);
+        store.set_max_free_words(150); // room for one 100-word chunk, not two
+        let held = drain_cache(&store); // cache empty, free_words == 0
+        store.retire_chunk(held[0].id());
+        store.retire_chunk(held[1].id());
+        assert_eq!(store.reclaim_retired(), 1);
+        let s = store.stats();
+        assert_eq!(s.chunks_free, 1);
+        assert_eq!(s.chunks_released, 1);
+        assert_eq!(s.free_words, 100);
+    }
+
+    #[test]
+    fn default_requests_hit_the_allocation_cache() {
+        let store = ChunkStore::new(64);
+        // The first allocation mints a batch; later ones on this thread hit the cache.
+        let _ = store.alloc_chunk(0, 0);
+        let before = store.stats().alloc_cache_hits;
+        for _ in 0..REFILL_BATCH - 1 {
+            let _ = store.alloc_chunk(0, 0);
+        }
+        let s = store.stats();
+        assert!(
+            s.alloc_cache_hits >= before + REFILL_BATCH - 1,
+            "cache hits: {} -> {}",
+            before,
+            s.alloc_cache_hits
+        );
+    }
+
+    #[test]
+    fn oversized_chunks_recycle_through_size_classes() {
+        let store = ChunkStore::new(64);
+        let big = store.alloc_chunk(1, 1_000);
+        let big_id = big.id();
+        store.retire_chunk(big_id);
+        store.reclaim_retired();
+        // A default-sized request must not get the 1000-word chunk's slot…
+        let small = store.alloc_chunk(2, 0);
+        assert_ne!(small.id(), big_id);
+        // …but a request its class can serve (class k guarantees `default << k`
+        // words, here 512) reuses it.
+        let again = store.alloc_chunk(3, 500);
+        assert_eq!(again.id(), big_id);
+        assert!(again.capacity() >= 500);
+        assert_eq!(again.owner(), 3);
+    }
+
+    /// chunks_created == active + quarantined + free + released at every quiescent
+    /// point of a randomized alloc/retire/reclaim interleaving.
+    #[test]
+    fn prop_lifecycle_conservation() {
+        let mut state = 0xFEED_FACE_0123_4567u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        let store = ChunkStore::new(64);
+        store.set_max_free_words(64 * 8);
+        let mut owned: Vec<ChunkId> = Vec::new();
+        for step in 0..400 {
+            match next() % 5 {
+                0 | 1 => {
+                    let min = if next() % 4 == 0 {
+                        64 + (next() % 512) as usize
+                    } else {
+                        0
+                    };
+                    owned.push(store.alloc_chunk((next() % 7) as u32, min).id());
+                }
+                2 | 3 => {
+                    if !owned.is_empty() {
+                        let i = (next() as usize) % owned.len();
+                        store.retire_chunk(owned.swap_remove(i));
+                    }
+                }
+                _ => {
+                    store.reclaim_retired();
+                }
+            }
+            let s = store.stats();
+            assert_eq!(
+                s.chunks_created,
+                s.chunks_active + s.chunks_quarantined + s.chunks_free + s.chunks_released,
+                "conservation violated at step {step}: {s:?}"
+            );
+            assert_eq!(s.chunks_active, owned.len(), "active count at step {step}");
+        }
+        assert!(store.stats().chunks_recycled > 0, "recycling must occur");
+        assert!(
+            store.stats().chunks_released > 0,
+            "release cap must trigger"
+        );
+    }
+
+    /// Recycling never resurrects stale `ObjPtr`s: after a chunk is reused, pointers
+    /// formed against its previous generation observe a bumped generation tag and a
+    /// zeroed object area rather than the old objects.
+    #[test]
+    fn prop_recycling_never_resurrects_stale_objptrs() {
+        let mut state = 0x5151_AB1E_D00D_F00Du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        for _case in 0..32 {
+            let store = ChunkStore::new(64);
+            let chunk = StdArc::clone(&drain_cache(&store)[0]);
+            chunk.set_owner(1);
+            let gen0 = chunk.generation();
+            // Populate with objects carrying recognizable payloads.
+            let mut stale: Vec<ObjPtr> = Vec::new();
+            loop {
+                let fields = 1 + (next() % 6) as usize;
+                let Some(p) = store.alloc_in_chunk(&chunk, Header::new(fields, 0, ObjKind::Tuple))
+                else {
+                    break;
+                };
+                for f in 0..fields {
+                    store.view(p).set_field(f, 0xA5A5_0000 + f as u64);
+                }
+                stale.push(p);
+            }
+            assert!(!stale.is_empty());
+            store.retire_chunk(chunk.id());
+            store.reclaim_retired();
+            let reused = store.alloc_chunk(2, 0);
+            assert_eq!(reused.id(), chunk.id());
+            // Old pointers are detectably stale: the generation moved on and the old
+            // headers read as zero (an empty object), so no old payload is reachable.
+            assert_eq!(chunk.generation(), gen0 + 1);
+            for p in stale {
+                let raw_header = chunk.word(p.offset() as usize).load(Ordering::Relaxed);
+                assert_eq!(raw_header, 0, "stale header must be poisoned to zero");
+            }
+        }
     }
 }

@@ -52,7 +52,7 @@ impl JobRef {
     /// # Safety
     ///
     /// The `JobRef` must have been produced by [`StackJob::as_job_ref`] or
-    /// [`HeapJob::into_job_ref`], must be executed at most once, and the underlying job
+    /// [`HeapJob::as_job_ref`], must be executed at most once, and the underlying job
     /// must still be alive (for stack jobs: the forking frame has not returned).
     #[inline]
     pub unsafe fn execute(self, stolen: bool) {

@@ -7,7 +7,7 @@
 //! sleeper count says somebody is actually parked, and then wakes exactly one worker.
 //! Idle workers spin briefly (stealing from randomized victims), then park on a
 //! condvar until a push, an injection, a shutdown, or an external
-//! [`Pool::wake_all`] (used by the stop-the-world baseline's safepoint protocol).
+//! [`PoolWaker::wake_all`] (used by the stop-the-world baseline's safepoint protocol).
 
 use crate::job::{HeapJob, JobRef, StackJob};
 use crate::queue::{Injector, JobQueue};

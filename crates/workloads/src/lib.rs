@@ -1,7 +1,7 @@
 //! # hh-workloads — the benchmark suite and its substrates
 //!
 //! Every benchmark of the paper's evaluation (§4.1 pure, §4.2 imperative), implemented
-//! once, generically, against the [`ParCtx`](hh_api::ParCtx) interface so that the same
+//! once, generically, against the [`ParCtx`] interface so that the same
 //! code runs on the hierarchical-heap runtime and on all three baselines:
 //!
 //! **Pure** (§4.1): `fib`, `tabulate`, `map`, `reduce`, `filter`, `msort-pure`, `dmm`,

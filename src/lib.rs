@@ -21,9 +21,18 @@
 //! nothing), parking-based wakeups, and **lazy steal-time child heaps** — a fork
 //! creates heaps only when its right branch is actually stolen, which is what makes
 //! the common sequential case near-free (see the `heaps_elided` statistic in
-//! [`RunStats`] and the `join_overhead` bench). The design — object model, stack-map
-//! substitution, scheduler protocols, GC ownership rule, ablations — is documented
-//! in [`DESIGN.md`](https://github.com/paper-repo-growth/hierheap/blob/main/DESIGN.md)
+//! [`RunStats`] and the `join_overhead` bench).
+//!
+//! Memory management uses the v2 chunk lifecycle (crates `hh-objmodel` /
+//! `hh-runtime`): chunks retired by collections flow back to the allocator through
+//! size-classed lock-free free lists and per-thread allocation caches, collections
+//! can evacuate a whole heap-hierarchy *subtree* (an internal node plus its
+//! completed descendants) in one promotion-aware pass, and steady-state churn runs
+//! with a bounded footprint (see the `chunks_recycled` / `subtree_collections`
+//! statistics and the `chunk_churn` bench). The design — object model, stack-map
+//! substitution, scheduler protocols, GC ownership rule, memory lifecycle,
+//! ablations — is documented in
+//! [`DESIGN.md`](https://github.com/paper-repo-growth/hierheap/blob/main/DESIGN.md)
 //! at the repository root.
 //!
 //! ## Quickstart
@@ -104,6 +113,6 @@ pub mod harness {
 /// Low-level building blocks, exposed for advanced use and for the tests.
 pub mod lowlevel {
     pub use hh_heaps::{Heap, HeapId, HeapRegistry, HeapRwLock};
-    pub use hh_objmodel::{AppendVec, Chunk, ChunkId, ChunkStore, Header, ObjView};
+    pub use hh_objmodel::{AppendVec, Chunk, ChunkId, ChunkStore, Header, ObjView, StoreStats};
     pub use hh_sched::{Pool, Safepoints, Worker};
 }
