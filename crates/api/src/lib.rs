@@ -55,3 +55,18 @@ pub use rng::{hash64, Rng};
 pub use stats::RunStats;
 
 pub use hh_objmodel::{ObjKind, ObjPtr};
+
+/// Worker count taken from the `HH_WORKERS` environment variable, falling back to
+/// `default` when the variable is unset or unparsable (zero is treated as unset).
+///
+/// The CI test matrix runs the suite with `HH_WORKERS=1` (single-CPU schedules: no
+/// steals, everything sequentialized) and `HH_WORKERS=8` (contended schedules:
+/// steals, promotions, parallel collections), so concurrency-sensitive tests should
+/// size their pools through this helper rather than hard-coding a count.
+pub fn env_workers(default: usize) -> usize {
+    std::env::var("HH_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}

@@ -17,10 +17,22 @@ pub struct RunStats {
     pub world_stops: u64,
     /// Total words allocated by mutators.
     pub allocated_words: u64,
+    /// Number of batched promotion passes performed (one per pointer write that had
+    /// to evacuate a closure; the DLG baseline counts its transitive
+    /// promote-to-global passes here).
+    pub promotions: u64,
     /// Number of objects copied by promotions.
     pub promoted_objects: u64,
     /// Total words copied by promotions.
     pub promoted_words: u64,
+    /// Forwarding-pointer hops walked while resolving master copies (`findMaster` on
+    /// the hierarchical runtime, the forwarding barrier on the baselines). With path
+    /// compression enabled this stays close to the number of resolutions.
+    pub fwd_hops: u64,
+    /// Forwarding-chain hops short-cut by path compression: after a resolution walks
+    /// a chain of length ≥ 2, every intermediate hop is CAS-redirected to the master
+    /// so the amortized resolution cost is O(1).
+    pub fwd_compressions: u64,
     /// Number of heaps created (hierarchical runtime) or local heaps (DLG baseline).
     pub heaps_created: u64,
     /// Heap creations skipped by the lazy steal-time heap policy: an unstolen branch
@@ -91,8 +103,11 @@ impl RunStats {
         self.gc_count += other.gc_count;
         self.world_stops += other.world_stops;
         self.allocated_words += other.allocated_words;
+        self.promotions += other.promotions;
         self.promoted_objects += other.promoted_objects;
         self.promoted_words += other.promoted_words;
+        self.fwd_hops += other.fwd_hops;
+        self.fwd_compressions += other.fwd_compressions;
         self.heaps_created += other.heaps_created;
         self.heaps_elided += other.heaps_elided;
         self.sched_steals += other.sched_steals;
@@ -170,6 +185,9 @@ mod tests {
             bulk_ops: 2,
             bulk_words: 128,
             bulk_master_lookups: 2,
+            promotions: 1,
+            fwd_hops: 10,
+            fwd_compressions: 4,
             ..Default::default()
         };
         let b = RunStats {
@@ -179,6 +197,9 @@ mod tests {
             bulk_ops: 1,
             bulk_words: 64,
             bulk_master_lookups: 2,
+            promotions: 2,
+            fwd_hops: 5,
+            fwd_compressions: 1,
             ..Default::default()
         };
         a.merge(&b);
@@ -188,6 +209,9 @@ mod tests {
         assert_eq!(a.bulk_ops, 3);
         assert_eq!(a.bulk_words, 192);
         assert_eq!(a.bulk_master_lookups, 4);
+        assert_eq!(a.promotions, 3);
+        assert_eq!(a.fwd_hops, 15);
+        assert_eq!(a.fwd_compressions, 5);
     }
 
     #[test]

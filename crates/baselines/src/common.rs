@@ -184,7 +184,41 @@ pub fn resolve(store: &ChunkStore, mut obj: ObjPtr) -> ObjPtr {
     }
 }
 
-/// As [`resolve`], but also counts the resolution in the bulk-operation statistics.
+/// As [`resolve`], but counts forwarding hops and **path-compresses** chains of two
+/// or more hops via [`ChunkStore::compress_fwd_chain`], so the amortized barrier
+/// cost stays O(1) for objects that have been copied many times (promotion v2
+/// counter parity with the hierarchical runtime; the lock-freedom argument lives on
+/// that method and `ObjView::compress_fwd`).
+#[inline]
+pub fn resolve_tracked(
+    store: &ChunkStore,
+    counters: &crate::counters::Counters,
+    obj: ObjPtr,
+) -> ObjPtr {
+    let mut cur = obj;
+    let mut hops = 0u64;
+    loop {
+        let v = store.view(cur);
+        if !v.has_fwd() {
+            break;
+        }
+        cur = v.fwd();
+        hops += 1;
+    }
+    if hops > 0 {
+        counters.fwd_hops.fetch_add(hops, Ordering::Relaxed);
+        if hops >= 2 {
+            let done = store.compress_fwd_chain(obj, cur);
+            if done > 0 {
+                counters.fwd_compressions.fetch_add(done, Ordering::Relaxed);
+            }
+        }
+    }
+    cur
+}
+
+/// As [`resolve_tracked`], but also counts the resolution in the bulk-operation
+/// statistics.
 ///
 /// Every baseline bulk operation resolves forwarding through this wrapper, so the
 /// `bulk_master_lookups` counter is a measurement: if an implementation regressed to
@@ -196,7 +230,7 @@ pub fn resolve_counted(
     obj: ObjPtr,
 ) -> ObjPtr {
     counters.bulk_master_lookups.fetch_add(1, Ordering::Relaxed);
-    resolve(store, obj)
+    resolve_tracked(store, counters, obj)
 }
 
 // ---------------------------------------------------------------------------
@@ -550,6 +584,29 @@ mod tests {
         store.view(b).set_fwd(c);
         assert_eq!(resolve(&store, a), c);
         assert_eq!(resolve(&store, c), c);
+    }
+
+    #[test]
+    fn resolve_tracked_counts_hops_and_compresses_long_chains() {
+        use crate::counters::Counters;
+        use std::sync::atomic::Ordering;
+        let (store, heap) = setup();
+        let h = Header::new(1, 0, ObjKind::Ref);
+        let a = heap.alloc(0, h);
+        let b = heap.alloc(0, h);
+        let c = heap.alloc(0, h);
+        store.view(a).set_fwd(b);
+        store.view(b).set_fwd(c);
+        let counters = Counters::default();
+        assert_eq!(resolve_tracked(&store, &counters, a), c);
+        assert_eq!(counters.fwd_hops.load(Ordering::Relaxed), 2);
+        assert_eq!(counters.fwd_compressions.load(Ordering::Relaxed), 1);
+        // The chain was short-cut: a now points straight at c…
+        assert_eq!(store.view(a).fwd(), c);
+        // …so the next resolution walks a single hop and compresses nothing.
+        assert_eq!(resolve_tracked(&store, &counters, a), c);
+        assert_eq!(counters.fwd_hops.load(Ordering::Relaxed), 3);
+        assert_eq!(counters.fwd_compressions.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -16,10 +16,16 @@ pub struct Counters {
     pub world_stops: AtomicU64,
     /// Words allocated by mutators.
     pub allocated_words: AtomicU64,
+    /// Transitive promotion passes to the global heap (DLG baseline).
+    pub promotions: AtomicU64,
     /// Objects promoted to the global heap (DLG baseline).
     pub promoted_objects: AtomicU64,
     /// Words promoted to the global heap (DLG baseline).
     pub promoted_words: AtomicU64,
+    /// Forwarding hops walked by the read barrier (`common::resolve_tracked`).
+    pub fwd_hops: AtomicU64,
+    /// Forwarding hops short-cut by path compression (chains of length ≥ 2).
+    pub fwd_compressions: AtomicU64,
     /// Words copied by collections.
     pub gc_copied_words: AtomicU64,
     /// Bulk field operations executed.
@@ -46,8 +52,11 @@ impl Counters {
             gc_count: self.gc_count.load(Ordering::Relaxed),
             world_stops: self.world_stops.load(Ordering::Relaxed),
             allocated_words: self.allocated_words.load(Ordering::Relaxed),
+            promotions: self.promotions.load(Ordering::Relaxed),
             promoted_objects: self.promoted_objects.load(Ordering::Relaxed),
             promoted_words: self.promoted_words.load(Ordering::Relaxed),
+            fwd_hops: self.fwd_hops.load(Ordering::Relaxed),
+            fwd_compressions: self.fwd_compressions.load(Ordering::Relaxed),
             heaps_created: heaps,
             // The baselines have no lazy heap policy; scheduler counters are overlaid
             // from the pool by each runtime's `Runtime::stats`.
@@ -87,8 +96,11 @@ impl Counters {
             &self.gc_count,
             &self.world_stops,
             &self.allocated_words,
+            &self.promotions,
             &self.promoted_objects,
             &self.promoted_words,
+            &self.fwd_hops,
+            &self.fwd_compressions,
             &self.gc_copied_words,
             &self.bulk_ops,
             &self.bulk_words,

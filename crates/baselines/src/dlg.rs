@@ -16,7 +16,9 @@
 //!   local heaps independently — that does not affect the promotion-cost comparison this
 //!   baseline exists for; the paper does not report Manticore GC percentages either).
 
-use crate::common::{resolve, semispace_collect, FlatHeap, RootRegistry, RunEpoch, OWNER_GLOBAL};
+use crate::common::{
+    resolve_tracked, semispace_collect, FlatHeap, RootRegistry, RunEpoch, OWNER_GLOBAL,
+};
 use crate::counters::Counters;
 use hh_api::{ParCtx, RunStats, Runtime};
 use hh_objmodel::{ChunkStore, Header, ObjKind, ObjPtr};
@@ -120,6 +122,7 @@ impl DlgInner {
             return ObjPtr::NULL;
         }
         let _guard = self.promote_lock.lock();
+        self.counters.promotions.fetch_add(1, Ordering::Relaxed);
         let store = &self.store;
         let mut pending: Vec<ObjPtr> = Vec::new();
 
@@ -269,22 +272,22 @@ impl ParCtx for DlgCtx {
 
     fn read_mut(&self, obj: ObjPtr, field: usize) -> u64 {
         self.inner.safepoints.poll();
-        let obj = resolve(&self.inner.store, obj);
+        let obj = resolve_tracked(&self.inner.store, &self.inner.counters, obj);
         self.inner.store.view(obj).field(field)
     }
 
     fn write_nonptr(&self, obj: ObjPtr, field: usize, val: u64) {
         self.inner.safepoints.poll();
-        let obj = resolve(&self.inner.store, obj);
+        let obj = resolve_tracked(&self.inner.store, &self.inner.counters, obj);
         self.inner.store.view(obj).set_field(field, val);
     }
 
     fn write_ptr(&self, obj: ObjPtr, field: usize, ptr: ObjPtr) {
         self.inner.safepoints.poll();
-        let obj = resolve(&self.inner.store, obj);
+        let obj = resolve_tracked(&self.inner.store, &self.inner.counters, obj);
         let mut ptr = ptr;
         if !ptr.is_null() {
-            ptr = resolve(&self.inner.store, ptr);
+            ptr = resolve_tracked(&self.inner.store, &self.inner.counters, ptr);
             // The DLG invariant: no pointers from the global heap into a local heap.
             if self.inner.is_global(obj) && !self.inner.is_global(ptr) {
                 ptr = self.inner.promote_to_global(self.worker.index(), ptr);
@@ -295,7 +298,7 @@ impl ParCtx for DlgCtx {
 
     fn cas_nonptr(&self, obj: ObjPtr, field: usize, expected: u64, new: u64) -> Result<u64, u64> {
         self.inner.safepoints.poll();
-        let obj = resolve(&self.inner.store, obj);
+        let obj = resolve_tracked(&self.inner.store, &self.inner.counters, obj);
         self.inner.store.view(obj).cas_field(field, expected, new)
     }
 

@@ -5,7 +5,7 @@
 //! heap exceeds its threshold. Benchmark times measured on this runtime are the `T_s`
 //! baseline against which the parallel runtimes' overhead and speedup are computed.
 
-use crate::common::{resolve, semispace_collect, FlatHeap, RootRegistry, RunEpoch};
+use crate::common::{resolve_tracked, semispace_collect, FlatHeap, RootRegistry, RunEpoch};
 use crate::counters::Counters;
 use hh_api::{ParCtx, RunStats, Runtime};
 use hh_objmodel::{ChunkStore, Header, ObjKind, ObjPtr};
@@ -118,22 +118,22 @@ impl ParCtx for SeqCtx {
     }
 
     fn read_mut(&self, obj: ObjPtr, field: usize) -> u64 {
-        let obj = resolve(&self.inner.store, obj);
+        let obj = resolve_tracked(&self.inner.store, &self.inner.counters, obj);
         self.inner.store.view(obj).field(field)
     }
 
     fn write_nonptr(&self, obj: ObjPtr, field: usize, val: u64) {
-        let obj = resolve(&self.inner.store, obj);
+        let obj = resolve_tracked(&self.inner.store, &self.inner.counters, obj);
         self.inner.store.view(obj).set_field(field, val);
     }
 
     fn write_ptr(&self, obj: ObjPtr, field: usize, ptr: ObjPtr) {
-        let obj = resolve(&self.inner.store, obj);
+        let obj = resolve_tracked(&self.inner.store, &self.inner.counters, obj);
         self.inner.store.view(obj).set_field(field, ptr.to_bits());
     }
 
     fn cas_nonptr(&self, obj: ObjPtr, field: usize, expected: u64, new: u64) -> Result<u64, u64> {
-        let obj = resolve(&self.inner.store, obj);
+        let obj = resolve_tracked(&self.inner.store, &self.inner.counters, obj);
         self.inner.store.view(obj).cas_field(field, expected, new)
     }
 

@@ -9,7 +9,9 @@
 //! the world is stopped. This reproduces the property the paper's speedup comparison
 //! hinges on: GC work is serialized and every processor pays for it.
 
-use crate::common::{resolve, semispace_collect, FlatHeap, RootRegistry, RunEpoch, OWNER_GLOBAL};
+use crate::common::{
+    resolve_tracked, semispace_collect, FlatHeap, RootRegistry, RunEpoch, OWNER_GLOBAL,
+};
 use crate::counters::Counters;
 use hh_api::{ParCtx, RunStats, Runtime};
 use hh_objmodel::{ChunkStore, Header, ObjKind, ObjPtr};
@@ -166,25 +168,25 @@ impl ParCtx for StwCtx {
 
     fn read_mut(&self, obj: ObjPtr, field: usize) -> u64 {
         self.inner.safepoints.poll();
-        let obj = resolve(&self.inner.store, obj);
+        let obj = resolve_tracked(&self.inner.store, &self.inner.counters, obj);
         self.inner.store.view(obj).field(field)
     }
 
     fn write_nonptr(&self, obj: ObjPtr, field: usize, val: u64) {
         self.inner.safepoints.poll();
-        let obj = resolve(&self.inner.store, obj);
+        let obj = resolve_tracked(&self.inner.store, &self.inner.counters, obj);
         self.inner.store.view(obj).set_field(field, val);
     }
 
     fn write_ptr(&self, obj: ObjPtr, field: usize, ptr: ObjPtr) {
         self.inner.safepoints.poll();
-        let obj = resolve(&self.inner.store, obj);
+        let obj = resolve_tracked(&self.inner.store, &self.inner.counters, obj);
         self.inner.store.view(obj).set_field(field, ptr.to_bits());
     }
 
     fn cas_nonptr(&self, obj: ObjPtr, field: usize, expected: u64, new: u64) -> Result<u64, u64> {
         self.inner.safepoints.poll();
-        let obj = resolve(&self.inner.store, obj);
+        let obj = resolve_tracked(&self.inner.store, &self.inner.counters, obj);
         self.inner.store.view(obj).cas_field(field, expected, new)
     }
 

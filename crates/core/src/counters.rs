@@ -16,10 +16,20 @@ pub struct Counters {
     pub gc_copied_words: AtomicU64,
     /// Words allocated by mutators.
     pub allocated_words: AtomicU64,
+    /// Batched promotion passes performed (one per promoting pointer write).
+    pub promotions: AtomicU64,
     /// Objects copied by promotions.
     pub promoted_objects: AtomicU64,
     /// Words copied by promotions.
     pub promoted_words: AtomicU64,
+    /// Forwarding-pointer hops walked by `findMaster` and promotion chases.
+    pub fwd_hops: AtomicU64,
+    /// Forwarding-chain hops short-cut to the master by path compression.
+    pub fwd_compressions: AtomicU64,
+    /// Lock-path scratch buffers allocated (or grown) by the promotion machinery.
+    /// After warm-up this stays flat: `write_promote` reuses one per-worker buffer
+    /// set instead of allocating fresh `Vec`s per promotion (regression-tested).
+    pub promo_buf_allocs: AtomicU64,
     /// Pointer writes that took the promotion path.
     pub promoting_writes: AtomicU64,
     /// Pointer writes that took the non-promoting slow path.
@@ -61,8 +71,11 @@ impl Counters {
             gc_count: self.gc_count.load(Ordering::Relaxed),
             world_stops: 0,
             allocated_words: self.allocated_words.load(Ordering::Relaxed),
+            promotions: self.promotions.load(Ordering::Relaxed),
             promoted_objects: self.promoted_objects.load(Ordering::Relaxed),
             promoted_words: self.promoted_words.load(Ordering::Relaxed),
+            fwd_hops: self.fwd_hops.load(Ordering::Relaxed),
+            fwd_compressions: self.fwd_compressions.load(Ordering::Relaxed),
             heaps_created: self.heaps_created.load(Ordering::Relaxed),
             heaps_elided: self.heaps_elided.load(Ordering::Relaxed),
             sched_steals: self.sched_steals.load(Ordering::Relaxed),
@@ -99,8 +112,12 @@ impl Counters {
         self.gc_count.store(0, Ordering::Relaxed);
         self.gc_copied_words.store(0, Ordering::Relaxed);
         self.allocated_words.store(0, Ordering::Relaxed);
+        self.promotions.store(0, Ordering::Relaxed);
         self.promoted_objects.store(0, Ordering::Relaxed);
         self.promoted_words.store(0, Ordering::Relaxed);
+        self.fwd_hops.store(0, Ordering::Relaxed);
+        self.fwd_compressions.store(0, Ordering::Relaxed);
+        self.promo_buf_allocs.store(0, Ordering::Relaxed);
         self.promoting_writes.store(0, Ordering::Relaxed);
         self.slow_ptr_writes.store(0, Ordering::Relaxed);
         self.fast_ptr_writes.store(0, Ordering::Relaxed);

@@ -166,6 +166,11 @@ impl Inner {
         if !self.config.enable_gc {
             return;
         }
+        let zone_ids = if self.invariants_enabled() {
+            zone.clone()
+        } else {
+            Vec::new()
+        };
         let start = Instant::now();
         let store = self.registry.store();
         let old_chunks: Vec<(HeapId, Vec<ChunkId>)> = zone
@@ -232,5 +237,10 @@ impl Inner {
             .gc_copied_words
             .fetch_add(copied_total as u64, Ordering::Relaxed);
         self.counters.add_gc_time(start.elapsed());
+
+        // Debug builds: re-verify disentanglement and forwarding acyclicity over the
+        // just-collected zone (the zone is still quiescent — same precondition the
+        // collection itself ran under). No-op in release builds.
+        self.verify_heaps(&zone_ids);
     }
 }

@@ -19,8 +19,9 @@
 //! |--------------|------------------------------------------------------------------|
 //! | [`ctx`]      | Figure 3 high-level operations, Figure 5 `forkjoin`                |
 //! | [`ops`]      | Figure 6 `findMaster`, `readMutable`, `writeNonptr`; Figure 7 `writePtr` / `writePromote` |
-//! | [`promote`]  | Figure 7 `promote` (worklist formulation)                          |
+//! | [`promote`]  | Figure 7 `promote` (batched Cheney pass + path compression, v2)    |
 //! | [`gc`]       | Figure 14 / Appendix A promotion-aware copy collection             |
+//! | [`invariants`] | debug-build disentanglement / forwarding-acyclicity checker      |
 //! | [`runtime`]  | runtime construction, scheduler integration, statistics            |
 //! | [`config`]   | tunables (workers, chunk size, GC threshold, fast-path ablations)  |
 
@@ -31,6 +32,7 @@ pub mod config;
 pub mod counters;
 pub mod ctx;
 pub mod gc;
+pub mod invariants;
 pub mod ops;
 pub mod promote;
 pub mod runtime;

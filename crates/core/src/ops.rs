@@ -10,26 +10,49 @@ impl Inner {
     /// `findMaster` (Figure 6, lines 5–10): walks the forwarding chain to the master
     /// copy using double-checked locking, and returns with a READ lock held on the
     /// master's heap. **The caller must release that lock.**
-    pub(crate) fn find_master(&self, mut obj: ObjPtr) -> (ObjPtr, HeapId) {
-        let store = self.registry.store();
+    ///
+    /// Promotion v2: chains of two or more hops are **path-compressed** after the
+    /// chase — every intermediate hop is CAS-shortcut to the chain's end (see
+    /// [`hh_objmodel::ChunkStore::compress_fwd_chain`]) — so an object promoted `k` times costs `O(k)`
+    /// once and `O(1)` on every later resolution. The fast path (no forwarding
+    /// pointer) performs no extra atomic traffic; hops and compressions are counted
+    /// only when a chain was actually walked.
+    pub(crate) fn find_master(&self, obj: ObjPtr) -> (ObjPtr, HeapId) {
+        let store: &hh_objmodel::ChunkStore = self.registry.store();
+        let mut start = obj;
         loop {
             // Chase forwarding pointers without holding any lock.
+            let mut cur = start;
+            let mut hops = 0u64;
             loop {
-                let v = store.view(obj);
+                let v = store.view(cur);
                 if !v.has_fwd() {
                     break;
                 }
-                obj = v.fwd();
+                cur = v.fwd();
+                hops += 1;
+            }
+            if hops > 0 {
+                self.counters.fwd_hops.fetch_add(hops, Ordering::Relaxed);
+                if hops >= 2 {
+                    let done = store.compress_fwd_chain(start, cur);
+                    if done > 0 {
+                        self.counters
+                            .fwd_compressions
+                            .fetch_add(done, Ordering::Relaxed);
+                    }
+                }
             }
             // Candidate master found: lock its heap in shared mode and re-check. A
             // concurrent promotion may have installed a forwarding pointer in between;
-            // if so, drop the lock and chase again.
-            let heap = self.registry.heap_of(obj);
+            // if so, drop the lock and chase again from the candidate.
+            let heap = self.registry.heap_of(cur);
             self.registry.heap(heap).lock.lock_shared();
-            if !store.view(obj).has_fwd() {
-                return (obj, heap);
+            if !store.view(cur).has_fwd() {
+                return (cur, heap);
             }
             self.registry.heap(heap).lock.unlock_shared();
+            start = cur;
         }
     }
 

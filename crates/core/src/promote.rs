@@ -1,10 +1,103 @@
 //! Promotion: copying data up the hierarchy to preserve disentanglement
-//! (the paper's Figure 7, `writePromote` and `promote`).
+//! (the paper's Figure 7, `writePromote` and `promote`) — **promotion v2**.
+//!
+//! The v1 implementation followed Figure 7 literally: one registry allocation (with
+//! its heap-lookup, merge resolution, and allocation-mutex round trip), one per-heap
+//! statistics update, and two global counter increments *per promoted object*, plus a
+//! fresh `Vec<HeapId>` per promotion for the lock path. Promotion v2 keeps the same
+//! locking protocol and the same copy order but batches everything that can be
+//! batched:
+//!
+//! * **Batched transitive promotion** (`promote_value_batched`): the
+//!   pointee's reachable closure is evacuated in one Cheney-style pass holding a
+//!   single allocation cursor ([`hh_heaps::BatchAlloc`]) on the target heap — one
+//!   allocation-mutex acquisition, one heap-statistics update, and one flush of the
+//!   global counters per *pass*.
+//! * **Forwarding-chain path compression**: whenever a chase walks a chain of two or
+//!   more hops, every intermediate hop is CAS-shortcut to the chain's end
+//!   ([`hh_objmodel::ObjView::compress_fwd`]), so the amortized `find_master` is
+//!   O(1) even for objects promoted many times. Compressions and hops are counted
+//!   (`fwd_compressions`, `fwd_hops`).
+//! * **Reusable per-worker scratch** (`PromoScratch`): the lock path, the Cheney
+//!   worklist, and the debug-checker's copy log live in thread-local buffers reused
+//!   across promotions, so the lock path performs no heap allocation after warm-up
+//!   (regression-tested via the `promo_buf_allocs` counter).
+//!
+//! The v1 per-object path is kept behind [`crate::HhConfig::batched_promotion`]
+//! (ablation A3) so the `promote_overhead` bench and `repro promote` can quantify
+//! the difference. See DESIGN.md §6.
 
 use crate::runtime::Inner;
-use hh_heaps::HeapId;
-use hh_objmodel::ObjPtr;
+use hh_heaps::{BatchAlloc, HeapId};
+use hh_objmodel::{Chunk, ChunkStore, ObjPtr, ObjView};
+use std::cell::RefCell;
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Per-worker scratch buffers reused across promotions (cleared, never shrunk).
+#[derive(Default)]
+struct PromoScratch {
+    /// Heaps locked by the current `write_promote`, deepest first.
+    locked: Vec<HeapId>,
+    /// Cheney worklist of copies whose pointer fields still need scanning, with
+    /// each copy's pointer-field count (saves a header reload in the scan phase).
+    pending: Vec<(ObjPtr, u32)>,
+    /// Debug-build invariant checker's log of the pass's copies.
+    copies: Vec<ObjPtr>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<PromoScratch> = RefCell::new(PromoScratch::default());
+}
+
+/// Per-pass tallies, flushed to the global atomic counters once per promotion.
+#[derive(Default)]
+struct PassStats {
+    objects: u64,
+    hops: u64,
+    compressions: u64,
+}
+
+/// A tiny per-pass cache mapping chunk ids to their depth classification relative
+/// to the promotion target ("does this chunk's heap lie strictly deeper?").
+///
+/// Sound for the duration of one promotion pass: every heap the closure can touch
+/// is an ancestor-or-self of the promoting task's heap (disentanglement), and none
+/// of those heaps can be `join_heap`-merged while the pass runs — their owner tasks
+/// are the promoter's own ancestors, suspended at forks that cannot complete before
+/// the promoter returns. Chunk recycling is likewise impossible mid-pass (the reuse
+/// horizon requires no active run). So a chunk's classification is stable for the
+/// pass, and the cache turns the dominant per-field cost (`heap_of` → `resolve` →
+/// `depth`, several dependent atomic loads) into one integer compare for the common
+/// case of bump-allocation locality (consecutive closure objects share chunks).
+struct ChunkClassCache<'s> {
+    entries: [Option<(u32, bool, &'s Arc<Chunk>)>; 4],
+    next: usize,
+}
+
+impl<'s> ChunkClassCache<'s> {
+    fn new() -> ChunkClassCache<'s> {
+        ChunkClassCache {
+            entries: [None; 4],
+            next: 0,
+        }
+    }
+
+    #[inline]
+    fn get(&self, chunk: u32) -> Option<(bool, &'s Arc<Chunk>)> {
+        self.entries
+            .iter()
+            .flatten()
+            .find(|&&(c, _, _)| c == chunk)
+            .map(|&(_, deeper, r)| (deeper, r))
+    }
+
+    #[inline]
+    fn insert(&mut self, chunk: u32, deeper: bool, chunk_ref: &'s Arc<Chunk>) {
+        self.entries[self.next] = Some((chunk, deeper, chunk_ref));
+        self.next = (self.next + 1) % self.entries.len();
+    }
+}
 
 impl Inner {
     /// `writePromote` (Figure 7, lines 13–27).
@@ -18,91 +111,288 @@ impl Inner {
     ///    pointers that appear while we climb);
     /// 2. promote the pointee into the master's heap and store the promoted address;
     /// 3. unlock the path top-down.
+    ///
+    /// The lock path is recorded in a reusable per-worker buffer (no allocation on
+    /// this path after warm-up) and the promotion itself runs as one batched pass
+    /// (see the module docs).
     pub(crate) fn write_promote(&self, mut obj: ObjPtr, field: usize, ptr: ObjPtr) {
         let store = self.registry.store();
         debug_assert!(!ptr.is_null());
+        SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            let scratch = &mut *scratch;
+            let caps_before =
+                scratch.locked.capacity() + scratch.pending.capacity() + scratch.copies.capacity();
+            scratch.locked.clear();
 
-        // Phase 1: path locking, deepest heap first.
-        let mut locked: Vec<HeapId> = Vec::new();
-        let mut prev_heap = self.registry.heap_of(ptr);
-        self.registry.heap(prev_heap).lock.lock_exclusive();
-        locked.push(prev_heap);
-        loop {
-            let obj_heap = self.registry.heap_of(obj);
-            for h in self.ancestor_path_exclusive(prev_heap, obj_heap) {
-                self.registry.heap(h).lock.lock_exclusive();
-                locked.push(h);
+            // Phase 1: path locking, deepest heap first. The ancestor walk pushes
+            // straight into the reusable buffer instead of materializing a path `Vec`
+            // per climb.
+            let mut prev_heap = self.registry.heap_of(ptr);
+            self.registry.heap(prev_heap).lock.lock_exclusive();
+            scratch.locked.push(prev_heap);
+            loop {
+                let obj_heap = self.registry.heap_of(obj);
+                let to = self.registry.resolve(obj_heap);
+                let mut cur = self.registry.resolve(prev_heap);
+                while cur != to {
+                    let parent = self.registry.heap(cur).parent();
+                    if parent.is_none() {
+                        // `to` was not an ancestor: treat the root as the end of the
+                        // path (defensive — disentanglement violations would already
+                        // have been detected by the depth comparison in
+                        // `write_ptr_impl`).
+                        break;
+                    }
+                    let parent = self.registry.resolve(parent);
+                    self.registry.heap(parent).lock.lock_exclusive();
+                    scratch.locked.push(parent);
+                    cur = parent;
+                }
+                if !store.view(obj).has_fwd() {
+                    break;
+                }
+                // The master moved further up while we were climbing; keep locking
+                // upward from where we are.
+                prev_heap = obj_heap;
+                obj = store.view(obj).fwd();
             }
-            if !store.view(obj).has_fwd() {
-                break;
+
+            // Phase 2: promote and publish. We hold WRITE locks on every heap between
+            // the pointee and the master (inclusive), so no concurrent `findMaster`
+            // can observe a half-copied object and no concurrent promotion can race
+            // on the same forwarding pointers.
+            let target_heap = self.registry.heap_of(obj);
+            self.counters.promotions.fetch_add(1, Ordering::Relaxed);
+            let promoted = if self.config.batched_promotion {
+                self.promote_value_batched(
+                    target_heap,
+                    ptr,
+                    &mut scratch.pending,
+                    &mut scratch.copies,
+                )
+            } else {
+                self.promote_value_v1(target_heap, ptr)
+            };
+            store.view(obj).set_field(field, promoted.to_bits());
+
+            // Phase 3: unlock top-down.
+            for h in scratch.locked.iter().rev() {
+                self.registry.heap(*h).lock.unlock_exclusive();
             }
-            // The master moved further up while we were climbing; keep locking upward
-            // from where we are.
-            prev_heap = obj_heap;
-            obj = store.view(obj).fwd();
-        }
+            scratch.locked.clear();
 
-        // Phase 2: promote and publish. We hold WRITE locks on every heap between the
-        // pointee and the master (inclusive), so no concurrent `findMaster` can observe
-        // a half-copied object and no concurrent promotion can race on the same
-        // forwarding pointers.
-        let target_heap = self.registry.heap_of(obj);
-        let promoted = self.promote_value(target_heap, ptr);
-        store.view(obj).set_field(field, promoted.to_bits());
-
-        // Phase 3: unlock top-down.
-        for h in locked.iter().rev() {
-            self.registry.heap(*h).lock.unlock_exclusive();
-        }
+            // Regression guard: the reusable buffers grow at most a handful of times
+            // per worker thread, ever; a per-promotion allocation would show up as a
+            // monotonically climbing counter (see `tests/promo_alloc.rs`).
+            let caps_after =
+                scratch.locked.capacity() + scratch.pending.capacity() + scratch.copies.capacity();
+            if caps_after != caps_before {
+                self.counters
+                    .promo_buf_allocs
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        });
     }
 
-    /// Heaps strictly above `from`, up to and including `to`, ordered deepest-first.
-    /// (`to` must be an ancestor of `from`, which disentanglement guarantees for the
-    /// uses in `write_promote`.) Returns an empty path when `from == to`.
-    pub(crate) fn ancestor_path_exclusive(&self, from: HeapId, to: HeapId) -> Vec<HeapId> {
-        let mut path = Vec::new();
-        let to = self.registry.resolve(to);
-        let mut cur = self.registry.resolve(from);
-        while cur != to {
-            let parent = self.registry.heap(cur).parent();
-            if parent.is_none() {
-                // `to` was not an ancestor of `from`; treat the root as the end of the
-                // path (defensive — disentanglement violations would already have been
-                // detected by the depth comparison in `write_ptr_impl`).
-                break;
+    /// `promote` (Figure 7, lines 28–40) as one batched Cheney pass: the reachable
+    /// closure of `root` that lies below `target` is evacuated into `target` through
+    /// a single allocation cursor, and every forwarding chain walked on the way is
+    /// path-compressed. Returns a pointer to a copy of `root` residing in `target`
+    /// or one of its ancestors.
+    fn promote_value_batched(
+        &self,
+        target: HeapId,
+        root: ObjPtr,
+        pending: &mut Vec<(ObjPtr, u32)>,
+        copies: &mut Vec<ObjPtr>,
+    ) -> ObjPtr {
+        let store: &ChunkStore = self.registry.store();
+        let target = self.registry.resolve(target);
+        let target_depth = self.registry.depth(target);
+        let heap = self.registry.heap(target);
+        let record_copies = self.invariants_enabled();
+        pending.clear();
+        copies.clear();
+        let mut stats = PassStats::default();
+        let mut cache = ChunkClassCache::new();
+
+        let words;
+        let result;
+        {
+            // One allocation-mutex acquisition for the whole pass. The heap WRITE
+            // lock held by `write_promote` already excludes readers; the cursor
+            // additionally excludes concurrent allocators (the target heap's own
+            // domain) for the duration of the pass.
+            let mut batch = heap.batch_alloc(store);
+            result = self.forward_batched(
+                store,
+                target_depth,
+                root,
+                &mut batch,
+                pending,
+                copies,
+                record_copies,
+                &mut stats,
+                &mut cache,
+            );
+            // Scan phase: fix up the pointer fields of every copy we made,
+            // transitively promoting what they reach. Copy chunks always belong to
+            // the target heap, so a cache miss here may classify them as
+            // not-deeper without consulting the registry.
+            while let Some((copy, n_ptr)) = pending.pop() {
+                let chunk_id = copy.chunk().0;
+                let chunk_ref = match cache.get(chunk_id) {
+                    Some((_, r)) => r,
+                    None => {
+                        let r = store.chunk(copy.chunk());
+                        cache.insert(chunk_id, false, r);
+                        r
+                    }
+                };
+                let v = ObjView::new(chunk_ref, copy.offset());
+                for f in 0..n_ptr as usize {
+                    let old = v.field_ptr(f);
+                    let new = self.forward_batched(
+                        store,
+                        target_depth,
+                        old,
+                        &mut batch,
+                        pending,
+                        copies,
+                        record_copies,
+                        &mut stats,
+                        &mut cache,
+                    );
+                    v.set_field_ptr(f, new);
+                }
             }
-            let parent = self.registry.resolve(parent);
-            path.push(parent);
-            cur = parent;
+            words = batch.allocated_words();
         }
-        path
+
+        // One statistics flush per pass instead of several atomics per object.
+        heap.note_promoted_in_batch(stats.objects as usize, words);
+        self.counters
+            .promoted_objects
+            .fetch_add(stats.objects, Ordering::Relaxed);
+        self.counters
+            .promoted_words
+            .fetch_add(words as u64, Ordering::Relaxed);
+        if stats.hops > 0 {
+            self.counters
+                .fwd_hops
+                .fetch_add(stats.hops, Ordering::Relaxed);
+        }
+        if stats.compressions > 0 {
+            self.counters
+                .fwd_compressions
+                .fetch_add(stats.compressions, Ordering::Relaxed);
+        }
+
+        if record_copies {
+            self.verify_promotion(target, copies);
+            copies.clear();
+        }
+        result
     }
 
-    /// `promote` (Figure 7, lines 28–40), in the worklist formulation the paper alludes
-    /// to ("it can be implemented using a work list"). Returns a pointer to a copy of
-    /// `root` residing in `target` or one of its ancestors.
-    pub(crate) fn promote_value(&self, target: HeapId, root: ObjPtr) -> ObjPtr {
+    /// One step of the batched pass: returns an existing copy of `obj` at or above
+    /// `target_depth` if one exists (lines 29–31), otherwise copies `obj` through the
+    /// batch cursor, installs its forwarding pointer, and schedules the copy for
+    /// scanning (leaf objects with no pointer fields skip the worklist). Chains of
+    /// two or more hops are compressed to their end; the depth classification is
+    /// served from the per-pass chunk cache (see [`ChunkClassCache`]).
+    #[allow(clippy::too_many_arguments)]
+    fn forward_batched<'s>(
+        &self,
+        store: &'s ChunkStore,
+        target_depth: u32,
+        obj: ObjPtr,
+        batch: &mut BatchAlloc<'_>,
+        pending: &mut Vec<(ObjPtr, u32)>,
+        copies: &mut Vec<ObjPtr>,
+        record_copies: bool,
+        stats: &mut PassStats,
+        cache: &mut ChunkClassCache<'s>,
+    ) -> ObjPtr {
+        if obj.is_null() {
+            return ObjPtr::NULL;
+        }
+        let mut cur = obj;
+        let mut hops = 0u64;
+        let resolved = loop {
+            let chunk_id = cur.chunk().0;
+            let (deeper, chunk_ref) = match cache.get(chunk_id) {
+                Some(hit) => hit,
+                None => {
+                    let r = store.chunk(cur.chunk());
+                    let d = self.registry.depth(self.registry.heap_of(cur)) > target_depth;
+                    cache.insert(chunk_id, d, r);
+                    (d, r)
+                }
+            };
+            if !deeper {
+                // Already at or above the target heap: no copy needed.
+                break cur;
+            }
+            let v = ObjView::new(chunk_ref, cur.offset());
+            if v.has_fwd() {
+                cur = v.fwd();
+                hops += 1;
+                continue;
+            }
+            // Introduce a new copy in the target heap. The forwarding pointer is
+            // installed *before* the fields are filled in (as in the paper);
+            // concurrent `findMaster` calls cannot observe the half-initialized copy
+            // because we hold the target heap's WRITE lock, and `readImmutable`
+            // never follows forwarding pointers. `alloc_for_copy` leaves the fields
+            // raw — the loop below stores every one before the lock is released.
+            let header = v.header();
+            let (copy, copy_chunk) = batch.alloc_for_copy(header);
+            let cv = ObjView::new(copy_chunk, copy.offset());
+            v.set_fwd(copy);
+            for f in 0..header.n_fields() {
+                cv.set_field(f, v.field(f));
+            }
+            stats.objects += 1;
+            if header.n_ptr() > 0 {
+                pending.push((copy, header.n_ptr() as u32));
+            }
+            if record_copies {
+                copies.push(copy);
+            }
+            break copy;
+        };
+        stats.hops += hops;
+        if hops >= 2 {
+            stats.compressions += store.compress_fwd_chain(obj, resolved);
+        }
+        resolved
+    }
+
+    /// The v1 per-object promotion (ablation A3, `batched_promotion == false`): one
+    /// registry allocation, one per-heap statistics update, and two counter
+    /// increments per object, plus a worklist `Vec` allocated per pass — exactly
+    /// the original implementation's shape, kept faithful so the `promote_overhead`
+    /// bench compares against what v1 actually did. No chain compression.
+    fn promote_value_v1(&self, target: HeapId, root: ObjPtr) -> ObjPtr {
         let store = self.registry.store();
         let target_depth = self.registry.depth(target);
         let mut pending: Vec<ObjPtr> = Vec::new();
-        let result = self.forward_for_promotion(target, target_depth, root, &mut pending);
-        // Scan phase: fix up the pointer fields of every copy we made, transitively
-        // promoting what they reach.
+        let result = self.forward_for_promotion_v1(target, target_depth, root, &mut pending);
         while let Some(copy) = pending.pop() {
             let v = store.view(copy);
             for f in 0..v.n_ptr() {
                 let old = v.field_ptr(f);
-                let new = self.forward_for_promotion(target, target_depth, old, &mut pending);
+                let new = self.forward_for_promotion_v1(target, target_depth, old, &mut pending);
                 v.set_field_ptr(f, new);
             }
         }
         result
     }
 
-    /// One step of promotion: returns an existing copy of `obj` at or above
-    /// `target_depth` if one exists (lines 29–31), otherwise copies `obj` into `target`,
-    /// installs its forwarding pointer, and schedules the copy for scanning.
-    fn forward_for_promotion(
+    /// One step of the v1 path (see [`Inner::promote_value_v1`]).
+    fn forward_for_promotion_v1(
         &self,
         target: HeapId,
         target_depth: u32,
@@ -117,7 +407,6 @@ impl Inner {
         loop {
             let cur_depth = self.registry.depth(self.registry.heap_of(cur));
             if cur_depth <= target_depth {
-                // Already at or above the target heap: no copy needed.
                 return cur;
             }
             let v = store.view(cur);
@@ -125,11 +414,6 @@ impl Inner {
                 cur = v.fwd();
                 continue;
             }
-            // Introduce a new copy in the target heap. The forwarding pointer is
-            // installed *before* the fields are filled in (as in the paper); concurrent
-            // `findMaster` calls cannot observe the half-initialized copy because we
-            // hold the target heap's WRITE lock, and `readImmutable` never follows
-            // forwarding pointers.
             let header = v.header();
             let copy = self.registry.alloc_obj(target, header);
             let cv = store.view(copy);

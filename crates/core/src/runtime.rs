@@ -189,6 +189,14 @@ impl HhRuntime {
     pub fn heaps_elided(&self) -> u64 {
         self.inner.counters.heaps_elided.load(Ordering::Relaxed)
     }
+
+    /// Number of times the promotion machinery allocated (or grew) a per-worker
+    /// lock-path scratch buffer. Stays flat after warm-up — `write_promote` reuses
+    /// one buffer set per worker thread instead of allocating fresh `Vec`s per
+    /// promotion (see `tests/promo_alloc.rs` for the regression test).
+    pub fn promo_buffer_allocs(&self) -> u64 {
+        self.inner.counters.promo_buf_allocs.load(Ordering::Relaxed)
+    }
 }
 
 impl Runtime for HhRuntime {

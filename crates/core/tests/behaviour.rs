@@ -510,3 +510,62 @@ fn prop_random_mutation_trees_stay_disentangled() {
         assert_eq!(rt.check_disentangled(), 0);
     }
 }
+
+/// Promotion v2: a twice-promoted object carries a two-hop forwarding chain; the
+/// first resolution through the stale pointer walks both hops and **path-compresses**
+/// the chain, so later resolutions are single-hop. Pins the `fwd_hops` /
+/// `fwd_compressions` counter semantics.
+#[test]
+fn double_promotion_chain_is_path_compressed_on_resolution() {
+    let rt = eager_runtime(1);
+    rt.run(|ctx| {
+        // Depth 0: the outer holder.
+        let holder0 = ctx.alloc_ref_ptr(ObjPtr::NULL);
+        ctx.join(
+            |c1| {
+                // Depth 1: the inner holder.
+                let holder1 = c1.alloc_ref_ptr(ObjPtr::NULL);
+                let stale = c1
+                    .join(
+                        |c2| {
+                            // Depth 2: allocate and publish into depth 1 — first
+                            // promotion (chain d2 → d1).
+                            let obj = c2.alloc_ref_data(42);
+                            c2.write_ptr(holder1, 0, obj);
+                            obj
+                        },
+                        |_| ObjPtr::NULL,
+                    )
+                    .0;
+                // Publish the depth-1 master into depth 0 — second promotion: the
+                // original now forwards d2 → d1 → d0.
+                let master1 = c1.read_mut_ptr(holder1, 0);
+                c1.write_ptr(holder0, 0, master1);
+                // First read through the stale depth-2 pointer: walks 2 hops and
+                // compresses the chain to the master.
+                assert_eq!(c1.read_mut(stale, 0), 42);
+                // Second read: the compressed chain is a single hop.
+                assert_eq!(c1.read_mut(stale, 0), 42);
+            },
+            |_| (),
+        );
+    });
+    let s = rt.stats();
+    assert!(
+        s.promotions >= 2,
+        "two promoting writes, saw {}",
+        s.promotions
+    );
+    assert!(
+        s.fwd_compressions >= 1,
+        "the two-hop chain must have been compressed (hops {}, compressions {})",
+        s.fwd_hops,
+        s.fwd_compressions
+    );
+    assert!(
+        s.fwd_hops >= 3,
+        "expected 2 hops on the first resolution + 1 after compression, saw {}",
+        s.fwd_hops
+    );
+    assert_eq!(rt.check_disentangled(), 0);
+}

@@ -11,6 +11,7 @@
 //!   fig12       speedup vs. worker count
 //!   fig13       memory consumption and inflation
 //!   promotion   promotion volume on `map` (§4.4)
+//!   promote     promotion v2: batched-vs-v1 micro table + mutator workload counters
 //!   ablation    fast-path ablation (DESIGN.md A1)
 //!   sched       scheduler counters (steals, parks, wakes, heaps elided)
 //!   mem         memory lifecycle (peak/live/free words, recycle rates)
@@ -18,13 +19,13 @@
 //! ```
 
 use hh_harness::experiments::{
-    ablation_fastpath, fig10, fig11, fig12, fig13, fig8, fig9, mem_lifecycle, promotion_volume,
-    sched_counters, ExpConfig,
+    ablation_fastpath, fig10, fig11, fig12, fig13, fig8, fig9, mem_lifecycle, promote_micro,
+    promote_workloads, promotion_volume, sched_counters, ExpConfig,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig8|fig9|fig10|fig11|fig12|fig13|promotion|ablation|sched|mem|all> \
+        "usage: repro <fig8|fig9|fig10|fig11|fig12|fig13|promotion|promote|ablation|sched|mem|all> \
          [--scale S] [--procs P] [--grain G]"
     );
     std::process::exit(2);
@@ -78,6 +79,10 @@ fn main() {
         "fig12" => println!("{}", fig12(cfg).render()),
         "fig13" => println!("{}", fig13(cfg).render()),
         "promotion" => println!("{}", promotion_volume(cfg).render()),
+        "promote" => {
+            println!("{}", promote_micro(cfg).render());
+            println!("{}", promote_workloads(cfg).render());
+        }
         "ablation" => println!("{}", ablation_fastpath(cfg).render()),
         "sched" => println!("{}", sched_counters(cfg).render()),
         "mem" => println!("{}", mem_lifecycle(cfg).render()),
@@ -93,6 +98,7 @@ fn main() {
             "fig12",
             "fig13",
             "promotion",
+            "promote",
             "ablation",
             "sched",
             "mem",

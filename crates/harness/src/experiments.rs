@@ -526,6 +526,90 @@ fn mem_lifecycle_for(cfg: ExpConfig, benches: &[BenchId]) -> Table {
 }
 
 // ---------------------------------------------------------------------------
+// Promotion v2 (not in the paper; DESIGN.md §6 / ablation A3).
+// ---------------------------------------------------------------------------
+
+/// `repro promote`, part 1 — microbenchmark: batched promotion (v2) vs the v1
+/// per-object path on closures of increasing size. Each repetition publishes a
+/// freshly built cons closure from a child heap into a parent-heap ref under the
+/// eager per-fork configuration, and only the promoting `write_ptr` is timed
+/// (shared helpers in [`mod@crate::measure`], so this table and the
+/// `promote_overhead` bench always measure the same comparison). The
+/// configuration is fixed (1 worker, fixed closure sizes); the CLI flags apply to
+/// part 2 only. The acceptance bar for promotion v2 is a ≥ 3× speedup on the
+/// 1000-object closure.
+pub fn promote_micro(_cfg: ExpConfig) -> Table {
+    use crate::measure::{promotion_runtime, time_promotions};
+
+    let mut table = Table::new(
+        "Promotion v2 — batched vs per-object promotion (ns per promoted object; \
+         fixed 1-worker eager config, --scale/--procs/--grain not applicable)",
+        &["closure objects", "v1 ns/obj", "v2 ns/obj", "speedup"],
+    );
+    for &len in &[16usize, 256, 1024, 4096] {
+        let reps = (200_000 / len).clamp(20, 2_000) as u64;
+        let v1_rt = promotion_runtime(false);
+        let v2_rt = promotion_runtime(true);
+        // Warm both runtimes once so chunk minting is off the measured path.
+        time_promotions(&v1_rt, len, 2);
+        time_promotions(&v2_rt, len, 2);
+        let per_obj = |d: std::time::Duration| d.as_nanos() as f64 / (reps as usize * len) as f64;
+        let v1 = per_obj(time_promotions(&v1_rt, len, reps));
+        let v2 = per_obj(time_promotions(&v2_rt, len, reps));
+        table.row(vec![
+            len.to_string(),
+            format!("{v1:.1}"),
+            format!("{v2:.1}"),
+            ratio(v1, v2),
+        ]);
+    }
+    table
+}
+
+/// `repro promote`, part 2 — the mutator-heavy workloads: promotion and
+/// forwarding-chain counters on the runtimes that promote (`parmem` lazy and eager,
+/// `dlg`). `fwd hops` vs `compressions` shows path compression keeping the
+/// amortized `findMaster` flat; `promotions` vs `promoted objects` shows the
+/// batching factor (objects evacuated per pass).
+pub fn promote_workloads(cfg: ExpConfig) -> Table {
+    let mut table = Table::new(
+        "Promotion v2 — mutator-heavy workloads (counters)",
+        &[
+            "benchmark",
+            "runtime",
+            "promotions",
+            "promoted objs",
+            "promoted KW",
+            "fwd hops",
+            "compressions",
+        ],
+    );
+    let params = cfg.params();
+    for &bench in &BenchId::MUTATOR {
+        for mode in ["parmem", "parmem-eager", "dlg"] {
+            let m = match mode {
+                "parmem" => measure(RuntimeKind::Parmem, cfg.procs, bench, params),
+                "parmem-eager" => {
+                    measure_parmem_with_config(HhConfig::eager_heaps(cfg.procs), bench, params)
+                }
+                _ => measure(RuntimeKind::Dlg, cfg.procs, bench, params),
+            };
+            let s = &m.stats;
+            table.row(vec![
+                bench.name().to_string(),
+                mode.to_string(),
+                s.promotions.to_string(),
+                s.promoted_objects.to_string(),
+                format!("{:.1}", s.promoted_words as f64 / 1024.0),
+                s.fwd_hops.to_string(),
+                s.fwd_compressions.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
 // Ablations (not in the paper; DESIGN.md A1/A2).
 // ---------------------------------------------------------------------------
 
@@ -623,6 +707,30 @@ mod tests {
                 "{}: no heaps elided on a fork-join workload",
                 toks[0]
             );
+        }
+    }
+
+    #[test]
+    fn promote_tables_render_and_eager_rows_promote() {
+        let micro = promote_micro(tiny_cfg());
+        assert_eq!(micro.n_rows(), 4);
+        assert!(micro.render().contains("1024"));
+
+        let t = promote_workloads(ExpConfig {
+            scale: 0.0005,
+            procs: 2,
+            grain: 256,
+        });
+        assert_eq!(t.n_rows(), 3 * BenchId::MUTATOR.len());
+        // Every eager parmem row must show promotions (column 2) — all three
+        // mutator workloads publish cross-heap structures.
+        for line in t.render().lines().skip(3) {
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            if toks.len() < 3 || toks[1] != "parmem-eager" {
+                continue;
+            }
+            let promotions: u64 = toks[2].parse().expect("promotions column");
+            assert!(promotions > 0, "{}: eager run never promoted", toks[0]);
         }
     }
 

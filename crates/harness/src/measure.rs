@@ -4,7 +4,7 @@ use hh_api::{RunStats, Runtime};
 use hh_baselines::{DlgRuntime, SeqRuntime, StwRuntime};
 use hh_runtime::{HhConfig, HhRuntime};
 use hh_workloads::suite::{run_timed, BenchId, Params};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The four runtimes of the evaluation.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -116,6 +116,53 @@ pub fn measure_parmem_with_config(config: HhConfig, bench: BenchId, params: Para
     let workers = config.n_workers;
     let rt = HhRuntime::new(config);
     measure_on(&rt, bench, params, workers)
+}
+
+// ---------------------------------------------------------------------------
+// Promotion v2 micro-measurement (shared by `repro promote` and the
+// `promote_overhead` bench, so both always measure the same thing).
+// ---------------------------------------------------------------------------
+
+/// A runtime configured for promotion micro-measurement: one worker, eager
+/// per-fork heaps (a publish promotes even unstolen), invariant checker off, and
+/// the promotion path selected by `batched` (v2 when true, the preserved v1
+/// per-object path — ablation A3 — when false).
+pub fn promotion_runtime(batched: bool) -> HhRuntime {
+    HhRuntime::new(HhConfig {
+        n_workers: 1,
+        lazy_child_heaps: false,
+        batched_promotion: batched,
+        check_invariants: false,
+        ..HhConfig::default()
+    })
+}
+
+/// Times `iters` promotions of a freshly built `chain_len`-object cons closure,
+/// timing **only** the promoting `write_ptr` (the build is untimed). Each
+/// repetition is its own `run`, so the closure is never already promoted and the
+/// heaps are recycled between repetitions.
+pub fn time_promotions(rt: &HhRuntime, chain_len: usize, iters: u64) -> Duration {
+    use hh_api::{ObjPtr, ParCtx};
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        total += rt.run(|ctx| {
+            let holder = ctx.alloc_ref_ptr(ObjPtr::NULL);
+            ctx.join(
+                |c| {
+                    let mut head = ObjPtr::NULL;
+                    for k in 0..chain_len {
+                        head = c.alloc_cons(ObjPtr::NULL, head, k as u64);
+                    }
+                    let start = Instant::now();
+                    c.write_ptr(holder, 0, head);
+                    start.elapsed()
+                },
+                |_| Duration::ZERO,
+            )
+            .0
+        });
+    }
+    total
 }
 
 #[cfg(test)]

@@ -2,9 +2,10 @@
 
 use crate::id::HeapId;
 use crate::rwlock::HeapRwLock;
-use hh_objmodel::{ChunkId, ChunkStore, Header, ObjPtr};
+use hh_objmodel::{Chunk, ChunkId, ChunkStore, Header, ObjPtr};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Allocation state of a heap: the chunk currently being bumped into plus the list of
 /// all chunks belonging to the heap (its from-space).
@@ -154,6 +155,38 @@ impl Heap {
         self.promoted_in_words.fetch_add(words, Ordering::Relaxed);
     }
 
+    /// Records `objects` objects totalling `words` words promoted into this heap in
+    /// one batched pass (statistics only; the bulk form of
+    /// [`Heap::note_promoted_in`]).
+    pub fn note_promoted_in_batch(&self, objects: usize, words: usize) {
+        self.promoted_in_objects
+            .fetch_add(objects, Ordering::Relaxed);
+        self.promoted_in_words.fetch_add(words, Ordering::Relaxed);
+    }
+
+    /// Opens a batched allocation session on this heap: the allocation mutex is
+    /// acquired **once** and held by the returned cursor until it is dropped, so a
+    /// pass that allocates many objects (batched promotion evacuating a closure)
+    /// pays one lock acquisition instead of one per object.
+    ///
+    /// While the cursor is alive, every other allocator of this heap
+    /// ([`Heap::alloc_obj`], other cursors) blocks — callers must keep the session
+    /// bounded (promotion already excludes `findMaster` readers via the heap WRITE
+    /// lock; the allocation mutex is a leaf lock, so no ordering cycle is possible).
+    /// Allocated words are published to the heap's accounting when the cursor drops.
+    pub fn batch_alloc<'a>(&'a self, store: &'a ChunkStore) -> BatchAlloc<'a> {
+        let state = self.alloc.lock();
+        let current = state.current.map(|id| Arc::clone(store.chunk(id)));
+        BatchAlloc {
+            heap: self,
+            store,
+            state,
+            current,
+            dedicated: None,
+            words: 0,
+        }
+    }
+
     /// Words allocated into this heap since creation or the last [`Heap::replace_chunks`].
     pub fn allocated_words(&self) -> usize {
         self.allocated_words.load(Ordering::Relaxed)
@@ -215,6 +248,86 @@ impl Heap {
             promoted_in_words: self.promoted_in_words.load(Ordering::Relaxed),
             collections: self.collections.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// A batched allocation cursor on one heap (see [`Heap::batch_alloc`]): holds the
+/// heap's allocation mutex for its whole lifetime and bump-allocates with the same
+/// placement rules as [`Heap::alloc_obj`] (large objects get dedicated chunks without
+/// displacing the current bump chunk).
+pub struct BatchAlloc<'a> {
+    heap: &'a Heap,
+    store: &'a ChunkStore,
+    state: parking_lot::MutexGuard<'a, AllocState>,
+    /// The current bump chunk, held by reference so the per-object path performs no
+    /// chunk-table lookup (mirrors `state.current`).
+    current: Option<Arc<Chunk>>,
+    /// The most recent dedicated large-object chunk (kept so `alloc_for_copy` can
+    /// hand back a reference to the chunk the object landed in).
+    dedicated: Option<Arc<Chunk>>,
+    words: usize,
+}
+
+impl BatchAlloc<'_> {
+    /// Allocates one object with `header` in the session's heap, fully initialized
+    /// (pointer fields NULLed) as by [`Heap::alloc_obj`].
+    pub fn alloc(&mut self, header: Header) -> ObjPtr {
+        self.alloc_with(header, false).0
+    }
+
+    /// Allocates one object with `header`, initializing only the header and the
+    /// forwarding slot (see [`ChunkStore::alloc_in_chunk_for_copy`]): the caller
+    /// must store every field before the object becomes reachable. Returns the
+    /// pointer plus the chunk it landed in, so evacuation loops can build views
+    /// without a chunk-table lookup.
+    pub fn alloc_for_copy(&mut self, header: Header) -> (ObjPtr, &Arc<Chunk>) {
+        self.alloc_with(header, true)
+    }
+
+    fn alloc_with(&mut self, header: Header, for_copy: bool) -> (ObjPtr, &Arc<Chunk>) {
+        let size = header.size_words();
+        self.words += size;
+        if self.store.needs_dedicated_chunk(header) {
+            // Dedicated chunks never displace the bump chunk.
+            let (chunk, ptr) = self.store.alloc_dedicated(self.heap.id.raw(), header);
+            self.state.chunks.push(chunk.id());
+            self.dedicated = Some(chunk);
+            return (ptr, self.dedicated.as_ref().expect("just set"));
+        }
+        if let Some(cur) = &self.current {
+            let res = if for_copy {
+                self.store.alloc_in_chunk_for_copy(cur, header)
+            } else {
+                self.store.alloc_in_chunk(cur, header)
+            };
+            if let Some(ptr) = res {
+                return (ptr, self.current.as_ref().expect("checked above"));
+            }
+        }
+        let chunk = self.store.alloc_chunk(self.heap.id.raw(), size);
+        let res = if for_copy {
+            self.store.alloc_in_chunk_for_copy(&chunk, header)
+        } else {
+            self.store.alloc_in_chunk(&chunk, header)
+        };
+        let ptr = res.expect("fresh chunk cannot be too small for the object it was sized for");
+        self.state.current = Some(chunk.id());
+        self.state.chunks.push(chunk.id());
+        self.current = Some(chunk);
+        (ptr, self.current.as_ref().expect("just set"))
+    }
+
+    /// Words allocated through this cursor so far.
+    pub fn allocated_words(&self) -> usize {
+        self.words
+    }
+}
+
+impl Drop for BatchAlloc<'_> {
+    fn drop(&mut self) {
+        self.heap
+            .allocated_words
+            .fetch_add(self.words, Ordering::Relaxed);
     }
 }
 
@@ -340,6 +453,41 @@ mod tests {
         // Compression with a stale old value is a no-op.
         h.compress_merged_into(HeapId(2), HeapId(7));
         assert_eq!(h.merged_into(), HeapId(0));
+    }
+
+    #[test]
+    fn batch_alloc_matches_alloc_obj_placement() {
+        let store = store(); // 64-word chunks
+        let h = Heap::new(HeapId(0), HeapId::NONE, 0);
+        let small = Header::new(2, 0, ObjKind::Tuple); // 4 words
+        let big = Header::new(500, 0, ObjKind::ArrayData);
+        let mut ptrs = Vec::new();
+        {
+            let mut batch = h.batch_alloc(&store);
+            for _ in 0..10 {
+                ptrs.push(batch.alloc(small));
+            }
+            // A large object takes a dedicated chunk without displacing the bump chunk…
+            let huge = batch.alloc(big);
+            let after = batch.alloc(small);
+            assert_eq!(
+                after.chunk(),
+                ptrs.last().unwrap().chunk(),
+                "bump chunk abandoned by the large-object detour"
+            );
+            assert_ne!(huge.chunk(), after.chunk());
+            assert_eq!(batch.allocated_words(), 11 * 4 + big.size_words());
+            ptrs.push(huge);
+            ptrs.push(after);
+        }
+        // Words are published when the cursor drops; objects are live and distinct.
+        assert_eq!(h.allocated_words(), 11 * 4 + big.size_words());
+        ptrs.sort();
+        ptrs.dedup();
+        assert_eq!(ptrs.len(), 12);
+        // Ordinary allocation continues from the batch's bump chunk.
+        let next = h.alloc_obj(&store, small);
+        assert_eq!(store.view(next).n_fields(), 2);
     }
 
     #[test]

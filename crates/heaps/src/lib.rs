@@ -27,7 +27,7 @@ pub mod id;
 pub mod registry;
 pub mod rwlock;
 
-pub use heap::{Heap, HeapStats};
+pub use heap::{BatchAlloc, Heap, HeapStats};
 pub use id::HeapId;
 pub use registry::HeapRegistry;
 pub use rwlock::HeapRwLock;

@@ -517,11 +517,47 @@ impl ChunkStore {
         Some(ptr)
     }
 
+    /// As [`ChunkStore::alloc_in_chunk`], but initializes only the header and the
+    /// forwarding slot, leaving the fields as the chunk's raw words (see
+    /// [`ObjView::init_for_copy`]). For evacuation-style copies that overwrite every
+    /// field before publishing the object; skips one store per pointer field.
+    pub fn alloc_in_chunk_for_copy(&self, chunk: &Chunk, header: Header) -> Option<ObjPtr> {
+        let off = chunk.try_bump(header.size_words())?;
+        let ptr = ObjPtr::new(chunk.id(), off);
+        ObjView::new(chunk, off).init_for_copy(header);
+        Some(ptr)
+    }
+
     /// Raw heap id recorded on the chunk containing `ptr` (the heap the object was
     /// *allocated* into; the heap registry resolves merges on top of this).
     #[inline]
     pub fn chunk_owner(&self, ptr: ObjPtr) -> u32 {
         self.chunk(ptr.chunk()).owner()
+    }
+
+    /// Shortcuts every hop of the forwarding chain `from → … → end` directly to
+    /// `end`, returning the number of hops rewritten.
+    ///
+    /// `end` must be reachable from `from` by following forwarding pointers (the
+    /// caller just walked the chain). Safe without any lock by the monotonicity
+    /// argument of [`ObjView::compress_fwd`]; a failed CAS (a concurrent
+    /// compression or chain extension won) is simply skipped — the chain is intact
+    /// either way, so this never retries and never loops.
+    pub fn compress_fwd_chain(&self, from: ObjPtr, end: ObjPtr) -> u64 {
+        let mut walk = from;
+        let mut done = 0u64;
+        while walk != end {
+            let v = self.view(walk);
+            let next = v.fwd();
+            if next.is_null() || next == end {
+                break;
+            }
+            if v.compress_fwd(next, end) {
+                done += 1;
+            }
+            walk = next;
+        }
+        done
     }
 
     /// Current memory accounting snapshot.

@@ -7,11 +7,14 @@
 //!
 //! ## Memory-ordering conventions
 //!
-//! * The **forwarding-pointer slot** is written at most once per copy, always by a thread
-//!   holding the owning heap's WRITE lock (promotion) or during a collection of a
-//!   quiescent subtree. It is published with `Release` and read with `Acquire`, so a
-//!   reader that observes the forwarding pointer also observes the fully initialized
-//!   copy it points to.
+//! * The **forwarding-pointer slot** is *installed* (NULL → copy) at most once per
+//!   object, always by a thread holding the owning heap's WRITE lock (promotion) or
+//!   during a collection of a quiescent subtree. It is published with `Release` and
+//!   read with `Acquire`, so a reader that observes the forwarding pointer also
+//!   observes the fully initialized copy it points to. Once installed, the slot is
+//!   **monotone**: [`ObjView::compress_fwd`] may CAS it from one chain member to a
+//!   *later* member of the same chain (path compression), so every value the slot
+//!   ever holds leads to the same master copy.
 //! * **Fields** are accessed with `Acquire` loads and `Release` stores. This is slightly
 //!   stronger than necessary for non-pointer data but keeps the model simple and is free
 //!   on x86; pointer fields genuinely need release/acquire so that a task reading a
@@ -77,6 +80,24 @@ impl<'a> ObjView<'a> {
                 .word(self.base + OFF_FIELDS + i)
                 .store(ObjPtr::NULL.to_bits(), Ordering::Release);
         }
+    }
+
+    /// Writes the header word and clears the forwarding slot, leaving the fields
+    /// **uninitialized** (whatever the chunk held — zero bits on a fresh or recycled
+    /// chunk, which is *not* [`ObjPtr::NULL`]).
+    ///
+    /// For evacuation-style copies only ([`crate::ChunkStore::alloc_in_chunk_for_copy`]):
+    /// the caller must store every field before any other thread can reach the
+    /// object. Promotion satisfies this by holding the target heap's WRITE lock
+    /// until the copy is fully filled in; collections run on quiescent zones.
+    #[inline]
+    pub fn init_for_copy(&self, header: Header) {
+        self.chunk
+            .word(self.base + OFF_HEADER)
+            .store(header.encode(), Ordering::Release);
+        self.chunk
+            .word(self.base + OFF_FWD)
+            .store(ObjPtr::NULL.to_bits(), Ordering::Release);
     }
 
     /// Decodes the object's header.
@@ -149,6 +170,30 @@ impl<'a> ObjView<'a> {
             Ok(_) => Ok(()),
             Err(existing) => Err(ObjPtr::from_bits(existing)),
         }
+    }
+
+    /// Path compression: atomically shortcuts the forwarding pointer from `old` to
+    /// `new`, where `new` must be reachable from `old` by following forwarding
+    /// pointers. Returns `true` if the shortcut was installed.
+    ///
+    /// Unlike [`ObjView::set_fwd`], this is safe to call without any heap lock: the
+    /// slot is monotone along one forwarding chain (chains only grow at the shallow
+    /// end and are never unlinked before the reuse horizon), so concurrent readers
+    /// observe either the old hop or the shortcut — both lead to the same master.
+    /// A failed CAS means another thread compressed (or extended) concurrently; the
+    /// chain is still intact either way, so failure needs no retry.
+    #[inline]
+    pub fn compress_fwd(&self, old: ObjPtr, new: ObjPtr) -> bool {
+        debug_assert!(!old.is_null() && !new.is_null());
+        self.chunk
+            .word(self.base + OFF_FWD)
+            .compare_exchange(
+                old.to_bits(),
+                new.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
     }
 
     #[inline]
@@ -293,6 +338,21 @@ mod tests {
         assert_eq!(v.fwd(), a);
         assert_eq!(v.try_set_fwd(b), Err(a));
         assert_eq!(v.fwd(), a);
+    }
+
+    #[test]
+    fn compress_fwd_shortcuts_but_never_regresses() {
+        let (chunk, off) = chunk_with_obj(1, 0, ObjKind::Ref);
+        let v = ObjView::new(&chunk, off);
+        let hop = ObjPtr::new(ChunkId(1), 0);
+        let master = ObjPtr::new(ChunkId(2), 0);
+        v.set_fwd(hop);
+        // Successful shortcut: hop → master.
+        assert!(v.compress_fwd(hop, master));
+        assert_eq!(v.fwd(), master);
+        // A stale compression (expecting the old hop) fails and changes nothing.
+        assert!(!v.compress_fwd(hop, ObjPtr::new(ChunkId(3), 0)));
+        assert_eq!(v.fwd(), master);
     }
 
     #[test]

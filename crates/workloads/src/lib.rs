@@ -10,6 +10,9 @@
 //! **Imperative** (§4.2): `msort`, `dedup`, `tourney`, `reachability`, `usp`,
 //! `usp-tree`, `multi-usp-tree`.
 //!
+//! **Mutator-heavy** (promotion v2, beyond the paper): `union-find`, `bfs-frontier`,
+//! `lru-churn` — see [`mutator`].
+//!
 //! Substrate modules:
 //! * [`seq`] — immutable sequences of 64-bit elements with parallel `tabulate` / `map` /
 //!   `reduce` / `filter` / parallel merge (the paper's `Seq` module);
@@ -18,6 +21,8 @@
 //! * [`graph`] — adjacency-sequence graphs, a synthetic power-law generator standing in
 //!   for the `orkut` graph, and the four BFS variants;
 //! * [`matrix`] — dense matrix multiplication and sparse matrix–vector product;
+//! * [`mutator`] — the mutator-heavy workloads: concurrent union-find with path
+//!   halving, BFS over a growing graph, and LRU-cache churn;
 //! * [`strassen`] — quadtree matrices and Strassen multiplication;
 //! * [`ray`] — the sphere-scene raytracer;
 //! * [`suite`] — a registry that prepares inputs and times each benchmark's kernel,
@@ -28,6 +33,7 @@
 
 pub mod graph;
 pub mod matrix;
+pub mod mutator;
 pub mod ray;
 pub mod seq;
 pub mod sort;

@@ -4,6 +4,7 @@
 
 use crate::graph::{bfs, generate as gen_graph, multi_usp_tree, BfsState, BfsVariant};
 use crate::matrix::{dmm, smvm, vector_checksum, Csr, Dense};
+use crate::mutator::{frontier_bfs, lru_churn, union_find};
 use crate::ray::{image_checksum, render};
 use crate::seq::{checksum, filter, map, random_input, reduce, tabulate};
 use crate::sort::{dedup, msort, msort_pure};
@@ -13,7 +14,8 @@ use crate::{fib, fib_seq};
 use hh_api::ParCtx;
 use std::time::{Duration, Instant};
 
-/// Identifiers of the 17 benchmarks, in the order of the paper's Figures 10 and 11.
+/// Identifiers of the benchmarks: the paper's 17 (Figures 10 and 11 order) plus the
+/// three mutator-heavy workloads of promotion v2.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum BenchId {
@@ -34,11 +36,15 @@ pub enum BenchId {
     Usp,
     UspTree,
     MultiUspTree,
+    UnionFind,
+    BfsFrontier,
+    LruChurn,
 }
 
 impl BenchId {
-    /// All benchmarks, pure first (Figure 10 order) then imperative (Figure 11 order).
-    pub const ALL: [BenchId; 17] = [
+    /// All benchmarks: pure first (Figure 10 order), then imperative (Figure 11
+    /// order), then the mutator-heavy workloads.
+    pub const ALL: [BenchId; 20] = [
         BenchId::Fib,
         BenchId::Tabulate,
         BenchId::Map,
@@ -56,6 +62,9 @@ impl BenchId {
         BenchId::Usp,
         BenchId::UspTree,
         BenchId::MultiUspTree,
+        BenchId::UnionFind,
+        BenchId::BfsFrontier,
+        BenchId::LruChurn,
     ];
 
     /// The pure benchmarks (Figure 10).
@@ -83,6 +92,9 @@ impl BenchId {
         BenchId::MultiUspTree,
     ];
 
+    /// The mutator-heavy workloads (promotion v2; not part of the paper's suite).
+    pub const MUTATOR: [BenchId; 3] = [BenchId::UnionFind, BenchId::BfsFrontier, BenchId::LruChurn];
+
     /// The benchmark's name as it appears in the paper's tables.
     pub fn name(self) -> &'static str {
         match self {
@@ -103,6 +115,9 @@ impl BenchId {
             BenchId::Usp => "usp",
             BenchId::UspTree => "usp-tree",
             BenchId::MultiUspTree => "multi-usp-tree",
+            BenchId::UnionFind => "union-find",
+            BenchId::BfsFrontier => "bfs-frontier",
+            BenchId::LruChurn => "lru-churn",
         }
     }
 
@@ -124,6 +139,9 @@ impl BenchId {
             BenchId::Tourney => "local non-promoting writes",
             BenchId::Reachability | BenchId::Usp => "distant non-pointer writes",
             BenchId::UspTree | BenchId::MultiUspTree => "distant promoting writes",
+            BenchId::UnionFind => "distant CAS + promoting log writes",
+            BenchId::BfsFrontier => "promoting writes on a growing frontier",
+            BenchId::LruChurn => "allocation churn + batched publish promotion",
             _ => unreachable!(),
         }
     }
@@ -313,6 +331,26 @@ pub fn run_timed<C: ParCtx>(ctx: &C, id: BenchId, p: Params) -> BenchOutcome {
             let state = BfsState::new(ctx, g.n, variant);
             timed(|| bfs(ctx, &g, &state, 0, grain) as u64)
         }
+        BenchId::UnionFind => {
+            // Shared parent array hammered by distant CAS traffic; one promoting
+            // log write per edge. Average degree 2 keeps components non-trivial.
+            let n = p.scaled(2_000_000, 4_000);
+            timed(|| union_find(ctx, n, n, p.grain, 0xC0DE_0001))
+        }
+        BenchId::BfsFrontier => {
+            // The growing-graph BFS: adjacency is allocated during traversal and
+            // published with promoting pointer writes.
+            let n = p.scaled(1_000_000, 2_000);
+            let grain = (p.grain / 16).max(8);
+            timed(|| frontier_bfs(ctx, n, 8, grain, 0xC0DE_0002))
+        }
+        BenchId::LruChurn => {
+            // 16 independent caches over one backing store; each publish is a
+            // batched transitive promotion of the whole cache closure.
+            let tasks = 16;
+            let ops = p.scaled(4_000_000, 16_000) / tasks;
+            timed(|| lru_churn(ctx, tasks, ops, 32, 1024, 0xC0DE_0003))
+        }
         BenchId::MultiUspTree => {
             let (g, grain) = prepare_graph(ctx, p);
             // Paper: 36 copies (half the 72-core machine). Keep the copy count fixed so
@@ -368,7 +406,7 @@ mod tests {
         }
         assert_eq!(BenchId::from_name("no-such-bench"), None);
         assert_eq!(
-            BenchId::PURE.len() + BenchId::IMPERATIVE.len(),
+            BenchId::PURE.len() + BenchId::IMPERATIVE.len() + BenchId::MUTATOR.len(),
             BenchId::ALL.len()
         );
     }
