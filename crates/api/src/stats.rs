@@ -63,6 +63,15 @@ pub struct RunStats {
     /// Collections whose zone spanned more than one heap — an internal node of the
     /// hierarchy plus its completed descendants (hierarchical runtime only).
     pub subtree_collections: u64,
+    /// Collections run on a GC *team* (more than one collector worker — the
+    /// triggering thread plus drafted parked/idle workers; GC v2).
+    pub gc_parallel_collections: u64,
+    /// Scan blocks stolen between GC team members during parallel collections
+    /// (the work-stealing traffic of the evacuation wavefront).
+    pub gc_steal_blocks: u64,
+    /// Longest single collection pause observed, in nanoseconds (a gauge of the
+    /// worst-case latency the collector imposes; merged by max).
+    pub gc_max_pause_ns: u64,
     /// Number of chunks ever minted by the chunk store (monotone).
     pub chunks_created: u64,
     /// Times a retired chunk was reused for a new owner instead of minting a fresh
@@ -119,6 +128,9 @@ impl RunStats {
         self.bulk_words += other.bulk_words;
         self.bulk_master_lookups += other.bulk_master_lookups;
         self.subtree_collections += other.subtree_collections;
+        self.gc_parallel_collections += other.gc_parallel_collections;
+        self.gc_steal_blocks += other.gc_steal_blocks;
+        self.gc_max_pause_ns = self.gc_max_pause_ns.max(other.gc_max_pause_ns);
         self.chunks_created += other.chunks_created;
         self.chunks_recycled += other.chunks_recycled;
         self.alloc_cache_hits += other.alloc_cache_hits;

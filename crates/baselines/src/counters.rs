@@ -35,6 +35,12 @@ pub struct Counters {
     /// Forwarding resolutions performed inside bulk operations (at most one per object
     /// operand).
     pub bulk_master_lookups: AtomicU64,
+    /// Collections run on a GC team (drafted safepoint-parked workers; GC v2).
+    pub gc_parallel_collections: AtomicU64,
+    /// Scan blocks stolen between GC team members during collections.
+    pub gc_steal_blocks: AtomicU64,
+    /// Longest single collection pause observed, in nanoseconds (`fetch_max`).
+    pub gc_max_pause_ns: AtomicU64,
 }
 
 impl Counters {
@@ -72,6 +78,9 @@ impl Counters {
             // Flat heaps never collect subtrees; the store lifecycle fields apply to
             // every runtime.
             subtree_collections: 0,
+            gc_parallel_collections: self.gc_parallel_collections.load(Ordering::Relaxed),
+            gc_steal_blocks: self.gc_steal_blocks.load(Ordering::Relaxed),
+            gc_max_pause_ns: self.gc_max_pause_ns.load(Ordering::Relaxed),
             chunks_created: store.chunks_created as u64,
             chunks_recycled: store.chunks_recycled as u64,
             alloc_cache_hits: store.alloc_cache_hits as u64,
@@ -105,6 +114,9 @@ impl Counters {
             &self.bulk_ops,
             &self.bulk_words,
             &self.bulk_master_lookups,
+            &self.gc_parallel_collections,
+            &self.gc_steal_blocks,
+            &self.gc_max_pause_ns,
         ] {
             c.store(0, Ordering::Relaxed);
         }

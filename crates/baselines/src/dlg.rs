@@ -17,7 +17,7 @@
 //!   baseline exists for; the paper does not report Manticore GC percentages either).
 
 use crate::common::{
-    resolve_tracked, semispace_collect, FlatHeap, RootRegistry, RunEpoch, OWNER_GLOBAL,
+    par_semispace_collect, resolve_tracked, FlatHeap, RootRegistry, RunEpoch, OWNER_GLOBAL,
 };
 use crate::counters::Counters;
 use hh_api::{ParCtx, RunStats, Runtime};
@@ -184,25 +184,41 @@ impl DlgInner {
             for local in &self.locals {
                 zone.extend(local.chunks());
             }
-            let outcome = semispace_collect(
+            // GC v2: draft the safepoint-parked workers into the collection team
+            // (same parallel evacuation as the hierarchical and STW collectors).
+            let helpers = self.pool.n_workers().saturating_sub(1);
+            let outcome = par_semispace_collect(
                 &self.store,
                 OWNER_GLOBAL,
                 &zone,
                 &self.roots,
                 &mut [],
                 self.chunk_words,
+                Some((&self.safepoints, helpers)),
             );
             // Survivors all land in the global heap; local heaps restart empty.
             self.global
-                .replace_chunks(outcome.new_chunks, outcome.copied_words);
+                .replace_chunks(outcome.new_chunks, outcome.occupied_words);
             for local in &self.locals {
                 local.replace_chunks(Vec::new(), 0);
             }
             self.counters.gc_count.fetch_add(1, Ordering::Relaxed);
+            if helpers > 0 {
+                self.counters
+                    .gc_parallel_collections
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            self.counters
+                .gc_steal_blocks
+                .fetch_add(outcome.steal_blocks, Ordering::Relaxed);
             self.counters
                 .gc_copied_words
                 .fetch_add(outcome.copied_words as u64, Ordering::Relaxed);
-            self.counters.add_gc_time(start.elapsed());
+            let pause = start.elapsed();
+            self.counters.add_gc_time(pause);
+            self.counters
+                .gc_max_pause_ns
+                .fetch_max(pause.as_nanos() as u64, Ordering::Relaxed);
         });
         if collected {
             self.counters.world_stops.fetch_add(1, Ordering::Relaxed);

@@ -94,12 +94,16 @@ impl SeqInner {
             self.chunk_words,
         );
         self.heap
-            .replace_chunks(outcome.new_chunks, outcome.copied_words);
+            .replace_chunks(outcome.new_chunks, outcome.occupied_words);
         self.counters.gc_count.fetch_add(1, Ordering::Relaxed);
         self.counters
             .gc_copied_words
             .fetch_add(outcome.copied_words as u64, Ordering::Relaxed);
-        self.counters.add_gc_time(start.elapsed());
+        let pause = start.elapsed();
+        self.counters.add_gc_time(pause);
+        self.counters
+            .gc_max_pause_ns
+            .fetch_max(pause.as_nanos() as u64, Ordering::Relaxed);
     }
 }
 

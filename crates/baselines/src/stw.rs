@@ -10,7 +10,7 @@
 //! hinges on: GC work is serialized and every processor pays for it.
 
 use crate::common::{
-    resolve_tracked, semispace_collect, FlatHeap, RootRegistry, RunEpoch, OWNER_GLOBAL,
+    par_semispace_collect, resolve_tracked, FlatHeap, RootRegistry, RunEpoch, OWNER_GLOBAL,
 };
 use crate::counters::Counters;
 use hh_api::{ParCtx, RunStats, Runtime};
@@ -103,21 +103,38 @@ impl StwInner {
             }
             let start = Instant::now();
             let zone = self.heap.chunks();
-            let outcome = semispace_collect(
+            // GC v2: the world is stopped, so every other worker is parked at the
+            // safepoint — draft them into the collection team instead of letting
+            // them sleep through the pause.
+            let helpers = self.pool.n_workers().saturating_sub(1);
+            let outcome = par_semispace_collect(
                 &self.store,
                 OWNER_GLOBAL,
                 &zone,
                 &self.roots,
                 &mut [],
                 self.chunk_words,
+                Some((&self.safepoints, helpers)),
             );
             self.heap
-                .replace_chunks(outcome.new_chunks, outcome.copied_words);
+                .replace_chunks(outcome.new_chunks, outcome.occupied_words);
             self.counters.gc_count.fetch_add(1, Ordering::Relaxed);
+            if helpers > 0 {
+                self.counters
+                    .gc_parallel_collections
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            self.counters
+                .gc_steal_blocks
+                .fetch_add(outcome.steal_blocks, Ordering::Relaxed);
             self.counters
                 .gc_copied_words
                 .fetch_add(outcome.copied_words as u64, Ordering::Relaxed);
-            self.counters.add_gc_time(start.elapsed());
+            let pause = start.elapsed();
+            self.counters.add_gc_time(pause);
+            self.counters
+                .gc_max_pause_ns
+                .fetch_max(pause.as_nanos() as u64, Ordering::Relaxed);
         });
         if collected {
             self.counters.world_stops.fetch_add(1, Ordering::Relaxed);

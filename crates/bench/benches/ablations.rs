@@ -45,6 +45,25 @@ fn ablations(c: &mut Criterion) {
             })
         });
     }
+
+    // A4: parallel zone collection on / off (GC v2) — mutator-heavy workloads under
+    // a tiny GC threshold, so collection pauses dominate; `gc_workers = 1` keeps the
+    // v1 single-threaded collection shape (minus the hash probes).
+    for bench in [BenchId::LruChurn, BenchId::UnionFind] {
+        for (label, gc_workers) in [("gc_team", 0usize), ("gc_serial", 1)] {
+            group.bench_function(format!("{}/{}", bench.name(), label), |b| {
+                b.iter(|| {
+                    let rt = HhRuntime::new(HhConfig {
+                        n_workers: workers,
+                        gc_workers,
+                        gc_threshold_words: 64 * 1024,
+                        ..Default::default()
+                    });
+                    black_box(rt.run(|ctx| run_timed(ctx, bench, params)).checksum)
+                })
+            });
+        }
+    }
     group.finish();
 }
 

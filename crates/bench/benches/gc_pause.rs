@@ -1,0 +1,108 @@
+//! GC v2 pause microbenchmark: forced collections of a 1000-object-per-task live
+//! set, parallel team vs the serial `gc_workers = 1` ablation (A4).
+//!
+//! Each iteration builds `workers` × 1000 live cons cells (published into a pinned
+//! pointer array, so the structure is spread across the fork tree the way real
+//! workloads leave it) plus garbage litter, then times **only** the forced
+//! collection (`iter_custom`). After the Criterion runs, a calibration pass prints
+//! ns per copied word and the maximum pause from the runtime's own counters —
+//! the two numbers the acceptance criteria are stated in.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hh_api::{ObjPtr, ParCtx, Runtime};
+use hh_bench::bench_workers;
+use hh_runtime::{HhConfig, HhRuntime};
+use std::time::{Duration, Instant};
+
+fn runtime(workers: usize, gc_workers: usize) -> HhRuntime {
+    HhRuntime::new(HhConfig {
+        n_workers: workers,
+        gc_workers,
+        // Only the forced collections run; the threshold never fires.
+        gc_threshold_words: usize::MAX / 2,
+        ..Default::default()
+    })
+}
+
+/// Builds `tasks` lists of 1000 cells each in parallel, publishing every list into
+/// a pinned pointer array, and returns that array (the collection's live set).
+fn build_live<C: ParCtx>(ctx: &C, tasks: usize) -> ObjPtr {
+    let published = ctx.alloc_ptr_array(tasks);
+    ctx.pin(published);
+    ctx.par_for(0..tasks, 1, |c, range| {
+        for slot in range {
+            let mut head = ObjPtr::NULL;
+            for k in 0..1_000u64 {
+                head = c.alloc_cons(ObjPtr::NULL, head, k);
+                // Litter: dead by collection time.
+                if k % 8 == 0 {
+                    let _junk = c.alloc_data_array(8);
+                }
+            }
+            c.write_ptr(published, slot, head);
+        }
+    });
+    published
+}
+
+/// One timed forced collection over a freshly built live set.
+fn timed_collection(rt: &HhRuntime, tasks: usize) -> Duration {
+    rt.run(|ctx| {
+        let live = build_live(ctx, tasks);
+        let t0 = Instant::now();
+        assert!(ctx.force_collect());
+        let pause = t0.elapsed();
+        ctx.unpin(live);
+        pause
+    })
+}
+
+fn gc_pause(c: &mut Criterion) {
+    let workers = bench_workers();
+    let mut group = c.benchmark_group("gc_pause");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+
+    for (label, gc_workers) in [("parallel", 0usize), ("serial_a4", 1)] {
+        group.bench_function(format!("subtree_1000x{workers}/{label}"), |b| {
+            b.iter_custom(|iters| {
+                let rt = runtime(workers, gc_workers);
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    total += timed_collection(&rt, workers);
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+
+    // Calibration pass: report ns / copied word and the max pause per mode from
+    // the runtime's own counters (the units the GC v2 acceptance bar uses).
+    for (label, gc_workers) in [("parallel", 0usize), ("serial_a4", 1)] {
+        let rt = runtime(workers, gc_workers);
+        let mut total = Duration::ZERO;
+        for _ in 0..5 {
+            total += timed_collection(&rt, workers);
+        }
+        let s = rt.stats();
+        let ns_per_word = if s.gc_copied_words == 0 {
+            0.0
+        } else {
+            total.as_nanos() as f64 / s.gc_copied_words as f64
+        };
+        println!(
+            "gc_pause/{label}: {:.2} ns/copied-word over {} words, max pause {:.3} ms, \
+             {} team collections, {} stolen blocks",
+            ns_per_word,
+            s.gc_copied_words,
+            s.gc_max_pause_ns as f64 / 1e6,
+            s.gc_parallel_collections,
+            s.gc_steal_blocks,
+        );
+    }
+}
+
+criterion_group!(benches, gc_pause);
+criterion_main!(benches);

@@ -14,6 +14,16 @@ pub struct HhConfig {
     /// A task heap whose allocation volume exceeds this many words becomes eligible for
     /// collection at the next safe point.
     pub gc_threshold_words: usize,
+    /// Size of the GC team a collection runs on (GC v2 / ablation A4).
+    ///
+    /// `0` (the default) means "the pool size": the triggering worker plus up to
+    /// `n_workers - 1` drafted helpers — parked or idle pool workers that pick up
+    /// the collection's helper jobs instead of sleeping through the pause. `1`
+    /// preserves the v1 single-threaded collection shape (no team, no forwarding
+    /// CAS) as the A4 ablation baseline; values above the pool size are clamped.
+    /// Helpers are best-effort — a busy pool contributes fewer members and the
+    /// collection still completes. See DESIGN.md §9.
+    pub gc_workers: usize,
     /// Master switch for garbage collection (disabled for some microbenchmarks).
     pub enable_gc: bool,
     /// Enable the fast path of `readMutable` / `writeNonptr` (skip `findMaster` when the
@@ -80,6 +90,7 @@ impl Default for HhConfig {
                 .unwrap_or(1),
             chunk_words: 8 * 1024,
             gc_threshold_words: 4 * 1024 * 1024,
+            gc_workers: 0,
             enable_gc: true,
             enable_read_write_fast_path: true,
             enable_write_ptr_fast_path: true,
@@ -119,6 +130,7 @@ mod tests {
         assert!(c.max_free_words > c.gc_threshold_words);
         assert!(c.enable_gc && c.enable_read_write_fast_path && c.enable_write_ptr_fast_path);
         assert!(c.batched_promotion);
+        assert_eq!(c.gc_workers, 0, "default GC team = pool size");
         assert_eq!(
             c.check_invariants,
             cfg!(debug_assertions),

@@ -54,6 +54,13 @@ pub struct Counters {
     /// Collections whose zone spanned more than one heap (an internal node plus its
     /// completed descendants — see `Inner::collect_subtree`).
     pub subtree_collections: AtomicU64,
+    /// Collections run on a GC team (team size > 1; GC v2).
+    pub gc_parallel_collections: AtomicU64,
+    /// Scan blocks stolen between GC team members during collections.
+    pub gc_steal_blocks: AtomicU64,
+    /// Longest single collection pause observed, in nanoseconds (updated by
+    /// `fetch_max`; resettable).
+    pub gc_max_pause_ns: AtomicU64,
 }
 
 impl Counters {
@@ -89,6 +96,9 @@ impl Counters {
             bulk_words: self.bulk_words.load(Ordering::Relaxed),
             bulk_master_lookups: self.bulk_master_lookups.load(Ordering::Relaxed),
             subtree_collections: self.subtree_collections.load(Ordering::Relaxed),
+            gc_parallel_collections: self.gc_parallel_collections.load(Ordering::Relaxed),
+            gc_steal_blocks: self.gc_steal_blocks.load(Ordering::Relaxed),
+            gc_max_pause_ns: self.gc_max_pause_ns.load(Ordering::Relaxed),
             chunks_created: store.chunks_created as u64,
             chunks_recycled: store.chunks_recycled as u64,
             alloc_cache_hits: store.alloc_cache_hits as u64,
@@ -128,6 +138,9 @@ impl Counters {
         self.bulk_words.store(0, Ordering::Relaxed);
         self.bulk_master_lookups.store(0, Ordering::Relaxed);
         self.subtree_collections.store(0, Ordering::Relaxed);
+        self.gc_parallel_collections.store(0, Ordering::Relaxed);
+        self.gc_steal_blocks.store(0, Ordering::Relaxed);
+        self.gc_max_pause_ns.store(0, Ordering::Relaxed);
     }
 }
 

@@ -1,120 +1,408 @@
-//! Promotion-aware semispace collection of a heap-hierarchy subtree
-//! (the paper's §3.4 and Appendix A, Figure 14, generalized from one leaf heap to a
-//! subtree: an internal node plus its completed descendants).
+//! Promotion-aware semispace collection of a heap-hierarchy subtree — **GC v2:
+//! parallel, hash-free evacuation**.
+//!
+//! The v1 collector (the paper's §3.4 / Figure 14, generalized to subtrees) was a
+//! single-threaded Cheney pass whose inner loop paid a `HashSet<ChunkId>` membership
+//! probe, a registry `heap_of` resolution, and a `HashMap` to-space lookup per
+//! visited object while the pool's other workers sat parked. GC v2 attacks both
+//! levels:
+//!
+//! * **Hash-free membership** — at zone assembly every chunk of the zone is stamped
+//!   with an epoch-tagged *collection state* ([`hh_objmodel::ChunkGcState`]):
+//!   `forward`'s three-way test ("already a to-space copy?" / "outside the zone?" /
+//!   "live from-space object, and of which heap?") collapses into **one atomic load
+//!   of chunk metadata**. Epochs are drawn fresh per collection
+//!   ([`hh_objmodel::ChunkStore::next_gc_epoch`]), so nothing is ever cleared and
+//!   concurrent collections of disjoint subtrees cannot confuse each other's tags.
+//! * **Parallel evacuation** — the collection runs on a *GC team*
+//!   ([`hh_sched::TeamSync`]): the triggering worker plus parked/idle pool workers
+//!   drafted through [`hh_sched::Pool::run_gc_team`], sized by
+//!   [`crate::HhConfig::gc_workers`]. Each member owns private to-space bump cursors
+//!   per zone heap (chunks held by `Arc`, so the per-copy path does no chunk-table
+//!   lookup — the same trick as promotion v2's `Heap::batch_alloc`) and publishes
+//!   *scan blocks* — contiguous spans of fully copied objects in its to-space
+//!   chunks — on a Chase–Lev [`hh_sched::SpanDeque`]; idle members steal blocks from
+//!   busy ones, wavefront-style. Forwarding pointers are installed by **CAS**
+//!   ([`hh_objmodel::ObjView::try_set_fwd`]), so two members racing to evacuate the
+//!   same object resolve to one winner; the loser retags its already-allocated copy
+//!   as an opaque filler ([`hh_objmodel::ObjView::retag_as_filler`]) and follows the
+//!   winner. With `gc_workers = 1` (ablation A4) no team is drafted and the
+//!   forwarding install degrades to a plain store — the v1 shape minus the hash
+//!   probes.
+//!
+//! Termination is the classic idle-team rule: a member that finds no local span, no
+//! tail of its own cursors, and nothing to steal announces itself idle; when every
+//! registered member is idle and every deque is empty, no new work can appear (idle
+//! members create none) and the collection is over. Membership is dynamic — helpers
+//! are best-effort and may arrive mid-collection or not at all — see
+//! [`hh_sched::TeamSync`]. DESIGN.md §9 gives the full correctness argument,
+//! including why the CAS race and the block hand-off are safe.
 
 use crate::runtime::Inner;
 use hh_heaps::HeapId;
-use hh_objmodel::{ChunkId, ChunkStore, Header, ObjPtr};
-use std::collections::{HashMap, HashSet};
+use hh_objmodel::{Chunk, ChunkGcState, ChunkId, ChunkStore, ObjPtr, ObjView, GC_MAX_ZONE_SLOTS};
+use hh_sched::{Span, SpanDeque, TeamSync};
+use parking_lot::Mutex;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// To-space allocation state of one heap participating in a collection.
+/// A member flushes the unscanned tail of its current to-space chunk to its deque
+/// (making it stealable) whenever it grows past this many words. Blocks therefore
+/// carry at least this much scan work (except final tails), keeping steal traffic
+/// amortized over hundreds of objects.
+const SCAN_BLOCK_WORDS: u32 = 512;
+
+#[inline]
+fn pack_span(chunk: ChunkId, start: u32, end: u32) -> Span {
+    (((chunk.0 as u64) << 32) | start as u64, end as u64)
+}
+
+#[inline]
+fn unpack_span(span: Span) -> (ChunkId, u32, u32) {
+    (ChunkId((span.0 >> 32) as u32), span.0 as u32, span.1 as u32)
+}
+
+/// One team member's private to-space state for one zone heap (identified by its
+/// zone *slot*; the slot is what from-space chunk tags carry, so `forward` never
+/// consults the registry).
 #[derive(Default)]
-struct ToSpace {
+struct WorkerTo {
+    /// Chunks this member allocated for the heap, in allocation order.
     chunks: Vec<ChunkId>,
-    current: Option<ChunkId>,
-    copied_words: usize,
+    /// Current bump chunk, held by `Arc` so the per-copy path performs no
+    /// chunk-table lookup.
+    current: Option<Arc<Chunk>>,
+    /// End offset of the last fully written copy in `current`. Everything below it
+    /// is walkable: completed survivors or scrubbed race-loser fillers.
+    filled: u32,
+    /// Offset up to which spans of `current` have been handed out for scanning.
+    scanned: u32,
+    /// Words occupied in this to-space (survivors plus race-loser fillers) — the
+    /// heap's post-collection allocation volume.
+    words: usize,
 }
 
-/// One promotion-aware Cheney collection over a set of heaps (the *zone*).
-///
-/// Every object is evacuated into a to-space owned by its own (resolved) heap, so a
-/// subtree collection preserves each survivor's placement in the hierarchy — a
-/// completed descendant's live data stays in that descendant, ready for the join
-/// splice that will eventually merge it upward.
-struct SubtreeCollector<'a> {
-    inner: &'a Inner,
-    /// The heaps being evacuated.
-    zone: HashSet<HeapId>,
-    /// Per-heap to-space allocation state.
-    tos: HashMap<HeapId, ToSpace>,
-    /// Every to-space chunk of this collection (for the "already copied" test).
-    to_chunks: HashSet<ChunkId>,
-    /// Worklist of copies whose pointer fields still need scanning.
-    pending: Vec<ObjPtr>,
+/// One team member's collection state: per-heap to-space cursors plus statistics.
+#[derive(Default)]
+struct GcWorker {
+    tos: Vec<WorkerTo>,
+    /// Words of survivors this member won (excludes race-loser fillers).
+    copied_words: u64,
+    /// Words wasted on evacuation-race losses.
+    waste_words: u64,
+    /// Scan blocks this member stole from other members' deques.
+    steal_blocks: u64,
+    /// Xorshift state for randomized steal-victim order.
+    rng: u64,
 }
 
-impl SubtreeCollector<'_> {
-    /// Allocates a copy of `header` in `heap`'s to-space.
-    ///
-    /// Objects larger than the default chunk size get a dedicated chunk without
-    /// displacing the current bump chunk, so a large-object detour does not abandon
-    /// the partially filled chunk that subsequent small survivors still fit in.
-    fn alloc_to(&mut self, store: &Arc<ChunkStore>, heap: HeapId, header: Header) -> ObjPtr {
-        let to = self.tos.entry(heap).or_default();
-        let size = header.size_words();
-        to.copied_words += size;
-        if store.needs_dedicated_chunk(header) {
-            let (chunk, ptr) = store.alloc_dedicated(heap.raw(), header);
-            to.chunks.push(chunk.id());
-            self.to_chunks.insert(chunk.id());
-            return ptr;
-        }
-        if let Some(cur) = to.current {
-            let chunk = store.chunk(cur);
-            if let Some(ptr) = store.alloc_in_chunk(chunk, header) {
-                return ptr;
-            }
-        }
-        let chunk = store.alloc_chunk(heap.raw(), size);
-        let ptr = store
-            .alloc_in_chunk(&chunk, header)
-            .expect("fresh to-space chunk too small");
-        to.current = Some(chunk.id());
+/// State shared by every member of one collection team.
+struct GcShared {
+    store: Arc<ChunkStore>,
+    /// This collection's epoch (chunk tags are tested against it).
+    epoch: u64,
+    /// Raw heap id per zone slot, for tagging freshly allocated to-space chunks.
+    heap_raws: Vec<u32>,
+    /// One scan-block deque per member slot (owner pushes/pops, others steal).
+    deques: Vec<SpanDeque>,
+    /// One private state per member slot (locked by its member for the whole
+    /// collection; the mutex exists so the triggering thread can merge afterwards).
+    slots: Vec<Mutex<GcWorker>>,
+    sync: TeamSync,
+    /// The root set, rewritten in place by member 0.
+    roots: Mutex<Vec<ObjPtr>>,
+    /// Install forwarding by CAS (team size > 1); plain store when single-threaded.
+    concurrent: bool,
+}
+
+/// Allocates a copy of `header` in member `w`'s to-space for zone slot `slot`,
+/// returning the pointer, the chunk it landed in, and whether that chunk is a
+/// dedicated large-object chunk. Mirrors the placement rules of `Heap::alloc_obj`:
+/// large objects get dedicated chunks without displacing the bump chunk.
+fn alloc_to(
+    shared: &GcShared,
+    w: &mut GcWorker,
+    my_slot: usize,
+    slot: u16,
+    header: hh_objmodel::Header,
+) -> (ObjPtr, Arc<Chunk>, bool) {
+    let store = &shared.store;
+    let to = &mut w.tos[slot as usize];
+    let size = header.size_words();
+    to.words += size;
+    if store.needs_dedicated_chunk(header) {
+        let (chunk, ptr) = store.alloc_dedicated(shared.heap_raws[slot as usize], header);
+        chunk.set_gc_to_space(shared.epoch, slot);
         to.chunks.push(chunk.id());
-        self.to_chunks.insert(chunk.id());
-        ptr
+        return (ptr, chunk, true);
     }
-
-    /// `cheneyCopy` (Figure 14), worklist formulation over a multi-heap zone. Returns
-    /// the relocated address of `obj` with respect to this collection.
-    fn forward(&mut self, obj: ObjPtr) -> ObjPtr {
-        if obj.is_null() {
-            return ObjPtr::NULL;
+    if let Some(cur) = &to.current {
+        if let Some(ptr) = store.alloc_in_chunk_for_copy(cur, header) {
+            return (ptr, Arc::clone(cur), false);
         }
-        // Copy the `&Inner` out so the store borrow is independent of `&mut self`.
-        let inner = self.inner;
-        let store = inner.registry.store();
-        let mut cur = obj;
-        loop {
+    }
+    // Current chunk absent or full: open a new one. Flush the old chunk's unscanned
+    // tail first — `take_tail` only looks at the *current* chunk, so scan work left
+    // behind in a retired cursor would otherwise be lost.
+    if let Some(prev) = &to.current {
+        if to.filled > to.scanned {
+            shared.deques[my_slot].push(pack_span(prev.id(), to.scanned, to.filled));
+        }
+    }
+    let chunk = store.alloc_chunk(shared.heap_raws[slot as usize], size);
+    chunk.set_gc_to_space(shared.epoch, slot);
+    to.chunks.push(chunk.id());
+    to.current = Some(Arc::clone(&chunk));
+    to.filled = 0;
+    to.scanned = 0;
+    let ptr = store
+        .alloc_in_chunk_for_copy(&chunk, header)
+        .expect("fresh to-space chunk too small for the object it was sized for");
+    (ptr, chunk, false)
+}
+
+/// Records a completed (fully written, forwarding-resolved) copy: advances the
+/// member's filled boundary and publishes scan blocks. Called for winners *and*
+/// scrubbed race losers — both are walkable and must be covered by some span so
+/// block walks stay contiguous.
+#[allow(clippy::too_many_arguments)]
+fn complete_copy(
+    shared: &GcShared,
+    w: &mut GcWorker,
+    my_slot: usize,
+    heap_slot: u16,
+    copy: ObjPtr,
+    size: usize,
+    dedicated: bool,
+    has_ptrs: bool,
+) {
+    if dedicated {
+        // Dedicated chunks hold exactly one object; publish it as its own block if
+        // it has pointer fields to scan.
+        if has_ptrs {
+            shared.deques[my_slot].push(pack_span(
+                copy.chunk(),
+                copy.offset(),
+                copy.offset() + size as u32,
+            ));
+        }
+        return;
+    }
+    let to = &mut w.tos[heap_slot as usize];
+    debug_assert_eq!(to.filled, copy.offset(), "out-of-order copy completion");
+    to.filled = copy.offset() + size as u32;
+    if to.filled - to.scanned >= SCAN_BLOCK_WORDS {
+        let chunk = to.current.as_ref().expect("completing into no chunk").id();
+        shared.deques[my_slot].push(pack_span(chunk, to.scanned, to.filled));
+        to.scanned = to.filled;
+    }
+}
+
+/// `cheneyCopy` (Figure 14) — the hash-free, race-tolerant step. Returns the
+/// relocated address of `obj` with respect to this collection.
+///
+/// * a chunk tag of `ToSpace` identifies a copy made by this collection — reuse it;
+/// * `Outside` identifies an object beyond the zone — an ancestor heap, a copy made
+///   by an earlier *promotion* (reusing it eliminates the duplicate left in the
+///   subtree), or, defensively, any unrelated heap;
+/// * `FromSpace(slot)` is live data of the zone: follow its forwarding chain if one
+///   exists, otherwise evacuate it into `slot`'s to-space and race to install the
+///   forwarding pointer.
+fn forward(shared: &GcShared, w: &mut GcWorker, my_slot: usize, obj: ObjPtr) -> ObjPtr {
+    if obj.is_null() {
+        return ObjPtr::NULL;
+    }
+    let store = &shared.store;
+    let mut cur = obj;
+    loop {
+        let chunk = store.chunk(cur.chunk());
+        let heap_slot = match chunk.gc_state(shared.epoch) {
             // Case 1: already a to-space copy made by this collection.
-            if self.to_chunks.contains(&cur.chunk()) {
-                return cur;
-            }
-            // Case 2: outside the collection zone — an ancestor heap (including
-            // copies introduced by earlier promotions) or, defensively, any other
-            // heap. Note that `heap_of` resolves merges, so chunks retired by earlier
-            // collections whose owner resolves into the zone are treated as in-zone:
-            // a reachable object stranded in a retired chunk is rescued here.
-            let heap = self.inner.registry.heap_of(cur);
-            if !self.zone.contains(&heap) {
-                return cur;
-            }
-            let v = store.view(cur);
-            // Follow forwarding chains (they may lead to a promotion copy above us,
-            // to a to-space copy, or to another from-space object of the zone).
-            if v.has_fwd() {
-                cur = v.fwd();
-                continue;
-            }
-            // Case 3: live from-space object of the zone — evacuate it into its own
-            // heap's to-space.
-            let header = v.header();
-            let copy = self.alloc_to(store, heap, header);
-            let cv = store.view(copy);
-            for f in 0..header.n_fields() {
-                cv.set_field(f, v.field(f));
-            }
+            // Case 2: outside the collection zone.
+            ChunkGcState::ToSpace(_) | ChunkGcState::Outside => return cur,
+            ChunkGcState::FromSpace(slot) => slot,
+        };
+        let v = ObjView::new(chunk, cur.offset());
+        // Follow forwarding chains (they may lead to a promotion copy above us, to
+        // a to-space copy, or to another from-space object of the zone).
+        let fwd = v.fwd();
+        if !fwd.is_null() {
+            cur = fwd;
+            continue;
+        }
+        // Case 3: live from-space object — evacuate it into its own heap's
+        // to-space, then race to publish the copy.
+        let header = v.header();
+        let size = header.size_words();
+        let (copy, copy_chunk, dedicated) = alloc_to(shared, w, my_slot, heap_slot, header);
+        let cv = ObjView::new(&copy_chunk, copy.offset());
+        for f in 0..header.n_fields() {
+            cv.set_field(f, v.field(f));
+        }
+        let won = if shared.concurrent {
+            v.try_set_fwd(copy).is_ok()
+        } else {
             v.set_fwd(copy);
-            self.pending.push(copy);
+            true
+        };
+        if won {
+            w.copied_words += size as u64;
+            complete_copy(
+                shared,
+                w,
+                my_slot,
+                heap_slot,
+                copy,
+                size,
+                dedicated,
+                header.n_ptr() > 0,
+            );
             return copy;
         }
+        // Another member won the race: our copy is unreachable. Retag it as an
+        // opaque filler so scans and invariant walks never interpret its fields as
+        // pointers, keep it covered by the span (walkers must be able to step over
+        // it), and adopt the winner's copy.
+        cv.retag_as_filler();
+        w.waste_words += size as u64;
+        complete_copy(shared, w, my_slot, heap_slot, copy, size, dedicated, false);
+        cur = v.fwd();
+        debug_assert!(!cur.is_null(), "lost the forwarding race to a NULL");
     }
+}
+
+/// Walks every object of a scan block, forwarding its pointer fields. The block
+/// covers only fully written copies (winners and scrubbed fillers), starts and ends
+/// at object boundaries, and is owned exclusively by this member (deque removal is
+/// exactly-once), so plain field stores suffice.
+fn scan_span(shared: &GcShared, w: &mut GcWorker, my_slot: usize, span: Span) {
+    let (chunk_id, start, end) = unpack_span(span);
+    let chunk = Arc::clone(shared.store.chunk(chunk_id));
+    let mut off = start;
+    while off < end {
+        let v = ObjView::new(&chunk, off);
+        let header = v.header();
+        for f in 0..header.n_ptr() {
+            let old = v.field_ptr(f);
+            let new = forward(shared, w, my_slot, old);
+            if new != old {
+                v.set_field_ptr(f, new);
+            }
+        }
+        off += header.size_words() as u32;
+    }
+}
+
+/// Claims the unscanned tail of one of this member's own current chunks, if any.
+fn take_tail(w: &mut GcWorker) -> Option<Span> {
+    for to in w.tos.iter_mut() {
+        if to.filled > to.scanned {
+            let chunk = to.current.as_ref().expect("filled words without a chunk");
+            let span = pack_span(chunk.id(), to.scanned, to.filled);
+            to.scanned = to.filled;
+            return Some(span);
+        }
+    }
+    None
+}
+
+/// Steals a scan block from another member's deque, scanning victims from a random
+/// starting point.
+fn steal_span(shared: &GcShared, my_slot: usize, w: &mut GcWorker) -> Option<Span> {
+    let n = shared.deques.len();
+    if n <= 1 {
+        return None;
+    }
+    let mut x = w.rng;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    w.rng = x;
+    let start = (x % n as u64) as usize;
+    for k in 0..n {
+        let victim = (start + k) % n;
+        if victim == my_slot {
+            continue;
+        }
+        if let Some(span) = shared.deques[victim].steal() {
+            return Some(span);
+        }
+    }
+    None
+}
+
+/// The team-member body: process own blocks, then own tails, then steal; announce
+/// idle when nothing is visible and terminate when the whole team is idle with
+/// empty deques. Member 0 (the triggering worker) additionally forwards the root
+/// set before entering the loop — it is registered and non-idle throughout, so the
+/// team cannot terminate before the roots have seeded the wavefront.
+fn run_member(shared: &GcShared, slot: usize) {
+    if slot >= shared.slots.len() || !shared.sync.try_register() {
+        // A drafted helper that arrived after the collection finished (stale
+        // injector job) — nothing to do.
+        return;
+    }
+    let mut w = shared.slots[slot].lock();
+    w.tos.resize_with(shared.heap_raws.len(), WorkerTo::default);
+    w.rng = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(slot as u64 + 1) | 1;
+    if slot == 0 {
+        let mut roots = shared.roots.lock();
+        for r in roots.iter_mut() {
+            *r = forward(shared, &mut w, slot, *r);
+        }
+    }
+    loop {
+        if let Some(span) = shared.deques[slot].pop() {
+            scan_span(shared, &mut w, slot, span);
+            continue;
+        }
+        if let Some(span) = take_tail(&mut w) {
+            scan_span(shared, &mut w, slot, span);
+            continue;
+        }
+        if let Some(span) = steal_span(shared, slot, &mut w) {
+            w.steal_blocks += 1;
+            scan_span(shared, &mut w, slot, span);
+            continue;
+        }
+        // Nothing visible: announce idle and wait for either work or termination.
+        shared.sync.enter_idle();
+        let finished = loop {
+            if shared.sync.is_done() {
+                break true;
+            }
+            if shared.deques.iter().any(|d| !d.is_empty()) {
+                shared.sync.exit_idle();
+                break false;
+            }
+            if shared.sync.all_idle() && shared.deques.iter().all(|d| d.is_empty()) {
+                // Every member idle and no block queued: idle members create no
+                // work, so this state is stable — the collection is complete.
+                shared.sync.finish();
+                break true;
+            }
+            std::thread::yield_now();
+        };
+        if finished {
+            break;
+        }
+    }
+    drop(w);
+    shared.sync.depart();
 }
 
 impl Inner {
+    /// Effective GC team size: `gc_workers` (0 = "pool size"), clamped to the pool.
+    fn gc_team_size(&self) -> usize {
+        let configured = if self.config.gc_workers == 0 {
+            self.pool.n_workers()
+        } else {
+            self.config.gc_workers
+        };
+        configured.clamp(1, self.pool.n_workers())
+    }
+
     /// True if `heap`'s allocation volume warrants a collection at the next safe point.
     pub(crate) fn should_collect(&self, heap: HeapId) -> bool {
         self.config.enable_gc
@@ -125,8 +413,9 @@ impl Inner {
     /// rewriting each root to its new location.
     ///
     /// Thanks to disentanglement no other task can hold pointers into a leaf heap, so
-    /// the owning task collects it without any locking or synchronization — exactly
-    /// the independence property the paper's design is built around. This is the
+    /// the owning task collects it without synchronizing with any *mutator* — exactly
+    /// the independence property the paper's design is built around. (The drafted GC
+    /// team members touch only the quiescent zone and its to-space.) This is the
     /// degenerate (single-heap) case of [`Inner::collect_subtree`].
     pub(crate) fn collect_heap(&self, heap_id: HeapId, roots: &mut [ObjPtr]) {
         let top = self.registry.resolve(heap_id);
@@ -134,7 +423,7 @@ impl Inner {
     }
 
     /// Collects the whole live subtree rooted at `heap_id`: the (resolved) heap
-    /// itself plus every live descendant, in one promotion-aware Cheney pass.
+    /// itself plus every live descendant, in one promotion-aware evacuation.
     ///
     /// The live descendants are heaps created by steals whose fork has not joined
     /// yet. The caller must hold the steal gate exclusively (see
@@ -151,17 +440,12 @@ impl Inner {
     }
 
     /// The shared collection body: evacuates `zone` (a set of live heaps), treating
-    /// `roots` as the root set and rewriting each root to its new location.
+    /// `roots` as the root set and rewriting each root to its new location. Every
+    /// survivor is evacuated into a to-space owned by its own (resolved) heap, so a
+    /// subtree collection preserves each survivor's placement in the hierarchy.
     ///
-    /// The collection is the promotion-aware Cheney copy of Figure 14:
-    ///
-    /// * a forwarding chain that leads into a to-space identifies a copy made by this
-    ///   collection — reuse it;
-    /// * a chain that leads out of the zone (into an ancestor from-space) identifies
-    ///   a copy made by an earlier *promotion* — reuse it, thereby eliminating the
-    ///   duplicate left in this subtree;
-    /// * otherwise the object is live data of the zone and is evacuated into the
-    ///   to-space of its own heap.
+    /// See the module docs for the GC v2 structure (chunk-tag membership, the team,
+    /// scan-block stealing, the CAS forwarding race).
     fn collect_zone(&self, zone: Vec<HeapId>, roots: &mut [ObjPtr]) {
         if !self.config.enable_gc {
             return;
@@ -172,71 +456,169 @@ impl Inner {
             Vec::new()
         };
         let start = Instant::now();
-        let store = self.registry.store();
+        let store = Arc::clone(self.registry.store());
+        let n_heaps = zone.len();
+        assert!(
+            n_heaps <= GC_MAX_ZONE_SLOTS,
+            "collection zone exceeds the chunk tag's slot range"
+        );
+        let team = self.gc_team_size();
+        let epoch = store.next_gc_epoch();
+
+        // --- Zone assembly: stamp membership into chunk metadata. ----------------
         let old_chunks: Vec<(HeapId, Vec<ChunkId>)> = zone
             .iter()
             .map(|&h| (h, self.registry.heap(h).chunks()))
             .collect();
-        let n_heaps = zone.len();
-
-        let mut col = SubtreeCollector {
-            inner: self,
-            zone: zone.into_iter().collect(),
-            tos: HashMap::new(),
-            to_chunks: HashSet::new(),
-            pending: Vec::new(),
-        };
-        for r in roots.iter_mut() {
-            *r = col.forward(*r);
-        }
-        while let Some(copy) = col.pending.pop() {
-            let v = store.view(copy);
-            for f in 0..v.n_ptr() {
-                let old = v.field_ptr(f);
-                let new = col.forward(old);
-                v.set_field_ptr(f, new);
+        for (slot, (_, chunks)) in old_chunks.iter().enumerate() {
+            for &c in chunks {
+                store.chunk(c).set_gc_from_space(epoch, slot as u16);
             }
         }
-
-        // Install each heap's to-space as its new from-space and retire the old
-        // chunks. Old chunk contents stay readable until the store's reuse horizon
-        // passes (they enter the quarantine — see `ChunkStore::reclaim_retired`),
-        // which keeps stale `ObjPtr` copies held in Rust locals harmless — they
-        // resolve through forwarding pointers on their next mutable access. See
-        // DESIGN.md §2 (substitution for precise stack maps) and §5.
-        let mut copied_total = 0usize;
-        for (heap, old) in old_chunks {
-            let mut to = col.tos.remove(&heap).unwrap_or_default();
-            copied_total += to.copied_words;
-            // `replace_chunks` resumes bump allocation from the *last* chunk of the
-            // list; make sure that is the partially filled bump chunk, not a full
-            // dedicated large-object chunk that happened to be evacuated after it.
-            if let Some(cur) = to.current {
-                if to.chunks.last() != Some(&cur) {
-                    if let Some(pos) = to.chunks.iter().position(|&c| c == cur) {
-                        to.chunks.remove(pos);
-                        to.chunks.push(cur);
-                    }
+        // Rescue pass: chunks retired by earlier collections stay readable until
+        // the reuse horizon, and a root may still point into one (an unpinned local
+        // re-pinned after the collection that retired the chunk). Their owner
+        // resolves into the zone, so stamp them from-space too — the tag-based
+        // membership test then rescues reachable objects stranded there, exactly as
+        // v1's `heap_of` resolution did. Assembly-time cost, off the per-object
+        // hot loop.
+        {
+            let slot_of: std::collections::HashMap<HeapId, u16> = zone
+                .iter()
+                .enumerate()
+                .map(|(i, &h)| (h, i as u16))
+                .collect();
+            for id in store.quarantined_chunks() {
+                let chunk = store.chunk(id);
+                let owner = HeapId::from_raw(chunk.owner());
+                if owner.is_none() || (owner.raw() as usize) >= self.registry.n_heaps() {
+                    continue;
+                }
+                if let Some(&slot) = slot_of.get(&self.registry.resolve(owner)) {
+                    chunk.set_gc_from_space(epoch, slot);
                 }
             }
-            self.registry
-                .heap(heap)
-                .replace_chunks(to.chunks, to.copied_words);
+        }
+
+        // --- Run the evacuation on the team. -------------------------------------
+        let shared = Arc::new(GcShared {
+            store: Arc::clone(&store),
+            epoch,
+            heap_raws: zone.iter().map(|h| h.raw()).collect(),
+            deques: (0..team).map(|_| SpanDeque::new()).collect(),
+            slots: (0..team).map(|_| Mutex::new(GcWorker::default())).collect(),
+            sync: TeamSync::new(),
+            roots: Mutex::new(roots.to_vec()),
+            concurrent: team > 1,
+        });
+        if team > 1 {
+            let work: Arc<dyn Fn(usize) + Send + Sync> = {
+                let shared = Arc::clone(&shared);
+                Arc::new(move |slot| run_member(&shared, slot))
+            };
+            self.pool.run_gc_team(team - 1, work);
+        } else {
+            run_member(&shared, 0);
+        }
+        shared.sync.await_departures();
+        roots.copy_from_slice(&shared.roots.lock());
+
+        // --- Merge per-member to-spaces and install them. ------------------------
+        let mut copied_total = 0u64;
+        let mut waste_total = 0u64;
+        let mut occupied_total = 0u64;
+        let mut steal_blocks = 0u64;
+        let mut per_heap: Vec<(Vec<ChunkId>, usize, Option<ChunkId>)> =
+            (0..n_heaps).map(|_| (Vec::new(), 0, None)).collect();
+        for slot in shared.slots.iter() {
+            let mut w = slot.lock();
+            copied_total += w.copied_words;
+            waste_total += w.waste_words;
+            steal_blocks += w.steal_blocks;
+            for (hi, to) in w.tos.iter_mut().enumerate() {
+                let merged = &mut per_heap[hi];
+                merged.0.append(&mut to.chunks);
+                merged.1 += to.words;
+                occupied_total += to.words as u64;
+                if let Some(cur) = to.current.take() {
+                    // Remember *a* partially filled bump chunk; it becomes the
+                    // heap's resume point. Other members' partial chunks keep their
+                    // unused tails (bounded internal fragmentation, reclaimed at
+                    // the heap's next collection).
+                    merged.2 = Some(cur.id());
+                }
+            }
+        }
+        // To-space conservation: every allocated word is either a survivor or an
+        // evacuation-race filler.
+        debug_assert_eq!(
+            copied_total + waste_total,
+            occupied_total,
+            "to-space words unaccounted for"
+        );
+        for (hi, (heap, old)) in old_chunks.into_iter().enumerate() {
+            let (mut chunks, words, partial) = std::mem::take(&mut per_heap[hi]);
+            if chunks.is_empty() {
+                debug_assert_eq!(words, 0, "to-space words without to-space chunks");
+                // Zero survivors. A heap that also had no from-space chunks (an
+                // empty descendant swept into the zone) needs no flip at all;
+                // otherwise install the empty to-space so the old chunks retire.
+                if !old.is_empty() {
+                    self.registry.heap(heap).replace_chunks(Vec::new(), 0);
+                }
+            } else {
+                // `replace_chunks` resumes bump allocation from the *last* chunk of
+                // the list; make sure that is a partially filled bump chunk, not a
+                // full or dedicated chunk that happened to be merged after it. The
+                // chunk list is unordered apart from this invariant, so a
+                // constant-time swap_remove replaces v1's O(n) `Vec::remove`
+                // shuffle — and the common single-member case already has the bump
+                // chunk last, skipping the reorder entirely.
+                if let Some(cur) = partial {
+                    if chunks.last() != Some(&cur) {
+                        if let Some(pos) = chunks.iter().position(|&c| c == cur) {
+                            chunks.swap_remove(pos);
+                            chunks.push(cur);
+                        }
+                    }
+                }
+                self.registry.heap(heap).replace_chunks(chunks, words);
+            }
+            // Retire the old from-space. Old chunk contents stay readable until the
+            // store's reuse horizon passes (they enter the quarantine — see
+            // `ChunkStore::reclaim_retired`), which keeps stale `ObjPtr` copies
+            // held in Rust locals harmless — they resolve through forwarding
+            // pointers on their next mutable access. See DESIGN.md §2 and §5.
             for c in old {
                 store.retire_chunk(c);
             }
         }
 
+        // --- Statistics. ---------------------------------------------------------
         self.counters.gc_count.fetch_add(1, Ordering::Relaxed);
         if n_heaps > 1 {
             self.counters
                 .subtree_collections
                 .fetch_add(1, Ordering::Relaxed);
         }
+        if team > 1 {
+            self.counters
+                .gc_parallel_collections
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        if steal_blocks > 0 {
+            self.counters
+                .gc_steal_blocks
+                .fetch_add(steal_blocks, Ordering::Relaxed);
+        }
         self.counters
             .gc_copied_words
-            .fetch_add(copied_total as u64, Ordering::Relaxed);
-        self.counters.add_gc_time(start.elapsed());
+            .fetch_add(copied_total, Ordering::Relaxed);
+        let pause = start.elapsed();
+        self.counters.add_gc_time(pause);
+        self.counters
+            .gc_max_pause_ns
+            .fetch_max(pause.as_nanos() as u64, Ordering::Relaxed);
 
         // Debug builds: re-verify disentanglement and forwarding acyclicity over the
         // just-collected zone (the zone is still quiescent — same precondition the

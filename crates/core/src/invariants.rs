@@ -86,6 +86,12 @@ impl Inner {
                 while off < chunk.used() {
                     let view = ObjView::new(chunk, off as u32);
                     let header = view.header();
+                    if off + header.size_words() > chunk.used() {
+                        // Raw bump-gap tail: a failed `try_bump` advances the
+                        // cursor past the last real object (benign over-bump), so
+                        // the words from here on are unwritten — not objects.
+                        break;
+                    }
                     let obj = ObjPtr::new(chunk_id, off as u32);
                     assert_fwd_acyclic(store, obj);
                     for f in 0..header.n_ptr() {

@@ -193,10 +193,14 @@ impl Inner {
 
     /// Object→object range copy: one `findMaster` per operand (two in total).
     ///
-    /// The source slice is staged through a stack-side buffer between the two lock
-    /// scopes, so at most one heap read lock is held at a time — taking both at once
-    /// could deadlock against a writer waiting between the two acquisitions under the
-    /// writer-preferring heap lock.
+    /// The source slice is staged through a buffer between the two lock scopes, so
+    /// at most one heap read lock is held at a time — taking both at once could
+    /// deadlock against a writer waiting between the two acquisitions under the
+    /// writer-preferring heap lock. The buffer is a **per-worker thread-local**,
+    /// reused across calls (GC v2 satellite): the old `vec![0u64; len]` paid one
+    /// heap allocation per copy on a hot bulk path. Growth is accounted to the
+    /// `promo_buf_allocs` scratch-buffer counter, so `tests/promo_alloc.rs` can
+    /// assert the steady state allocates nothing.
     pub(crate) fn copy_nonptr_impl(
         &self,
         src: ObjPtr,
@@ -205,28 +209,42 @@ impl Inner {
         dst_start: usize,
         len: usize,
     ) {
+        use std::cell::RefCell;
+        thread_local! {
+            static COPY_BUF: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+        }
         if len == 0 {
             return;
         }
         self.counters.record_bulk(len as u64);
         let store = self.registry.store();
-        let mut buf = vec![0u64; len];
-        {
-            let (master, heap) = self.find_master_counted(src);
-            let v = store.view(master);
-            for (k, slot) in buf.iter_mut().enumerate() {
-                *slot = v.field(src_start + k);
+        COPY_BUF.with(|cell| {
+            let mut buf = cell.borrow_mut();
+            let cap_before = buf.capacity();
+            buf.clear();
+            buf.resize(len, 0);
+            {
+                let (master, heap) = self.find_master_counted(src);
+                let v = store.view(master);
+                for (k, slot) in buf.iter_mut().enumerate() {
+                    *slot = v.field(src_start + k);
+                }
+                self.registry.heap(heap).lock.unlock_shared();
             }
-            self.registry.heap(heap).lock.unlock_shared();
-        }
-        {
-            let (master, heap) = self.find_master_counted(dst);
-            let v = store.view(master);
-            for (k, &val) in buf.iter().enumerate() {
-                v.set_field(dst_start + k, val);
+            {
+                let (master, heap) = self.find_master_counted(dst);
+                let v = store.view(master);
+                for (k, &val) in buf.iter().enumerate() {
+                    v.set_field(dst_start + k, val);
+                }
+                self.registry.heap(heap).lock.unlock_shared();
             }
-            self.registry.heap(heap).lock.unlock_shared();
-        }
+            if buf.capacity() != cap_before {
+                self.counters
+                    .promo_buf_allocs
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        });
     }
 
     /// `writePtr` (Figure 7, lines 1–12).

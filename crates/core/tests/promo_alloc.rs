@@ -57,6 +57,39 @@ fn unstolen_fast_path_performs_zero_lock_path_allocations() {
 }
 
 #[test]
+fn bulk_copy_path_reuses_the_thread_local_staging_buffer() {
+    // `copy_nonptr` stages the source slice through a per-worker thread-local
+    // buffer between its two lock scopes (GC v2 satellite; it used to allocate a
+    // fresh `vec![0u64; len]` per call). Growth is accounted to the shared
+    // scratch-buffer counter, so the steady state must report zero.
+    let rt = HhRuntime::new(HhConfig::with_workers(1));
+    // Warm-up: the first copy on the worker thread sizes the buffer.
+    rt.run(|ctx| {
+        let a = ctx.alloc_data_array(512);
+        let b = ctx.alloc_data_array(512);
+        ctx.copy_nonptr(a, 0, b, 0, 512);
+    });
+    rt.reset_stats();
+    rt.run(|ctx| {
+        let a = ctx.alloc_data_array(512);
+        let b = ctx.alloc_data_array(512);
+        for k in 0..1_000u64 {
+            ctx.write_nonptr(a, (k % 512) as usize, k);
+            ctx.copy_nonptr(a, 0, b, 0, 512);
+            ctx.copy_nonptr(b, 0, a, 0, 257); // shorter lengths reuse the same buffer
+        }
+        assert_eq!(ctx.read_mut(b, 0), ctx.read_mut(a, 0));
+    });
+    let s = rt.stats();
+    assert!(s.bulk_ops >= 2_000, "copies must be counted as bulk ops");
+    assert_eq!(
+        rt.promo_buffer_allocs(),
+        0,
+        "steady-state bulk copies allocated staging buffers"
+    );
+}
+
+#[test]
 fn repeated_promotions_reuse_the_per_worker_buffers() {
     let rt = HhRuntime::new(HhConfig::eager_heaps(1));
     // Warm-up: the first promotions on each worker thread may create / grow the

@@ -392,6 +392,61 @@ fn seed_count() -> u64 {
         .unwrap_or(64)
 }
 
+/// GC v2 lane: one seed on the hierarchical runtime with **parallel collection
+/// forced** — a GC team of 8 (clamped to the pool), tiny chunks, and a tiny
+/// `gc_threshold_words` on *every* seed, so the parallel evacuation (chunk-tag
+/// membership, CAS forwarding races, scan-block stealing) interleaves with
+/// promotion and recycling throughout. Run lazy and eager so both the subtree
+/// (borrower) and leaf (owner) collection shapes go parallel.
+fn run_case_parallel_gc(case: &Case) {
+    let seed = case.seed;
+    let depth = case.depth;
+    let replay = format!(
+        "seed {seed} (replay: HH_STRESS_SEED={seed} cargo test -p hh-runtime --test stress)"
+    );
+    let expected = model::ModelCtx::run(|c| exec(c, seed, depth));
+    let workers = hh_api::env_workers(4).max(2);
+    let hh_cfg = |lazy: bool| HhConfig {
+        n_workers: workers,
+        gc_workers: 8,
+        chunk_words: 256,
+        gc_threshold_words: 8 * 1024,
+        check_invariants: true,
+        lazy_child_heaps: lazy,
+        ..Default::default()
+    };
+    for lazy in [true, false] {
+        let hh = HhRuntime::new(hh_cfg(lazy));
+        assert_eq!(
+            hh.run(|c| exec(c, seed, depth)),
+            expected,
+            "parmem (parallel GC, lazy={lazy}) diverged from the model on {replay}"
+        );
+        assert_eq!(
+            hh.check_disentangled(),
+            0,
+            "parmem (parallel GC, lazy={lazy}) left entanglement on {replay}"
+        );
+        let s = hh.stats();
+        assert_eq!(
+            s.gc_parallel_collections, s.gc_count,
+            "forced team must cover every collection (lazy={lazy}, {replay})"
+        );
+    }
+}
+
+#[test]
+fn stress_parallel_gc_forced() {
+    if let Ok(one) = std::env::var("HH_STRESS_SEED") {
+        let seed: u64 = one.parse().expect("HH_STRESS_SEED must be an integer");
+        run_case_parallel_gc(&Case::from_seed(seed));
+        return;
+    }
+    for seed in 0..seed_count() {
+        run_case_parallel_gc(&Case::from_seed(seed));
+    }
+}
+
 #[test]
 fn stress_all_runtimes_match_the_model() {
     if let Ok(one) = std::env::var("HH_STRESS_SEED") {

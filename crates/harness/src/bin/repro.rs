@@ -15,17 +15,18 @@
 //!   ablation    fast-path ablation (DESIGN.md A1)
 //!   sched       scheduler counters (steals, parks, wakes, heaps elided)
 //!   mem         memory lifecycle (peak/live/free words, recycle rates)
+//!   gc          GC v2: pauses, copied words, team/steal counters (DESIGN.md §9)
 //!   all         everything above
 //! ```
 
 use hh_harness::experiments::{
-    ablation_fastpath, fig10, fig11, fig12, fig13, fig8, fig9, mem_lifecycle, promote_micro,
-    promote_workloads, promotion_volume, sched_counters, ExpConfig,
+    ablation_fastpath, fig10, fig11, fig12, fig13, fig8, fig9, gc_pause_table, mem_lifecycle,
+    promote_micro, promote_workloads, promotion_volume, sched_counters, ExpConfig,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig8|fig9|fig10|fig11|fig12|fig13|promotion|promote|ablation|sched|mem|all> \
+        "usage: repro <fig8|fig9|fig10|fig11|fig12|fig13|promotion|promote|ablation|sched|mem|gc|all> \
          [--scale S] [--procs P] [--grain G]"
     );
     std::process::exit(2);
@@ -86,6 +87,7 @@ fn main() {
         "ablation" => println!("{}", ablation_fastpath(cfg).render()),
         "sched" => println!("{}", sched_counters(cfg).render()),
         "mem" => println!("{}", mem_lifecycle(cfg).render()),
+        "gc" => println!("{}", gc_pause_table(cfg).render()),
         _ => usage(),
     };
 
@@ -102,6 +104,7 @@ fn main() {
             "ablation",
             "sched",
             "mem",
+            "gc",
         ] {
             run(name);
         }

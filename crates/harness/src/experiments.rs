@@ -610,6 +610,74 @@ pub fn promote_workloads(cfg: ExpConfig) -> Table {
 }
 
 // ---------------------------------------------------------------------------
+// GC v2 (not in the paper; DESIGN.md §9).
+// ---------------------------------------------------------------------------
+
+/// `repro gc` — collection behaviour of all four runtimes on the mutator-heavy
+/// workloads under a GC threshold small enough that collections actually fire:
+/// pause totals and maxima, copied volume, and the GC v2 team counters
+/// (team-mode collections, stolen scan blocks). The hierarchical runtime is
+/// reported twice: with the default GC team and with the serial `gc_workers = 1`
+/// ablation (A4), so the table directly shows what parallel collection buys.
+pub fn gc_pause_table(cfg: ExpConfig) -> Table {
+    let mut table = Table::new(
+        "GC v2 — collection pauses and team counters (tiny thresholds)",
+        &[
+            "benchmark",
+            "runtime",
+            "GCs",
+            "team GCs",
+            "stolen blocks",
+            "copied Kw",
+            "gc time",
+            "max pause",
+        ],
+    );
+    let params = cfg.params();
+    let chunk = 1024;
+    let threshold = 16 * 1024;
+    let max_pause = |ns: u64| format!("{:.3} ms", ns as f64 / 1e6);
+    let kwords = |w: u64| format!("{:.1}", w as f64 / 1024.0);
+    for &bench in BenchId::MUTATOR.iter() {
+        let mut measurements: Vec<(String, Measurement)> = Vec::new();
+        let seq = SeqRuntime::with_params(chunk, threshold, true);
+        measurements.push(("seq".into(), measure_on(&seq, bench, params, 1)));
+        let stw = StwRuntime::with_params(cfg.procs, chunk, threshold, true);
+        measurements.push(("stw".into(), measure_on(&stw, bench, params, cfg.procs)));
+        let dlg = DlgRuntime::with_params(cfg.procs, chunk, threshold, true);
+        measurements.push(("dlg".into(), measure_on(&dlg, bench, params, cfg.procs)));
+        for (label, gc_workers) in [("parmem", 0usize), ("parmem gc=1 (A4)", 1)] {
+            let m = measure_parmem_with_config(
+                HhConfig {
+                    n_workers: cfg.procs,
+                    chunk_words: chunk,
+                    gc_threshold_words: threshold,
+                    gc_workers,
+                    ..Default::default()
+                },
+                bench,
+                params,
+            );
+            measurements.push((label.into(), m));
+        }
+        for (label, m) in measurements {
+            let s = &m.stats;
+            table.row(vec![
+                bench.name().to_string(),
+                label,
+                s.gc_count.to_string(),
+                s.gc_parallel_collections.to_string(),
+                s.gc_steal_blocks.to_string(),
+                kwords(s.gc_copied_words),
+                secs(s.gc_time),
+                max_pause(s.gc_max_pause_ns),
+            ]);
+        }
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
 // Ablations (not in the paper; DESIGN.md A1/A2).
 // ---------------------------------------------------------------------------
 
@@ -754,6 +822,17 @@ mod tests {
                 toks[1]
             );
         }
+    }
+
+    #[test]
+    fn gc_pause_table_covers_mutator_workloads_on_five_rows_each() {
+        let t = gc_pause_table(tiny_cfg());
+        // 3 mutator workloads × (seq, stw, dlg, parmem, parmem-A4).
+        assert_eq!(t.n_rows(), 3 * 5);
+        let rendered = t.render();
+        assert!(rendered.contains("union-find"));
+        assert!(rendered.contains("(A4)"));
+        assert!(rendered.contains("max pause"));
     }
 
     #[test]

@@ -236,6 +236,12 @@ impl HeapRegistry {
                 while off < chunk.used() {
                     let view = hh_objmodel::ObjView::new(chunk, off as u32);
                     let header = view.header();
+                    if off + header.size_words() > chunk.used() {
+                        // Raw bump-gap tail: a failed `try_bump` advances the
+                        // cursor past the last real object (benign over-bump), so
+                        // the words from here on are unwritten — not objects.
+                        break;
+                    }
                     for f in 0..header.n_ptr() {
                         let target = view.field_ptr(f);
                         if target.is_null() {

@@ -19,6 +19,33 @@ pub struct ChunkId(pub u32);
 /// Raw heap id meaning "no heap" (used before a chunk is adopted and in tests).
 pub const RAW_HEAP_NONE: u32 = u32::MAX;
 
+/// Decoded per-chunk collection state (see [`Chunk::gc_state`]).
+///
+/// A collection stamps every chunk it involves with its own *epoch* (drawn from
+/// [`crate::ChunkStore::next_gc_epoch`]), so membership tests during the evacuation
+/// are one atomic load on the chunk instead of hash-set probes, and nothing ever
+/// needs to be cleared: a later collection simply stamps a later epoch, and a stale
+/// stamp reads as [`ChunkGcState::Outside`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ChunkGcState {
+    /// The chunk is not involved in the collection of the given epoch.
+    Outside,
+    /// From-space of the collection: the chunk belongs to a heap of the zone (the
+    /// payload is the zone-local *slot* of that heap, assigned at zone assembly).
+    FromSpace(u16),
+    /// To-space of the collection: the chunk holds copies made by this collection
+    /// (the payload is the heap slot the copies belong to).
+    ToSpace(u16),
+}
+
+/// Bit layout of the packed collection-state word: `epoch << 18 | slot << 2 | flags`.
+const GC_FLAG_FROM: u64 = 0b01;
+const GC_FLAG_TO: u64 = 0b10;
+const GC_SLOT_SHIFT: u32 = 2;
+const GC_EPOCH_SHIFT: u32 = 18;
+/// Maximum number of heaps one collection zone can address through chunk tags.
+pub const GC_MAX_ZONE_SLOTS: usize = 1 << (GC_EPOCH_SHIFT - GC_SLOT_SHIFT);
+
 /// A fixed-capacity block of atomically accessed words with bump allocation.
 pub struct Chunk {
     id: ChunkId,
@@ -38,6 +65,11 @@ pub struct Chunk {
     /// `u32::MAX` means "not linked". Only the store touches this field, and only
     /// while the chunk is in the free state.
     pub(crate) free_next: AtomicU32,
+    /// Packed epoch-tagged collection state (see [`ChunkGcState`]). Written during
+    /// zone assembly (from-space) and by to-space allocation; read by every
+    /// `forward` step of a collection. Never cleared — a stale epoch decodes as
+    /// [`ChunkGcState::Outside`].
+    gc_tag: AtomicU64,
     words: Box<[AtomicU64]>,
 }
 
@@ -52,6 +84,7 @@ impl Chunk {
             retired: std::sync::atomic::AtomicBool::new(false),
             generation: AtomicU32::new(0),
             free_next: AtomicU32::new(u32::MAX),
+            gc_tag: AtomicU64::new(0),
             words: words.into_boxed_slice(),
         }
     }
@@ -127,6 +160,48 @@ impl Chunk {
         self.generation.load(Ordering::Acquire)
     }
 
+    /// Stamps this chunk as **from-space** of the collection `epoch`, belonging to
+    /// the zone heap at `slot`. Called during zone assembly, before any collector
+    /// worker starts evacuating (the `Release` store pairs with the `Acquire` load
+    /// in [`Chunk::gc_state`]).
+    #[inline]
+    pub fn set_gc_from_space(&self, epoch: u64, slot: u16) {
+        self.gc_tag.store(
+            (epoch << GC_EPOCH_SHIFT) | ((slot as u64) << GC_SLOT_SHIFT) | GC_FLAG_FROM,
+            Ordering::Release,
+        );
+    }
+
+    /// Stamps this chunk as **to-space** of the collection `epoch` for the zone heap
+    /// at `slot`. Called by the allocating collector worker before the chunk becomes
+    /// reachable through any forwarding pointer.
+    #[inline]
+    pub fn set_gc_to_space(&self, epoch: u64, slot: u16) {
+        self.gc_tag.store(
+            (epoch << GC_EPOCH_SHIFT) | ((slot as u64) << GC_SLOT_SHIFT) | GC_FLAG_TO,
+            Ordering::Release,
+        );
+    }
+
+    /// Decodes this chunk's collection state **with respect to** collection `epoch`:
+    /// one atomic load replaces the old per-object `HashSet` membership probe and
+    /// `heap_of` resolution. A tag stamped by any other (earlier or concurrent)
+    /// collection decodes as [`ChunkGcState::Outside`] — distinct collections use
+    /// distinct epochs and disjoint zones, so tags never need clearing.
+    #[inline]
+    pub fn gc_state(&self, epoch: u64) -> ChunkGcState {
+        let tag = self.gc_tag.load(Ordering::Acquire);
+        if tag >> GC_EPOCH_SHIFT != epoch {
+            return ChunkGcState::Outside;
+        }
+        let slot = ((tag >> GC_SLOT_SHIFT) & (GC_MAX_ZONE_SLOTS as u64 - 1)) as u16;
+        if tag & GC_FLAG_TO != 0 {
+            ChunkGcState::ToSpace(slot)
+        } else {
+            ChunkGcState::FromSpace(slot)
+        }
+    }
+
     /// Resets the chunk for reuse by a new owner: the previously used word prefix is
     /// zeroed (so recycled chunks behave like fresh, zero-filled ones and stale
     /// headers read as empty objects), the bump cursor restarts at 0, the retired
@@ -141,6 +216,9 @@ impl Chunk {
         for i in 0..used {
             self.words[i].store(0, Ordering::Relaxed);
         }
+        // Hygiene only: a stale tag would decode as Outside anyway (epochs are
+        // never reissued), but a recycled chunk starts with a clean slate.
+        self.gc_tag.store(0, Ordering::Relaxed);
         self.generation.fetch_add(1, Ordering::AcqRel);
         self.owner.store(new_owner, Ordering::Release);
         self.retired.store(false, Ordering::Release);
@@ -256,6 +334,31 @@ mod tests {
         assert!(!c.is_retired());
         c.retire();
         assert!(c.is_retired());
+    }
+
+    #[test]
+    fn gc_state_roundtrips_and_respects_epochs() {
+        let c = Chunk::new(ChunkId(0), 0, 16);
+        assert_eq!(c.gc_state(1), ChunkGcState::Outside, "untagged chunk");
+        c.set_gc_from_space(7, 3);
+        assert_eq!(c.gc_state(7), ChunkGcState::FromSpace(3));
+        assert_eq!(c.gc_state(8), ChunkGcState::Outside, "stale epoch");
+        assert_eq!(
+            c.gc_state(6),
+            ChunkGcState::Outside,
+            "future tag, old epoch"
+        );
+        c.set_gc_to_space(8, 11);
+        assert_eq!(c.gc_state(8), ChunkGcState::ToSpace(11));
+        assert_eq!(
+            c.gc_state(7),
+            ChunkGcState::Outside,
+            "old epoch overwritten"
+        );
+        // Recycling clears the tag.
+        c.retire();
+        c.recycle(2);
+        assert_eq!(c.gc_state(8), ChunkGcState::Outside);
     }
 
     #[test]

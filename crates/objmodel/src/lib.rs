@@ -39,7 +39,7 @@ pub mod store;
 pub mod view;
 
 pub use appendvec::AppendVec;
-pub use chunk::{Chunk, ChunkId, RAW_HEAP_NONE};
+pub use chunk::{Chunk, ChunkGcState, ChunkId, GC_MAX_ZONE_SLOTS, RAW_HEAP_NONE};
 pub use header::{Header, ObjKind};
 pub use objptr::ObjPtr;
 pub use store::{ChunkStore, StoreStats};

@@ -174,6 +174,10 @@ pub struct ChunkStore {
     shards: Box<[CacheShard]>,
     /// Cap on `free_words`: reclaimed chunks beyond it are released instead of reused.
     max_free_words: AtomicUsize,
+    /// Source of collection epochs (see [`Chunk::gc_state`]): each collection draws a
+    /// fresh epoch, so concurrent collections of disjoint zones never confuse each
+    /// other's chunk tags and tags never need clearing.
+    gc_epochs: AtomicU64,
 
     // -- accounting gauges and counters ------------------------------------
     live_words: AtomicUsize,
@@ -205,6 +209,7 @@ impl ChunkStore {
             quarantine: parking_lot::Mutex::new(Vec::new()),
             shards: (0..N_SHARDS).map(|_| CacheShard::default()).collect(),
             max_free_words: AtomicUsize::new(usize::MAX),
+            gc_epochs: AtomicU64::new(0),
             live_words: AtomicUsize::new(0),
             peak_words: AtomicUsize::new(0),
             total_words: AtomicUsize::new(0),
@@ -421,6 +426,20 @@ impl ChunkStore {
     /// Number of chunks ever created (including retired ones).
     pub fn n_chunks(&self) -> usize {
         self.chunks.len()
+    }
+
+    /// Draws a fresh, never-reissued collection epoch (starting at 1, so the zero
+    /// tag of a fresh chunk never matches any collection).
+    pub fn next_gc_epoch(&self) -> u64 {
+        self.gc_epochs.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Snapshot of the chunks currently quarantined (retired but not yet past the
+    /// reuse horizon). Collections use this at zone assembly to stamp retired chunks
+    /// whose owner resolves into the zone, so reachable objects stranded there by an
+    /// earlier collection are still rescued by the tag-based membership test.
+    pub fn quarantined_chunks(&self) -> Vec<ChunkId> {
+        self.quarantine.lock().clone()
     }
 
     /// Retires a chunk after its live contents were evacuated: memory accounting drops

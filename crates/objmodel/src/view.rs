@@ -172,6 +172,23 @@ impl<'a> ObjView<'a> {
         }
     }
 
+    /// Rewrites the header so the object declares **no pointer fields** (same total
+    /// size, kind [`ObjKind::Other`]), turning it into an opaque filler that heap
+    /// walkers skip over without interpreting its words as pointers.
+    ///
+    /// Used by a parallel collection's evacuation race loser: the copy it allocated
+    /// lost the forwarding CAS to another worker's copy, is unreachable, and must
+    /// not present its (from-space-pointing) fields to later scans, invariant
+    /// checks, or the disentanglement walker.
+    #[inline]
+    pub fn retag_as_filler(&self) {
+        let header = self.header();
+        let filler = Header::new(header.n_fields(), 0, ObjKind::Other);
+        self.chunk
+            .word(self.base + OFF_HEADER)
+            .store(filler.encode(), Ordering::Release);
+    }
+
     /// Path compression: atomically shortcuts the forwarding pointer from `old` to
     /// `new`, where `new` must be reachable from `old` by following forwarding
     /// pointers. Returns `true` if the shortcut was installed.

@@ -256,6 +256,52 @@ impl HeapJob {
     }
 }
 
+/// A fire-and-forget boxed job that **frees itself** after execution. Used for GC
+/// team helper jobs (`Pool::run_gc_team`): the spawner does not wait for the job, so
+/// nobody external can own the box — execution reconstitutes and drops it.
+///
+/// Every spawned `OwnedJob` must eventually be executed exactly once; the pool
+/// guarantees this by draining the injector (executing leftovers) when it shuts
+/// down.
+#[repr(C)]
+pub struct OwnedJob {
+    /// Read only through the type-erased `JobRef` pointer (`repr(C)` pins it at
+    /// offset 0), never as a named field.
+    #[allow(dead_code)]
+    header: JobHeader,
+    func: UnsafeCell<Option<Box<dyn FnOnce() + Send>>>,
+}
+
+// SAFETY: `func` is taken exactly once by the executing worker; exclusivity comes
+// from the queue protocol (each JobRef removed exactly once).
+unsafe impl Sync for OwnedJob {}
+unsafe impl Send for OwnedJob {}
+
+impl OwnedJob {
+    /// Boxes `f` and leaks it into a [`JobRef`]; executing the ref runs `f` and then
+    /// frees the box.
+    pub fn spawn(f: Box<dyn FnOnce() + Send + 'static>) -> JobRef {
+        let job = Box::new(OwnedJob {
+            header: JobHeader {
+                execute: Self::execute_erased,
+            },
+            func: UnsafeCell::new(Some(f)),
+        });
+        JobRef {
+            ptr: Box::into_raw(job) as *const JobHeader,
+        }
+    }
+
+    unsafe fn execute_erased(ptr: *const JobHeader, _stolen: bool) {
+        // Reconstitute the box; dropped (freeing the job) when this frame exits.
+        let job = Box::from_raw(ptr as *mut OwnedJob);
+        let f = (*job.func.get())
+            .take()
+            .expect("OwnedJob executed more than once");
+        f();
+    }
+}
+
 /// A set-once latch an external thread can sleep on (mutex + condvar; workers never
 /// block here — they help instead).
 struct BlockingLatch {

@@ -39,8 +39,10 @@ pub mod job;
 pub mod pool;
 pub mod queue;
 pub mod safepoint;
+pub mod team;
 
 pub use job::JobRef;
 pub use pool::{Pool, PoolConfig, PoolWaker, SchedStats, Worker};
-pub use queue::{Injector, JobQueue};
+pub use queue::{Injector, JobQueue, Span, SpanDeque};
 pub use safepoint::Safepoints;
+pub use team::TeamSync;

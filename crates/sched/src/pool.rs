@@ -9,7 +9,7 @@
 //! condvar until a push, an injection, a shutdown, or an external
 //! [`PoolWaker::wake_all`] (used by the stop-the-world baseline's safepoint protocol).
 
-use crate::job::{HeapJob, JobRef, StackJob};
+use crate::job::{HeapJob, JobRef, OwnedJob, StackJob};
 use crate::queue::{Injector, JobQueue};
 use parking_lot::{Condvar, Mutex};
 use std::cell::Cell;
@@ -447,6 +447,36 @@ impl Pool {
         let _ = self.inner.steal_hook.set(Arc::new(hook));
     }
 
+    /// Drafts up to `helpers` pool workers into a collection team (GC v2): the
+    /// calling thread runs `work(0)` inline as team member 0, and `helpers`
+    /// fire-and-forget jobs calling `work(1) .. work(helpers)` are injected for idle
+    /// workers to pick up. Every parked worker is woken so a sleeping pool joins the
+    /// collection instead of sleeping through it.
+    ///
+    /// Helpers are **best-effort**: a worker busy with mutator tasks simply never
+    /// takes its helper job, and a job executed after the collection finished must
+    /// return immediately — `work` is responsible for that (the collectors gate on a
+    /// team-done flag; see `hh_sched::TeamSync`). The jobs own their closures
+    /// ([`OwnedJob`]); any still queued when the pool shuts down are executed (and
+    /// thereby freed) by the shutdown drain.
+    ///
+    /// May be called from a pool worker (the common case: a collection triggered
+    /// inside a task) or from an external thread.
+    pub fn run_gc_team(&self, helpers: usize, work: Arc<dyn Fn(usize) + Send + Sync>) {
+        for slot in 1..=helpers {
+            let w = Arc::clone(&work);
+            self.inner
+                .injector
+                .push(OwnedJob::spawn(Box::new(move || w(slot))));
+        }
+        if helpers > 0 {
+            // Parked workers are exactly the ones we want: they have no mutator
+            // work, so draft them all.
+            self.inner.wake_all();
+        }
+        work(0);
+    }
+
     /// A handle that can wake all parked workers (see [`PoolWaker`]).
     pub fn waker(&self) -> PoolWaker {
         PoolWaker {
@@ -505,6 +535,15 @@ impl Drop for Pool {
         self.inner.wake_all();
         for h in self.handles.drain(..) {
             let _ = h.join();
+        }
+        // Drain leftover injected jobs. These can only be self-owning GC helper
+        // jobs whose team already finished (`Pool::run` blocks until its job has
+        // executed, and stack jobs never reach the injector): executing them makes
+        // them return immediately and free their own boxes.
+        while let Some(job) = self.inner.injector.steal() {
+            // SAFETY: removed from the injector exactly once; all worker threads
+            // have been joined, so we are the only executor.
+            unsafe { job.execute(false) };
         }
     }
 }

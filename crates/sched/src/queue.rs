@@ -21,7 +21,7 @@
 use crate::job::{JobHeader, JobRef};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicU64, Ordering};
 
 /// Initial deque capacity (must be a power of two). Forks deeper than this are rare,
 /// but growth is supported and tested.
@@ -223,6 +223,193 @@ impl Drop for JobQueue {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Scan-span deques (GC v2).
+// ---------------------------------------------------------------------------
+
+/// A two-word payload moved by a [`SpanDeque`] — in practice a GC *scan block*:
+/// a span of a to-space chunk whose freshly copied objects still need their pointer
+/// fields scanned. The deque treats it as an opaque pair of words.
+pub type Span = (u64, u64);
+
+/// A fixed-capacity ring of two-word span slots (the [`Buffer`] of [`SpanDeque`]).
+struct SpanBuffer {
+    slots: Box<[(AtomicU64, AtomicU64)]>,
+    mask: usize,
+}
+
+impl SpanBuffer {
+    fn new(capacity: usize) -> Box<SpanBuffer> {
+        debug_assert!(capacity.is_power_of_two());
+        let slots: Vec<(AtomicU64, AtomicU64)> = (0..capacity)
+            .map(|_| (AtomicU64::new(0), AtomicU64::new(0)))
+            .collect();
+        Box::new(SpanBuffer {
+            slots: slots.into_boxed_slice(),
+            mask: capacity - 1,
+        })
+    }
+
+    #[inline]
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn put(&self, index: isize, span: Span) {
+        let slot = &self.slots[index as usize & self.mask];
+        slot.0.store(span.0, Ordering::Relaxed);
+        slot.1.store(span.1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn get(&self, index: isize) -> Span {
+        let slot = &self.slots[index as usize & self.mask];
+        (
+            slot.0.load(Ordering::Relaxed),
+            slot.1.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The [`JobQueue`] Chase–Lev algorithm over two-word [`Span`] elements — the
+/// work-stealing substrate of the parallel collector (GC v2): each collector worker
+/// owns one, pushing and popping scan blocks at the bottom while idle collectors
+/// steal blocks from the top.
+///
+/// Same orderings and contract as [`JobQueue`] (owner-only `push`/`pop`, any-thread
+/// `steal`, exactly-once removal). The one twist of a two-word element: a slow thief
+/// racing a wrapped-around owner `put` can observe a *torn* pair, but the value is
+/// only used after the CAS on `top` succeeds, and that CAS fails whenever the tear
+/// was possible (the owner can only overwrite a ring slot whose index has been
+/// consumed, i.e. `top` moved past it). Each word is individually atomic, so the
+/// torn read is well-defined and simply discarded.
+pub struct SpanDeque {
+    bottom: AtomicIsize,
+    top: AtomicIsize,
+    buffer: AtomicPtr<SpanBuffer>,
+    /// Retired buffers (see [`JobQueue::retired`]); the `Box` keeps grown-over
+    /// buffers pinned while in-flight thieves may still read them.
+    #[allow(clippy::vec_box)]
+    retired: Mutex<Vec<Box<SpanBuffer>>>,
+}
+
+impl Default for SpanDeque {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpanDeque {
+    /// Creates an empty deque.
+    pub fn new() -> Self {
+        SpanDeque {
+            bottom: AtomicIsize::new(0),
+            top: AtomicIsize::new(0),
+            buffer: AtomicPtr::new(Box::into_raw(SpanBuffer::new(INITIAL_CAPACITY))),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    #[inline]
+    fn buffer(&self, order: Ordering) -> &SpanBuffer {
+        // SAFETY: as in `JobQueue::buffer` — replaced only by the owner, old buffers
+        // retired (kept alive) until drop.
+        unsafe { &*self.buffer.load(order) }
+    }
+
+    /// Owner operation: pushes a span at the bottom.
+    pub fn push(&self, span: Span) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b - t >= self.buffer(Ordering::Relaxed).capacity() as isize {
+            self.grow(b, t);
+        }
+        self.buffer(Ordering::Relaxed).put(b, span);
+        fence(Ordering::Release);
+        self.bottom.store(b + 1, Ordering::Relaxed);
+    }
+
+    #[cold]
+    fn grow(&self, b: isize, t: isize) {
+        let old = self.buffer(Ordering::Relaxed);
+        let new = SpanBuffer::new(old.capacity() * 2);
+        for i in t..b {
+            new.put(i, old.get(i));
+        }
+        let new_ptr = Box::into_raw(new);
+        let old_ptr = self.buffer.swap(new_ptr, Ordering::Release);
+        // SAFETY: `old_ptr` came from `Box::into_raw`; retired, not freed, because
+        // in-flight thieves may still read it.
+        self.retired.lock().push(unsafe { Box::from_raw(old_ptr) });
+    }
+
+    /// Owner operation: pops the most recently pushed span.
+    pub fn pop(&self) -> Option<Span> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        let buf = self.buffer(Ordering::Relaxed);
+        self.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let span = buf.get(b);
+            if t == b {
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                won.then_some(span)
+            } else {
+                Some(span)
+            }
+        } else {
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Thief operation: steals the oldest span. Returns `None` only when the deque
+    /// is (momentarily) empty.
+    pub fn steal(&self) -> Option<Span> {
+        loop {
+            let t = self.top.load(Ordering::Acquire);
+            fence(Ordering::SeqCst);
+            let b = self.bottom.load(Ordering::Acquire);
+            if t >= b {
+                return None;
+            }
+            // Read before the CAS; a successful CAS licenses the (possibly torn —
+            // then the CAS fails) value just read.
+            let span = self.buffer(Ordering::Acquire).get(t);
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(span);
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// True if no spans are queued (racy; used by the collector's termination
+    /// protocol *after* all workers have announced themselves idle, when no new
+    /// spans can appear).
+    pub fn is_empty(&self) -> bool {
+        let b = self.bottom.load(Ordering::SeqCst);
+        let t = self.top.load(Ordering::SeqCst);
+        b - t <= 0
+    }
+}
+
+impl Drop for SpanDeque {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access in drop; the pointer came from Box::into_raw.
+        drop(unsafe { Box::from_raw(*self.buffer.get_mut()) });
+    }
+}
+
 /// The mutex-protected FIFO through which external threads inject root jobs.
 #[derive(Default)]
 pub struct Injector {
@@ -390,6 +577,87 @@ mod tests {
             N,
             "every job executed exactly once"
         );
+    }
+
+    #[test]
+    fn span_deque_lifo_owner_fifo_thief_and_growth() {
+        let q = SpanDeque::new();
+        let n = INITIAL_CAPACITY * 4 + 5; // force growth
+        for k in 0..n as u64 {
+            q.push((k, k.wrapping_mul(0x9E37_79B9)));
+        }
+        // Thief takes the oldest.
+        assert_eq!(q.steal(), Some((0, 0)));
+        // Owner takes the newest, with the paired word intact.
+        let (a, b) = q.pop().unwrap();
+        assert_eq!(a, n as u64 - 1);
+        assert_eq!(b, a.wrapping_mul(0x9E37_79B9));
+        // Drain the rest; every element appears exactly once.
+        let mut seen = vec![false; n];
+        seen[0] = true;
+        seen[n - 1] = true;
+        while let Some((a, b)) = q.pop() {
+            assert_eq!(b, a.wrapping_mul(0x9E37_79B9), "torn pair");
+            assert!(!seen[a as usize], "duplicate {a}");
+            seen[a as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert!(q.is_empty());
+    }
+
+    /// Owner pushing/popping against several thieves: every span removed exactly
+    /// once, and no thief ever observes a torn (mismatched) pair as a *returned*
+    /// value — the license argument for two-word elements.
+    #[test]
+    fn span_deque_stress_no_loss_duplication_or_tearing() {
+        const N: u64 = 40_000;
+        const THIEVES: usize = 4;
+        let q = Arc::new(SpanDeque::new());
+        let stop = Arc::new(AtomicUsize::new(0));
+        let mut thieves = Vec::new();
+        for _ in 0..THIEVES {
+            let q = Arc::clone(&q);
+            let stop = Arc::clone(&stop);
+            thieves.push(std::thread::spawn(move || {
+                let mut taken = Vec::new();
+                loop {
+                    match q.steal() {
+                        Some((a, b)) => {
+                            assert_eq!(b, a.wrapping_mul(0x9E37_79B9), "torn steal");
+                            taken.push(a);
+                        }
+                        None => {
+                            if stop.load(Ordering::Acquire) == 1 {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+                taken
+            }));
+        }
+        let mut mine = Vec::new();
+        for k in 0..N {
+            q.push((k, k.wrapping_mul(0x9E37_79B9)));
+            if k % 3 == 0 {
+                if let Some((a, b)) = q.pop() {
+                    assert_eq!(b, a.wrapping_mul(0x9E37_79B9), "torn pop");
+                    mine.push(a);
+                }
+            }
+        }
+        while let Some((a, b)) = q.pop() {
+            assert_eq!(b, a.wrapping_mul(0x9E37_79B9));
+            mine.push(a);
+        }
+        stop.store(1, Ordering::Release);
+        for h in thieves {
+            mine.extend(h.join().unwrap());
+        }
+        mine.sort_unstable();
+        let expect: Vec<u64> = (0..N).collect();
+        assert_eq!(mine, expect, "every span exactly once");
     }
 
     #[test]

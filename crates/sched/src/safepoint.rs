@@ -28,6 +28,15 @@ struct State {
 
 type WakeHook = Arc<dyn Fn() + Send + Sync>;
 
+/// Work offered to threads parked at the safepoint (GC v2: the parallel collector's
+/// team entry). The generation lets each parked thread run a given offer exactly
+/// once — after its helper stint it goes back to waiting for the resume signal.
+#[derive(Default)]
+struct PauseWork {
+    generation: u64,
+    work: Option<Arc<dyn Fn() + Send + Sync>>,
+}
+
 /// Stop-the-world coordination for the baseline collectors.
 #[derive(Default)]
 pub struct Safepoints {
@@ -38,6 +47,8 @@ pub struct Safepoints {
     resume_cv: Condvar,
     collector_lock: Mutex<()>,
     world_stops: AtomicUsize,
+    /// Work offered to parked threads while a collection runs (see [`PauseWork`]).
+    pause_work: Mutex<PauseWork>,
     /// Invoked right after a collection is requested. The parking scheduler needs
     /// this: workers parked on the pool's sleep condvar are not polling, so the
     /// collector would otherwise wait out their parking timeout. The baselines install
@@ -97,11 +108,59 @@ impl Safepoints {
         }
     }
 
+    /// Offers `work` to every thread parked at this safepoint for the duration of
+    /// the current stop-the-world pause (GC v2: *drafting* — instead of sleeping
+    /// through the collection, parked mutators run the parallel collector's team
+    /// entry). Each parked thread runs the offer at most once, then resumes waiting;
+    /// the offer must therefore not return until the team has no more work for it.
+    ///
+    /// Call only from inside the collection closure of
+    /// [`Safepoints::stop_the_world`] (the world is stopped, so the drafted threads
+    /// are exactly the parked mutators), and pair with
+    /// [`Safepoints::end_pause_work`] before the closure returns.
+    pub fn begin_pause_work(&self, work: Arc<dyn Fn() + Send + Sync>) {
+        {
+            let mut pw = self.pause_work.lock();
+            pw.generation += 1;
+            pw.work = Some(work);
+        }
+        // Parked threads wait on the resume condvar; poke them so they notice the
+        // offer. (Lock the state mutex so the notify cannot slot between a parked
+        // thread's re-check and its wait.)
+        let _st = self.state.lock();
+        self.resume_cv.notify_all();
+    }
+
+    /// Withdraws the offer installed by [`Safepoints::begin_pause_work`].
+    pub fn end_pause_work(&self) {
+        self.pause_work.lock().work = None;
+    }
+
     fn park(&self) {
         let mut st = self.state.lock();
         st.parked += 1;
         self.parked_cv.notify_all();
+        // Generations start at 1, so 0 never suppresses a real offer.
+        let mut ran_generation = 0u64;
         while self.requested.load(Ordering::Acquire) {
+            let offer = {
+                let pw = self.pause_work.lock();
+                if pw.work.is_some() && pw.generation != ran_generation {
+                    ran_generation = pw.generation;
+                    pw.work.clone()
+                } else {
+                    None
+                }
+            };
+            if let Some(work) = offer {
+                // Help the collection. The thread stays *logically* parked (it
+                // performs no mutator work), but the state lock is released so the
+                // collector and other helpers are not serialized on it.
+                drop(st);
+                work();
+                st = self.state.lock();
+                continue;
+            }
             self.resume_cv.wait(&mut st);
         }
         st.parked -= 1;

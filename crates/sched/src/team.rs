@@ -1,0 +1,176 @@
+//! Dynamic-membership team synchronization for parallel collections (GC v2).
+//!
+//! A *GC team* is the set of threads cooperating on one collection: the thread that
+//! triggered it (always member 0) plus any drafted helpers — idle pool workers that
+//! picked up a helper job ([`crate::Pool::run_gc_team`]) or mutators parked at a
+//! stop-the-world safepoint ([`crate::Safepoints::begin_pause_work`]). Helpers are
+//! **best-effort**: the collection must complete with whichever members actually
+//! arrive, and a helper arriving after the work is done must get out of the way
+//! immediately. [`TeamSync`] provides exactly that:
+//!
+//! * [`TeamSync::try_register`] — dynamic membership: joins the team unless the
+//!   collection has already finished;
+//! * idle tracking ([`TeamSync::enter_idle`] / [`TeamSync::exit_idle`]) feeding the
+//!   termination rule *all registered members idle ∧ no visible work*. Idle members
+//!   create no work, so once every member is idle and the shared queues are empty no
+//!   work can ever appear again — the member that observes this calls
+//!   [`TeamSync::finish`];
+//! * departure counting: the triggering thread blocks in
+//!   [`TeamSync::await_departures`] until every member has deposited its results and
+//!   left, after which it owns all per-member state again and can merge it.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Registration, idle-based termination, and departure tracking for one collection
+/// team (see the module docs).
+#[derive(Default)]
+pub struct TeamSync {
+    registered: AtomicUsize,
+    idle: AtomicUsize,
+    departed: AtomicUsize,
+    done: AtomicBool,
+}
+
+impl TeamSync {
+    /// Creates the synchronization state of a team with no members yet.
+    pub fn new() -> TeamSync {
+        TeamSync::default()
+    }
+
+    /// Joins the team. Returns `false` if the collection has already finished (the
+    /// caller must not touch any team state); membership is withdrawn again if the
+    /// team finished while we were joining.
+    pub fn try_register(&self) -> bool {
+        if self.done.load(Ordering::Acquire) {
+            return false;
+        }
+        self.registered.fetch_add(1, Ordering::SeqCst);
+        if self.done.load(Ordering::SeqCst) {
+            // Raced with completion; withdraw so `await_departures` doesn't wait
+            // for a member that never worked.
+            self.registered.fetch_sub(1, Ordering::SeqCst);
+            return false;
+        }
+        true
+    }
+
+    /// Number of members currently registered.
+    pub fn registered(&self) -> usize {
+        self.registered.load(Ordering::SeqCst)
+    }
+
+    /// Announces this member as idle (it holds no work and will create none until
+    /// [`TeamSync::exit_idle`]).
+    pub fn enter_idle(&self) {
+        self.idle.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Revokes the idle announcement (the member found work).
+    pub fn exit_idle(&self) {
+        self.idle.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// True if every registered member is currently idle. Combined with "no visible
+    /// work" by the caller, this is the termination condition: idle members create
+    /// no work, so the conjunction is stable once observed.
+    pub fn all_idle(&self) -> bool {
+        self.idle.load(Ordering::SeqCst) == self.registered.load(Ordering::SeqCst)
+    }
+
+    /// Marks the collection finished. Idempotent; every member observes it and
+    /// departs.
+    pub fn finish(&self) {
+        self.done.store(true, Ordering::SeqCst);
+    }
+
+    /// True once the collection has finished.
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Records this member's departure (its per-member state is complete and will
+    /// not be touched again).
+    pub fn depart(&self) {
+        self.departed.fetch_add(1, Ordering::Release);
+    }
+
+    /// Blocks (spinning with yields — departures are imminent once the team is
+    /// done) until every registered member has departed. Only the triggering member
+    /// calls this, after its own [`TeamSync::depart`].
+    pub fn await_departures(&self) {
+        debug_assert!(self.is_done(), "awaiting departures before finish");
+        while self.departed.load(Ordering::Acquire) != self.registered.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn solo_member_lifecycle() {
+        let t = TeamSync::new();
+        assert!(t.try_register());
+        assert_eq!(t.registered(), 1);
+        assert!(!t.all_idle());
+        t.enter_idle();
+        assert!(t.all_idle());
+        t.finish();
+        assert!(t.is_done());
+        t.depart();
+        t.await_departures();
+        // Late arrivals bounce off.
+        assert!(!t.try_register());
+        assert_eq!(t.registered(), 1);
+    }
+
+    #[test]
+    fn members_arriving_after_finish_are_rejected_and_withdrawn() {
+        let t = Arc::new(TeamSync::new());
+        assert!(t.try_register());
+        t.enter_idle();
+        t.finish();
+        t.depart();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || t.try_register()));
+        }
+        for h in handles {
+            assert!(!h.join().unwrap());
+        }
+        t.await_departures();
+        assert_eq!(t.registered(), 1, "late arrivals must not inflate the team");
+    }
+
+    #[test]
+    fn idle_tracking_across_threads() {
+        let t = Arc::new(TeamSync::new());
+        assert!(t.try_register());
+        let t2 = Arc::clone(&t);
+        let h = std::thread::spawn(move || {
+            if !t2.try_register() {
+                return;
+            }
+            t2.enter_idle();
+            while !t2.is_done() {
+                std::thread::yield_now();
+            }
+            t2.depart();
+        });
+        // Wait until the helper is idle, then terminate.
+        t.enter_idle();
+        while !t.all_idle() {
+            t.exit_idle();
+            std::thread::yield_now();
+            t.enter_idle();
+        }
+        t.finish();
+        t.depart();
+        h.join().unwrap();
+        t.await_departures();
+    }
+}
