@@ -63,8 +63,11 @@ pub struct RunStats {
     /// Collections whose zone spanned more than one heap — an internal node of the
     /// hierarchy plus its completed descendants (hierarchical runtime only).
     pub subtree_collections: u64,
-    /// Collections run on a GC *team* (more than one collector worker — the
-    /// triggering thread plus drafted parked/idle workers; GC v2).
+    /// Collections run in *team mode*: helpers were drafted (jobs injected /
+    /// pause-work offered) alongside the triggering thread (GC v2). Helpers are
+    /// best-effort, so a busy pool may leave the trigger collecting alone even
+    /// in team mode — [`RunStats::gc_steal_blocks`] measures the parallelism
+    /// actually realized.
     pub gc_parallel_collections: u64,
     /// Scan blocks stolen between GC team members during parallel collections
     /// (the work-stealing traffic of the evacuation wavefront).

@@ -5,7 +5,7 @@ use hh_objmodel::{Chunk, ChunkGcState, ChunkId, ChunkStore, Header, ObjPtr, ObjV
 use hh_sched::{SpanDeque, TeamSync};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Raw owner id used for the shared global heap of the parallel baselines.
@@ -480,6 +480,9 @@ struct FlatGcShared {
     sync: TeamSync,
     /// Slot assignment for drafted helpers (slot 0 is the triggering thread).
     next_slot: AtomicUsize,
+    /// Set by slot 0 once every root has been forwarded; checked after the team
+    /// departs to catch any regression of the trigger pre-registration.
+    roots_seeded: AtomicBool,
     concurrent: bool,
 }
 
@@ -677,14 +680,20 @@ fn flat_steal(
 
 /// The member body shared by the triggering thread (slot 0) and drafted helpers:
 /// own blocks, own tail, steal, then the idle/termination protocol (see
-/// [`TeamSync`]). `seed_roots` runs only on slot 0, before the loop — slot 0 is
-/// registered and non-idle throughout seeding, so the team cannot terminate early.
+/// [`TeamSync`]). `seed_roots` runs only on slot 0, before the loop. Slot 0 is
+/// **pre-registered** at team construction ([`TeamSync::with_trigger`]) — before
+/// the pause-work offer is published — and non-idle throughout seeding, so a
+/// drafted helper that joins first and finds no work can never observe an all-idle
+/// team and finish the collection before the roots have seeded the wavefront.
 fn flat_member(
     shared: &FlatGcShared,
     slot: usize,
     seed_roots: Option<(&RootRegistry, &mut [ObjPtr])>,
 ) {
-    if slot >= shared.slots.len() || !shared.sync.try_register() {
+    if slot >= shared.slots.len() {
+        return;
+    }
+    if slot != 0 && !shared.sync.try_register() {
         return;
     }
     let mut w = shared.slots[slot].lock();
@@ -694,6 +703,7 @@ fn flat_member(
         for r in extra_roots.iter_mut() {
             *r = flat_forward(shared, &mut w, slot, *r);
         }
+        shared.roots_seeded.store(true, Ordering::Release);
     }
     loop {
         if let Some(span) = shared.deques[slot].pop() {
@@ -770,8 +780,13 @@ pub fn par_semispace_collect(
         slots: (0..team)
             .map(|_| Mutex::new(FlatGcWorker::default()))
             .collect(),
-        sync: TeamSync::new(),
+        // Pre-register the triggering thread: the pause-work offer below is
+        // published (and parked mutators woken) before `flat_member(.., 0, ..)`
+        // runs, and a drafted helper alone must not be able to terminate the team
+        // before slot 0 seeds the roots.
+        sync: TeamSync::with_trigger(),
         next_slot: AtomicUsize::new(1),
+        roots_seeded: AtomicBool::new(false),
         concurrent: team > 1,
     });
     let drafted = match draft {
@@ -787,6 +802,10 @@ pub fn par_semispace_collect(
     };
     flat_member(&shared, 0, Some((registry, extra_roots)));
     shared.sync.await_departures();
+    debug_assert!(
+        shared.roots_seeded.load(Ordering::Acquire),
+        "flat GC team finished without slot 0 forwarding the roots"
+    );
     if let Some(safepoints) = drafted {
         safepoints.end_pause_work();
     }

@@ -35,7 +35,8 @@ pub struct Counters {
     /// Forwarding resolutions performed inside bulk operations (at most one per object
     /// operand).
     pub bulk_master_lookups: AtomicU64,
-    /// Collections run on a GC team (drafted safepoint-parked workers; GC v2).
+    /// Collections run in team mode (safepoint-parked workers were offered the
+    /// collection; participation is best-effort — see `gc_steal_blocks`; GC v2).
     pub gc_parallel_collections: AtomicU64,
     /// Scan blocks stolen between GC team members during collections.
     pub gc_steal_blocks: AtomicU64,

@@ -422,6 +422,22 @@ impl ParCtx for DlgCtx {
         let mut roots = self.roots.lock();
         if let Some(pos) = roots.iter().rposition(|r| *r == obj) {
             roots.swap_remove(pos);
+            return;
+        }
+        // A collection or promotion (DLG's promote-on-communication) between pin
+        // and unpin rewrote the pin slot in place, and path compression can
+        // shortcut either pointer past the other's hop. Forwarding is confluent,
+        // so compare resolved masters rather than raw pointers to keep pin/unpin
+        // balanced across collections.
+        if obj.is_null() {
+            return;
+        }
+        let master = crate::common::resolve(&self.inner.store, obj);
+        if let Some(pos) = roots
+            .iter()
+            .rposition(|r| !r.is_null() && crate::common::resolve(&self.inner.store, *r) == master)
+        {
+            roots.swap_remove(pos);
         }
     }
 

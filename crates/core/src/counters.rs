@@ -54,7 +54,8 @@ pub struct Counters {
     /// Collections whose zone spanned more than one heap (an internal node plus its
     /// completed descendants — see `Inner::collect_subtree`).
     pub subtree_collections: AtomicU64,
-    /// Collections run on a GC team (team size > 1; GC v2).
+    /// Collections run in team mode (helpers drafted, i.e. configured team size
+    /// > 1; participation is best-effort — see `gc_steal_blocks`; GC v2).
     pub gc_parallel_collections: AtomicU64,
     /// Scan blocks stolen between GC team members during collections.
     pub gc_steal_blocks: AtomicU64,

@@ -66,6 +66,19 @@ pub struct HhCtx {
     _not_sync: std::marker::PhantomData<std::cell::Cell<()>>,
 }
 
+/// Follows a (possibly stale) pointer's forwarding chain to its final master copy.
+/// Used by [`HhCtx::unpin`]'s stale-pointer fallback; readability of every hop is
+/// guaranteed by the store's reuse horizon (no recycling while a run is active).
+fn resolve_fwd(store: &hh_objmodel::ChunkStore, mut p: ObjPtr) -> ObjPtr {
+    loop {
+        let v = store.view(p);
+        if !v.has_fwd() {
+            return p;
+        }
+        p = v.fwd();
+    }
+}
+
 impl HhCtx {
     pub(crate) fn new(inner: Arc<Inner>, heap: HeapId, worker: Worker, owns_heap: bool) -> HhCtx {
         HhCtx {
@@ -369,6 +382,26 @@ impl ParCtx for HhCtx {
     fn unpin(&self, obj: ObjPtr) {
         let mut roots = self.frame.pins.lock();
         if let Some(pos) = roots.iter().rposition(|r| *r == obj) {
+            roots.swap_remove(pos);
+            return;
+        }
+        // A collection (or promotion) between pin and unpin rewrote the pin slot
+        // in place, so the caller may hold a stale from-space address and the
+        // slot some other hop of the object's forwarding history — and path
+        // compression can shortcut either pointer past the other's hop. Old
+        // copies stay readable until the reuse horizon, and forwarding is
+        // confluent (every hop reaches the same final master), so compare
+        // resolved masters rather than raw pointers to keep pin/unpin balanced
+        // across collections.
+        if obj.is_null() {
+            return;
+        }
+        let store = self.inner.registry.store();
+        let master = resolve_fwd(store, obj);
+        if let Some(pos) = roots
+            .iter()
+            .rposition(|r| !r.is_null() && resolve_fwd(store, *r) == master)
+        {
             roots.swap_remove(pos);
         }
     }

@@ -43,7 +43,7 @@ use hh_heaps::HeapId;
 use hh_objmodel::{Chunk, ChunkGcState, ChunkId, ChunkStore, ObjPtr, ObjView, GC_MAX_ZONE_SLOTS};
 use hh_sched::{Span, SpanDeque, TeamSync};
 use parking_lot::Mutex;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -112,6 +112,10 @@ struct GcShared {
     sync: TeamSync,
     /// The root set, rewritten in place by member 0.
     roots: Mutex<Vec<ObjPtr>>,
+    /// Set by member 0 once every root has been forwarded; checked after the team
+    /// departs to catch any regression of the trigger pre-registration (a team
+    /// terminating without member 0 would retire the zone with all live data).
+    roots_seeded: AtomicBool,
     /// Install forwarding by CAS (team size > 1); plain store when single-threaded.
     concurrent: bool,
 }
@@ -335,10 +339,16 @@ fn steal_span(shared: &GcShared, my_slot: usize, w: &mut GcWorker) -> Option<Spa
 /// The team-member body: process own blocks, then own tails, then steal; announce
 /// idle when nothing is visible and terminate when the whole team is idle with
 /// empty deques. Member 0 (the triggering worker) additionally forwards the root
-/// set before entering the loop — it is registered and non-idle throughout, so the
-/// team cannot terminate before the roots have seeded the wavefront.
+/// set before entering the loop. Member 0 is **pre-registered** at team
+/// construction ([`TeamSync::with_trigger`]) — before any helper job is published —
+/// and non-idle throughout seeding, so a fast helper that joins first and finds no
+/// work can never observe an all-idle team and finish the collection before the
+/// roots have seeded the wavefront.
 fn run_member(shared: &GcShared, slot: usize) {
-    if slot >= shared.slots.len() || !shared.sync.try_register() {
+    if slot >= shared.slots.len() {
+        return;
+    }
+    if slot != 0 && !shared.sync.try_register() {
         // A drafted helper that arrived after the collection finished (stale
         // injector job) — nothing to do.
         return;
@@ -351,6 +361,7 @@ fn run_member(shared: &GcShared, slot: usize) {
         for r in roots.iter_mut() {
             *r = forward(shared, &mut w, slot, *r);
         }
+        shared.roots_seeded.store(true, Ordering::Release);
     }
     loop {
         if let Some(span) = shared.deques[slot].pop() {
@@ -507,8 +518,12 @@ impl Inner {
             heap_raws: zone.iter().map(|h| h.raw()).collect(),
             deques: (0..team).map(|_| SpanDeque::new()).collect(),
             slots: (0..team).map(|_| Mutex::new(GcWorker::default())).collect(),
-            sync: TeamSync::new(),
+            // Pre-register the triggering member: helper jobs are published (and
+            // parked workers woken) before `work(0)` runs, and a helper alone must
+            // not be able to terminate the team before member 0 seeds the roots.
+            sync: TeamSync::with_trigger(),
             roots: Mutex::new(roots.to_vec()),
+            roots_seeded: AtomicBool::new(false),
             concurrent: team > 1,
         });
         if team > 1 {
@@ -521,6 +536,10 @@ impl Inner {
             run_member(&shared, 0);
         }
         shared.sync.await_departures();
+        debug_assert!(
+            shared.roots_seeded.load(Ordering::Acquire),
+            "GC team finished without member 0 forwarding the roots"
+        );
         roots.copy_from_slice(&shared.roots.lock());
 
         // --- Merge per-member to-spaces and install them. ------------------------

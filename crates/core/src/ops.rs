@@ -200,7 +200,9 @@ impl Inner {
     /// reused across calls (GC v2 satellite): the old `vec![0u64; len]` paid one
     /// heap allocation per copy on a hot bulk path. Growth is accounted to the
     /// `promo_buf_allocs` scratch-buffer counter, so `tests/promo_alloc.rs` can
-    /// assert the steady state allocates nothing.
+    /// assert the steady state allocates nothing. Capacity beyond
+    /// `COPY_BUF_RETAIN_WORDS` is returned once a copy no longer needs it, so an
+    /// occasional huge copy doesn't pin its footprint on the thread for life.
     pub(crate) fn copy_nonptr_impl(
         &self,
         src: ObjPtr,
@@ -213,6 +215,12 @@ impl Inner {
         thread_local! {
             static COPY_BUF: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
         }
+        /// Capacity retained across calls (words). An oversized copy must not pin
+        /// its capacity on the worker thread for the process lifetime, so the
+        /// excess is given back — but only once a copy arrives that no longer
+        /// needs it (hysteresis: a steady stream of oversized copies keeps
+        /// reusing the large buffer instead of churning allocate/free per call).
+        const COPY_BUF_RETAIN_WORDS: usize = 64 * 1024;
         if len == 0 {
             return;
         }
@@ -243,6 +251,10 @@ impl Inner {
                 self.counters
                     .promo_buf_allocs
                     .fetch_add(1, Ordering::Relaxed);
+            }
+            if len <= COPY_BUF_RETAIN_WORDS && buf.capacity() > COPY_BUF_RETAIN_WORDS {
+                buf.clear();
+                buf.shrink_to(COPY_BUF_RETAIN_WORDS);
             }
         });
     }

@@ -166,6 +166,13 @@ impl Chunk {
     /// in [`Chunk::gc_state`]).
     #[inline]
     pub fn set_gc_from_space(&self, epoch: u64, slot: u16) {
+        // The tag holds 64 - GC_EPOCH_SHIFT epoch bits; beyond that the shift
+        // truncates and every tag would decode as Outside (2^46 collections away,
+        // but enforce the bound rather than rely on it silently).
+        debug_assert!(
+            epoch < 1 << (64 - GC_EPOCH_SHIFT),
+            "GC epoch exceeds the chunk tag's epoch field"
+        );
         self.gc_tag.store(
             (epoch << GC_EPOCH_SHIFT) | ((slot as u64) << GC_SLOT_SHIFT) | GC_FLAG_FROM,
             Ordering::Release,
@@ -177,6 +184,10 @@ impl Chunk {
     /// reachable through any forwarding pointer.
     #[inline]
     pub fn set_gc_to_space(&self, epoch: u64, slot: u16) {
+        debug_assert!(
+            epoch < 1 << (64 - GC_EPOCH_SHIFT),
+            "GC epoch exceeds the chunk tag's epoch field"
+        );
         self.gc_tag.store(
             (epoch << GC_EPOCH_SHIFT) | ((slot as u64) << GC_SLOT_SHIFT) | GC_FLAG_TO,
             Ordering::Release,

@@ -85,6 +85,11 @@ struct PoolInner {
     steals: AtomicUsize,
     parks: AtomicUsize,
     wakes: AtomicUsize,
+    /// GC helper jobs injected but not yet executed. Bounds the injector backlog:
+    /// when a saturated pool never drains its helper jobs, later collections stop
+    /// injecting new ones instead of queueing an unbounded pile of stale jobs
+    /// (each pinning its team's shared state until executed).
+    gc_helper_jobs: AtomicUsize,
 }
 
 impl PoolInner {
@@ -397,6 +402,7 @@ impl Pool {
             steals: AtomicUsize::new(0),
             parks: AtomicUsize::new(0),
             wakes: AtomicUsize::new(0),
+            gc_helper_jobs: AtomicUsize::new(0),
         });
         let mut handles = Vec::with_capacity(n);
         for index in 0..n {
@@ -463,13 +469,27 @@ impl Pool {
     /// May be called from a pool worker (the common case: a collection triggered
     /// inside a task) or from an external thread.
     pub fn run_gc_team(&self, helpers: usize, work: Arc<dyn Fn(usize) + Send + Sync>) {
+        // Bound the injector backlog: a saturated pool visits the injector rarely,
+        // so frequent collections could otherwise pile up thousands of stale
+        // helper jobs, each pinning its team's shared state until executed. Past
+        // the cap the team simply runs with fewer helpers — a pool that busy
+        // would not have drafted any anyway.
+        let backlog_cap = 2 * self.inner.queues.len();
+        let mut injected = 0;
         for slot in 1..=helpers {
+            if self.inner.gc_helper_jobs.load(Ordering::Relaxed) >= backlog_cap {
+                break;
+            }
+            self.inner.gc_helper_jobs.fetch_add(1, Ordering::Relaxed);
             let w = Arc::clone(&work);
-            self.inner
-                .injector
-                .push(OwnedJob::spawn(Box::new(move || w(slot))));
+            let inner = Arc::clone(&self.inner);
+            self.inner.injector.push(OwnedJob::spawn(Box::new(move || {
+                w(slot);
+                inner.gc_helper_jobs.fetch_sub(1, Ordering::Relaxed);
+            })));
+            injected += 1;
         }
-        if helpers > 0 {
+        if injected > 0 {
             // Parked workers are exactly the ones we want: they have no mutator
             // work, so draft them all.
             self.inner.wake_all();

@@ -8,8 +8,14 @@
 //! arrive, and a helper arriving after the work is done must get out of the way
 //! immediately. [`TeamSync`] provides exactly that:
 //!
-//! * [`TeamSync::try_register`] — dynamic membership: joins the team unless the
-//!   collection has already finished;
+//! * trigger pre-registration ([`TeamSync::with_trigger`]): the triggering member
+//!   counts as registered from the moment the team state is constructed — i.e.
+//!   **before** any helper job or pause-work offer is published. Without this, a
+//!   fast helper could register, find no work (roots not seeded yet), observe
+//!   itself as the whole team idle, and finish the collection before the trigger
+//!   ever joined — silently retiring the zone with all live data in it;
+//! * [`TeamSync::try_register`] — dynamic membership for helpers: joins the team
+//!   unless the collection has already finished;
 //! * idle tracking ([`TeamSync::enter_idle`] / [`TeamSync::exit_idle`]) feeding the
 //!   termination rule *all registered members idle ∧ no visible work*. Idle members
 //!   create no work, so once every member is idle and the shared queues are empty no
@@ -35,6 +41,20 @@ impl TeamSync {
     /// Creates the synchronization state of a team with no members yet.
     pub fn new() -> TeamSync {
         TeamSync::default()
+    }
+
+    /// Creates the synchronization state of a team with the **triggering member
+    /// already registered**. Use this whenever helpers are published before the
+    /// trigger runs its member body (the usual shape: inject helper jobs / post the
+    /// pause-work offer, then run member 0 inline): the trigger counts toward
+    /// [`TeamSync::all_idle`] from the start, so a fast helper can never observe an
+    /// all-idle team and [`TeamSync::finish`] before member 0 has seeded the roots.
+    /// The trigger must **not** call [`TeamSync::try_register`]; it still departs
+    /// normally.
+    pub fn with_trigger() -> TeamSync {
+        let t = TeamSync::default();
+        t.registered.store(1, Ordering::SeqCst);
+        t
     }
 
     /// Joins the team. Returns `false` if the collection has already finished (the
@@ -144,6 +164,32 @@ mod tests {
         }
         t.await_departures();
         assert_eq!(t.registered(), 1, "late arrivals must not inflate the team");
+    }
+
+    #[test]
+    fn pre_registered_trigger_blocks_early_termination() {
+        // The bug this guards against: helpers are published before the trigger
+        // runs, so a fast helper that registers into an otherwise-empty team and
+        // finds no work must NOT be able to finish the collection — the trigger is
+        // pre-registered and non-idle until it has seeded the roots.
+        let t = Arc::new(TeamSync::with_trigger());
+        assert_eq!(t.registered(), 1);
+        // A helper joins before the trigger's member body has started.
+        assert!(t.try_register());
+        t.enter_idle(); // helper is idle...
+        assert!(
+            !t.all_idle(),
+            "an idle helper alone must not satisfy the termination condition \
+             while the pre-registered trigger has not gone idle"
+        );
+        // Trigger runs: seeds roots (non-idle), then goes idle — now the team may
+        // terminate.
+        t.enter_idle();
+        assert!(t.all_idle());
+        t.finish();
+        t.depart(); // helper
+        t.depart(); // trigger
+        t.await_departures();
     }
 
     #[test]

@@ -9,12 +9,18 @@ use hierheap::{HhConfig, HhRuntime, ObjPtr, ParCtx, Runtime};
 
 /// Tiny chunks and GC thresholds so collections fire constantly, on a pool big
 /// enough that a team actually has members to draft.
+///
+/// The threshold must stay below what one *stolen* task of the smallest workload
+/// allocates on its own (~7.5K words for an lru-churn task): when every task is
+/// stolen into a private heap — likely on a loaded machine — no heap sees the
+/// other tasks' allocation, and a threshold above the per-task volume would let
+/// the whole run finish without a single collection.
 fn cfg(gc_workers: usize) -> HhConfig {
     HhConfig {
         n_workers: 4,
         gc_workers,
         chunk_words: 256,
-        gc_threshold_words: 8 * 1024,
+        gc_threshold_words: 4 * 1024,
         check_invariants: true,
         ..HhConfig::default()
     }
@@ -26,6 +32,18 @@ fn cfg(gc_workers: usize) -> HhConfig {
 /// factor of the serial run's (parallel evacuation wastes bounded words on
 /// per-member partial chunks and CAS-race fillers, never unbounded ones).
 fn assert_equivalent(work: impl Fn(&hierheap::HhCtx) -> u64 + Send + Copy) {
+    // Borrower collections are best-effort (skipped whenever a stolen ancestor
+    // holds the steal gate), so under adversarial scheduling — e.g. a loaded CI
+    // machine where a stolen task stays in flight across every task's threshold
+    // check — a run can legitimately finish with zero mid-run collections. The
+    // root is an owner (never gated) and its heap absorbs all joined
+    // allocation, so one final root-level threshold check makes `gc_count > 0`
+    // deterministic without forcing a collection that thresholds didn't earn.
+    let work = move |ctx: &hierheap::HhCtx| {
+        let sum = work(ctx);
+        ctx.maybe_collect();
+        sum
+    };
     let serial = HhRuntime::new(cfg(1));
     let serial_sum = serial.run(work);
     assert_eq!(
@@ -114,7 +132,15 @@ fn forced_team_collection_preserves_live_data_and_counts() {
             cur = ctx.read_imm_ptr(cur, 1);
         }
         assert_eq!(expect, 0);
+        // `head` is the stale from-space address while the pin slot holds the
+        // rewritten to-space one; unpin must resolve through forwarding so
+        // pin/unpin stays balanced across collections.
         ctx.unpin(head);
+        assert_eq!(
+            ctx.root_count(),
+            0,
+            "stale-pointer unpin left the pin behind"
+        );
     });
     let s = rt.stats();
     assert!(s.gc_count >= 1);
