@@ -87,6 +87,18 @@ pub struct RunStats {
     /// Words currently parked on the store's free lists and allocation caches
     /// (gauge, at snapshot time).
     pub free_words: u64,
+    /// Quarantined chunks moved out of quarantine (freed or released) by the
+    /// epoch watermark — i.e. reclaimed because every run whose epoch could hold
+    /// a stale pointer into them had ended, without waiting for global quiescence
+    /// (monotone; 0 under the A5 global-horizon ablation).
+    pub epoch_reclaims: u64,
+    /// Highest number of simultaneously active epoch-tracked runs observed
+    /// (gauge of run overlap; merged by max).
+    pub active_runs_peak: u64,
+    /// Words currently held by quarantined chunks — retired but not yet past the
+    /// reuse watermark (gauge, at snapshot time; the "watermark lag" a server
+    /// pays for quiescence-free reclamation).
+    pub quarantine_lag_words: u64,
 }
 
 impl RunStats {
@@ -137,9 +149,12 @@ impl RunStats {
         self.chunks_created += other.chunks_created;
         self.chunks_recycled += other.chunks_recycled;
         self.alloc_cache_hits += other.alloc_cache_hits;
+        self.epoch_reclaims += other.epoch_reclaims;
         // Gauges: merged snapshots keep the larger instantaneous value, like peaks.
         self.live_words = self.live_words.max(other.live_words);
         self.free_words = self.free_words.max(other.free_words);
+        self.active_runs_peak = self.active_runs_peak.max(other.active_runs_peak);
+        self.quarantine_lag_words = self.quarantine_lag_words.max(other.quarantine_lag_words);
     }
 
     /// Fraction of chunk requests served by reuse rather than fresh minting
@@ -267,6 +282,26 @@ mod tests {
         assert_eq!(a.alloc_cache_hits, 8);
         assert_eq!(a.live_words, 100, "gauges merge by max");
         assert_eq!(a.free_words, 60, "gauges merge by max");
+    }
+
+    #[test]
+    fn merge_handles_epoch_fields() {
+        let mut a = RunStats {
+            epoch_reclaims: 5,
+            active_runs_peak: 3,
+            quarantine_lag_words: 100,
+            ..Default::default()
+        };
+        let b = RunStats {
+            epoch_reclaims: 2,
+            active_runs_peak: 7,
+            quarantine_lag_words: 40,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.epoch_reclaims, 7, "counter merges by sum");
+        assert_eq!(a.active_runs_peak, 7, "gauges merge by max");
+        assert_eq!(a.quarantine_lag_words, 100, "gauges merge by max");
     }
 
     #[test]

@@ -167,6 +167,39 @@ impl Drop for RunEpochGuard<'_> {
     }
 }
 
+/// Registers one baseline `run` with the chunk store's epoch registry
+/// ([`hh_objmodel::RunEpochs`]) for its duration.
+///
+/// The baselines keep the quiescent full-dispose policy above (their flat heaps are
+/// shared across runs, so per-run disposal does not apply), but registering the run
+/// buys two things under overlapping load: the store's `active_runs_peak` gauge
+/// reports the overlap `serve` actually achieved, and dropping the guard advances
+/// the min-active-epoch watermark and drains the eligible quarantine — so chunks
+/// retired by *mid-run collections* recycle as soon as every run alive at their
+/// retirement has ended, instead of waiting for global quiescence. (Baseline
+/// allocations are untagged, so retirees carry the conservative latest-issued
+/// stamp; see `ChunkStore::retire_chunk`.)
+pub struct StoreEpochGuard<'a> {
+    store: &'a ChunkStore,
+    epoch: u64,
+}
+
+impl<'a> StoreEpochGuard<'a> {
+    /// Draws a fresh run epoch from `store`'s registry.
+    #[must_use = "dropping the guard ends the run's epoch"]
+    pub fn begin(store: &'a ChunkStore) -> StoreEpochGuard<'a> {
+        let epoch = store.run_epochs().begin();
+        StoreEpochGuard { store, epoch }
+    }
+}
+
+impl Drop for StoreEpochGuard<'_> {
+    fn drop(&mut self) {
+        self.store.run_epochs().end(self.epoch);
+        self.store.reclaim_watermark();
+    }
+}
+
 /// Follows an object's forwarding chain to its newest copy.
 ///
 /// The baselines install forwarding pointers in two situations — semispace collection

@@ -87,6 +87,9 @@ impl Counters {
             alloc_cache_hits: store.alloc_cache_hits as u64,
             live_words: store.live_words as u64,
             free_words: store.free_words as u64,
+            epoch_reclaims: store.epoch_reclaims as u64,
+            active_runs_peak: store.active_runs_peak as u64,
+            quarantine_lag_words: store.quarantined_words as u64,
         }
     }
 

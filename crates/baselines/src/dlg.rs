@@ -476,6 +476,7 @@ impl Runtime for DlgRuntime {
             }
             self.inner.store.reclaim_retired();
         });
+        let _store_epoch = crate::common::StoreEpochGuard::begin(&self.inner.store);
         let inner = Arc::clone(&self.inner);
         self.inner.pool.run(move |worker| {
             let ctx = DlgCtx::new(inner, worker.clone(), false);

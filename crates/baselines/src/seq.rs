@@ -278,6 +278,7 @@ impl Runtime for SeqRuntime {
             self.inner.heap.dispose();
             self.inner.store.reclaim_retired();
         });
+        let _store_epoch = crate::common::StoreEpochGuard::begin(&self.inner.store);
         let (root_id, roots) = self.inner.roots.register();
         let ctx = SeqCtx {
             inner: Arc::clone(&self.inner),

@@ -356,6 +356,7 @@ impl Runtime for StwRuntime {
             self.inner.heap.dispose();
             self.inner.store.reclaim_retired();
         });
+        let _store_epoch = crate::common::StoreEpochGuard::begin(&self.inner.store);
         let inner = Arc::clone(&self.inner);
         self.inner.pool.run(move |worker| {
             let ctx = StwCtx::new(inner, worker.clone());

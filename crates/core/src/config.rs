@@ -59,6 +59,25 @@ pub struct HhConfig {
     /// offending objects. Defaults to on in debug builds (so every debug `cargo
     /// test` run is checked) and compiles to nothing in release builds.
     pub check_invariants: bool,
+    /// Reclaim retired chunks per run via the epoch watermark (ablation A5 when
+    /// off).
+    ///
+    /// When enabled (the default), every `run` draws a monotone epoch from the
+    /// store's `RunEpochs`, its heap tree is disposed *at run end*, and the
+    /// quarantine is drained up to the min-active-epoch watermark — so one run's
+    /// chunks recycle while other runs are still mid-flight (the quiescence-free
+    /// horizon a server needs; see DESIGN.md §5). When disabled, the v2 global
+    /// horizon is used: completed runs' trees are disposed at the next `run` start
+    /// that observes **no** active run, which under sustained overlapping load
+    /// never happens — the A5 ablation exists to measure exactly that degradation.
+    pub epoch_reclaim: bool,
+    /// Server mode: promote the "no `ObjPtr` crosses runs" rule from documented
+    /// convention to a debug assertion. Every mutable-access entry point checks (in
+    /// debug builds) that the object's chunk belongs to the accessing run — a stale
+    /// pointer into a chunk that was quarantined or recycled to another run panics
+    /// instead of silently resolving through recycled memory. Off by default (the
+    /// check costs one atomic load per access).
+    pub server_mode: bool,
     /// Create child heaps lazily, at steal time (scheduler v2 / ablation A2).
     ///
     /// When enabled (the default), `join` does not create heaps up front: both
@@ -97,6 +116,8 @@ impl Default for HhConfig {
             max_free_words: 64 * 1024 * 1024, // 512 MiB of reusable chunk memory
             batched_promotion: true,
             check_invariants: cfg!(debug_assertions),
+            epoch_reclaim: true,
+            server_mode: false,
             lazy_child_heaps: true,
         }
     }
@@ -112,6 +133,18 @@ impl HhConfig {
         HhConfig {
             n_workers,
             lazy_child_heaps: false,
+            ..Default::default()
+        }
+    }
+
+    /// Configuration with the v2 global reuse horizon (ablation A5, see
+    /// [`HhConfig::epoch_reclaim`]): retired chunks are reclaimed only at a `run`
+    /// start with no other run active. Under overlapping runs recycling degrades to
+    /// nothing — the contrast the `serve` experiment measures.
+    pub fn global_horizon(n_workers: usize) -> Self {
+        HhConfig {
+            n_workers,
+            epoch_reclaim: false,
             ..Default::default()
         }
     }

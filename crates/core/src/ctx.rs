@@ -49,6 +49,11 @@ impl RootFrame {
 pub struct HhCtx {
     inner: Arc<Inner>,
     heap: HeapId,
+    /// Epoch of the run this task belongs to (the heap's run tag; 0 when the run is
+    /// not epoch-tracked). Read by the server-mode cross-run assertion, which only
+    /// exists in debug builds — hence dead in release.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    run_tag: u64,
     worker: Worker,
     /// True if this task's heap was created for it (root / stolen / eager mode), false
     /// if it runs in its parent's heap under the lazy policy.
@@ -81,9 +86,11 @@ fn resolve_fwd(store: &hh_objmodel::ChunkStore, mut p: ObjPtr) -> ObjPtr {
 
 impl HhCtx {
     pub(crate) fn new(inner: Arc<Inner>, heap: HeapId, worker: Worker, owns_heap: bool) -> HhCtx {
+        let run_tag = inner.registry.heap(heap).run_tag();
         HhCtx {
             inner,
             heap,
+            run_tag,
             worker,
             owns_heap,
             frame: RootFrame::new(),
@@ -99,14 +106,43 @@ impl HhCtx {
         heap: HeapId,
         worker: Worker,
     ) -> HhCtx {
+        let run_tag = inner.registry.heap(heap).run_tag();
         HhCtx {
             inner,
             heap,
+            run_tag,
             worker,
             owns_heap: false,
             frame: domain_frame,
             _not_sync: std::marker::PhantomData,
         }
+    }
+
+    /// Server-mode cross-run assertion (debug builds only): the chunk an accessed
+    /// object lives in must belong to this task's run. A stale `ObjPtr` carried
+    /// across runs points into a chunk that is either still quarantined under its
+    /// old run's tag or already recycled to a different run — both read as a foreign
+    /// tag here and panic instead of silently resolving through recycled memory.
+    ///
+    /// The one undetectable case is a chunk recycled back into the *same* run that
+    /// is doing the access (possible only for pointers retired mid-run by a
+    /// collection); those still hit the zeroed-header / generation-tag debug checks
+    /// of the object layer. Chunk-level tags are the strongest check available
+    /// without fattening `ObjPtr` beyond 64 bits.
+    #[inline]
+    fn check_cross_run(&self, obj: ObjPtr) {
+        #[cfg(debug_assertions)]
+        if self.inner.config.server_mode && !obj.is_null() {
+            let tag = self.inner.registry.store().chunk(obj.chunk()).run_tag();
+            assert!(
+                tag == self.run_tag,
+                "cross-run ObjPtr: {obj:?} points into a chunk of run epoch {tag}, \
+                 accessed from run epoch {}",
+                self.run_tag
+            );
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = obj;
     }
 
     /// The heap this task allocates into.
@@ -244,26 +280,33 @@ impl ParCtx for HhCtx {
 
     fn read_imm(&self, obj: ObjPtr, field: usize) -> u64 {
         // readImmutable: single load, never consults the forwarding chain (Figure 6).
+        self.check_cross_run(obj);
         self.inner.registry.store().view(obj).field(field)
     }
 
     fn read_mut(&self, obj: ObjPtr, field: usize) -> u64 {
+        self.check_cross_run(obj);
         self.inner.read_mut_impl(obj, field)
     }
 
     fn write_nonptr(&self, obj: ObjPtr, field: usize, val: u64) {
+        self.check_cross_run(obj);
         self.inner.write_nonptr_impl(obj, field, val);
     }
 
     fn write_ptr(&self, obj: ObjPtr, field: usize, ptr: ObjPtr) {
+        self.check_cross_run(obj);
+        self.check_cross_run(ptr);
         self.inner.write_ptr_impl(self.heap, obj, field, ptr);
     }
 
     fn cas_nonptr(&self, obj: ObjPtr, field: usize, expected: u64, new: u64) -> Result<u64, u64> {
+        self.check_cross_run(obj);
         self.inner.cas_nonptr_impl(obj, field, expected, new)
     }
 
     fn obj_len(&self, obj: ObjPtr) -> usize {
+        self.check_cross_run(obj);
         self.inner.registry.store().view(obj).n_fields()
     }
 
@@ -273,6 +316,7 @@ impl ParCtx for HhCtx {
         if out.is_empty() {
             return;
         }
+        self.check_cross_run(obj);
         self.inner.counters.record_bulk(out.len() as u64);
         let v = self.inner.registry.store().view(obj);
         for (k, slot) in out.iter_mut().enumerate() {
@@ -281,14 +325,17 @@ impl ParCtx for HhCtx {
     }
 
     fn read_mut_bulk(&self, obj: ObjPtr, start: usize, out: &mut [u64]) {
+        self.check_cross_run(obj);
         self.inner.read_mut_bulk_impl(obj, start, out);
     }
 
     fn write_nonptr_bulk(&self, obj: ObjPtr, start: usize, vals: &[u64]) {
+        self.check_cross_run(obj);
         self.inner.write_nonptr_bulk_impl(obj, start, vals);
     }
 
     fn fill_nonptr(&self, obj: ObjPtr, start: usize, len: usize, val: u64) {
+        self.check_cross_run(obj);
         self.inner.fill_nonptr_impl(obj, start, len, val);
     }
 
@@ -300,6 +347,8 @@ impl ParCtx for HhCtx {
         dst_start: usize,
         len: usize,
     ) {
+        self.check_cross_run(src);
+        self.check_cross_run(dst);
         self.inner
             .copy_nonptr_impl(src, src_start, dst, dst_start, len);
     }

@@ -104,6 +104,13 @@ struct GcShared {
     epoch: u64,
     /// Raw heap id per zone slot, for tagging freshly allocated to-space chunks.
     heap_raws: Vec<u32>,
+    /// Run epoch per zone slot (the heap's run tag). To-space chunks inherit it so
+    /// that (a) the server-mode cross-run assertion accepts survivors and (b) when
+    /// the run later disposes, its to-space chunks carry the run's own epoch stamp
+    /// into quarantine instead of a conservative latest-issued stamp — under
+    /// overlapping runs the conservative stamp would park them behind every
+    /// younger run and visibly degrade recycling.
+    heap_tags: Vec<u64>,
     /// One scan-block deque per member slot (owner pushes/pops, others steal).
     deques: Vec<SpanDeque>,
     /// One private state per member slot (locked by its member for the whole
@@ -136,7 +143,11 @@ fn alloc_to(
     let size = header.size_words();
     to.words += size;
     if store.needs_dedicated_chunk(header) {
-        let (chunk, ptr) = store.alloc_dedicated(shared.heap_raws[slot as usize], header);
+        let (chunk, ptr) = store.alloc_dedicated_for_run(
+            shared.heap_raws[slot as usize],
+            header,
+            shared.heap_tags[slot as usize],
+        );
         chunk.set_gc_to_space(shared.epoch, slot);
         to.chunks.push(chunk.id());
         return (ptr, chunk, true);
@@ -154,7 +165,11 @@ fn alloc_to(
             shared.deques[my_slot].push(pack_span(prev.id(), to.scanned, to.filled));
         }
     }
-    let chunk = store.alloc_chunk(shared.heap_raws[slot as usize], size);
+    let chunk = store.alloc_chunk_for_run(
+        shared.heap_raws[slot as usize],
+        size,
+        shared.heap_tags[slot as usize],
+    );
     chunk.set_gc_to_space(shared.epoch, slot);
     to.chunks.push(chunk.id());
     to.current = Some(Arc::clone(&chunk));
@@ -492,23 +507,32 @@ impl Inner {
         // resolves into the zone, so stamp them from-space too — the tag-based
         // membership test then rescues reachable objects stranded there, exactly as
         // v1's `heap_of` resolution did. Assembly-time cost, off the per-object
-        // hot loop.
+        // hot loop. The walk runs *under the quarantine lock* (`with_quarantine`):
+        // epoch reclamation frees quarantined chunks while other runs are
+        // mid-flight, so a snapshot taken outside the lock could stamp a chunk
+        // that a concurrent `reclaim_watermark` has just recycled to another run.
+        // Holding the lock pins quarantine membership for the duration of the
+        // stamping; chunks of *this* zone's run cannot become reclaimable
+        // concurrently anyway (the run is still active, so the watermark is at or
+        // below its epoch).
         {
             let slot_of: std::collections::HashMap<HeapId, u16> = zone
                 .iter()
                 .enumerate()
                 .map(|(i, &h)| (h, i as u16))
                 .collect();
-            for id in store.quarantined_chunks() {
-                let chunk = store.chunk(id);
-                let owner = HeapId::from_raw(chunk.owner());
-                if owner.is_none() || (owner.raw() as usize) >= self.registry.n_heaps() {
-                    continue;
+            store.with_quarantine(|quarantined| {
+                for &(id, _retired_at) in quarantined {
+                    let chunk = store.chunk(id);
+                    let owner = HeapId::from_raw(chunk.owner());
+                    if owner.is_none() || (owner.raw() as usize) >= self.registry.n_heaps() {
+                        continue;
+                    }
+                    if let Some(&slot) = slot_of.get(&self.registry.resolve(owner)) {
+                        chunk.set_gc_from_space(epoch, slot);
+                    }
                 }
-                if let Some(&slot) = slot_of.get(&self.registry.resolve(owner)) {
-                    chunk.set_gc_from_space(epoch, slot);
-                }
-            }
+            });
         }
 
         // --- Run the evacuation on the team. -------------------------------------
@@ -516,6 +540,10 @@ impl Inner {
             store: Arc::clone(&store),
             epoch,
             heap_raws: zone.iter().map(|h| h.raw()).collect(),
+            heap_tags: zone
+                .iter()
+                .map(|&h| self.registry.heap(h).run_tag())
+                .collect(),
             deques: (0..team).map(|_| SpanDeque::new()).collect(),
             slots: (0..team).map(|_| Mutex::new(GcWorker::default())).collect(),
             // Pre-register the triggering member: helper jobs are published (and

@@ -10,10 +10,12 @@ use hh_sched::Pool;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-/// Bookkeeping of active and completed `run` calls: the memory of a completed run's
-/// heap tree is disposed of — and the store's quarantine reclaimed — at the start of
-/// the next run, once no other run is active (the reuse horizon; see
-/// `ChunkStore::reclaim_retired` and DESIGN.md §5).
+/// Bookkeeping of active and completed `run` calls under the **global** reuse
+/// horizon (ablation A5, `HhConfig::epoch_reclaim = false`): the memory of a
+/// completed run's heap tree is disposed of — and the store's quarantine reclaimed —
+/// at the start of the next run, once no other run is active (see
+/// `ChunkStore::reclaim_retired` and DESIGN.md §5). The default epoch mode disposes
+/// at run end instead and never touches this struct.
 #[derive(Default)]
 struct RunEpoch {
     /// Number of `run` calls currently executing.
@@ -50,41 +52,74 @@ pub(crate) struct Inner {
 }
 
 impl Inner {
-    /// Starts a run: disposes of the heap trees of previously completed runs and
-    /// passes the store's reuse horizon if no other run is active, then creates this
-    /// run's root heap.
+    /// Starts a run.
     ///
-    /// Retired chunks stay readable until here so that stale `ObjPtr`s in the
-    /// completed runs' Rust locals kept resolving through forwarding; those locals
-    /// are gone once their run returned, and concurrent runs' trees are disjoint
-    /// (disentanglement), so reclaiming with *no* run active is the sound horizon.
-    /// Consequently an `ObjPtr` must not be carried from one `run` into a later one:
-    /// its chunk may have been recycled for the new run (debug builds catch such
-    /// stale pointers via the zeroed headers and the chunk generation tag).
-    fn begin_run(&self) -> (HeapId, usize) {
-        let mut epoch = self.run_epoch.lock();
-        if epoch.active == 0 {
-            for run in epoch.completed_roots.drain(..) {
+    /// **Epoch mode** (default): the run draws a monotone epoch from the store's
+    /// [`hh_objmodel::RunEpochs`] and its root heap carries that tag, so every chunk
+    /// the run allocates is attributed to it; nothing is disposed here — each run
+    /// cleans up after *itself* at `end_run`.
+    ///
+    /// **Global-horizon mode** (A5): disposes of the heap trees of previously
+    /// completed runs and passes the store's reuse horizon if no other run is
+    /// active. Retired chunks stay readable until here so that stale `ObjPtr`s in
+    /// the completed runs' Rust locals kept resolving through forwarding; those
+    /// locals are gone once their run returned, and concurrent runs' trees are
+    /// disjoint (disentanglement), so reclaiming with *no* run active is the sound
+    /// horizon.
+    ///
+    /// In both modes an `ObjPtr` must not be carried from one `run` into a later
+    /// one: its chunk may have been recycled for the new run (debug builds catch
+    /// such stale pointers via the zeroed headers and the chunk generation tag; in
+    /// server mode the access paths assert the chunk's run tag — see
+    /// `HhConfig::server_mode`).
+    fn begin_run(&self) -> (HeapId, usize, u64) {
+        if self.config.epoch_reclaim {
+            let epoch = self.registry.store().run_epochs().begin();
+            let heaps_before = self.registry.n_heaps();
+            let root = self.registry.new_root_heap_for_run(epoch);
+            self.counters.heaps_created.fetch_add(1, Ordering::Relaxed);
+            return (root, heaps_before, epoch);
+        }
+        let mut state = self.run_epoch.lock();
+        if state.active == 0 {
+            for run in state.completed_roots.drain(..) {
                 self.registry.dispose_subtree_in(run.root, run.heaps);
             }
             self.registry.store().reclaim_retired();
         }
-        epoch.active += 1;
-        drop(epoch);
+        state.active += 1;
+        drop(state);
         // Watermark before creating the root: every heap of this run (the root
         // included) gets an index at or above it.
         let heaps_before = self.registry.n_heaps();
         let root = self.registry.new_root_heap();
         self.counters.heaps_created.fetch_add(1, Ordering::Relaxed);
-        (root, heaps_before)
+        (root, heaps_before, 0)
     }
 
-    /// Ends a run: its heap tree becomes disposable at the next `begin_run` that
-    /// observes no active runs.
-    fn end_run(&self, root: HeapId, heaps_before: usize, heaps_after: usize) {
-        let mut epoch = self.run_epoch.lock();
-        epoch.active -= 1;
-        epoch.completed_roots.push(CompletedRun {
+    /// Ends a run.
+    ///
+    /// **Epoch mode**: the run's own heap tree is disposed immediately (its tasks
+    /// are gone, so no live `ObjPtr` into it remains *inside* the managed world —
+    /// only the caller's Rust locals, which must not cross runs), its epoch retires,
+    /// and the quarantine is drained up to the new watermark — reclaiming this run's
+    /// chunks, and any older conservative stamps it was holding back, while other
+    /// runs keep flying.
+    ///
+    /// **Global-horizon mode** (A5): the tree becomes disposable at the next
+    /// `begin_run` that observes no active runs.
+    fn end_run(&self, root: HeapId, heaps_before: usize, heaps_after: usize, epoch: u64) {
+        if self.config.epoch_reclaim {
+            self.registry
+                .dispose_subtree_in(root, heaps_before..heaps_after);
+            let store = self.registry.store();
+            store.run_epochs().end(epoch);
+            store.reclaim_watermark();
+            return;
+        }
+        let mut state = self.run_epoch.lock();
+        state.active -= 1;
+        state.completed_roots.push(CompletedRun {
             root,
             heaps: heaps_before..heaps_after,
         });
@@ -98,13 +133,14 @@ struct EndRunGuard<'a> {
     inner: &'a Inner,
     root: HeapId,
     heaps_before: usize,
+    epoch: u64,
 }
 
 impl Drop for EndRunGuard<'_> {
     fn drop(&mut self) {
         let heaps_after = self.inner.registry.n_heaps();
         self.inner
-            .end_run(self.root, self.heaps_before, heaps_after);
+            .end_run(self.root, self.heaps_before, heaps_after, self.epoch);
     }
 }
 
@@ -219,11 +255,12 @@ impl Runtime for HhRuntime {
         // the hierarchy in the paper's Figure 2. `begin_run` also disposes of earlier
         // runs' heap trees and recycles their chunks (see `Inner::begin_run`); the
         // guard ends the run even if `f` panics out through `Pool::run`.
-        let (root_heap, heaps_before) = self.inner.begin_run();
+        let (root_heap, heaps_before, epoch) = self.inner.begin_run();
         let _guard = EndRunGuard {
             inner: &self.inner,
             root: root_heap,
             heaps_before,
+            epoch,
         };
         let inner = Arc::clone(&self.inner);
         self.inner.pool.run(move |worker| {

@@ -16,17 +16,18 @@
 //!   sched       scheduler counters (steals, parks, wakes, heaps elided)
 //!   mem         memory lifecycle (peak/live/free words, recycle rates)
 //!   gc          GC v2: pauses, copied words, team/steal counters (DESIGN.md §9)
+//!   serve       hh-server: overlapping runs, epoch vs global-horizon reclamation (A5)
 //!   all         everything above
 //! ```
 
 use hh_harness::experiments::{
     ablation_fastpath, fig10, fig11, fig12, fig13, fig8, fig9, gc_pause_table, mem_lifecycle,
-    promote_micro, promote_workloads, promotion_volume, sched_counters, ExpConfig,
+    promote_micro, promote_workloads, promotion_volume, sched_counters, serve_overlap, ExpConfig,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig8|fig9|fig10|fig11|fig12|fig13|promotion|promote|ablation|sched|mem|gc|all> \
+        "usage: repro <fig8|fig9|fig10|fig11|fig12|fig13|promotion|promote|ablation|sched|mem|gc|serve|all> \
          [--scale S] [--procs P] [--grain G]"
     );
     std::process::exit(2);
@@ -88,6 +89,7 @@ fn main() {
         "sched" => println!("{}", sched_counters(cfg).render()),
         "mem" => println!("{}", mem_lifecycle(cfg).render()),
         "gc" => println!("{}", gc_pause_table(cfg).render()),
+        "serve" => println!("{}", serve_overlap(cfg, 1000).render()),
         _ => usage(),
     };
 
@@ -105,6 +107,7 @@ fn main() {
             "sched",
             "mem",
             "gc",
+            "serve",
         ] {
             run(name);
         }

@@ -716,6 +716,68 @@ pub fn ablation_fastpath(cfg: ExpConfig) -> Table {
     table
 }
 
+// ---------------------------------------------------------------------------
+// hh-server: overlapping runs under epoch vs global-horizon reclamation (A5).
+// ---------------------------------------------------------------------------
+
+/// `repro serve` — the multi-tenant experiment (DESIGN.md §5): `runs` independent
+/// small runs flow from client threads through a bounded queue onto one shared
+/// runtime, so several runs overlap at every instant. One row per reclamation
+/// mode: the default epoch watermark keeps recycling mid-overlap; the A5 global
+/// horizon (reclaim only when *no* run is active) never gets to reclaim under
+/// sustained load, so it mints a fresh chunk per run and its footprint grows with
+/// the request count.
+pub fn serve_overlap(cfg: ExpConfig, runs: usize) -> Table {
+    let mut table = Table::new(
+        "serve — overlapping independent runs, epoch vs global-horizon reclamation (A5)",
+        &[
+            "mode",
+            "runs",
+            "runs/s",
+            "p50 (us)",
+            "p99 (us)",
+            "p999 (us)",
+            "recycle%",
+            "epoch reclaims",
+            "overlap peak",
+            "peak footprint (Kw)",
+        ],
+    );
+    let serve_cfg = hh_server::ServeConfig {
+        runs,
+        clients: 2,
+        executors: cfg.procs.max(2),
+        queue_cap: 64,
+        seed: 0x5eed_0001,
+        scale: 1,
+        sample_every: 8,
+    };
+    let us = |ns: u64| format!("{:.1}", ns as f64 / 1e3);
+    for (mode, config) in [
+        ("epoch", HhConfig::with_workers(cfg.procs)),
+        ("global (A5)", HhConfig::global_horizon(cfg.procs)),
+    ] {
+        let rt = HhRuntime::new(config);
+        let label = if mode == "epoch" { "epoch" } else { "global" };
+        let r = hh_server::serve(&rt, &serve_cfg, label);
+        hh_server::verify_quiescent(&rt)
+            .unwrap_or_else(|e| panic!("serve {mode}: invariant violated: {e}"));
+        table.row(vec![
+            mode.to_string(),
+            r.runs.to_string(),
+            format!("{:.0}", r.throughput_rps),
+            us(r.latency.p50_ns),
+            us(r.latency.p99_ns),
+            us(r.latency.p999_ns),
+            percent(r.recycle_rate()),
+            r.stats.epoch_reclaims.to_string(),
+            r.stats.active_runs_peak.to_string(),
+            format!("{:.1}", r.peak_footprint_words as f64 / 1024.0),
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -833,6 +895,34 @@ mod tests {
         assert!(rendered.contains("union-find"));
         assert!(rendered.contains("(A4)"));
         assert!(rendered.contains("max pause"));
+    }
+
+    #[test]
+    fn serve_overlap_contrasts_epoch_and_global_modes() {
+        let t = serve_overlap(
+            ExpConfig {
+                scale: 0.0005,
+                procs: 2,
+                grain: 256,
+            },
+            24,
+        );
+        assert_eq!(t.n_rows(), 2);
+        let rendered = t.render();
+        assert!(rendered.contains("epoch"));
+        assert!(rendered.contains("global (A5)"));
+        // The A5 row reclaims nothing via the watermark.
+        let global_line = rendered
+            .lines()
+            .find(|l| l.trim_start().starts_with("global"))
+            .unwrap();
+        let toks: Vec<&str> = global_line.split_whitespace().collect();
+        // columns: global (A5) runs runs/s p50 p99 p999 recycle% reclaims peak footprint
+        assert_eq!(
+            toks[toks.len() - 3],
+            "0",
+            "A5 epoch reclaims: {global_line}"
+        );
     }
 
     #[test]

@@ -41,6 +41,10 @@ pub struct HeapStats {
 pub struct Heap {
     id: HeapId,
     parent: HeapId,
+    /// Epoch of the run this heap belongs to (0 = untracked). Fixed at creation;
+    /// children inherit it from their parent. Chunks allocated by this heap carry
+    /// the tag, which becomes their quarantine stamp at retirement.
+    run_tag: u64,
     depth: AtomicU32,
     /// Raw id of the heap this one has been merged into, or `HeapId::NONE.raw()` while live.
     merged_into: AtomicU32,
@@ -54,10 +58,16 @@ pub struct Heap {
 }
 
 impl Heap {
+    #[cfg(test)]
     pub(crate) fn new(id: HeapId, parent: HeapId, depth: u32) -> Heap {
+        Self::new_tagged(id, parent, depth, 0)
+    }
+
+    pub(crate) fn new_tagged(id: HeapId, parent: HeapId, depth: u32, run_tag: u64) -> Heap {
         Heap {
             id,
             parent,
+            run_tag,
             depth: AtomicU32::new(depth),
             merged_into: AtomicU32::new(HeapId::NONE.raw()),
             lock: HeapRwLock::new(),
@@ -79,6 +89,12 @@ impl Heap {
     #[inline]
     pub fn parent(&self) -> HeapId {
         self.parent
+    }
+
+    /// Epoch of the run this heap belongs to (0 = not epoch-tracked).
+    #[inline]
+    pub fn run_tag(&self) -> u64 {
+        self.run_tag
     }
 
     /// Depth in the hierarchy: the root is at depth 0.
@@ -126,7 +142,7 @@ impl Heap {
         let size = header.size_words();
         let mut st = self.alloc.lock();
         if store.needs_dedicated_chunk(header) {
-            let (chunk, ptr) = store.alloc_dedicated(self.id.raw(), header);
+            let (chunk, ptr) = store.alloc_dedicated_for_run(self.id.raw(), header, self.run_tag);
             st.chunks.push(chunk.id());
             self.allocated_words.fetch_add(size, Ordering::Relaxed);
             return ptr;
@@ -139,7 +155,7 @@ impl Heap {
             }
         }
         // Current chunk absent or full: get a new one big enough for this object.
-        let chunk = store.alloc_chunk(self.id.raw(), size);
+        let chunk = store.alloc_chunk_for_run(self.id.raw(), size, self.run_tag);
         let ptr = store
             .alloc_in_chunk(&chunk, header)
             .expect("fresh chunk cannot be too small for the object it was sized for");
@@ -289,7 +305,9 @@ impl BatchAlloc<'_> {
         self.words += size;
         if self.store.needs_dedicated_chunk(header) {
             // Dedicated chunks never displace the bump chunk.
-            let (chunk, ptr) = self.store.alloc_dedicated(self.heap.id.raw(), header);
+            let (chunk, ptr) =
+                self.store
+                    .alloc_dedicated_for_run(self.heap.id.raw(), header, self.heap.run_tag);
             self.state.chunks.push(chunk.id());
             self.dedicated = Some(chunk);
             return (ptr, self.dedicated.as_ref().expect("just set"));
@@ -304,7 +322,9 @@ impl BatchAlloc<'_> {
                 return (ptr, self.current.as_ref().expect("checked above"));
             }
         }
-        let chunk = self.store.alloc_chunk(self.heap.id.raw(), size);
+        let chunk = self
+            .store
+            .alloc_chunk_for_run(self.heap.id.raw(), size, self.heap.run_tag);
         let res = if for_copy {
             self.store.alloc_in_chunk_for_copy(&chunk, header)
         } else {

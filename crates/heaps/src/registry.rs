@@ -39,26 +39,35 @@ impl HeapRegistry {
         self.heaps.len()
     }
 
-    fn create(&self, parent: HeapId, depth: u32) -> HeapId {
+    fn create(&self, parent: HeapId, depth: u32, run_tag: u64) -> HeapId {
         // Atomic id reservation: the AppendVec's fetch-and-add assigns the index and
         // the heap is constructed *with* that index, so id == table slot holds by
         // construction, without a creation lock.
-        let idx = self
-            .heaps
-            .push_with(|idx| Arc::new(Heap::new(HeapId(idx as u32), parent, depth)));
+        let idx = self.heaps.push_with(|idx| {
+            Arc::new(Heap::new_tagged(HeapId(idx as u32), parent, depth, run_tag))
+        });
         HeapId(idx as u32)
     }
 
-    /// Creates a root heap (depth 0, no parent).
+    /// Creates a root heap (depth 0, no parent), not attributed to any run epoch.
     pub fn new_root_heap(&self) -> HeapId {
-        self.create(HeapId::NONE, 0)
+        self.create(HeapId::NONE, 0, 0)
     }
 
-    /// `newChildHeap`: creates a heap one level below `parent`.
+    /// Creates a root heap attributed to the run holding epoch `run_tag` (drawn from
+    /// the store's [`hh_objmodel::RunEpochs`]): every chunk the run's heap tree
+    /// allocates carries the tag, so disposal stamps the quarantine with the run's
+    /// own epoch and the watermark can reclaim it without global quiescence.
+    pub fn new_root_heap_for_run(&self, run_tag: u64) -> HeapId {
+        self.create(HeapId::NONE, 0, run_tag)
+    }
+
+    /// `newChildHeap`: creates a heap one level below `parent`, inheriting the
+    /// parent's run tag (a run's whole heap tree shares one epoch).
     pub fn new_child_heap(&self, parent: HeapId) -> HeapId {
         let parent_heap = self.heap(parent);
         debug_assert!(parent_heap.is_live(), "forking a child under a merged heap");
-        self.create(parent, parent_heap.depth() + 1)
+        self.create(parent, parent_heap.depth() + 1, parent_heap.run_tag())
     }
 
     /// Looks up a heap by id.

@@ -70,6 +70,10 @@ pub struct Chunk {
     /// `forward` step of a collection. Never cleared — a stale epoch decodes as
     /// [`ChunkGcState::Outside`].
     gc_tag: AtomicU64,
+    /// Run epoch of the run this chunk is currently allocated on behalf of, or 0
+    /// when the chunk is not attributed to an epoch-tracked run. Set at activation,
+    /// read at retirement (the quarantine stamp) and by the cross-run debug check.
+    run_tag: AtomicU64,
     words: Box<[AtomicU64]>,
 }
 
@@ -85,6 +89,7 @@ impl Chunk {
             generation: AtomicU32::new(0),
             free_next: AtomicU32::new(u32::MAX),
             gc_tag: AtomicU64::new(0),
+            run_tag: AtomicU64::new(0),
             words: words.into_boxed_slice(),
         }
     }
@@ -160,6 +165,23 @@ impl Chunk {
         self.generation.load(Ordering::Acquire)
     }
 
+    /// Run epoch this chunk is currently attributed to (0 = untracked). See
+    /// [`Chunk::set_run_tag`].
+    #[inline]
+    pub fn run_tag(&self) -> u64 {
+        self.run_tag.load(Ordering::Acquire)
+    }
+
+    /// Attributes the chunk to the run that holds `epoch`. The store sets this at
+    /// activation (mint / reuse) from the allocating heap's run tag; retirement
+    /// reads it back as the quarantine stamp, so a chunk becomes reusable exactly
+    /// when its owning run — the only run whose tasks may hold `ObjPtr`s into it —
+    /// has disposed.
+    #[inline]
+    pub fn set_run_tag(&self, epoch: u64) {
+        self.run_tag.store(epoch, Ordering::Release);
+    }
+
     /// Stamps this chunk as **from-space** of the collection `epoch`, belonging to
     /// the zone heap at `slot`. Called during zone assembly, before any collector
     /// worker starts evacuating (the `Release` store pairs with the `Acquire` load
@@ -228,8 +250,10 @@ impl Chunk {
             self.words[i].store(0, Ordering::Relaxed);
         }
         // Hygiene only: a stale tag would decode as Outside anyway (epochs are
-        // never reissued), but a recycled chunk starts with a clean slate.
+        // never reissued), but a recycled chunk starts with a clean slate. The run
+        // tag is cleared too — the store re-stamps it for the new owner's run.
         self.gc_tag.store(0, Ordering::Relaxed);
+        self.run_tag.store(0, Ordering::Relaxed);
         self.generation.fetch_add(1, Ordering::AcqRel);
         self.owner.store(new_owner, Ordering::Release);
         self.retired.store(false, Ordering::Release);

@@ -33,6 +33,7 @@
 
 pub mod appendvec;
 pub mod chunk;
+pub mod epoch;
 pub mod header;
 pub mod objptr;
 pub mod store;
@@ -40,6 +41,7 @@ pub mod view;
 
 pub use appendvec::AppendVec;
 pub use chunk::{Chunk, ChunkGcState, ChunkId, GC_MAX_ZONE_SLOTS, RAW_HEAP_NONE};
+pub use epoch::RunEpochs;
 pub use header::{Header, ObjKind};
 pub use objptr::ObjPtr;
 pub use store::{ChunkStore, StoreStats};

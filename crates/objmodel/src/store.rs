@@ -22,9 +22,10 @@
 //!   forwarding pointers the evacuation installed (the stack-map substitution,
 //!   DESIGN.md §2) — so a retired chunk must not be reused while any task of the run
 //!   that produced those pointers is still alive.
-//! * **free**: past the reuse horizon ([`ChunkStore::reclaim_retired`], called by
-//!   runtimes between runs), parked on a size-classed lock-free free list and counted
-//!   in `free_words`.
+//! * **free**: past the reuse horizon — per run via the epoch watermark
+//!   ([`ChunkStore::reclaim_watermark`], called at every run dispose) or globally at
+//!   quiescence ([`ChunkStore::reclaim_retired`]) — parked on a size-classed
+//!   lock-free free list and counted in `free_words`.
 //! * **released**: the free pool exceeded [`ChunkStore::set_max_free_words`]; the chunk is
 //!   dropped from all accounting, modelling a buffer returned to the OS. (The backing
 //!   allocation itself stays in the table because `ObjPtr` resolution requires the
@@ -45,6 +46,7 @@
 
 use crate::appendvec::AppendVec;
 use crate::chunk::{Chunk, ChunkId};
+use crate::epoch::RunEpochs;
 use crate::header::Header;
 use crate::objptr::ObjPtr;
 use crate::view::ObjView;
@@ -93,6 +95,17 @@ pub struct StoreStats {
     pub chunks_free: usize,
     /// Default-sized chunk requests served directly from a per-thread cache.
     pub alloc_cache_hits: usize,
+    /// Chunks whose quarantine exit (to the free lists or release) was driven by the
+    /// epoch watermark ([`ChunkStore::reclaim_watermark`]) rather than by global
+    /// quiescence.
+    pub epoch_reclaims: usize,
+    /// Runs currently registered as active with the store's [`RunEpochs`].
+    pub active_runs: usize,
+    /// Highest number of simultaneously active runs ever observed.
+    pub active_runs_peak: usize,
+    /// Words currently held by quarantined chunks — the watermark lag: memory
+    /// retired but not yet past its run's reuse horizon.
+    pub quarantined_words: usize,
 }
 
 /// A lock-free Treiber stack of chunk ids, linked through [`Chunk::free_next`].
@@ -168,8 +181,13 @@ pub struct ChunkStore {
     default_chunk_words: usize,
     /// Size-classed free lists of reusable chunks.
     free: [FreeStack; N_CLASSES],
-    /// Chunks retired by collections, awaiting the reuse horizon.
-    quarantine: parking_lot::Mutex<Vec<ChunkId>>,
+    /// Chunks retired by collections, awaiting their reuse horizon. Each record
+    /// carries `retired_at`: the epoch of the run the chunk was retired on behalf of
+    /// (or, for untagged chunks, the latest epoch issued at retirement). The chunk
+    /// becomes reusable once the min-active-epoch watermark passes that stamp.
+    quarantine: parking_lot::Mutex<Vec<(ChunkId, u64)>>,
+    /// Run-epoch registry: the per-run reuse horizons (see [`RunEpochs`]).
+    run_epochs: RunEpochs,
     /// Per-thread stashes of default-class chunks (see module docs).
     shards: Box<[CacheShard]>,
     /// Cap on `free_words`: reclaimed chunks beyond it are released instead of reused.
@@ -191,6 +209,8 @@ pub struct ChunkStore {
     chunks_quarantined: AtomicUsize,
     chunks_free: AtomicUsize,
     alloc_cache_hits: AtomicUsize,
+    epoch_reclaims: AtomicUsize,
+    quarantined_words: AtomicUsize,
 }
 
 impl ChunkStore {
@@ -207,6 +227,7 @@ impl ChunkStore {
             default_chunk_words,
             free: std::array::from_fn(|_| FreeStack::new()),
             quarantine: parking_lot::Mutex::new(Vec::new()),
+            run_epochs: RunEpochs::new(),
             shards: (0..N_SHARDS).map(|_| CacheShard::default()).collect(),
             max_free_words: AtomicUsize::new(usize::MAX),
             gc_epochs: AtomicU64::new(0),
@@ -221,7 +242,17 @@ impl ChunkStore {
             chunks_quarantined: AtomicUsize::new(0),
             chunks_free: AtomicUsize::new(0),
             alloc_cache_hits: AtomicUsize::new(0),
+            epoch_reclaims: AtomicUsize::new(0),
+            quarantined_words: AtomicUsize::new(0),
         }
+    }
+
+    /// The store's run-epoch registry. Runtimes register every run here
+    /// ([`RunEpochs::begin`] / [`RunEpochs::end`]) so retired chunks can be
+    /// reclaimed per run by [`ChunkStore::reclaim_watermark`] instead of waiting
+    /// for global quiescence.
+    pub fn run_epochs(&self) -> &RunEpochs {
+        &self.run_epochs
     }
 
     /// Creates a store with the default chunk size.
@@ -279,12 +310,14 @@ impl ChunkStore {
         &self.shards[slot % N_SHARDS]
     }
 
-    /// Mints a brand-new chunk (id == table index) in the **active** state.
-    fn mint_active(&self, owner: u32, n_words: usize) -> Arc<Chunk> {
+    /// Mints a brand-new chunk (id == table index) in the **active** state,
+    /// attributed to the run holding `run_tag` (0 = untracked).
+    fn mint_active(&self, owner: u32, n_words: usize, run_tag: u64) -> Arc<Chunk> {
         let chunk = {
             let _guard = self.alloc_lock.lock();
             self.mint_locked(owner, n_words)
         };
+        chunk.set_run_tag(run_tag);
         self.total_words.fetch_add(n_words, Ordering::Relaxed);
         self.chunks_active.fetch_add(1, Ordering::Relaxed);
         self.note_live(n_words);
@@ -307,7 +340,7 @@ impl ChunkStore {
 
     /// Moves a free chunk into the active state for `owner`, recycling (resetting and
     /// re-tagging) it if it has been used before.
-    fn activate_free(&self, id: ChunkId, owner: u32) -> Arc<Chunk> {
+    fn activate_free(&self, id: ChunkId, owner: u32, run_tag: u64) -> Arc<Chunk> {
         let chunk = Arc::clone(self.chunk(id));
         if chunk.is_retired() {
             chunk.recycle(owner);
@@ -316,6 +349,7 @@ impl ChunkStore {
             // Fresh chunk parked by a batched mint: never used, just take ownership.
             chunk.set_owner(owner);
         }
+        chunk.set_run_tag(run_tag);
         let cap = chunk.capacity();
         self.free_words.fetch_sub(cap, Ordering::Relaxed);
         self.chunks_free.fetch_sub(1, Ordering::Relaxed);
@@ -326,14 +360,22 @@ impl ChunkStore {
 
     /// Allocates a chunk owned by raw heap `owner`, large enough for at least
     /// `min_words` words: from the calling thread's cache, then the free lists, then
-    /// freshly minted.
+    /// freshly minted. The chunk carries no run attribution (`run_tag` 0); heaps of
+    /// epoch-tracked runs use [`ChunkStore::alloc_chunk_for_run`] instead.
     pub fn alloc_chunk(&self, owner: u32, min_words: usize) -> Arc<Chunk> {
+        self.alloc_chunk_for_run(owner, min_words, 0)
+    }
+
+    /// As [`ChunkStore::alloc_chunk`], but attributes the chunk to the run holding
+    /// epoch `run_tag`: retirement stamps the quarantine record with that epoch, so
+    /// the chunk is reclaimed as soon as that run (and every older one) disposes.
+    pub fn alloc_chunk_for_run(&self, owner: u32, min_words: usize, run_tag: u64) -> Arc<Chunk> {
         if min_words <= self.default_chunk_words {
             // Common case: a default-class chunk via the per-thread cache.
             let shard = self.shard();
             if let Some(id) = shard.ids.lock().pop() {
                 self.alloc_cache_hits.fetch_add(1, Ordering::Relaxed);
-                return self.activate_free(id, owner);
+                return self.activate_free(id, owner, run_tag);
             }
             // Refill: batch-pop recycled chunks, else batch-mint fresh ones.
             let mut batch: Vec<ChunkId> = Vec::with_capacity(REFILL_BATCH);
@@ -370,7 +412,7 @@ impl ChunkStore {
             if !batch.is_empty() {
                 shard.ids.lock().append(&mut batch);
             }
-            return self.activate_free(take, owner);
+            return self.activate_free(take, owner, run_tag);
         }
 
         // Oversized request: search the free classes before minting a dedicated
@@ -384,14 +426,14 @@ impl ChunkStore {
         for k in class..(class + 2).min(N_CLASSES) {
             if let Some(id) = self.free[k].pop(&self.chunks) {
                 if self.chunk(id).capacity() >= min_words {
-                    return self.activate_free(id, owner);
+                    return self.activate_free(id, owner, run_tag);
                 }
                 // Top-class chunks are open-ended; a too-small one goes back.
                 self.free[k].push(&self.chunks, id);
             }
         }
         let rounded = (self.default_chunk_words << class).max(min_words);
-        self.mint_active(owner, rounded)
+        self.mint_active(owner, rounded, run_tag)
     }
 
     /// True if an object with `header` needs a dedicated chunk (it does not fit a
@@ -408,7 +450,18 @@ impl ChunkStore {
     /// `Heap::alloc_obj`, `FlatHeap::alloc`, and both collectors' to-space
     /// allocators).
     pub fn alloc_dedicated(&self, owner: u32, header: Header) -> (Arc<Chunk>, ObjPtr) {
-        let chunk = self.alloc_chunk(owner, header.size_words());
+        self.alloc_dedicated_for_run(owner, header, 0)
+    }
+
+    /// As [`ChunkStore::alloc_dedicated`], attributed to the run holding `run_tag`
+    /// (see [`ChunkStore::alloc_chunk_for_run`]).
+    pub fn alloc_dedicated_for_run(
+        &self,
+        owner: u32,
+        header: Header,
+        run_tag: u64,
+    ) -> (Arc<Chunk>, ObjPtr) {
+        let chunk = self.alloc_chunk_for_run(owner, header.size_words(), run_tag);
         let ptr = self
             .alloc_in_chunk(&chunk, header)
             .expect("dedicated chunk too small for the object it was sized for");
@@ -434,32 +487,118 @@ impl ChunkStore {
         self.gc_epochs.fetch_add(1, Ordering::Relaxed) + 1
     }
 
-    /// Snapshot of the chunks currently quarantined (retired but not yet past the
-    /// reuse horizon). Collections use this at zone assembly to stamp retired chunks
-    /// whose owner resolves into the zone, so reachable objects stranded there by an
-    /// earlier collection are still rescued by the tag-based membership test.
+    /// Snapshot of the chunks currently quarantined (retired but not yet past their
+    /// reuse horizon). For inspection and tests; collections must use
+    /// [`ChunkStore::with_quarantine`] instead, which holds the quarantine closed
+    /// while they stamp membership.
     pub fn quarantined_chunks(&self) -> Vec<ChunkId> {
-        self.quarantine.lock().clone()
+        self.quarantine.lock().iter().map(|&(id, _)| id).collect()
     }
 
-    /// Retires a chunk after its live contents were evacuated: memory accounting drops
-    /// its words and the chunk enters the quarantine, from which
-    /// [`ChunkStore::reclaim_retired`] later moves it to the free lists.
+    /// Runs `f` over the current quarantine records `(chunk, retired_at)` **with the
+    /// quarantine locked**: no chunk can be reclaimed (and recycled to a new owner)
+    /// between being observed by `f` and `f` acting on it. Collections use this at
+    /// zone assembly to stamp retired chunks whose owner resolves into the zone —
+    /// with quiescence-free reclaim, a plain snapshot could see a chunk that the
+    /// watermark hands to a new heap before the collection stamps it from-space,
+    /// which would retire live data. Keep `f` short; it blocks retirement and
+    /// reclamation.
+    pub fn with_quarantine<R>(&self, f: impl FnOnce(&[(ChunkId, u64)]) -> R) -> R {
+        f(&self.quarantine.lock())
+    }
+
+    /// Retires a chunk after its live contents were evacuated: memory accounting
+    /// drops its words and the chunk enters the quarantine, stamped with its reuse
+    /// horizon — the owning run's epoch (the chunk's run tag) when it has one, else
+    /// the latest epoch issued (conservative: every run alive now must dispose
+    /// first). [`ChunkStore::reclaim_watermark`] or [`ChunkStore::reclaim_retired`]
+    /// later move it to the free lists.
     pub fn retire_chunk(&self, id: ChunkId) {
         let chunk = self.chunk(id);
         if chunk.try_retire() {
+            let run_tag = chunk.run_tag();
+            let retired_at = if run_tag != 0 {
+                run_tag
+            } else {
+                self.run_epochs.stamp()
+            };
             self.live_words
                 .fetch_sub(chunk.capacity(), Ordering::Relaxed);
+            self.quarantined_words
+                .fetch_add(chunk.capacity(), Ordering::Relaxed);
             self.chunks_retired.fetch_add(1, Ordering::Relaxed);
             self.chunks_active.fetch_sub(1, Ordering::Relaxed);
             self.chunks_quarantined.fetch_add(1, Ordering::Relaxed);
-            self.quarantine.lock().push(id);
+            self.quarantine.lock().push((id, retired_at));
         }
+    }
+
+    /// Moves one reclaimed chunk out of quarantine accounting and onto its free list,
+    /// or releases it when the free pool is over `cap_limit`. Returns `true` if the
+    /// chunk was parked for reuse.
+    fn park_or_release(&self, id: ChunkId, cap_limit: usize) -> bool {
+        let chunk = self.chunk(id);
+        debug_assert!(chunk.is_retired(), "quarantine holds a non-retired chunk");
+        let cap = chunk.capacity();
+        self.chunks_quarantined.fetch_sub(1, Ordering::Relaxed);
+        self.quarantined_words.fetch_sub(cap, Ordering::Relaxed);
+        if self.free_words.load(Ordering::Relaxed) + cap <= cap_limit {
+            self.free_words.fetch_add(cap, Ordering::Relaxed);
+            self.chunks_free.fetch_add(1, Ordering::Relaxed);
+            self.free[self.class_of(cap)].push(&self.chunks, id);
+            true
+        } else {
+            // Over the cap: model returning the buffer to the OS. The chunk stays
+            // in the table (ObjPtr resolution needs id stability) but leaves all
+            // accounting for good.
+            self.chunks_released.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Moves every quarantined chunk whose reuse horizon has passed — its
+    /// `retired_at` stamp is strictly below the min-active-epoch watermark — to the
+    /// free lists (or releases it over the free-pool cap). Returns the number of
+    /// chunks made reusable.
+    ///
+    /// This is the quiescence-free reclaim: runtimes call it at every run dispose,
+    /// so one run's chunks recycle while other runs are still mid-flight. Soundness:
+    /// only tasks of the run a chunk was retired for can hold stale [`ObjPtr`]s into
+    /// it (pointers must not cross runs — DESIGN.md §5), and `retired_at` is that
+    /// run's epoch, so `retired_at < min_active` means every such task is gone.
+    pub fn reclaim_watermark(&self) -> usize {
+        let min_active = self.run_epochs.min_active();
+        let cap_limit = self.max_free_words.load(Ordering::Relaxed);
+        let eligible: Vec<ChunkId> = {
+            let mut q = self.quarantine.lock();
+            let mut keep = Vec::with_capacity(q.len());
+            let mut take = Vec::new();
+            for (id, retired_at) in q.drain(..) {
+                if retired_at < min_active {
+                    take.push(id);
+                } else {
+                    keep.push((id, retired_at));
+                }
+            }
+            *q = keep;
+            take
+        };
+        let mut freed = 0;
+        for id in eligible {
+            if self.park_or_release(id, cap_limit) {
+                freed += 1;
+            }
+            self.epoch_reclaims.fetch_add(1, Ordering::Relaxed);
+        }
+        freed
     }
 
     /// Moves every quarantined chunk to the free lists (or releases it once the free
     /// pool exceeds [`ChunkStore::set_max_free_words`]), making the memory retired by
-    /// past collections available for reuse.
+    /// past collections available for reuse. This is the **global** horizon — the
+    /// degenerate single-run case of [`ChunkStore::reclaim_watermark`] and ablation
+    /// A5; it additionally flushes the per-thread allocation caches, which only a
+    /// quiescent point may do.
     ///
     /// # Reuse horizon
     ///
@@ -489,23 +628,11 @@ impl ChunkStore {
         }
         // The quarantine is drained *after* the stashes, so freshly retired chunks
         // sit on top of the LIFO free stacks and are the first ones reused.
-        let drained: Vec<ChunkId> = std::mem::take(&mut *self.quarantine.lock());
+        let drained: Vec<(ChunkId, u64)> = std::mem::take(&mut *self.quarantine.lock());
         let mut freed = 0;
-        for id in drained {
-            let chunk = self.chunk(id);
-            debug_assert!(chunk.is_retired(), "quarantine holds a non-retired chunk");
-            let cap = chunk.capacity();
-            self.chunks_quarantined.fetch_sub(1, Ordering::Relaxed);
-            if self.free_words.load(Ordering::Relaxed) + cap <= cap_limit {
-                self.free_words.fetch_add(cap, Ordering::Relaxed);
-                self.chunks_free.fetch_add(1, Ordering::Relaxed);
-                self.free[self.class_of(cap)].push(&self.chunks, id);
+        for (id, _retired_at) in drained {
+            if self.park_or_release(id, cap_limit) {
                 freed += 1;
-            } else {
-                // Over the cap: model returning the buffer to the OS. The chunk stays
-                // in the table (ObjPtr resolution needs id stability) but leaves all
-                // accounting for good.
-                self.chunks_released.fetch_add(1, Ordering::Relaxed);
             }
         }
         freed
@@ -594,6 +721,10 @@ impl ChunkStore {
             chunks_quarantined: self.chunks_quarantined.load(Ordering::Relaxed),
             chunks_free: self.chunks_free.load(Ordering::Relaxed),
             alloc_cache_hits: self.alloc_cache_hits.load(Ordering::Relaxed),
+            epoch_reclaims: self.epoch_reclaims.load(Ordering::Relaxed),
+            active_runs: self.run_epochs.active_runs(),
+            active_runs_peak: self.run_epochs.active_runs_peak(),
+            quarantined_words: self.quarantined_words.load(Ordering::Relaxed),
         }
     }
 }
@@ -806,38 +937,87 @@ mod tests {
         assert_eq!(again.owner(), 3);
     }
 
-    /// chunks_created == active + quarantined + free + released at every quiescent
-    /// point of a randomized alloc/retire/reclaim interleaving.
+    /// chunks_created == active + quarantined + free + released at **every** point of
+    /// a randomized interleaving — including mid-overlap, while several run epochs
+    /// are active and the watermark reclaims some runs' chunks but not others'.
     #[test]
     fn prop_lifecycle_conservation() {
         let mut state = 0xFEED_FACE_0123_4567u64;
+        // Discard the LCG's low bits: modulo-8 arm selection on the raw state would
+        // cycle with period 8 and starve arms.
         let mut next = move || {
             state = state
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
-            state
+            state >> 11
         };
         let store = ChunkStore::new(64);
         store.set_max_free_words(64 * 8);
-        let mut owned: Vec<ChunkId> = Vec::new();
-        for step in 0..400 {
-            match next() % 5 {
+        let mut owned: Vec<(ChunkId, u64)> = Vec::new();
+        // Simulated overlapping runs: epochs currently active.
+        let mut runs: Vec<u64> = Vec::new();
+        for step in 0..600 {
+            match next() % 8 {
                 0 | 1 => {
                     let min = if next() % 4 == 0 {
                         64 + (next() % 512) as usize
                     } else {
                         0
                     };
-                    owned.push(store.alloc_chunk((next() % 7) as u32, min).id());
+                    // Allocate on behalf of a random active run (or untracked).
+                    let tag = if runs.is_empty() || next() % 4 == 0 {
+                        0
+                    } else {
+                        runs[(next() as usize) % runs.len()]
+                    };
+                    owned.push((
+                        store
+                            .alloc_chunk_for_run((next() % 7) as u32, min, tag)
+                            .id(),
+                        tag,
+                    ));
                 }
                 2 | 3 => {
                     if !owned.is_empty() {
                         let i = (next() as usize) % owned.len();
-                        store.retire_chunk(owned.swap_remove(i));
+                        store.retire_chunk(owned.swap_remove(i).0);
                     }
                 }
+                4 => {
+                    if runs.len() < 4 {
+                        runs.push(store.run_epochs().begin());
+                    }
+                }
+                5 => {
+                    if !runs.is_empty() {
+                        let i = (next() as usize) % runs.len();
+                        let epoch = runs.swap_remove(i);
+                        // Dispose: retire the run's remaining chunks, end its epoch,
+                        // then advance the watermark — the runtime lifecycle.
+                        let mut remaining = Vec::new();
+                        owned.retain(|&(id, tag)| {
+                            if tag == epoch {
+                                remaining.push(id);
+                                false
+                            } else {
+                                true
+                            }
+                        });
+                        for id in remaining {
+                            store.retire_chunk(id);
+                        }
+                        store.run_epochs().end(epoch);
+                        store.reclaim_watermark();
+                    }
+                }
+                6 => {
+                    store.reclaim_watermark();
+                }
                 _ => {
-                    store.reclaim_retired();
+                    if runs.is_empty() {
+                        // Global quiescence only: the full-horizon reclaim.
+                        store.reclaim_retired();
+                    }
                 }
             }
             let s = store.stats();
@@ -853,6 +1033,67 @@ mod tests {
             store.stats().chunks_released > 0,
             "release cap must trigger"
         );
+        assert!(
+            store.stats().epoch_reclaims > 0,
+            "watermark reclaim must trigger mid-overlap"
+        );
+    }
+
+    /// The watermark frees exactly the chunks whose owning run (and every older run)
+    /// has disposed, while younger runs keep theirs quarantined — and never frees a
+    /// chunk whose run is still active.
+    #[test]
+    fn watermark_reclaims_per_run_without_quiescence() {
+        let store = ChunkStore::new(128);
+        let held = drain_cache(&store); // empty the cache so nothing hides there
+        for c in held {
+            store.retire_chunk(c.id());
+        }
+        store.reclaim_retired();
+
+        let a = store.run_epochs().begin();
+        let b = store.run_epochs().begin();
+        let ca = store.alloc_chunk_for_run(1, 0, a);
+        let cb = store.alloc_chunk_for_run(2, 0, b);
+        assert_eq!(ca.run_tag(), a);
+
+        // A disposes while B is still mid-flight.
+        store.retire_chunk(ca.id());
+        store.run_epochs().end(a);
+        assert_eq!(store.reclaim_watermark(), 1, "A's chunk passes its horizon");
+        let s = store.stats();
+        assert_eq!(s.epoch_reclaims, 1);
+        assert_eq!(s.active_runs, 1, "B still active");
+
+        // B's chunk retired mid-flight (as a collection would): its stamp is B's
+        // epoch, and B is still active, so the watermark must hold it back.
+        store.retire_chunk(cb.id());
+        assert_eq!(store.reclaim_watermark(), 0, "B's horizon not reached");
+        assert_eq!(store.stats().chunks_quarantined, 1);
+
+        store.run_epochs().end(b);
+        assert_eq!(store.reclaim_watermark(), 1);
+        let s = store.stats();
+        assert_eq!(s.chunks_quarantined, 0);
+        assert_eq!(s.quarantined_words, 0);
+        assert_eq!(s.active_runs_peak, 2);
+    }
+
+    /// An untagged retiree is stamped conservatively: it waits for every run alive
+    /// at retirement, but not for runs that begin afterwards.
+    #[test]
+    fn untagged_retiree_waits_for_runs_alive_at_retirement() {
+        let store = ChunkStore::new(128);
+        let held = drain_cache(&store);
+        let witness = held[0].id();
+        let old = store.run_epochs().begin();
+        store.retire_chunk(witness); // run_tag 0 → stamped with `old`'s epoch
+        assert_eq!(store.reclaim_watermark(), 0, "old run still active");
+        // A run that begins after the retirement does not hold it back.
+        let young = store.run_epochs().begin();
+        store.run_epochs().end(old);
+        assert_eq!(store.reclaim_watermark(), 1);
+        store.run_epochs().end(young);
     }
 
     /// Recycling never resurrects stale `ObjPtr`s: after a chunk is reused, pointers

@@ -1,0 +1,152 @@
+//! `serve` — drive overlapping independent runs against one shared runtime and
+//! report throughput, latency percentiles, and memory-reclamation behavior.
+//!
+//! ```text
+//! serve [--runs N] [--clients C] [--executors E] [--workers W] [--queue-cap Q]
+//!       [--seed S] [--scale K] [--mode epoch|global|both]
+//!       [--runtime parmem|seq|stw|dlg] [--json PATH]
+//! ```
+//!
+//! `--mode both` (the default for parmem) runs the epoch-reclamation runtime and
+//! the A5 global-horizon ablation back to back under the identical load, printing
+//! the contrast the tentpole claims: epoch mode keeps recycling under perpetual
+//! overlap, the global horizon does not. `--json PATH` appends one JSON object
+//! per mode (machine-readable, for CI artifacts).
+
+use hh_baselines::{DlgRuntime, SeqRuntime, StwRuntime};
+use hh_runtime::{HhConfig, HhRuntime};
+use hh_server::{serve, verify_quiescent, ServeConfig, ServeReport};
+use std::io::Write;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve [--runs N] [--clients C] [--executors E] [--workers W] \
+         [--queue-cap Q] [--seed S] [--scale K] [--mode epoch|global|both] \
+         [--runtime parmem|seq|stw|dlg] [--json PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn print_report(r: &ServeReport) {
+    let us = |ns: u64| ns as f64 / 1e3;
+    println!(
+        "{:<8} {:<8} {:>6} runs  {:>9.1} runs/s  p50 {:>8.1}us  p99 {:>8.1}us  \
+         p999 {:>8.1}us  max {:>8.1}us",
+        r.runtime,
+        r.mode,
+        r.runs,
+        r.throughput_rps,
+        us(r.latency.p50_ns),
+        us(r.latency.p99_ns),
+        us(r.latency.p999_ns),
+        us(r.latency.max_ns),
+    );
+    println!(
+        "{:<17} recycle {:>5.1}%  created {:>6}  recycled {:>8}  epoch-reclaims {:>8}  \
+         overlap-peak {:>3}  quarantine {:>9} w  peak-footprint {:>10} w",
+        "",
+        100.0 * r.recycle_rate(),
+        r.stats.chunks_created,
+        r.stats.chunks_recycled,
+        r.stats.epoch_reclaims,
+        r.stats.active_runs_peak,
+        r.stats.quarantine_lag_words,
+        r.peak_footprint_words,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ServeConfig::default();
+    let mut workers = 2usize;
+    let mut mode = String::from("both");
+    let mut runtime = String::from("parmem");
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let val = |i: usize| args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        let num = |i: usize| val(i).parse::<usize>().unwrap_or_else(|_| usage());
+        match args[i].as_str() {
+            "--runs" => cfg.runs = num(i),
+            "--clients" => cfg.clients = num(i),
+            "--executors" => cfg.executors = num(i),
+            "--workers" => workers = num(i),
+            "--queue-cap" => cfg.queue_cap = num(i),
+            "--seed" => cfg.seed = val(i).parse().unwrap_or_else(|_| usage()),
+            "--scale" => cfg.scale = num(i),
+            "--mode" => mode = val(i),
+            "--runtime" => runtime = val(i),
+            "--json" => json_path = Some(val(i)),
+            _ => usage(),
+        }
+        i += 2;
+    }
+
+    println!(
+        "# serve — {} runs, {} clients -> queue({}) -> {} executors on {} pool workers, \
+         scale {}, seed {}\n",
+        cfg.runs, cfg.clients, cfg.queue_cap, cfg.executors, workers, cfg.scale, cfg.seed
+    );
+
+    let mut reports: Vec<ServeReport> = Vec::new();
+    match runtime.as_str() {
+        "parmem" => {
+            if mode != "global" {
+                let rt = HhRuntime::new(HhConfig::with_workers(workers));
+                let report = serve(&rt, &cfg, "epoch");
+                if let Err(e) = verify_quiescent(&rt) {
+                    eprintln!("INVARIANT VIOLATION (epoch): {e}");
+                    std::process::exit(1);
+                }
+                print_report(&report);
+                reports.push(report);
+            }
+            if mode != "epoch" {
+                let rt = HhRuntime::new(HhConfig::global_horizon(workers));
+                let report = serve(&rt, &cfg, "global");
+                if let Err(e) = verify_quiescent(&rt) {
+                    eprintln!("INVARIANT VIOLATION (global): {e}");
+                    std::process::exit(1);
+                }
+                print_report(&report);
+                reports.push(report);
+            }
+        }
+        // The baselines have no per-run heap trees; they dispose at global
+        // quiescence by construction, so there is exactly one mode.
+        "seq" => {
+            let rt = SeqRuntime::new();
+            let report = serve(&rt, &cfg, "quiescent");
+            print_report(&report);
+            reports.push(report);
+        }
+        "stw" => {
+            let rt = StwRuntime::with_workers(workers);
+            let report = serve(&rt, &cfg, "quiescent");
+            print_report(&report);
+            reports.push(report);
+        }
+        "dlg" => {
+            let rt = DlgRuntime::with_workers(workers);
+            let report = serve(&rt, &cfg, "quiescent");
+            print_report(&report);
+            reports.push(report);
+        }
+        _ => usage(),
+    }
+
+    if let Some(path) = json_path {
+        let mut out = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot open {path}: {e}");
+                std::process::exit(1);
+            });
+        for r in &reports {
+            writeln!(out, "{}", r.to_json()).expect("writing JSON report");
+        }
+        println!("\nwrote {} JSON record(s) to {path}", reports.len());
+    }
+}

@@ -1,0 +1,190 @@
+//! A bounded MPMC queue: the admission control between client threads and the
+//! executor threads that drive runs on the shared runtime.
+//!
+//! Blocking semantics on both ends — a full queue blocks producers (back-pressure
+//! instead of unbounded request buildup), an empty one blocks consumers — built on
+//! the vendored `parking_lot` `Mutex` + `Condvar` (the build environment has no
+//! crates.io access, so no channel crate). Closing the queue wakes everyone:
+//! producers give up, consumers drain what is left and then see `None`.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded blocking MPMC queue. `push` blocks while full, `pop` blocks while
+/// empty; `close` unblocks both sides permanently.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue admitting at most `capacity` queued items (at least 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            capacity: capacity.max(1),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full. Returns `Err(item)` if
+    /// the queue was closed before space appeared.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut st = self.state.lock();
+        loop {
+            if st.closed {
+                return Err(item);
+            }
+            if st.items.len() < self.capacity {
+                st.items.push_back(item);
+                drop(st);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            self.not_full.wait(&mut st);
+        }
+    }
+
+    /// Dequeues an item, blocking while the queue is empty. Returns `None` once the
+    /// queue is closed **and** drained — remaining items are always delivered.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            self.not_empty.wait(&mut st);
+        }
+    }
+
+    /// Closes the queue: pending and future `push`es fail, `pop` drains and then
+    /// returns `None`.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Number of currently queued items (diagnostic; racy by nature).
+    pub fn len(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// True when no item is queued (diagnostic; racy by nature).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 4);
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "closed queue stays closed");
+    }
+
+    #[test]
+    fn producers_block_on_full_queue_until_consumed() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(0usize).unwrap();
+        let pushed = Arc::new(AtomicUsize::new(0));
+        let producer = {
+            let q = Arc::clone(&q);
+            let pushed = Arc::clone(&pushed);
+            std::thread::spawn(move || {
+                for i in 1..=100 {
+                    q.push(i).unwrap();
+                    pushed.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        };
+        let mut got = Vec::new();
+        for _ in 0..=100 {
+            got.push(q.pop().unwrap());
+            // Back-pressure invariant: the producer can never be more than
+            // `capacity` items ahead of what has been consumed.
+            assert!(pushed.load(Ordering::Relaxed) <= got.len() + 1);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mpmc_delivers_every_item_exactly_once() {
+        let q = Arc::new(BoundedQueue::new(8));
+        let total = 400usize;
+        let consumed = Arc::new(AtomicUsize::new(0));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let consumed = Arc::clone(&consumed);
+                std::thread::spawn(move || {
+                    let mut sum = 0usize;
+                    while let Some(v) = q.pop() {
+                        sum += v;
+                        consumed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    sum
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..2)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..total / 2 {
+                        q.push(p * (total / 2) + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let sum: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(consumed.load(Ordering::Relaxed), total);
+        assert_eq!(sum, (0..total).sum::<usize>());
+    }
+}

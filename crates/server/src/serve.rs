@@ -1,0 +1,388 @@
+//! The serve loop: N client threads push run requests through a bounded queue to M
+//! executor threads, each of which drives an independent `Runtime::run` on the
+//! *shared* runtime — so at any instant up to M runs overlap on one chunk store.
+//!
+//! This is the experiment the epoch watermark exists for (DESIGN.md §5): under
+//! perpetual overlap the old global reuse horizon ("reclaim when no run is active")
+//! never passes, so quarantined chunks pile up and every run pays fresh minting.
+//! With per-run epochs each completed run's chunks recycle as soon as every run
+//! alive at their retirement has ended — the quarantine stays bounded by the
+//! in-flight working set and `chunks_recycled` approaches 100% of handouts.
+
+use crate::latency::{LatencyRecorder, LatencySummary};
+use crate::queue::BoundedQueue;
+use hh_api::{RunStats, Runtime};
+use hh_workloads::mutator;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Configuration of one serve experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Total number of independent runs to execute.
+    pub runs: usize,
+    /// Client (producer) threads generating requests.
+    pub clients: usize,
+    /// Executor (consumer) threads driving runs on the shared runtime — the degree
+    /// of run overlap the server sustains.
+    pub executors: usize,
+    /// Bounded queue capacity (admission control / back-pressure).
+    pub queue_cap: usize,
+    /// Base seed; every request derives its own seed and workload from it.
+    pub seed: u64,
+    /// Workload size multiplier (1 = smoke-test sized requests).
+    pub scale: usize,
+    /// Executors sample the store footprint every this many completed runs.
+    pub sample_every: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            runs: 1000,
+            clients: 2,
+            executors: 4,
+            queue_cap: 64,
+            seed: 0x5eed_0001,
+            scale: 1,
+            sample_every: 16,
+        }
+    }
+}
+
+/// One queued run request.
+struct Job {
+    seed: u64,
+    enqueued: Instant,
+}
+
+/// Outcome of one serve experiment.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Runtime name (`"parmem"`, `"seq"`, ...).
+    pub runtime: &'static str,
+    /// Reclamation mode label (`"epoch"` or `"global"`).
+    pub mode: &'static str,
+    /// Runs completed (always equals the configured total).
+    pub runs: u64,
+    /// Wall-clock duration of the whole experiment.
+    pub elapsed_s: f64,
+    /// Completed runs per second.
+    pub throughput_rps: f64,
+    /// Enqueue-to-completion latency percentiles.
+    pub latency: LatencySummary,
+    /// Commutative checksum over all run results (deterministic for a given
+    /// config/seed regardless of interleaving — a correctness canary).
+    pub checksum: u64,
+    /// Largest store footprint observed at any sample point: live + free +
+    /// quarantined words. Boundedness of this under perpetual overlap is the
+    /// tentpole claim.
+    pub peak_footprint_words: u64,
+    /// Store footprint after the last run completed.
+    pub final_footprint_words: u64,
+    /// Runtime statistics accumulated over the experiment.
+    pub stats: RunStats,
+}
+
+impl ServeReport {
+    /// Fraction of chunk handouts served by recycling.
+    pub fn recycle_rate(&self) -> f64 {
+        self.stats.recycle_rate()
+    }
+
+    /// Renders the report as one JSON object (hand-rolled — the environment has no
+    /// serde; all fields are numbers or plain ASCII strings, so no escaping is
+    /// needed).
+    pub fn to_json(&self) -> String {
+        let l = &self.latency;
+        let s = &self.stats;
+        format!(
+            concat!(
+                "{{\"experiment\":\"serve\",\"runtime\":\"{}\",\"mode\":\"{}\",",
+                "\"runs\":{},\"elapsed_s\":{:.6},\"throughput_rps\":{:.2},",
+                "\"p50_us\":{:.1},\"p99_us\":{:.1},\"p999_us\":{:.1},\"max_us\":{:.1},\"mean_us\":{:.1},",
+                "\"checksum\":{},\"recycle_rate\":{:.6},\"chunks_created\":{},\"chunks_recycled\":{},",
+                "\"epoch_reclaims\":{},\"active_runs_peak\":{},\"quarantine_lag_words\":{},",
+                "\"peak_footprint_words\":{},\"final_footprint_words\":{},\"peak_live_words\":{}}}"
+            ),
+            self.runtime,
+            self.mode,
+            self.runs,
+            self.elapsed_s,
+            self.throughput_rps,
+            l.p50_ns as f64 / 1e3,
+            l.p99_ns as f64 / 1e3,
+            l.p999_ns as f64 / 1e3,
+            l.max_ns as f64 / 1e3,
+            l.mean_ns as f64 / 1e3,
+            self.checksum,
+            self.recycle_rate(),
+            s.chunks_created,
+            s.chunks_recycled,
+            s.epoch_reclaims,
+            s.active_runs_peak,
+            s.quarantine_lag_words,
+            self.peak_footprint_words,
+            self.final_footprint_words,
+            s.peak_live_words,
+        )
+    }
+}
+
+/// SplitMix64 — derives per-request seeds from the base seed.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Executes one request: picks a workload family from the seed's high bits (the
+/// low bits of simple generators are the weak ones) and runs it at smoke scale.
+/// All three mutator workloads allocate, fork, promote, and retire enough chunks
+/// per run to exercise the whole reclamation path.
+fn run_one<R: Runtime>(rt: &R, seed: u64, scale: usize) -> u64 {
+    let n = 48 * scale;
+    match (seed >> 33) % 3 {
+        0 => rt.run(|ctx| mutator::union_find(ctx, n, n + n / 2, 16, seed)),
+        1 => rt.run(|ctx| mutator::frontier_bfs(ctx, n, 4, 16, seed)),
+        _ => rt.run(|ctx| mutator::lru_churn(ctx, 4, 8 * scale, 16, 64, seed)),
+    }
+}
+
+/// Runs the serve experiment on `rt`: `cfg.clients` producers feed `cfg.runs`
+/// requests through a bounded queue to `cfg.executors` consumers, each driving
+/// overlapping `Runtime::run` calls on the shared runtime. `mode` is a label
+/// carried into the report (the runtime's reclamation mode is fixed at its
+/// construction).
+pub fn serve<R: Runtime>(rt: &R, cfg: &ServeConfig, mode: &'static str) -> ServeReport {
+    assert!(cfg.runs > 0 && cfg.clients > 0 && cfg.executors > 0);
+    rt.reset_stats();
+    let queue: BoundedQueue<Job> = BoundedQueue::new(cfg.queue_cap);
+    let checksum = AtomicU64::new(0);
+    let peak_footprint = AtomicU64::new(0);
+    let sample_every = cfg.sample_every.max(1);
+    let start = Instant::now();
+
+    let mut recorders: Vec<LatencyRecorder> = Vec::new();
+    std::thread::scope(|scope| {
+        // Clients: split the request count evenly, remainder to the first.
+        let mut handles = Vec::new();
+        let per_client = cfg.runs / cfg.clients;
+        for c in 0..cfg.clients {
+            let mine = per_client + usize::from(c == 0) * (cfg.runs % cfg.clients);
+            let queue = &queue;
+            let mut rng = cfg.seed ^ (c as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+            handles.push(scope.spawn(move || {
+                for _ in 0..mine {
+                    let seed = splitmix(&mut rng);
+                    if queue
+                        .push(Job {
+                            seed,
+                            enqueued: Instant::now(),
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            }));
+        }
+        // Executors: drain until the closed queue is empty.
+        let executors: Vec<_> = (0..cfg.executors)
+            .map(|_| {
+                let queue = &queue;
+                let checksum = &checksum;
+                let peak_footprint = &peak_footprint;
+                scope.spawn(move || {
+                    let mut rec = LatencyRecorder::with_capacity(cfg.runs / cfg.executors + 1);
+                    let mut done = 0usize;
+                    while let Some(job) = queue.pop() {
+                        let r = run_one(rt, job.seed, cfg.scale);
+                        rec.record(job.enqueued.elapsed());
+                        checksum.fetch_add(r, Ordering::Relaxed);
+                        done += 1;
+                        if done.is_multiple_of(sample_every) {
+                            let s = rt.stats();
+                            let footprint = s.live_words + s.free_words + s.quarantine_lag_words;
+                            peak_footprint.fetch_max(footprint, Ordering::Relaxed);
+                        }
+                    }
+                    rec
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread panicked");
+        }
+        queue.close();
+        for e in executors {
+            recorders.push(e.join().expect("executor thread panicked"));
+        }
+    });
+
+    let elapsed = start.elapsed();
+    let mut all = LatencyRecorder::default();
+    for r in recorders {
+        all.merge(r);
+    }
+    let completed = all.len() as u64;
+    assert_eq!(completed, cfg.runs as u64, "every request must complete");
+    let stats = rt.stats();
+    let final_footprint = stats.live_words + stats.free_words + stats.quarantine_lag_words;
+    ServeReport {
+        runtime: rt.name(),
+        mode,
+        runs: completed,
+        elapsed_s: elapsed.as_secs_f64(),
+        throughput_rps: completed as f64 / elapsed.as_secs_f64().max(1e-9),
+        latency: all.summarize(),
+        checksum: checksum.load(Ordering::Relaxed),
+        peak_footprint_words: peak_footprint.load(Ordering::Relaxed).max(final_footprint),
+        final_footprint_words: final_footprint,
+        stats,
+    }
+}
+
+/// Post-serve invariant check for the hierarchical runtime: with the server
+/// quiescent, the chunk lifecycle must conserve
+/// (`created == active + quarantined + free + released`) and every live heap must
+/// be disentangled. Returns a description of the first violation.
+pub fn verify_quiescent(rt: &hh_runtime::HhRuntime) -> Result<(), String> {
+    let s = rt.store_stats();
+    let accounted = s.chunks_active + s.chunks_quarantined + s.chunks_free + s.chunks_released;
+    if s.chunks_created != accounted {
+        return Err(format!(
+            "chunk conservation violated: created {} != active {} + quarantined {} + free {} + released {}",
+            s.chunks_created, s.chunks_active, s.chunks_quarantined, s.chunks_free, s.chunks_released
+        ));
+    }
+    if s.active_runs != 0 {
+        return Err(format!("{} runs still registered active", s.active_runs));
+    }
+    let violations = rt.check_disentangled();
+    if violations != 0 {
+        return Err(format!("{violations} disentanglement violations"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_runtime::{HhConfig, HhRuntime};
+
+    fn small_cfg(runs: usize) -> ServeConfig {
+        ServeConfig {
+            runs,
+            clients: 2,
+            executors: 3,
+            queue_cap: 8,
+            seed: 7,
+            scale: 1,
+            sample_every: 4,
+        }
+    }
+
+    #[test]
+    fn serve_completes_all_runs_and_conserves_chunks() {
+        let rt = HhRuntime::new(HhConfig::with_workers(2));
+        let report = serve(&rt, &small_cfg(48), "epoch");
+        assert_eq!(report.runs, 48);
+        assert_eq!(report.latency.count, 48);
+        assert!(report.throughput_rps > 0.0);
+        assert!(report.peak_footprint_words >= report.final_footprint_words);
+        assert!(
+            report.stats.active_runs_peak >= 2,
+            "executors must actually overlap runs (peak {})",
+            report.stats.active_runs_peak
+        );
+        verify_quiescent(&rt).unwrap();
+    }
+
+    #[test]
+    fn serve_checksum_is_deterministic_across_interleavings() {
+        let a = serve(
+            &HhRuntime::new(HhConfig::with_workers(2)),
+            &small_cfg(32),
+            "epoch",
+        );
+        let b = serve(
+            &HhRuntime::new(HhConfig::with_workers(2)),
+            &small_cfg(32),
+            "epoch",
+        );
+        assert_eq!(
+            a.checksum, b.checksum,
+            "run results must not depend on scheduling"
+        );
+    }
+
+    #[test]
+    fn epoch_mode_recycles_under_overlap_where_global_horizon_cannot() {
+        // Same load on both reclamation modes. The epoch runtime reclaims per run
+        // (watermark advances as runs end), so it recycles and drains its
+        // quarantine; the global-horizon runtime (A5) only reclaims at a run start
+        // observing zero active runs, which under continuous overlap essentially
+        // never happens — its quarantine at the end still holds the backlog.
+        let cfg = small_cfg(48);
+        let epoch_rt = HhRuntime::new(HhConfig::with_workers(2));
+        let epoch = serve(&epoch_rt, &cfg, "epoch");
+        let global_rt = HhRuntime::new(HhConfig::global_horizon(2));
+        let global = serve(&global_rt, &cfg, "global");
+        assert_eq!(
+            epoch.checksum, global.checksum,
+            "mode must not change results"
+        );
+        assert!(
+            epoch.stats.epoch_reclaims > 0,
+            "watermark reclamation must fire under overlap"
+        );
+        assert_eq!(
+            global.stats.epoch_reclaims, 0,
+            "A5 never reclaims via the watermark"
+        );
+        assert!(
+            epoch.stats.quarantine_lag_words <= global.stats.quarantine_lag_words,
+            "epoch quarantine ({} words) must not exceed the A5 backlog ({} words)",
+            epoch.stats.quarantine_lag_words,
+            global.stats.quarantine_lag_words
+        );
+        verify_quiescent(&epoch_rt).unwrap();
+        verify_quiescent(&global_rt).unwrap();
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let rt = HhRuntime::new(HhConfig::with_workers(1));
+        let report = serve(
+            &rt,
+            &ServeConfig {
+                runs: 6,
+                clients: 1,
+                executors: 2,
+                ..small_cfg(6)
+            },
+            "epoch",
+        );
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in [
+            "\"experiment\":\"serve\"",
+            "\"runtime\":\"parmem\"",
+            "\"mode\":\"epoch\"",
+            "\"runs\":6",
+            "\"p999_us\":",
+            "\"recycle_rate\":",
+            "\"epoch_reclaims\":",
+            "\"active_runs_peak\":",
+            "\"peak_footprint_words\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Balanced quotes and braces — cheap structural sanity without a parser.
+        assert_eq!(json.matches('"').count() % 2, 0);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}
