@@ -1,11 +1,17 @@
-//! Latency accounting for the serve loop: per-executor sample buffers merged into
-//! one percentile summary at the end (no locking on the hot path).
+//! Latency accounting shared by the serve loop and the collectors: per-thread
+//! sample buffers merged into one percentile summary at the end (no locking on
+//! the hot path).
+//!
+//! Originally private to `hh-server` (enqueue-to-completion run latencies); the
+//! bounded-pause collector reuses the same recorder for per-pause GC samples, so
+//! it lives here, next to [`RunStats`](crate::RunStats), where every runtime and
+//! harness can reach it.
 
 use std::time::Duration;
 
-/// Latency samples recorded by one executor thread (nanoseconds per completed run,
-/// enqueue to completion).
-#[derive(Default)]
+/// Latency samples recorded by one thread, in nanoseconds per event (a completed
+/// run for the serve loop, a single collector pause for the GC pause CDF).
+#[derive(Default, Debug)]
 pub struct LatencyRecorder {
     samples: Vec<u64>,
 }
@@ -18,9 +24,14 @@ impl LatencyRecorder {
         }
     }
 
-    /// Records one completed run's latency.
+    /// Records one event's latency.
     pub fn record(&mut self, latency: Duration) {
         self.samples.push(latency.as_nanos() as u64);
+    }
+
+    /// Records one event's latency, already expressed in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.samples.push(ns);
     }
 
     /// Number of samples recorded.
@@ -33,36 +44,48 @@ impl LatencyRecorder {
         self.samples.is_empty()
     }
 
+    /// Discards every recorded sample (used by resettable counter blocks).
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+
     /// Merges `other`'s samples into this recorder.
     pub fn merge(&mut self, other: LatencyRecorder) {
         self.samples.extend(other.samples);
     }
 
-    /// Sorts the samples and summarizes them. Returns the all-zero summary when no
-    /// sample was recorded.
-    pub fn summarize(mut self) -> LatencySummary {
+    /// Summarizes the samples without consuming the recorder (sorts a copy).
+    /// Returns the all-zero summary when no sample was recorded.
+    pub fn summary(&self) -> LatencySummary {
         if self.samples.is_empty() {
             return LatencySummary::default();
         }
-        self.samples.sort_unstable();
-        let n = self.samples.len();
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
         // Nearest-rank percentile: the smallest sample ≥ p of the distribution.
         let rank = |p: f64| -> u64 {
             let idx = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
-            self.samples[idx]
+            sorted[idx]
         };
         LatencySummary {
             count: n as u64,
             p50_ns: rank(0.50),
             p99_ns: rank(0.99),
             p999_ns: rank(0.999),
-            max_ns: self.samples[n - 1],
-            mean_ns: self.samples.iter().sum::<u64>() / n as u64,
+            max_ns: sorted[n - 1],
+            mean_ns: sorted.iter().sum::<u64>() / n as u64,
         }
+    }
+
+    /// Sorts the samples and summarizes them. Returns the all-zero summary when no
+    /// sample was recorded.
+    pub fn summarize(self) -> LatencySummary {
+        self.summary()
     }
 }
 
-/// Percentile summary of run latencies, in nanoseconds.
+/// Percentile summary of latencies, in nanoseconds.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LatencySummary {
     /// Number of samples summarized.
@@ -129,5 +152,19 @@ mod tests {
         assert_eq!(s.p999_ns, 42);
         assert_eq!(s.max_ns, 42);
         assert_eq!(s.mean_ns, 42);
+    }
+
+    #[test]
+    fn summary_does_not_consume_or_reorder() {
+        let mut r = recorder_of([30, 10, 20]);
+        let first = r.summary();
+        assert_eq!(first.p50_ns, 20);
+        r.record(Duration::from_nanos(40));
+        let second = r.summary();
+        assert_eq!(second.count, 4);
+        assert_eq!(second.max_ns, 40);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.summary(), LatencySummary::default());
     }
 }

@@ -46,11 +46,13 @@
 
 pub mod bits;
 pub mod ctx;
+pub mod latency;
 pub mod rng;
 pub mod stats;
 
 pub use bits::{f64_from_bits, f64_to_bits};
 pub use ctx::{ParCtx, Rooted, Runtime};
+pub use latency::{LatencyRecorder, LatencySummary};
 pub use rng::{hash64, Rng};
 pub use stats::RunStats;
 

@@ -75,6 +75,25 @@ pub struct RunStats {
     /// Longest single collection pause observed, in nanoseconds (a gauge of the
     /// worst-case latency the collector imposes; merged by max).
     pub gc_max_pause_ns: u64,
+    /// Mutator-observed GC pause samples behind the percentile gauges below: one
+    /// per STW collection, and one per incremental seed / safepoint drain /
+    /// finalize (idle-worker drains pause no mutator and are not sampled).
+    pub gc_pause_count: u64,
+    /// Median mutator-observed GC pause, in nanoseconds (gauge; merged by max —
+    /// snapshots cannot re-derive percentiles without the raw samples).
+    pub gc_pause_p50_ns: u64,
+    /// 99th-percentile mutator-observed GC pause, in nanoseconds (gauge; merged
+    /// by max).
+    pub gc_pause_p99_ns: u64,
+    /// 99.9th-percentile mutator-observed GC pause, in nanoseconds (gauge;
+    /// merged by max).
+    pub gc_pause_p999_ns: u64,
+    /// Bounded drain increments executed by incremental collections (safepoint
+    /// ticks plus idle-worker drains; 0 unless `incremental_gc` is on).
+    pub gc_increments: u64,
+    /// Collections completed mutator-concurrently, i.e. incremental windows
+    /// finalized (a subset of `gc_count`; 0 unless `incremental_gc` is on).
+    pub gc_incremental_collections: u64,
     /// Number of chunks ever minted by the chunk store (monotone).
     pub chunks_created: u64,
     /// Times a retired chunk was reused for a new owner instead of minting a fresh
@@ -146,6 +165,14 @@ impl RunStats {
         self.gc_parallel_collections += other.gc_parallel_collections;
         self.gc_steal_blocks += other.gc_steal_blocks;
         self.gc_max_pause_ns = self.gc_max_pause_ns.max(other.gc_max_pause_ns);
+        self.gc_pause_count += other.gc_pause_count;
+        // Percentiles of merged sample sets cannot be reconstructed from two
+        // summaries; keeping the worse (larger) side is the conservative bound.
+        self.gc_pause_p50_ns = self.gc_pause_p50_ns.max(other.gc_pause_p50_ns);
+        self.gc_pause_p99_ns = self.gc_pause_p99_ns.max(other.gc_pause_p99_ns);
+        self.gc_pause_p999_ns = self.gc_pause_p999_ns.max(other.gc_pause_p999_ns);
+        self.gc_increments += other.gc_increments;
+        self.gc_incremental_collections += other.gc_incremental_collections;
         self.chunks_created += other.chunks_created;
         self.chunks_recycled += other.chunks_recycled;
         self.alloc_cache_hits += other.alloc_cache_hits;

@@ -1,11 +1,11 @@
 //! Shared machinery for the baseline runtimes: flat heaps over the chunk store, the
 //! forwarding-resolution read barrier, root registries, and a plain semispace collector.
 
-use hh_objmodel::{Chunk, ChunkGcState, ChunkId, ChunkStore, Header, ObjPtr, ObjView};
-use hh_sched::{SpanDeque, TeamSync};
+use hh_objmodel::{Chunk, ChunkId, ChunkStore, Header, ObjPtr};
+use hh_sched::{EvacEngine, EvacZone};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Raw owner id used for the shared global heap of the parallel baselines.
@@ -483,299 +483,30 @@ pub fn semispace_collect(
     )
 }
 
-/// One team member's evacuation state for the flat (single-heap) collector: a
-/// private to-space bump cursor plus scan-span bookkeeping. The flat counterpart of
-/// the hierarchical collector's per-heap worker state (GC v2; see `hh-runtime`'s
-/// `gc` module and DESIGN.md §9).
-#[derive(Default)]
-struct FlatGcWorker {
-    chunks: Vec<ChunkId>,
-    current: Option<Arc<Chunk>>,
-    /// End offset of the last fully written copy in `current` (everything below is
-    /// walkable), and the offset up to which spans have been handed out.
-    filled: u32,
-    scanned: u32,
-    copied_words: usize,
-    waste_words: usize,
-    occupied_words: usize,
-    steal_blocks: u64,
-    rng: u64,
-}
-
-/// Shared state of one flat collection team.
-struct FlatGcShared {
+/// The flat slot-to-heap mapping for the shared evacuation engine
+/// ([`hh_sched::EvacEngine`], GC v3): a single zone slot backed by one owner's
+/// to-space. The member body, span pack/steal loop, CAS forwarding race, and
+/// idle-termination protocol all live in `hh_sched::evac` — shared verbatim
+/// with the hierarchical collector, so a protocol fix lands in both at once.
+struct FlatZone {
     store: Arc<ChunkStore>,
-    epoch: u64,
     owner_raw: u32,
     chunk_words_hint: usize,
-    deques: Vec<SpanDeque>,
-    slots: Vec<Mutex<FlatGcWorker>>,
-    sync: TeamSync,
-    /// Slot assignment for drafted helpers (slot 0 is the triggering thread).
-    next_slot: AtomicUsize,
-    /// Set by slot 0 once every root has been forwarded; checked after the team
-    /// departs to catch any regression of the trigger pre-registration.
-    roots_seeded: AtomicBool,
-    concurrent: bool,
 }
 
-/// A member flushes its unscanned tail as a stealable block past this many words.
-const SCAN_BLOCK_WORDS: u32 = 512;
+impl EvacZone for FlatZone {
+    fn n_slots(&self) -> usize {
+        1
+    }
 
-#[inline]
-fn pack_span(chunk: ChunkId, start: u32, end: u32) -> hh_sched::Span {
-    (((chunk.0 as u64) << 32) | start as u64, end as u64)
-}
+    fn alloc_dedicated(&self, _slot: u16, header: Header) -> (Arc<Chunk>, ObjPtr) {
+        self.store.alloc_dedicated(self.owner_raw, header)
+    }
 
-#[inline]
-fn unpack_span(span: hh_sched::Span) -> (ChunkId, u32, u32) {
-    (ChunkId((span.0 >> 32) as u32), span.0 as u32, span.1 as u32)
-}
-
-fn flat_alloc_to(
-    shared: &FlatGcShared,
-    w: &mut FlatGcWorker,
-    my_slot: usize,
-    header: Header,
-) -> (ObjPtr, Arc<Chunk>, bool) {
-    let store = &shared.store;
-    let size = header.size_words();
-    w.occupied_words += size;
-    // Large survivors get a dedicated chunk without displacing the current bump
-    // chunk, so a large-object detour does not abandon the partially filled chunk
-    // that subsequent small survivors still fit in.
-    if store.needs_dedicated_chunk(header) {
-        let (chunk, ptr) = store.alloc_dedicated(shared.owner_raw, header);
-        chunk.set_gc_to_space(shared.epoch, 0);
-        w.chunks.push(chunk.id());
-        return (ptr, chunk, true);
+    fn alloc_chunk(&self, _slot: u16, min_words: usize) -> Arc<Chunk> {
+        self.store
+            .alloc_chunk(self.owner_raw, min_words.max(self.chunk_words_hint))
     }
-    if let Some(cur) = &w.current {
-        if let Some(ptr) = store.alloc_in_chunk_for_copy(cur, header) {
-            return (ptr, Arc::clone(cur), false);
-        }
-    }
-    // Flush the retired cursor's unscanned tail so its scan work stays reachable.
-    if let Some(prev) = &w.current {
-        if w.filled > w.scanned {
-            shared.deques[my_slot].push(pack_span(prev.id(), w.scanned, w.filled));
-        }
-    }
-    let chunk = store.alloc_chunk(shared.owner_raw, size.max(shared.chunk_words_hint));
-    chunk.set_gc_to_space(shared.epoch, 0);
-    w.chunks.push(chunk.id());
-    w.current = Some(Arc::clone(&chunk));
-    w.filled = 0;
-    w.scanned = 0;
-    let ptr = store
-        .alloc_in_chunk_for_copy(&chunk, header)
-        .expect("fresh to-space chunk too small");
-    (ptr, chunk, false)
-}
-
-fn flat_complete_copy(
-    shared: &FlatGcShared,
-    w: &mut FlatGcWorker,
-    my_slot: usize,
-    copy: ObjPtr,
-    size: usize,
-    dedicated: bool,
-    has_ptrs: bool,
-) {
-    if dedicated {
-        if has_ptrs {
-            shared.deques[my_slot].push(pack_span(
-                copy.chunk(),
-                copy.offset(),
-                copy.offset() + size as u32,
-            ));
-        }
-        return;
-    }
-    debug_assert_eq!(w.filled, copy.offset(), "out-of-order copy completion");
-    w.filled = copy.offset() + size as u32;
-    if w.filled - w.scanned >= SCAN_BLOCK_WORDS {
-        let chunk = w.current.as_ref().expect("completing into no chunk").id();
-        shared.deques[my_slot].push(pack_span(chunk, w.scanned, w.filled));
-        w.scanned = w.filled;
-    }
-}
-
-/// The flat `forward` step: membership is one chunk-tag load (GC v2 — no
-/// `HashSet` probes), forwarding installs race by CAS when the team is concurrent,
-/// and a race loser retags its copy as an opaque filler and adopts the winner's.
-fn flat_forward(
-    shared: &FlatGcShared,
-    w: &mut FlatGcWorker,
-    my_slot: usize,
-    obj: ObjPtr,
-) -> ObjPtr {
-    if obj.is_null() {
-        return ObjPtr::NULL;
-    }
-    let store = &shared.store;
-    let mut cur = obj;
-    loop {
-        let chunk = store.chunk(cur.chunk());
-        match chunk.gc_state(shared.epoch) {
-            ChunkGcState::ToSpace(_) | ChunkGcState::Outside => return cur,
-            ChunkGcState::FromSpace(_) => {}
-        }
-        let v = ObjView::new(chunk, cur.offset());
-        let fwd = v.fwd();
-        if !fwd.is_null() {
-            cur = fwd;
-            continue;
-        }
-        let header = v.header();
-        let size = header.size_words();
-        let (copy, copy_chunk, dedicated) = flat_alloc_to(shared, w, my_slot, header);
-        let cv = ObjView::new(&copy_chunk, copy.offset());
-        for f in 0..header.n_fields() {
-            cv.set_field(f, v.field(f));
-        }
-        let won = if shared.concurrent {
-            v.try_set_fwd(copy).is_ok()
-        } else {
-            v.set_fwd(copy);
-            true
-        };
-        if won {
-            w.copied_words += size;
-            flat_complete_copy(
-                shared,
-                w,
-                my_slot,
-                copy,
-                size,
-                dedicated,
-                header.n_ptr() > 0,
-            );
-            return copy;
-        }
-        cv.retag_as_filler();
-        w.waste_words += size;
-        flat_complete_copy(shared, w, my_slot, copy, size, dedicated, false);
-        cur = v.fwd();
-        debug_assert!(!cur.is_null(), "lost the forwarding race to a NULL");
-    }
-}
-
-fn flat_scan_span(
-    shared: &FlatGcShared,
-    w: &mut FlatGcWorker,
-    my_slot: usize,
-    span: hh_sched::Span,
-) {
-    let (chunk_id, start, end) = unpack_span(span);
-    let chunk = Arc::clone(shared.store.chunk(chunk_id));
-    let mut off = start;
-    while off < end {
-        let v = ObjView::new(&chunk, off);
-        let header = v.header();
-        for f in 0..header.n_ptr() {
-            let old = v.field_ptr(f);
-            let new = flat_forward(shared, w, my_slot, old);
-            if new != old {
-                v.set_field_ptr(f, new);
-            }
-        }
-        off += header.size_words() as u32;
-    }
-}
-
-fn flat_steal(
-    shared: &FlatGcShared,
-    my_slot: usize,
-    w: &mut FlatGcWorker,
-) -> Option<hh_sched::Span> {
-    let n = shared.deques.len();
-    if n <= 1 {
-        return None;
-    }
-    let mut x = w.rng;
-    x ^= x << 13;
-    x ^= x >> 7;
-    x ^= x << 17;
-    w.rng = x;
-    let start = (x % n as u64) as usize;
-    for k in 0..n {
-        let victim = (start + k) % n;
-        if victim == my_slot {
-            continue;
-        }
-        if let Some(span) = shared.deques[victim].steal() {
-            return Some(span);
-        }
-    }
-    None
-}
-
-/// The member body shared by the triggering thread (slot 0) and drafted helpers:
-/// own blocks, own tail, steal, then the idle/termination protocol (see
-/// [`TeamSync`]). `seed_roots` runs only on slot 0, before the loop. Slot 0 is
-/// **pre-registered** at team construction ([`TeamSync::with_trigger`]) — before
-/// the pause-work offer is published — and non-idle throughout seeding, so a
-/// drafted helper that joins first and finds no work can never observe an all-idle
-/// team and finish the collection before the roots have seeded the wavefront.
-fn flat_member(
-    shared: &FlatGcShared,
-    slot: usize,
-    seed_roots: Option<(&RootRegistry, &mut [ObjPtr])>,
-) {
-    if slot >= shared.slots.len() {
-        return;
-    }
-    if slot != 0 && !shared.sync.try_register() {
-        return;
-    }
-    let mut w = shared.slots[slot].lock();
-    w.rng = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(slot as u64 + 1) | 1;
-    if let Some((registry, extra_roots)) = seed_roots {
-        registry.for_each_root_mut(|r| *r = flat_forward(shared, &mut w, slot, *r));
-        for r in extra_roots.iter_mut() {
-            *r = flat_forward(shared, &mut w, slot, *r);
-        }
-        shared.roots_seeded.store(true, Ordering::Release);
-    }
-    loop {
-        if let Some(span) = shared.deques[slot].pop() {
-            flat_scan_span(shared, &mut w, slot, span);
-            continue;
-        }
-        if w.filled > w.scanned {
-            let chunk = w.current.as_ref().expect("tail without a chunk").id();
-            let span = pack_span(chunk, w.scanned, w.filled);
-            w.scanned = w.filled;
-            flat_scan_span(shared, &mut w, slot, span);
-            continue;
-        }
-        if let Some(span) = flat_steal(shared, slot, &mut w) {
-            w.steal_blocks += 1;
-            flat_scan_span(shared, &mut w, slot, span);
-            continue;
-        }
-        shared.sync.enter_idle();
-        let finished = loop {
-            if shared.sync.is_done() {
-                break true;
-            }
-            if shared.deques.iter().any(|d| !d.is_empty()) {
-                shared.sync.exit_idle();
-                break false;
-            }
-            if shared.sync.all_idle() && shared.deques.iter().all(|d| d.is_empty()) {
-                shared.sync.finish();
-                break true;
-            }
-            std::thread::yield_now();
-        };
-        if finished {
-            break;
-        }
-    }
-    drop(w);
-    shared.sync.depart();
 }
 
 /// A plain (non-hierarchical) semispace collection over an explicit zone,
@@ -790,6 +521,13 @@ fn flat_member(
 /// rewritten in place via `registry`, plus any extra roots supplied in
 /// `extra_roots`. The caller must have stopped the world; drafted helpers are
 /// parked mutators, so they are quiescent by construction.
+///
+/// The trigger is **pre-registered** at engine construction — before the
+/// pause-work offer is published — and non-idle throughout seeding, so a
+/// drafted helper that joins first and finds no work can never observe an
+/// all-idle team and finish the collection before the roots have seeded the
+/// wavefront (the PR-5 race, now guarded in exactly one place:
+/// `hh_sched::evac`).
 pub fn par_semispace_collect(
     store: &Arc<ChunkStore>,
     owner_raw: u32,
@@ -804,88 +542,63 @@ pub fn par_semispace_collect(
         store.chunk(c).set_gc_from_space(epoch, 0);
     }
     let team = 1 + draft.map_or(0, |(_, helpers)| helpers);
-    let shared = Arc::new(FlatGcShared {
-        store: Arc::clone(store),
+    let engine = Arc::new(EvacEngine::new(
+        FlatZone {
+            store: Arc::clone(store),
+            owner_raw,
+            chunk_words_hint,
+        },
+        Arc::clone(store),
         epoch,
-        owner_raw,
-        chunk_words_hint,
-        deques: (0..team).map(|_| SpanDeque::new()).collect(),
-        slots: (0..team)
-            .map(|_| Mutex::new(FlatGcWorker::default()))
-            .collect(),
-        // Pre-register the triggering thread: the pause-work offer below is
-        // published (and parked mutators woken) before `flat_member(.., 0, ..)`
-        // runs, and a drafted helper alone must not be able to terminate the team
-        // before slot 0 seeds the roots.
-        sync: TeamSync::with_trigger(),
-        next_slot: AtomicUsize::new(1),
-        roots_seeded: AtomicBool::new(false),
-        concurrent: team > 1,
-    });
+        team,
+        false,
+    ));
+    // Slot assignment for drafted helpers (slot 0 is the triggering thread).
+    let next_slot = Arc::new(AtomicUsize::new(1));
     let drafted = match draft {
         Some((safepoints, helpers)) if helpers > 0 => {
-            let offer_shared = Arc::clone(&shared);
+            let offer_engine = Arc::clone(&engine);
+            let offer_slot = Arc::clone(&next_slot);
             safepoints.begin_pause_work(Arc::new(move || {
-                let slot = offer_shared.next_slot.fetch_add(1, Ordering::Relaxed);
-                flat_member(&offer_shared, slot, None);
+                let slot = offer_slot.fetch_add(1, Ordering::Relaxed);
+                offer_engine.run_helper(slot);
             }));
             Some(safepoints)
         }
         _ => None,
     };
-    flat_member(&shared, 0, Some((registry, extra_roots)));
-    shared.sync.await_departures();
-    debug_assert!(
-        shared.roots_seeded.load(Ordering::Acquire),
-        "flat GC team finished without slot 0 forwarding the roots"
-    );
+    engine.run_trigger(|fwd| {
+        registry.for_each_root_mut(|r| *r = fwd(*r));
+        for r in extra_roots.iter_mut() {
+            *r = fwd(*r);
+        }
+    });
+    engine.await_team();
     if let Some(safepoints) = drafted {
         safepoints.end_pause_work();
     }
-
-    // Merge the members' to-spaces. The heap resumes bump allocation from the last
-    // chunk of the list, so put a partially filled cursor chunk there (constant
-    // time — the list is otherwise unordered).
-    let mut new_chunks = Vec::new();
-    let mut copied_words = 0;
-    let mut occupied_words = 0;
-    let mut waste_words = 0;
-    let mut steal_blocks = 0;
-    let mut partial = None;
-    for slot in shared.slots.iter() {
-        let mut w = slot.lock();
-        new_chunks.append(&mut w.chunks);
-        copied_words += w.copied_words;
-        occupied_words += w.occupied_words;
-        waste_words += w.waste_words;
-        steal_blocks += w.steal_blocks;
-        if let Some(cur) = w.current.take() {
-            partial = Some(cur.id());
-        }
-    }
-    // To-space conservation: every allocated word is either a survivor or an
-    // evacuation-race filler.
-    debug_assert_eq!(
-        copied_words + waste_words,
-        occupied_words,
-        "to-space words unaccounted for"
-    );
-    if let Some(cur) = partial {
-        if new_chunks.last() != Some(&cur) {
-            if let Some(pos) = new_chunks.iter().position(|&c| c == cur) {
-                new_chunks.swap_remove(pos);
-                new_chunks.push(cur);
-            }
-        }
-    }
+    let outcome = engine.merge();
     for c in zone {
+        // A zone chunk whose tag now reads `ToSpace` held one large object and
+        // was promoted in place — it is part of `new_chunks`, not garbage.
+        if matches!(
+            store.chunk(*c).gc_state(epoch),
+            hh_objmodel::ChunkGcState::ToSpace(_)
+        ) {
+            continue;
+        }
         store.retire_chunk(*c);
     }
+    let (new_chunks, occupied_words) = outcome
+        .per_slot
+        .into_iter()
+        .next()
+        .expect("flat zone has exactly one slot");
     CollectOutcome {
         new_chunks,
-        copied_words,
+        copied_words: outcome.copied_words as usize,
         occupied_words,
-        steal_blocks,
+        steal_blocks: outcome.steal_blocks,
     }
 }
 

@@ -1,6 +1,6 @@
 //! Statistics counters shared by the baseline runtimes.
 
-use hh_api::RunStats;
+use hh_api::{LatencyRecorder, RunStats};
 use hh_objmodel::StoreStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -42,6 +42,10 @@ pub struct Counters {
     pub gc_steal_blocks: AtomicU64,
     /// Longest single collection pause observed, in nanoseconds (`fetch_max`).
     pub gc_max_pause_ns: AtomicU64,
+    /// One sample per stop-the-world pause; feeds the GC pause CDF in
+    /// [`RunStats`] (same recorder the hierarchical runtime uses, so the
+    /// `repro gc` table contrasts like with like).
+    pub gc_pauses: parking_lot::Mutex<LatencyRecorder>,
 }
 
 impl Counters {
@@ -51,9 +55,17 @@ impl Counters {
             .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
+    /// Records one stop-the-world pause: high-water mark plus a CDF sample.
+    pub fn record_gc_pause(&self, d: Duration) {
+        let ns = d.as_nanos() as u64;
+        self.gc_max_pause_ns.fetch_max(ns, Ordering::Relaxed);
+        self.gc_pauses.lock().record_ns(ns);
+    }
+
     /// Snapshot into the common [`RunStats`] format, merging in the chunk store's
     /// memory accounting.
     pub fn snapshot(&self, store: &StoreStats, heaps: u64) -> RunStats {
+        let pauses = self.gc_pauses.lock().summary();
         RunStats {
             gc_time: Duration::from_nanos(self.gc_nanos.load(Ordering::Relaxed)),
             gc_count: self.gc_count.load(Ordering::Relaxed),
@@ -82,6 +94,13 @@ impl Counters {
             gc_parallel_collections: self.gc_parallel_collections.load(Ordering::Relaxed),
             gc_steal_blocks: self.gc_steal_blocks.load(Ordering::Relaxed),
             gc_max_pause_ns: self.gc_max_pause_ns.load(Ordering::Relaxed),
+            gc_pause_count: pauses.count,
+            gc_pause_p50_ns: pauses.p50_ns,
+            gc_pause_p99_ns: pauses.p99_ns,
+            gc_pause_p999_ns: pauses.p999_ns,
+            // The baselines only collect stop-the-world.
+            gc_increments: 0,
+            gc_incremental_collections: 0,
             chunks_created: store.chunks_created as u64,
             chunks_recycled: store.chunks_recycled as u64,
             alloc_cache_hits: store.alloc_cache_hits as u64,
@@ -124,6 +143,7 @@ impl Counters {
         ] {
             c.store(0, Ordering::Relaxed);
         }
+        self.gc_pauses.lock().clear();
     }
 }
 

@@ -216,9 +216,7 @@ impl DlgInner {
                 .fetch_add(outcome.copied_words as u64, Ordering::Relaxed);
             let pause = start.elapsed();
             self.counters.add_gc_time(pause);
-            self.counters
-                .gc_max_pause_ns
-                .fetch_max(pause.as_nanos() as u64, Ordering::Relaxed);
+            self.counters.record_gc_pause(pause);
         });
         if collected {
             self.counters.world_stops.fetch_add(1, Ordering::Relaxed);

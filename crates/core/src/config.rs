@@ -78,6 +78,20 @@ pub struct HhConfig {
     /// instead of silently resolving through recycled memory. Off by default (the
     /// check costs one atomic load per access).
     pub server_mode: bool,
+    /// Collect owned leaf heaps incrementally, concurrent with their mutator
+    /// (GC v3 / ablation A6 when off).
+    ///
+    /// When enabled, an owner-triggered leaf collection pauses the mutator only to
+    /// evacuate its pinned roots; the mutator then resumes while the remaining live
+    /// set drains in bounded increments (~one scan block each) at subsequent safe
+    /// points and on idle scheduler workers. A write barrier on every mutating
+    /// entry point forwards from-space objects on access, so the mutator never
+    /// writes to a stale copy. The zone is retired once the wavefront is drained
+    /// and in-flight barrier accesses have quiesced. Off by default (the A6
+    /// ablation: monolithic stop-the-mutator collections, GC v2 shape) because the
+    /// barrier costs one atomic flag load per mutating operation even when no
+    /// collection is active. See DESIGN.md §11.
+    pub incremental_gc: bool,
     /// Create child heaps lazily, at steal time (scheduler v2 / ablation A2).
     ///
     /// When enabled (the default), `join` does not create heaps up front: both
@@ -118,6 +132,7 @@ impl Default for HhConfig {
             check_invariants: cfg!(debug_assertions),
             epoch_reclaim: true,
             server_mode: false,
+            incremental_gc: false,
             lazy_child_heaps: true,
         }
     }
@@ -133,6 +148,17 @@ impl HhConfig {
         HhConfig {
             n_workers,
             lazy_child_heaps: false,
+            ..Default::default()
+        }
+    }
+
+    /// Configuration with mutator-concurrent incremental leaf collections (GC v3,
+    /// see [`HhConfig::incremental_gc`]). The default shape — monolithic
+    /// stop-the-mutator collections — is the A6 ablation this contrasts with.
+    pub fn incremental(n_workers: usize) -> Self {
+        HhConfig {
+            n_workers,
+            incremental_gc: true,
             ..Default::default()
         }
     }
@@ -164,6 +190,11 @@ mod tests {
         assert!(c.enable_gc && c.enable_read_write_fast_path && c.enable_write_ptr_fast_path);
         assert!(c.batched_promotion);
         assert_eq!(c.gc_workers, 0, "default GC team = pool size");
+        assert!(
+            !c.incremental_gc,
+            "incremental collection is opt-in; the default shape is the A6 ablation"
+        );
+        assert!(HhConfig::incremental(2).incremental_gc);
         assert_eq!(
             c.check_invariants,
             cfg!(debug_assertions),

@@ -1,6 +1,6 @@
 //! Statistics counters shared by all tasks of a runtime.
 
-use hh_api::RunStats;
+use hh_api::{LatencyRecorder, RunStats};
 use hh_objmodel::StoreStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -62,6 +62,15 @@ pub struct Counters {
     /// Longest single collection pause observed, in nanoseconds (updated by
     /// `fetch_max`; resettable).
     pub gc_max_pause_ns: AtomicU64,
+    /// Bounded drain increments executed by incremental collections (each at most
+    /// `GC_INCREMENT_WORDS` of scanning; safepoint ticks and idle-worker drains).
+    pub gc_increments: AtomicU64,
+    /// Collections that ran mutator-concurrently (incremental windows finalized).
+    pub gc_incremental_collections: AtomicU64,
+    /// Every mutator-observed GC pause (one sample per STW collection, per
+    /// incremental seed / safepoint tick / finalize). Feeds the pause CDF in
+    /// `RunStats`; idle-worker drains do not pause a mutator and are not sampled.
+    pub gc_pauses: parking_lot::Mutex<LatencyRecorder>,
 }
 
 impl Counters {
@@ -71,9 +80,18 @@ impl Counters {
             .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
+    /// Records one mutator-observed GC pause: updates the high-water mark and
+    /// appends a sample to the pause CDF.
+    pub fn record_gc_pause(&self, d: Duration) {
+        let ns = d.as_nanos() as u64;
+        self.gc_max_pause_ns.fetch_max(ns, Ordering::Relaxed);
+        self.gc_pauses.lock().record_ns(ns);
+    }
+
     /// Builds a [`RunStats`] snapshot, combining these counters with the chunk
     /// store's memory accounting (supplied by the caller).
     pub fn snapshot(&self, store: &StoreStats) -> RunStats {
+        let pauses = self.gc_pauses.lock().summary();
         RunStats {
             gc_time: Duration::from_nanos(self.gc_nanos.load(Ordering::Relaxed)),
             gc_count: self.gc_count.load(Ordering::Relaxed),
@@ -100,6 +118,12 @@ impl Counters {
             gc_parallel_collections: self.gc_parallel_collections.load(Ordering::Relaxed),
             gc_steal_blocks: self.gc_steal_blocks.load(Ordering::Relaxed),
             gc_max_pause_ns: self.gc_max_pause_ns.load(Ordering::Relaxed),
+            gc_pause_count: pauses.count,
+            gc_pause_p50_ns: pauses.p50_ns,
+            gc_pause_p99_ns: pauses.p99_ns,
+            gc_pause_p999_ns: pauses.p999_ns,
+            gc_increments: self.gc_increments.load(Ordering::Relaxed),
+            gc_incremental_collections: self.gc_incremental_collections.load(Ordering::Relaxed),
             chunks_created: store.chunks_created as u64,
             chunks_recycled: store.chunks_recycled as u64,
             alloc_cache_hits: store.alloc_cache_hits as u64,
@@ -145,6 +169,9 @@ impl Counters {
         self.gc_parallel_collections.store(0, Ordering::Relaxed);
         self.gc_steal_blocks.store(0, Ordering::Relaxed);
         self.gc_max_pause_ns.store(0, Ordering::Relaxed);
+        self.gc_increments.store(0, Ordering::Relaxed);
+        self.gc_incremental_collections.store(0, Ordering::Relaxed);
+        self.gc_pauses.lock().clear();
     }
 }
 

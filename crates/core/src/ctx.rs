@@ -425,6 +425,11 @@ impl ParCtx for HhCtx {
     }
 
     fn pin(&self, obj: ObjPtr) {
+        // Under an open incremental window the pin slot must hold a *retained*
+        // address: frames created mid-window were not part of the seeded root
+        // set, so the pinned object is evacuated here, through the barrier,
+        // instead (no-op when no window is open or the object is outside it).
+        let obj = self.inner.gc_barrier_value(obj);
         self.frame.pins.lock().push(obj);
     }
 
@@ -456,6 +461,40 @@ impl ParCtx for HhCtx {
     }
 
     fn maybe_collect(&self) {
+        if self.inner.config.incremental_gc {
+            // Safe points service an open window first: bounded drains must keep
+            // running even while this heap is below threshold, and a contending
+            // trigger helps the open collection finish instead of stacking a
+            // monolithic pause on top of it.
+            if self.inner.incremental_tick(true) {
+                return;
+            }
+            if !self.inner.should_collect(self.heap) {
+                return;
+            }
+            if self.owns_heap {
+                // The owner starts between its own joins: no live descendants,
+                // so the domain frame's pins are the complete root set (any
+                // completed child was already joined, its chunks absorbed into
+                // this heap's — now flipped — list).
+                let top = self.inner.registry.resolve(self.heap);
+                let mut roots = self.frame.pins.lock();
+                let _ = self.inner.start_incremental(vec![top], &mut roots);
+            } else {
+                // A borrower needs the sync path's quiescence argument at seed
+                // time — an in-flight stolen task may hold pins into this heap
+                // taken before the window — but only for the seed pause: the
+                // gate drops as soon as the mutator resumes, and everything
+                // forked afterwards is covered by the barriers.
+                let Ok(_gate) = self.inner.steal_gate.try_write() else {
+                    return;
+                };
+                let zone = self.inner.registry.live_subtree(self.heap);
+                let mut roots = self.frame.pins.lock();
+                let _ = self.inner.start_incremental(zone, &mut roots);
+            }
+            return;
+        }
         if !self.inner.should_collect(self.heap) {
             return;
         }

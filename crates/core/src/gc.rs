@@ -1,5 +1,6 @@
 //! Promotion-aware semispace collection of a heap-hierarchy subtree — **GC v2:
-//! parallel, hash-free evacuation**.
+//! parallel, hash-free evacuation**, on the shared evacuation engine
+//! ([`hh_sched::EvacEngine`], GC v3).
 //!
 //! The v1 collector (the paper's §3.4 / Figure 14, generalized to subtrees) was a
 //! single-threaded Cheney pass whose inner loop paid a `HashSet<ChunkId>` membership
@@ -9,418 +10,77 @@
 //!
 //! * **Hash-free membership** — at zone assembly every chunk of the zone is stamped
 //!   with an epoch-tagged *collection state* ([`hh_objmodel::ChunkGcState`]):
-//!   `forward`'s three-way test ("already a to-space copy?" / "outside the zone?" /
-//!   "live from-space object, and of which heap?") collapses into **one atomic load
-//!   of chunk metadata**. Epochs are drawn fresh per collection
+//!   the forward step's three-way test ("already a to-space copy?" / "outside the
+//!   zone?" / "live from-space object, and of which heap?") collapses into **one
+//!   atomic load of chunk metadata**. Epochs are drawn fresh per collection
 //!   ([`hh_objmodel::ChunkStore::next_gc_epoch`]), so nothing is ever cleared and
 //!   concurrent collections of disjoint subtrees cannot confuse each other's tags.
 //! * **Parallel evacuation** — the collection runs on a *GC team*
 //!   ([`hh_sched::TeamSync`]): the triggering worker plus parked/idle pool workers
 //!   drafted through [`hh_sched::Pool::run_gc_team`], sized by
-//!   [`crate::HhConfig::gc_workers`]. Each member owns private to-space bump cursors
-//!   per zone heap (chunks held by `Arc`, so the per-copy path does no chunk-table
-//!   lookup — the same trick as promotion v2's `Heap::batch_alloc`) and publishes
-//!   *scan blocks* — contiguous spans of fully copied objects in its to-space
-//!   chunks — on a Chase–Lev [`hh_sched::SpanDeque`]; idle members steal blocks from
-//!   busy ones, wavefront-style. Forwarding pointers are installed by **CAS**
-//!   ([`hh_objmodel::ObjView::try_set_fwd`]), so two members racing to evacuate the
-//!   same object resolve to one winner; the loser retags its already-allocated copy
-//!   as an opaque filler ([`hh_objmodel::ObjView::retag_as_filler`]) and follows the
-//!   winner. With `gc_workers = 1` (ablation A4) no team is drafted and the
-//!   forwarding install degrades to a plain store — the v1 shape minus the hash
-//!   probes.
+//!   [`crate::HhConfig::gc_workers`]. With `gc_workers = 1` (ablation A4) no team
+//!   is drafted and the forwarding install degrades to a plain store — the v1
+//!   shape minus the hash probes.
 //!
-//! Termination is the classic idle-team rule: a member that finds no local span, no
-//! tail of its own cursors, and nothing to steal announces itself idle; when every
-//! registered member is idle and every deque is empty, no new work can appear (idle
-//! members create none) and the collection is over. Membership is dynamic — helpers
-//! are best-effort and may arrive mid-collection or not at all — see
-//! [`hh_sched::TeamSync`]. DESIGN.md §9 gives the full correctness argument,
-//! including why the CAS race and the block hand-off are safe.
+//! Since GC v3, the member body, span pack/steal loop, CAS forwarding race, and
+//! idle-termination protocol live in **one** shared module — `hh_sched::evac` —
+//! consumed by this collector and the flat baseline collector alike. This module
+//! contributes only what is hierarchical about the collection: the slot-to-heap
+//! mapping (`HierZone`, one to-space per zone heap so survivors keep their
+//! placement in the hierarchy), zone assembly (chunk stamping plus the quarantine
+//! rescue walk), and the post-collection installation of per-heap chunk lists.
+//! DESIGN.md §9 gives the full correctness argument for the team protocol, §11
+//! for the incremental mode built on the same engine.
 
 use crate::runtime::Inner;
 use hh_heaps::HeapId;
-use hh_objmodel::{Chunk, ChunkGcState, ChunkId, ChunkStore, ObjPtr, ObjView, GC_MAX_ZONE_SLOTS};
-use hh_sched::{Span, SpanDeque, TeamSync};
+use hh_objmodel::{Chunk, ChunkId, ChunkStore, Header, ObjPtr, GC_MAX_ZONE_SLOTS};
+use hh_sched::{EvacEngine, EvacZone};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// A member flushes the unscanned tail of its current to-space chunk to its deque
-/// (making it stealable) whenever it grows past this many words. Blocks therefore
-/// carry at least this much scan work (except final tails), keeping steal traffic
-/// amortized over hundreds of objects.
-const SCAN_BLOCK_WORDS: u32 = 512;
-
-#[inline]
-fn pack_span(chunk: ChunkId, start: u32, end: u32) -> Span {
-    (((chunk.0 as u64) << 32) | start as u64, end as u64)
-}
-
-#[inline]
-fn unpack_span(span: Span) -> (ChunkId, u32, u32) {
-    (ChunkId((span.0 >> 32) as u32), span.0 as u32, span.1 as u32)
-}
-
-/// One team member's private to-space state for one zone heap (identified by its
-/// zone *slot*; the slot is what from-space chunk tags carry, so `forward` never
-/// consults the registry).
-#[derive(Default)]
-struct WorkerTo {
-    /// Chunks this member allocated for the heap, in allocation order.
-    chunks: Vec<ChunkId>,
-    /// Current bump chunk, held by `Arc` so the per-copy path performs no
-    /// chunk-table lookup.
-    current: Option<Arc<Chunk>>,
-    /// End offset of the last fully written copy in `current`. Everything below it
-    /// is walkable: completed survivors or scrubbed race-loser fillers.
-    filled: u32,
-    /// Offset up to which spans of `current` have been handed out for scanning.
-    scanned: u32,
-    /// Words occupied in this to-space (survivors plus race-loser fillers) — the
-    /// heap's post-collection allocation volume.
-    words: usize,
-}
-
-/// One team member's collection state: per-heap to-space cursors plus statistics.
-#[derive(Default)]
-struct GcWorker {
-    tos: Vec<WorkerTo>,
-    /// Words of survivors this member won (excludes race-loser fillers).
-    copied_words: u64,
-    /// Words wasted on evacuation-race losses.
-    waste_words: u64,
-    /// Scan blocks this member stole from other members' deques.
-    steal_blocks: u64,
-    /// Xorshift state for randomized steal-victim order.
-    rng: u64,
-}
-
-/// State shared by every member of one collection team.
-struct GcShared {
+/// The hierarchical slot-to-heap mapping: zone slot `i` allocates to-space
+/// chunks owned (and run-tagged) by the zone's `i`-th heap, so a subtree
+/// collection preserves each survivor's placement in the hierarchy.
+pub(crate) struct HierZone {
     store: Arc<ChunkStore>,
-    /// This collection's epoch (chunk tags are tested against it).
-    epoch: u64,
     /// Raw heap id per zone slot, for tagging freshly allocated to-space chunks.
     heap_raws: Vec<u32>,
-    /// Run epoch per zone slot (the heap's run tag). To-space chunks inherit it so
-    /// that (a) the server-mode cross-run assertion accepts survivors and (b) when
-    /// the run later disposes, its to-space chunks carry the run's own epoch stamp
-    /// into quarantine instead of a conservative latest-issued stamp — under
-    /// overlapping runs the conservative stamp would park them behind every
-    /// younger run and visibly degrade recycling.
+    /// Run epoch per zone slot (the heap's run tag). To-space chunks inherit it
+    /// so that (a) the server-mode cross-run assertion accepts survivors and
+    /// (b) when the run later disposes, its to-space chunks carry the run's own
+    /// epoch stamp into quarantine instead of a conservative latest-issued
+    /// stamp — under overlapping runs the conservative stamp would park them
+    /// behind every younger run and visibly degrade recycling.
     heap_tags: Vec<u64>,
-    /// One scan-block deque per member slot (owner pushes/pops, others steal).
-    deques: Vec<SpanDeque>,
-    /// One private state per member slot (locked by its member for the whole
-    /// collection; the mutex exists so the triggering thread can merge afterwards).
-    slots: Vec<Mutex<GcWorker>>,
-    sync: TeamSync,
-    /// The root set, rewritten in place by member 0.
-    roots: Mutex<Vec<ObjPtr>>,
-    /// Set by member 0 once every root has been forwarded; checked after the team
-    /// departs to catch any regression of the trigger pre-registration (a team
-    /// terminating without member 0 would retire the zone with all live data).
-    roots_seeded: AtomicBool,
-    /// Install forwarding by CAS (team size > 1); plain store when single-threaded.
-    concurrent: bool,
 }
 
-/// Allocates a copy of `header` in member `w`'s to-space for zone slot `slot`,
-/// returning the pointer, the chunk it landed in, and whether that chunk is a
-/// dedicated large-object chunk. Mirrors the placement rules of `Heap::alloc_obj`:
-/// large objects get dedicated chunks without displacing the bump chunk.
-fn alloc_to(
-    shared: &GcShared,
-    w: &mut GcWorker,
-    my_slot: usize,
-    slot: u16,
-    header: hh_objmodel::Header,
-) -> (ObjPtr, Arc<Chunk>, bool) {
-    let store = &shared.store;
-    let to = &mut w.tos[slot as usize];
-    let size = header.size_words();
-    to.words += size;
-    if store.needs_dedicated_chunk(header) {
-        let (chunk, ptr) = store.alloc_dedicated_for_run(
-            shared.heap_raws[slot as usize],
+impl EvacZone for HierZone {
+    fn n_slots(&self) -> usize {
+        self.heap_raws.len()
+    }
+
+    fn alloc_dedicated(&self, slot: u16, header: Header) -> (Arc<Chunk>, ObjPtr) {
+        self.store.alloc_dedicated_for_run(
+            self.heap_raws[slot as usize],
             header,
-            shared.heap_tags[slot as usize],
-        );
-        chunk.set_gc_to_space(shared.epoch, slot);
-        to.chunks.push(chunk.id());
-        return (ptr, chunk, true);
+            self.heap_tags[slot as usize],
+        )
     }
-    if let Some(cur) = &to.current {
-        if let Some(ptr) = store.alloc_in_chunk_for_copy(cur, header) {
-            return (ptr, Arc::clone(cur), false);
-        }
-    }
-    // Current chunk absent or full: open a new one. Flush the old chunk's unscanned
-    // tail first — `take_tail` only looks at the *current* chunk, so scan work left
-    // behind in a retired cursor would otherwise be lost.
-    if let Some(prev) = &to.current {
-        if to.filled > to.scanned {
-            shared.deques[my_slot].push(pack_span(prev.id(), to.scanned, to.filled));
-        }
-    }
-    let chunk = store.alloc_chunk_for_run(
-        shared.heap_raws[slot as usize],
-        size,
-        shared.heap_tags[slot as usize],
-    );
-    chunk.set_gc_to_space(shared.epoch, slot);
-    to.chunks.push(chunk.id());
-    to.current = Some(Arc::clone(&chunk));
-    to.filled = 0;
-    to.scanned = 0;
-    let ptr = store
-        .alloc_in_chunk_for_copy(&chunk, header)
-        .expect("fresh to-space chunk too small for the object it was sized for");
-    (ptr, chunk, false)
-}
 
-/// Records a completed (fully written, forwarding-resolved) copy: advances the
-/// member's filled boundary and publishes scan blocks. Called for winners *and*
-/// scrubbed race losers — both are walkable and must be covered by some span so
-/// block walks stay contiguous.
-#[allow(clippy::too_many_arguments)]
-fn complete_copy(
-    shared: &GcShared,
-    w: &mut GcWorker,
-    my_slot: usize,
-    heap_slot: u16,
-    copy: ObjPtr,
-    size: usize,
-    dedicated: bool,
-    has_ptrs: bool,
-) {
-    if dedicated {
-        // Dedicated chunks hold exactly one object; publish it as its own block if
-        // it has pointer fields to scan.
-        if has_ptrs {
-            shared.deques[my_slot].push(pack_span(
-                copy.chunk(),
-                copy.offset(),
-                copy.offset() + size as u32,
-            ));
-        }
-        return;
+    fn alloc_chunk(&self, slot: u16, min_words: usize) -> Arc<Chunk> {
+        self.store.alloc_chunk_for_run(
+            self.heap_raws[slot as usize],
+            min_words,
+            self.heap_tags[slot as usize],
+        )
     }
-    let to = &mut w.tos[heap_slot as usize];
-    debug_assert_eq!(to.filled, copy.offset(), "out-of-order copy completion");
-    to.filled = copy.offset() + size as u32;
-    if to.filled - to.scanned >= SCAN_BLOCK_WORDS {
-        let chunk = to.current.as_ref().expect("completing into no chunk").id();
-        shared.deques[my_slot].push(pack_span(chunk, to.scanned, to.filled));
-        to.scanned = to.filled;
-    }
-}
-
-/// `cheneyCopy` (Figure 14) — the hash-free, race-tolerant step. Returns the
-/// relocated address of `obj` with respect to this collection.
-///
-/// * a chunk tag of `ToSpace` identifies a copy made by this collection — reuse it;
-/// * `Outside` identifies an object beyond the zone — an ancestor heap, a copy made
-///   by an earlier *promotion* (reusing it eliminates the duplicate left in the
-///   subtree), or, defensively, any unrelated heap;
-/// * `FromSpace(slot)` is live data of the zone: follow its forwarding chain if one
-///   exists, otherwise evacuate it into `slot`'s to-space and race to install the
-///   forwarding pointer.
-fn forward(shared: &GcShared, w: &mut GcWorker, my_slot: usize, obj: ObjPtr) -> ObjPtr {
-    if obj.is_null() {
-        return ObjPtr::NULL;
-    }
-    let store = &shared.store;
-    let mut cur = obj;
-    loop {
-        let chunk = store.chunk(cur.chunk());
-        let heap_slot = match chunk.gc_state(shared.epoch) {
-            // Case 1: already a to-space copy made by this collection.
-            // Case 2: outside the collection zone.
-            ChunkGcState::ToSpace(_) | ChunkGcState::Outside => return cur,
-            ChunkGcState::FromSpace(slot) => slot,
-        };
-        let v = ObjView::new(chunk, cur.offset());
-        // Follow forwarding chains (they may lead to a promotion copy above us, to
-        // a to-space copy, or to another from-space object of the zone).
-        let fwd = v.fwd();
-        if !fwd.is_null() {
-            cur = fwd;
-            continue;
-        }
-        // Case 3: live from-space object — evacuate it into its own heap's
-        // to-space, then race to publish the copy.
-        let header = v.header();
-        let size = header.size_words();
-        let (copy, copy_chunk, dedicated) = alloc_to(shared, w, my_slot, heap_slot, header);
-        let cv = ObjView::new(&copy_chunk, copy.offset());
-        for f in 0..header.n_fields() {
-            cv.set_field(f, v.field(f));
-        }
-        let won = if shared.concurrent {
-            v.try_set_fwd(copy).is_ok()
-        } else {
-            v.set_fwd(copy);
-            true
-        };
-        if won {
-            w.copied_words += size as u64;
-            complete_copy(
-                shared,
-                w,
-                my_slot,
-                heap_slot,
-                copy,
-                size,
-                dedicated,
-                header.n_ptr() > 0,
-            );
-            return copy;
-        }
-        // Another member won the race: our copy is unreachable. Retag it as an
-        // opaque filler so scans and invariant walks never interpret its fields as
-        // pointers, keep it covered by the span (walkers must be able to step over
-        // it), and adopt the winner's copy.
-        cv.retag_as_filler();
-        w.waste_words += size as u64;
-        complete_copy(shared, w, my_slot, heap_slot, copy, size, dedicated, false);
-        cur = v.fwd();
-        debug_assert!(!cur.is_null(), "lost the forwarding race to a NULL");
-    }
-}
-
-/// Walks every object of a scan block, forwarding its pointer fields. The block
-/// covers only fully written copies (winners and scrubbed fillers), starts and ends
-/// at object boundaries, and is owned exclusively by this member (deque removal is
-/// exactly-once), so plain field stores suffice.
-fn scan_span(shared: &GcShared, w: &mut GcWorker, my_slot: usize, span: Span) {
-    let (chunk_id, start, end) = unpack_span(span);
-    let chunk = Arc::clone(shared.store.chunk(chunk_id));
-    let mut off = start;
-    while off < end {
-        let v = ObjView::new(&chunk, off);
-        let header = v.header();
-        for f in 0..header.n_ptr() {
-            let old = v.field_ptr(f);
-            let new = forward(shared, w, my_slot, old);
-            if new != old {
-                v.set_field_ptr(f, new);
-            }
-        }
-        off += header.size_words() as u32;
-    }
-}
-
-/// Claims the unscanned tail of one of this member's own current chunks, if any.
-fn take_tail(w: &mut GcWorker) -> Option<Span> {
-    for to in w.tos.iter_mut() {
-        if to.filled > to.scanned {
-            let chunk = to.current.as_ref().expect("filled words without a chunk");
-            let span = pack_span(chunk.id(), to.scanned, to.filled);
-            to.scanned = to.filled;
-            return Some(span);
-        }
-    }
-    None
-}
-
-/// Steals a scan block from another member's deque, scanning victims from a random
-/// starting point.
-fn steal_span(shared: &GcShared, my_slot: usize, w: &mut GcWorker) -> Option<Span> {
-    let n = shared.deques.len();
-    if n <= 1 {
-        return None;
-    }
-    let mut x = w.rng;
-    x ^= x << 13;
-    x ^= x >> 7;
-    x ^= x << 17;
-    w.rng = x;
-    let start = (x % n as u64) as usize;
-    for k in 0..n {
-        let victim = (start + k) % n;
-        if victim == my_slot {
-            continue;
-        }
-        if let Some(span) = shared.deques[victim].steal() {
-            return Some(span);
-        }
-    }
-    None
-}
-
-/// The team-member body: process own blocks, then own tails, then steal; announce
-/// idle when nothing is visible and terminate when the whole team is idle with
-/// empty deques. Member 0 (the triggering worker) additionally forwards the root
-/// set before entering the loop. Member 0 is **pre-registered** at team
-/// construction ([`TeamSync::with_trigger`]) — before any helper job is published —
-/// and non-idle throughout seeding, so a fast helper that joins first and finds no
-/// work can never observe an all-idle team and finish the collection before the
-/// roots have seeded the wavefront.
-fn run_member(shared: &GcShared, slot: usize) {
-    if slot >= shared.slots.len() {
-        return;
-    }
-    if slot != 0 && !shared.sync.try_register() {
-        // A drafted helper that arrived after the collection finished (stale
-        // injector job) — nothing to do.
-        return;
-    }
-    let mut w = shared.slots[slot].lock();
-    w.tos.resize_with(shared.heap_raws.len(), WorkerTo::default);
-    w.rng = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(slot as u64 + 1) | 1;
-    if slot == 0 {
-        let mut roots = shared.roots.lock();
-        for r in roots.iter_mut() {
-            *r = forward(shared, &mut w, slot, *r);
-        }
-        shared.roots_seeded.store(true, Ordering::Release);
-    }
-    loop {
-        if let Some(span) = shared.deques[slot].pop() {
-            scan_span(shared, &mut w, slot, span);
-            continue;
-        }
-        if let Some(span) = take_tail(&mut w) {
-            scan_span(shared, &mut w, slot, span);
-            continue;
-        }
-        if let Some(span) = steal_span(shared, slot, &mut w) {
-            w.steal_blocks += 1;
-            scan_span(shared, &mut w, slot, span);
-            continue;
-        }
-        // Nothing visible: announce idle and wait for either work or termination.
-        shared.sync.enter_idle();
-        let finished = loop {
-            if shared.sync.is_done() {
-                break true;
-            }
-            if shared.deques.iter().any(|d| !d.is_empty()) {
-                shared.sync.exit_idle();
-                break false;
-            }
-            if shared.sync.all_idle() && shared.deques.iter().all(|d| d.is_empty()) {
-                // Every member idle and no block queued: idle members create no
-                // work, so this state is stable — the collection is complete.
-                shared.sync.finish();
-                break true;
-            }
-            std::thread::yield_now();
-        };
-        if finished {
-            break;
-        }
-    }
-    drop(w);
-    shared.sync.depart();
 }
 
 impl Inner {
     /// Effective GC team size: `gc_workers` (0 = "pool size"), clamped to the pool.
-    fn gc_team_size(&self) -> usize {
+    pub(crate) fn gc_team_size(&self) -> usize {
         let configured = if self.config.gc_workers == 0 {
             self.pool.n_workers()
         } else {
@@ -465,56 +125,56 @@ impl Inner {
         self.collect_zone(zone, roots);
     }
 
-    /// The shared collection body: evacuates `zone` (a set of live heaps), treating
-    /// `roots` as the root set and rewriting each root to its new location. Every
-    /// survivor is evacuated into a to-space owned by its own (resolved) heap, so a
-    /// subtree collection preserves each survivor's placement in the hierarchy.
+    /// Stamps the zone's chunks from-space for `epoch` and returns the per-heap
+    /// old chunk lists. Shared between the synchronous and incremental
+    /// collection paths.
     ///
-    /// See the module docs for the GC v2 structure (chunk-tag membership, the team,
-    /// scan-block stealing, the CAS forwarding race).
-    fn collect_zone(&self, zone: Vec<HeapId>, roots: &mut [ObjPtr]) {
-        if !self.config.enable_gc {
-            return;
-        }
-        let zone_ids = if self.invariants_enabled() {
-            zone.clone()
-        } else {
-            Vec::new()
-        };
-        let start = Instant::now();
-        let store = Arc::clone(self.registry.store());
-        let n_heaps = zone.len();
-        assert!(
-            n_heaps <= GC_MAX_ZONE_SLOTS,
-            "collection zone exceeds the chunk tag's slot range"
-        );
-        let team = self.gc_team_size();
-        let epoch = store.next_gc_epoch();
-
-        // --- Zone assembly: stamp membership into chunk metadata. ----------------
+    /// Besides the heaps' own chunk lists, this runs the **rescue pass**:
+    /// chunks retired by earlier collections stay readable until the reuse
+    /// horizon, and a root may still point into one (an unpinned local
+    /// re-pinned after the collection that retired the chunk). Their owner
+    /// resolves into the zone, so stamp them from-space too — the tag-based
+    /// membership test then rescues reachable objects stranded there, exactly
+    /// as v1's `heap_of` resolution did. Assembly-time cost, off the per-object
+    /// hot loop. The walk runs *under the quarantine lock* (`with_quarantine`):
+    /// epoch reclamation frees quarantined chunks while other runs are
+    /// mid-flight, so a snapshot taken outside the lock could stamp a chunk
+    /// that a concurrent `reclaim_watermark` has just recycled to another run.
+    /// Holding the lock pins quarantine membership for the duration of the
+    /// stamping; chunks of *this* zone's run cannot become reclaimable
+    /// concurrently anyway (the run is still active, so the watermark is at or
+    /// below its epoch).
+    pub(crate) fn stamp_zone(
+        &self,
+        store: &Arc<ChunkStore>,
+        zone: &[HeapId],
+        epoch: u64,
+    ) -> Vec<(HeapId, Vec<ChunkId>)> {
         let old_chunks: Vec<(HeapId, Vec<ChunkId>)> = zone
             .iter()
             .map(|&h| (h, self.registry.heap(h).chunks()))
             .collect();
+        self.stamp_chunks(store, zone, epoch, &old_chunks);
+        old_chunks
+    }
+
+    /// The stamping body of [`Inner::stamp_zone`], taking the per-heap chunk
+    /// lists explicitly: the incremental start path flips each zone heap's list
+    /// *out* first (`replace_chunks(Vec::new(), 0)`, so the resuming mutator
+    /// allocates into fresh zone-outside chunks) and stamps the flipped-out
+    /// lists, which `heap.chunks()` no longer returns.
+    pub(crate) fn stamp_chunks(
+        &self,
+        store: &Arc<ChunkStore>,
+        zone: &[HeapId],
+        epoch: u64,
+        old_chunks: &[(HeapId, Vec<ChunkId>)],
+    ) {
         for (slot, (_, chunks)) in old_chunks.iter().enumerate() {
             for &c in chunks {
                 store.chunk(c).set_gc_from_space(epoch, slot as u16);
             }
         }
-        // Rescue pass: chunks retired by earlier collections stay readable until
-        // the reuse horizon, and a root may still point into one (an unpinned local
-        // re-pinned after the collection that retired the chunk). Their owner
-        // resolves into the zone, so stamp them from-space too — the tag-based
-        // membership test then rescues reachable objects stranded there, exactly as
-        // v1's `heap_of` resolution did. Assembly-time cost, off the per-object
-        // hot loop. The walk runs *under the quarantine lock* (`with_quarantine`):
-        // epoch reclamation frees quarantined chunks while other runs are
-        // mid-flight, so a snapshot taken outside the lock could stamp a chunk
-        // that a concurrent `reclaim_watermark` has just recycled to another run.
-        // Holding the lock pins quarantine membership for the duration of the
-        // stamping; chunks of *this* zone's run cannot become reclaimable
-        // concurrently anyway (the run is still active, so the watermark is at or
-        // below its epoch).
         {
             let slot_of: std::collections::HashMap<HeapId, u16> = zone
                 .iter()
@@ -534,77 +194,125 @@ impl Inner {
                 }
             });
         }
+    }
 
-        // --- Run the evacuation on the team. -------------------------------------
-        let shared = Arc::new(GcShared {
-            store: Arc::clone(&store),
-            epoch,
+    /// Builds the engine's zone mapping for `zone`.
+    pub(crate) fn hier_zone(&self, store: &Arc<ChunkStore>, zone: &[HeapId]) -> HierZone {
+        HierZone {
+            store: Arc::clone(store),
             heap_raws: zone.iter().map(|h| h.raw()).collect(),
             heap_tags: zone
                 .iter()
                 .map(|&h| self.registry.heap(h).run_tag())
                 .collect(),
-            deques: (0..team).map(|_| SpanDeque::new()).collect(),
-            slots: (0..team).map(|_| Mutex::new(GcWorker::default())).collect(),
-            // Pre-register the triggering member: helper jobs are published (and
-            // parked workers woken) before `work(0)` runs, and a helper alone must
-            // not be able to terminate the team before member 0 seeds the roots.
-            sync: TeamSync::with_trigger(),
-            roots: Mutex::new(roots.to_vec()),
-            roots_seeded: AtomicBool::new(false),
-            concurrent: team > 1,
-        });
+        }
+    }
+
+    /// The shared collection body: evacuates `zone` (a set of live heaps), treating
+    /// `roots` as the root set and rewriting each root to its new location. Every
+    /// survivor is evacuated into a to-space owned by its own (resolved) heap, so a
+    /// subtree collection preserves each survivor's placement in the hierarchy.
+    ///
+    /// See the module docs for the GC v2 structure (chunk-tag membership, the team,
+    /// scan-block stealing, the CAS forwarding race — all in `hh_sched::evac` now).
+    pub(crate) fn collect_zone(&self, zone: Vec<HeapId>, roots: &mut [ObjPtr]) {
+        if !self.config.enable_gc {
+            return;
+        }
+        // A monolithic collection requires a quiescent zone; an open incremental
+        // window (necessarily of a disjoint zone, but conservatively: any) is
+        // completed first so the two engines never interleave on shared store
+        // structures' lifecycle (quarantine stamps, heap chunk lists).
+        self.finalize_incremental_now(|_| true);
+        let zone_ids = if self.invariants_enabled() {
+            zone.clone()
+        } else {
+            Vec::new()
+        };
+        let start = Instant::now();
+        let store = Arc::clone(self.registry.store());
+        let n_heaps = zone.len();
+        assert!(
+            n_heaps <= GC_MAX_ZONE_SLOTS,
+            "collection zone exceeds the chunk tag's slot range"
+        );
+        let team = self.gc_team_size();
+        let epoch = store.next_gc_epoch();
+
+        // --- Zone assembly: stamp membership into chunk metadata. ----------------
+        let old_chunks = self.stamp_zone(&store, &zone, epoch);
+
+        // --- Run the evacuation on the team. -------------------------------------
+        let engine = Arc::new(EvacEngine::new(
+            self.hier_zone(&store, &zone),
+            Arc::clone(&store),
+            epoch,
+            team,
+            false,
+        ));
+        // The root set, rewritten in place by the trigger (slot 0). It lives in
+        // a shared vector because `run_gc_team` runs the trigger through the
+        // same `Fn(usize)` closure it publishes to helpers.
+        let shared_roots = Arc::new(Mutex::new(roots.to_vec()));
         if team > 1 {
             let work: Arc<dyn Fn(usize) + Send + Sync> = {
-                let shared = Arc::clone(&shared);
-                Arc::new(move |slot| run_member(&shared, slot))
+                let engine = Arc::clone(&engine);
+                let shared_roots = Arc::clone(&shared_roots);
+                Arc::new(move |slot| {
+                    if slot == 0 {
+                        engine.run_trigger(|fwd| {
+                            for r in shared_roots.lock().iter_mut() {
+                                *r = fwd(*r);
+                            }
+                        });
+                    } else {
+                        engine.run_helper(slot);
+                    }
+                })
             };
             self.pool.run_gc_team(team - 1, work);
         } else {
-            run_member(&shared, 0);
+            engine.run_trigger(|fwd| {
+                for r in shared_roots.lock().iter_mut() {
+                    *r = fwd(*r);
+                }
+            });
         }
-        shared.sync.await_departures();
-        debug_assert!(
-            shared.roots_seeded.load(Ordering::Acquire),
-            "GC team finished without member 0 forwarding the roots"
-        );
-        roots.copy_from_slice(&shared.roots.lock());
+        engine.await_team();
+        roots.copy_from_slice(&shared_roots.lock());
 
         // --- Merge per-member to-spaces and install them. ------------------------
-        let mut copied_total = 0u64;
-        let mut waste_total = 0u64;
-        let mut occupied_total = 0u64;
-        let mut steal_blocks = 0u64;
-        let mut per_heap: Vec<(Vec<ChunkId>, usize, Option<ChunkId>)> =
-            (0..n_heaps).map(|_| (Vec::new(), 0, None)).collect();
-        for slot in shared.slots.iter() {
-            let mut w = slot.lock();
-            copied_total += w.copied_words;
-            waste_total += w.waste_words;
-            steal_blocks += w.steal_blocks;
-            for (hi, to) in w.tos.iter_mut().enumerate() {
-                let merged = &mut per_heap[hi];
-                merged.0.append(&mut to.chunks);
-                merged.1 += to.words;
-                occupied_total += to.words as u64;
-                if let Some(cur) = to.current.take() {
-                    // Remember *a* partially filled bump chunk; it becomes the
-                    // heap's resume point. Other members' partial chunks keep their
-                    // unused tails (bounded internal fragmentation, reclaimed at
-                    // the heap's next collection).
-                    merged.2 = Some(cur.id());
-                }
-            }
-        }
-        // To-space conservation: every allocated word is either a survivor or an
-        // evacuation-race filler.
-        debug_assert_eq!(
-            copied_total + waste_total,
-            occupied_total,
-            "to-space words unaccounted for"
+        let outcome = engine.merge();
+        self.install_to_spaces(&store, epoch, old_chunks, outcome.per_slot);
+
+        // --- Statistics. ---------------------------------------------------------
+        self.record_collection(
+            n_heaps,
+            team,
+            outcome.steal_blocks,
+            outcome.copied_words,
+            start.elapsed(),
         );
-        for (hi, (heap, old)) in old_chunks.into_iter().enumerate() {
-            let (mut chunks, words, partial) = std::mem::take(&mut per_heap[hi]);
+
+        // Debug builds: re-verify disentanglement and forwarding acyclicity over the
+        // just-collected zone (the zone is still quiescent — same precondition the
+        // collection itself ran under). No-op in release builds.
+        self.verify_heaps(&zone_ids);
+    }
+
+    /// Installs the merged to-spaces into their heaps and retires the old
+    /// from-space chunks. `epoch` is the collection's epoch: an old chunk whose
+    /// tag now reads `ToSpace` was promoted in place (a dedicated large-object
+    /// chunk handed over wholesale) — it is part of the installed to-space and
+    /// must not be retired.
+    pub(crate) fn install_to_spaces(
+        &self,
+        store: &Arc<ChunkStore>,
+        epoch: u64,
+        old_chunks: Vec<(HeapId, Vec<ChunkId>)>,
+        per_slot: Vec<(Vec<ChunkId>, usize)>,
+    ) {
+        for ((heap, old), (chunks, words)) in old_chunks.into_iter().zip(per_slot) {
             if chunks.is_empty() {
                 debug_assert_eq!(words, 0, "to-space words without to-space chunks");
                 // Zero survivors. A heap that also had no from-space chunks (an
@@ -614,21 +322,8 @@ impl Inner {
                     self.registry.heap(heap).replace_chunks(Vec::new(), 0);
                 }
             } else {
-                // `replace_chunks` resumes bump allocation from the *last* chunk of
-                // the list; make sure that is a partially filled bump chunk, not a
-                // full or dedicated chunk that happened to be merged after it. The
-                // chunk list is unordered apart from this invariant, so a
-                // constant-time swap_remove replaces v1's O(n) `Vec::remove`
-                // shuffle — and the common single-member case already has the bump
-                // chunk last, skipping the reorder entirely.
-                if let Some(cur) = partial {
-                    if chunks.last() != Some(&cur) {
-                        if let Some(pos) = chunks.iter().position(|&c| c == cur) {
-                            chunks.swap_remove(pos);
-                            chunks.push(cur);
-                        }
-                    }
-                }
+                // The engine's merge already moved a partially filled bump chunk
+                // to the end of the list — the heap's resume point.
                 self.registry.heap(heap).replace_chunks(chunks, words);
             }
             // Retire the old from-space. Old chunk contents stay readable until the
@@ -637,11 +332,27 @@ impl Inner {
             // held in Rust locals harmless — they resolve through forwarding
             // pointers on their next mutable access. See DESIGN.md §2 and §5.
             for c in old {
+                if matches!(
+                    store.chunk(c).gc_state(epoch),
+                    hh_objmodel::ChunkGcState::ToSpace(_)
+                ) {
+                    continue; // promoted in place — now part of the to-space
+                }
                 store.retire_chunk(c);
             }
         }
+    }
 
-        // --- Statistics. ---------------------------------------------------------
+    /// Bumps the collection counters and records the pause.
+    pub(crate) fn record_collection(
+        &self,
+        n_heaps: usize,
+        team: usize,
+        steal_blocks: u64,
+        copied_words: u64,
+        pause: std::time::Duration,
+    ) {
+        use std::sync::atomic::Ordering;
         self.counters.gc_count.fetch_add(1, Ordering::Relaxed);
         if n_heaps > 1 {
             self.counters
@@ -660,16 +371,8 @@ impl Inner {
         }
         self.counters
             .gc_copied_words
-            .fetch_add(copied_total, Ordering::Relaxed);
-        let pause = start.elapsed();
+            .fetch_add(copied_words, Ordering::Relaxed);
         self.counters.add_gc_time(pause);
-        self.counters
-            .gc_max_pause_ns
-            .fetch_max(pause.as_nanos() as u64, Ordering::Relaxed);
-
-        // Debug builds: re-verify disentanglement and forwarding acyclicity over the
-        // just-collected zone (the zone is still quiescent — same precondition the
-        // collection itself ran under). No-op in release builds.
-        self.verify_heaps(&zone_ids);
+        self.counters.record_gc_pause(pause);
     }
 }

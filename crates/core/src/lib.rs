@@ -32,6 +32,7 @@ pub mod config;
 pub mod counters;
 pub mod ctx;
 pub mod gc;
+pub mod incremental;
 pub mod invariants;
 pub mod ops;
 pub mod promote;

@@ -75,6 +75,11 @@ impl Inner {
 
     /// `writeNonptr` (Figure 6, lines 18–23).
     pub(crate) fn write_nonptr_impl(&self, obj: ObjPtr, field: usize, val: u64) {
+        // Incremental-GC write barrier: ensure a from-space `obj` is forwarded
+        // *before* the store below, so the optimistic-write recheck (and
+        // `find_master`) necessarily lands in to-space and the update cannot be
+        // lost to a concurrent evacuation snapshot.
+        self.gc_barrier(obj);
         let store = self.registry.store();
         if self.config.enable_read_write_fast_path {
             // Fast path: write optimistically, then check whether `obj` was the master.
@@ -102,6 +107,7 @@ impl Inner {
         expected: u64,
         new: u64,
     ) -> Result<u64, u64> {
+        self.gc_barrier(obj);
         let store = self.registry.store();
         if self.config.enable_read_write_fast_path {
             let v = store.view(obj);
@@ -166,6 +172,7 @@ impl Inner {
         if vals.is_empty() {
             return;
         }
+        self.gc_barrier(obj);
         self.counters.record_bulk(vals.len() as u64);
         let store = self.registry.store();
         let (master, heap) = self.find_master_counted(obj);
@@ -181,6 +188,7 @@ impl Inner {
         if len == 0 {
             return;
         }
+        self.gc_barrier(obj);
         self.counters.record_bulk(len as u64);
         let store = self.registry.store();
         let (master, heap) = self.find_master_counted(obj);
@@ -224,6 +232,9 @@ impl Inner {
         if len == 0 {
             return;
         }
+        // Only the destination is written; source reads resolve through
+        // `find_master` and from-space stays readable until finalize retires it.
+        self.gc_barrier(dst);
         self.counters.record_bulk(len as u64);
         let store = self.registry.store();
         COPY_BUF.with(|cell| {
@@ -267,6 +278,11 @@ impl Inner {
         field: usize,
         ptr: ObjPtr,
     ) {
+        // Barrier the written-to object *and* the written value: storing a
+        // from-space address would outlive the window's from-space chunks, so
+        // the value is substituted with its to-space copy here.
+        self.gc_barrier(obj);
+        let ptr = self.gc_barrier_value(ptr);
         let store = self.registry.store();
 
         // Fast path (lines 2–5): the object lives in the current task's heap — which is

@@ -350,9 +350,30 @@ impl Inner {
             let header = v.header();
             let (copy, copy_chunk) = batch.alloc_for_copy(header);
             let cv = ObjView::new(copy_chunk, copy.offset());
-            v.set_fwd(copy);
-            for f in 0..header.n_fields() {
-                cv.set_field(f, v.field(f));
+            if self.incremental_active.load(Ordering::Acquire) {
+                // An incremental collection may be evacuating `cur`'s heap right
+                // now: idle-worker drains install forwarding pointers without
+                // holding our write locks, so the install must be a CAS. Fields
+                // are filled *before* publishing the copy (engine scanners chase
+                // forwarding chains outside our locks and must never observe a
+                // half-written copy). On loss the copy is retagged as an opaque
+                // filler and the winner's copy — the engine's to-space copy,
+                // still deeper than the target — is promoted on the next trip
+                // around the loop.
+                for f in 0..header.n_fields() {
+                    cv.set_field(f, v.field(f));
+                }
+                if v.try_set_fwd(copy).is_err() {
+                    cv.retag_as_filler();
+                    cur = v.fwd();
+                    hops += 1;
+                    continue;
+                }
+            } else {
+                v.set_fwd(copy);
+                for f in 0..header.n_fields() {
+                    cv.set_field(f, v.field(f));
+                }
             }
             stats.objects += 1;
             if header.n_ptr() > 0 {
@@ -417,9 +438,22 @@ impl Inner {
             let header = v.header();
             let copy = self.registry.alloc_obj(target, header);
             let cv = store.view(copy);
-            v.set_fwd(copy);
-            for f in 0..header.n_fields() {
-                cv.set_field(f, v.field(f));
+            if self.incremental_active.load(Ordering::Acquire) {
+                // Same race as the batched path: CAS the install, loser retags
+                // and follows the winner (see `forward_batched`).
+                for f in 0..header.n_fields() {
+                    cv.set_field(f, v.field(f));
+                }
+                if v.try_set_fwd(copy).is_err() {
+                    cv.retag_as_filler();
+                    cur = v.fwd();
+                    continue;
+                }
+            } else {
+                v.set_fwd(copy);
+                for f in 0..header.n_fields() {
+                    cv.set_field(f, v.field(f));
+                }
             }
             let words = header.size_words();
             self.counters

@@ -49,6 +49,19 @@ pub(crate) struct Inner {
     /// blocking for the (short) duration of the collection. See DESIGN.md §4.2.
     pub(crate) steal_gate: std::sync::RwLock<()>,
     run_epoch: parking_lot::Mutex<RunEpoch>,
+    /// True while an incremental collection window is open (GC v3). The write
+    /// barrier's per-operation test: one atomic load, behind a plain
+    /// `config.incremental_gc` test so the A6 shape pays nothing.
+    pub(crate) incremental_active: std::sync::atomic::AtomicBool,
+    /// The open incremental collection, if any (at most one per runtime).
+    /// Barrier cold paths and increment drains clone the `Arc` out and release
+    /// the lock immediately — in particular, the finalize handshake must never
+    /// run under it (barrier calls need the lock to reach the engine).
+    pub(crate) active_gc: parking_lot::Mutex<Option<Arc<crate::incremental::ActiveGc>>>,
+    /// GC epoch of the open window: lets the barrier cold path test a chunk's
+    /// zone membership (`gc_state(epoch)`) before touching the `active_gc` lock,
+    /// so operations on untouched heaps never contend on it.
+    pub(crate) active_gc_epoch: std::sync::atomic::AtomicU64,
 }
 
 impl Inner {
@@ -109,6 +122,11 @@ impl Inner {
     /// **Global-horizon mode** (A5): the tree becomes disposable at the next
     /// `begin_run` that observes no active runs.
     fn end_run(&self, root: HeapId, heaps_before: usize, heaps_after: usize, epoch: u64) {
+        // A window of the ending run must complete before its tree is disposed:
+        // its semispaces are on no heap's chunk list mid-window, so disposal
+        // would leak both. (A5's untagged runs all read tag 0 and finalize
+        // conservatively.)
+        self.finalize_incremental_now(|gc| gc.zone_run_tag == epoch);
         if self.config.epoch_reclaim {
             self.registry
                 .dispose_subtree_in(root, heaps_before..heaps_after);
@@ -180,7 +198,7 @@ impl HhRuntime {
                 counters.sched_steals.fetch_add(1, Ordering::Relaxed);
             });
         }
-        HhRuntime {
+        let rt = HhRuntime {
             inner: Arc::new(Inner {
                 registry,
                 pool,
@@ -188,8 +206,27 @@ impl HhRuntime {
                 counters,
                 steal_gate: std::sync::RwLock::new(()),
                 run_epoch: parking_lot::Mutex::new(RunEpoch::default()),
+                incremental_active: std::sync::atomic::AtomicBool::new(false),
+                active_gc: parking_lot::Mutex::new(None),
+                active_gc_epoch: std::sync::atomic::AtomicU64::new(0),
             }),
+        };
+        if rt.inner.config.incremental_gc {
+            // Idle workers drain increments of an open window instead of
+            // spinning: the collection makes progress on cycles that would
+            // otherwise be wasted, without charging any mutator a pause (hence
+            // `record_pause = false`). The hook holds a `Weak` — the pool lives
+            // inside `Inner`, so a strong capture would leak the runtime.
+            let weak = Arc::downgrade(&rt.inner);
+            rt.inner.pool.set_idle_hook(move |_worker| {
+                if let Some(inner) = weak.upgrade() {
+                    if inner.incremental_active.load(Ordering::Relaxed) {
+                        inner.incremental_tick(false);
+                    }
+                }
+            });
         }
+        rt
     }
 
     /// Creates a runtime with `n` workers and default memory parameters.

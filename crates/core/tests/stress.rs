@@ -435,6 +435,81 @@ fn run_case_parallel_gc(case: &Case) {
     }
 }
 
+/// GC v3 lane: the hierarchical runtime in **server mode with mutator-concurrent
+/// incremental collection forced** — tiny chunks and threshold on every seed, the
+/// invariant checker on, and two *overlapping* runs per seed (epoch-tracked, like
+/// a multi-tenant server), so incremental windows open, drain, and finalize while
+/// both mutators keep allocating, promoting and recycling mid-flight. Each run is
+/// checked against the model's checksum for its own seed, and the runtime must be
+/// fully disentangled after the overlap. Returns the number of collections that
+/// actually completed incrementally, so the driver can assert the lane exercised
+/// the machinery at all (a single seed's program may legitimately stay under
+/// threshold).
+fn run_case_incremental_gc(case: &Case) -> u64 {
+    let seed = case.seed;
+    let depth = case.depth;
+    let replay = format!(
+        "seed {seed} (replay: HH_STRESS_SEED={seed} cargo test -p hh-runtime --test stress)"
+    );
+    // One level deeper than the other lanes, and a threshold of a few chunks:
+    // the seed programs are small (hundreds of words), so this is what makes
+    // windows actually open on most seeds.
+    let depth = depth + 1;
+    let seed_b = seed ^ 0x5EED_B00F;
+    let expected_a = model::ModelCtx::run(|c| exec(c, seed, depth));
+    let expected_b = model::ModelCtx::run(|c| exec(c, seed_b, depth));
+    let workers = hh_api::env_workers(4).max(2);
+    let rt = HhRuntime::new(HhConfig {
+        n_workers: workers,
+        chunk_words: 128,
+        gc_threshold_words: 512,
+        check_invariants: true,
+        server_mode: true,
+        incremental_gc: true,
+        ..Default::default()
+    });
+    let mut incremental = 0;
+    std::thread::scope(|scope| {
+        let rt_ref = &rt;
+        let b = scope.spawn(move || rt_ref.run(|c| exec(c, seed_b, depth)));
+        assert_eq!(
+            rt.run(|c| exec(c, seed, depth)),
+            expected_a,
+            "parmem (incremental, server) diverged from the model on {replay}"
+        );
+        incremental += rt.stats().gc_incremental_collections;
+        assert_eq!(
+            b.join().unwrap(),
+            expected_b,
+            "overlapped parmem run (incremental, server) diverged on {replay}"
+        );
+    });
+    incremental += rt.stats().gc_incremental_collections;
+    assert_eq!(
+        rt.check_disentangled(),
+        0,
+        "parmem (incremental, server) left entanglement on {replay}"
+    );
+    incremental
+}
+
+#[test]
+fn stress_incremental_gc_forced() {
+    if let Ok(one) = std::env::var("HH_STRESS_SEED") {
+        let seed: u64 = one.parse().expect("HH_STRESS_SEED must be an integer");
+        run_case_incremental_gc(&Case::from_seed(seed));
+        return;
+    }
+    let mut incremental = 0;
+    for seed in 0..seed_count() {
+        incremental += run_case_incremental_gc(&Case::from_seed(seed));
+    }
+    assert!(
+        incremental > 0,
+        "the lane never completed an incremental collection — pressure knobs are dead"
+    );
+}
+
 #[test]
 fn stress_parallel_gc_forced() {
     if let Ok(one) = std::env::var("HH_STRESS_SEED") {

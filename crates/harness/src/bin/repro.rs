@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures from the command line.
 //!
 //! ```text
-//! repro <experiment> [--scale S] [--procs P] [--grain G]
+//! repro <experiment> [--scale S] [--procs P] [--grain G] [--json PATH]
 //!
 //! experiments:
 //!   fig8        cost of memory operations
@@ -15,20 +15,25 @@
 //!   ablation    fast-path ablation (DESIGN.md A1)
 //!   sched       scheduler counters (steals, parks, wakes, heaps elided)
 //!   mem         memory lifecycle (peak/live/free words, recycle rates)
-//!   gc          GC v2: pauses, copied words, team/steal counters (DESIGN.md §9)
+//!   gc          GC v3: pause CDF, copied words, team/steal counters (DESIGN.md §9, §11)
 //!   serve       hh-server: overlapping runs, epoch vs global-horizon reclamation (A5)
 //!   all         everything above
 //! ```
+//!
+//! `--json PATH` (the `gc` experiment only) appends one JSON line per
+//! benchmark × runtime with the headline GC metrics — the machine-readable
+//! artifact (`BENCH_pr7.json`) the CI bench gate diffs across PRs.
 
 use hh_harness::experiments::{
-    ablation_fastpath, fig10, fig11, fig12, fig13, fig8, fig9, gc_pause_table, mem_lifecycle,
+    ablation_fastpath, fig10, fig11, fig12, fig13, fig8, fig9, gc_pause_report, mem_lifecycle,
     promote_micro, promote_workloads, promotion_volume, sched_counters, serve_overlap, ExpConfig,
 };
+use std::io::Write;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro <fig8|fig9|fig10|fig11|fig12|fig13|promotion|promote|ablation|sched|mem|gc|serve|all> \
-         [--scale S] [--procs P] [--grain G]"
+         [--scale S] [--procs P] [--grain G] [--json PATH]"
     );
     std::process::exit(2);
 }
@@ -40,6 +45,7 @@ fn main() {
     }
     let which = args[0].clone();
     let mut cfg = ExpConfig::default();
+    let mut json_path: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -62,6 +68,10 @@ fn main() {
                     .get(i + 1)
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--json" => {
+                json_path = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
                 i += 2;
             }
             _ => usage(),
@@ -88,7 +98,24 @@ fn main() {
         "ablation" => println!("{}", ablation_fastpath(cfg).render()),
         "sched" => println!("{}", sched_counters(cfg).render()),
         "mem" => println!("{}", mem_lifecycle(cfg).render()),
-        "gc" => println!("{}", gc_pause_table(cfg).render()),
+        "gc" => {
+            let (table, json) = gc_pause_report(cfg);
+            println!("{}", table.render());
+            if let Some(path) = &json_path {
+                let mut out = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .unwrap_or_else(|e| {
+                        eprintln!("cannot open {path}: {e}");
+                        std::process::exit(1);
+                    });
+                for line in &json {
+                    writeln!(out, "{line}").expect("writing JSON report");
+                }
+                println!("wrote {} JSON record(s) to {path}\n", json.len());
+            }
+        }
         "serve" => println!("{}", serve_overlap(cfg, 1000).render()),
         _ => usage(),
     };

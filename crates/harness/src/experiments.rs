@@ -615,66 +615,125 @@ pub fn promote_workloads(cfg: ExpConfig) -> Table {
 
 /// `repro gc` — collection behaviour of all four runtimes on the mutator-heavy
 /// workloads under a GC threshold small enough that collections actually fire:
-/// pause totals and maxima, copied volume, and the GC v2 team counters
-/// (team-mode collections, stolen scan blocks). The hierarchical runtime is
-/// reported twice: with the default GC team and with the serial `gc_workers = 1`
-/// ablation (A4), so the table directly shows what parallel collection buys.
+/// the pause CDF (count, p50/p99/p999/max), copied volume, and the team steal
+/// counter. The hierarchical runtime is reported three times: the default GC
+/// team, the serial `gc_workers = 1` ablation (A4), and the GC v3
+/// mutator-concurrent incremental collector (`incremental_gc`; switching it off
+/// is ablation A6 — the plain `parmem` row). The incremental row's pauses are
+/// individual safepoint increments, so its tail should stay bounded by the
+/// increment budget while the stop-the-world rows' tails grow with the live set.
 pub fn gc_pause_table(cfg: ExpConfig) -> Table {
+    gc_pause_report(cfg).0
+}
+
+/// As [`gc_pause_table`], additionally returning one JSON line per
+/// benchmark × runtime with the headline GC metrics (hand-rolled — no serde in
+/// this environment): `gc_max_pause_ns`, the pause tail, copied volume, and
+/// the evacuation cost in ns per copied word. `repro gc --json PATH` appends
+/// these to the benchmark artifact (`BENCH_pr7.json`) that the CI bench gate
+/// diffs across PRs.
+pub fn gc_pause_report(cfg: ExpConfig) -> (Table, Vec<String>) {
+    let mut json: Vec<String> = Vec::new();
     let mut table = Table::new(
-        "GC v2 — collection pauses and team counters (tiny thresholds)",
+        "GC v3 — pause CDF and team counters (tiny thresholds)",
         &[
             "benchmark",
             "runtime",
             "GCs",
-            "team GCs",
+            "incr GCs",
             "stolen blocks",
             "copied Kw",
             "gc time",
+            "pauses",
+            "p50",
+            "p99",
+            "p999",
             "max pause",
         ],
     );
     let params = cfg.params();
     let chunk = 1024;
     let threshold = 16 * 1024;
-    let max_pause = |ns: u64| format!("{:.3} ms", ns as f64 / 1e6);
+    let pause_us = |ns: u64| format!("{:.1} µs", ns as f64 / 1e3);
     let kwords = |w: u64| format!("{:.1}", w as f64 / 1024.0);
     for &bench in BenchId::MUTATOR.iter() {
-        let mut measurements: Vec<(String, Measurement)> = Vec::new();
+        let mut measurements: Vec<(String, &'static str, Measurement)> = Vec::new();
         let seq = SeqRuntime::with_params(chunk, threshold, true);
-        measurements.push(("seq".into(), measure_on(&seq, bench, params, 1)));
+        measurements.push(("seq".into(), "seq", measure_on(&seq, bench, params, 1)));
         let stw = StwRuntime::with_params(cfg.procs, chunk, threshold, true);
-        measurements.push(("stw".into(), measure_on(&stw, bench, params, cfg.procs)));
+        measurements.push((
+            "stw".into(),
+            "stw",
+            measure_on(&stw, bench, params, cfg.procs),
+        ));
         let dlg = DlgRuntime::with_params(cfg.procs, chunk, threshold, true);
-        measurements.push(("dlg".into(), measure_on(&dlg, bench, params, cfg.procs)));
-        for (label, gc_workers) in [("parmem", 0usize), ("parmem gc=1 (A4)", 1)] {
+        measurements.push((
+            "dlg".into(),
+            "dlg",
+            measure_on(&dlg, bench, params, cfg.procs),
+        ));
+        for (label, key, gc_workers, incremental) in [
+            ("parmem (A6)", "parmem_a6", 0usize, false),
+            ("parmem gc=1 (A4)", "parmem_a4", 1, false),
+            ("parmem inc (v3)", "parmem_inc", 0, true),
+        ] {
             let m = measure_parmem_with_config(
                 HhConfig {
                     n_workers: cfg.procs,
                     chunk_words: chunk,
                     gc_threshold_words: threshold,
                     gc_workers,
+                    incremental_gc: incremental,
                     ..Default::default()
                 },
                 bench,
                 params,
             );
-            measurements.push((label.into(), m));
+            measurements.push((label.into(), key, m));
         }
-        for (label, m) in measurements {
+        for (label, key, m) in measurements {
             let s = &m.stats;
             table.row(vec![
                 bench.name().to_string(),
                 label,
                 s.gc_count.to_string(),
-                s.gc_parallel_collections.to_string(),
+                s.gc_incremental_collections.to_string(),
                 s.gc_steal_blocks.to_string(),
                 kwords(s.gc_copied_words),
                 secs(s.gc_time),
-                max_pause(s.gc_max_pause_ns),
+                s.gc_pause_count.to_string(),
+                pause_us(s.gc_pause_p50_ns),
+                pause_us(s.gc_pause_p99_ns),
+                pause_us(s.gc_pause_p999_ns),
+                pause_us(s.gc_max_pause_ns),
             ]);
+            let gc_ns = s.gc_time.as_nanos() as f64;
+            json.push(format!(
+                concat!(
+                    "{{\"experiment\":\"gc\",\"benchmark\":\"{}\",\"runtime\":\"{}\",",
+                    "\"elapsed_s\":{:.6},\"gc_count\":{},\"gc_incremental_collections\":{},",
+                    "\"gc_pause_count\":{},\"gc_pause_p50_ns\":{},\"gc_pause_p99_ns\":{},",
+                    "\"gc_pause_p999_ns\":{},\"gc_max_pause_ns\":{},\"gc_copied_words\":{},",
+                    "\"gc_time_s\":{:.6},\"ns_per_copied_word\":{:.2},\"checksum\":{}}}"
+                ),
+                bench.name(),
+                key,
+                m.elapsed.as_secs_f64(),
+                s.gc_count,
+                s.gc_incremental_collections,
+                s.gc_pause_count,
+                s.gc_pause_p50_ns,
+                s.gc_pause_p99_ns,
+                s.gc_pause_p999_ns,
+                s.gc_max_pause_ns,
+                s.gc_copied_words,
+                s.gc_time.as_secs_f64(),
+                gc_ns / (s.gc_copied_words.max(1)) as f64,
+                m.checksum,
+            ));
         }
     }
-    table
+    (table, json)
 }
 
 // ---------------------------------------------------------------------------
@@ -887,14 +946,17 @@ mod tests {
     }
 
     #[test]
-    fn gc_pause_table_covers_mutator_workloads_on_five_rows_each() {
+    fn gc_pause_table_covers_mutator_workloads_on_six_rows_each() {
         let t = gc_pause_table(tiny_cfg());
-        // 3 mutator workloads × (seq, stw, dlg, parmem, parmem-A4).
-        assert_eq!(t.n_rows(), 3 * 5);
+        // 3 mutator workloads × (seq, stw, dlg, parmem-A6, parmem-A4, parmem-inc).
+        assert_eq!(t.n_rows(), 3 * 6);
         let rendered = t.render();
         assert!(rendered.contains("union-find"));
         assert!(rendered.contains("(A4)"));
+        assert!(rendered.contains("(A6)"));
+        assert!(rendered.contains("parmem inc (v3)"));
         assert!(rendered.contains("max pause"));
+        assert!(rendered.contains("p999"));
     }
 
     #[test]

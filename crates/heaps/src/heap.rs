@@ -245,6 +245,21 @@ impl Heap {
         old
     }
 
+    /// Prepends collected to-space chunks to this heap's chunk list without touching
+    /// the allocation cursor (used by the incremental collector's finalize: the
+    /// mutator has been allocating fresh chunks into this heap since the roots-only
+    /// pause, and its current bump chunk must stay current). Counts as a collection.
+    pub fn adopt_collected_chunks(&self, mut collected: Vec<ChunkId>, collected_words: usize) {
+        let mut st = self.alloc.lock();
+        collected.append(&mut st.chunks);
+        st.chunks = collected;
+        // `current` still points at the mutator's bump chunk (or None if it has not
+        // allocated since the flip), which sits at the tail where the cursor expects it.
+        self.allocated_words
+            .fetch_add(collected_words, Ordering::Relaxed);
+        self.collections.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Empties the heap's allocation state and returns every chunk it held. Unlike
     /// [`Heap::replace_chunks`] this does not count as a collection; it is used by
     /// the runtimes to dispose of a completed run's heap tree before recycling.

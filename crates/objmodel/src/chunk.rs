@@ -216,6 +216,29 @@ impl Chunk {
         );
     }
 
+    /// Atomically retags this chunk from **from-space** to **to-space** of the same
+    /// collection (`epoch`, `slot`) — the in-place promotion of a dedicated
+    /// large-object chunk, whose single object is transferred wholesale instead of
+    /// being copied. The CAS arbitrates racing evacuators: exactly one caller wins
+    /// (and performs the transfer bookkeeping); losers re-read the tag and find the
+    /// object already in to-space.
+    #[inline]
+    pub fn try_gc_promote_in_place(&self, epoch: u64, slot: u16) -> bool {
+        debug_assert!(
+            epoch < 1 << (64 - GC_EPOCH_SHIFT),
+            "GC epoch exceeds the chunk tag's epoch field"
+        );
+        let base = (epoch << GC_EPOCH_SHIFT) | ((slot as u64) << GC_SLOT_SHIFT);
+        self.gc_tag
+            .compare_exchange(
+                base | GC_FLAG_FROM,
+                base | GC_FLAG_TO,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
     /// Decodes this chunk's collection state **with respect to** collection `epoch`:
     /// one atomic load replaces the old per-object `HashSet` membership probe and
     /// `heap_of` resolution. A tag stamped by any other (earlier or concurrent)

@@ -276,6 +276,22 @@ impl<'a> ObjView<'a> {
         self.set_field(i, ptr.to_bits());
     }
 
+    /// Atomic compare-and-swap on a pointer field: installs `new` only if the
+    /// field still holds `expected`. Returns whether the install happened.
+    ///
+    /// This is the scan-side write of mutator-concurrent collection (GC v3): a
+    /// scanner rewriting a to-space field may race with a mutator pointer store,
+    /// and the mutator must win — its stored value was already forwarded by the
+    /// write barrier, so a lost CAS is simply skipped, never retried.
+    #[inline]
+    pub fn cas_field_ptr(&self, i: usize, expected: ObjPtr, new: ObjPtr) -> bool {
+        debug_assert!(
+            self.header().is_ptr_field(i),
+            "field {i} is not a pointer field"
+        );
+        self.cas_field(i, expected.to_bits(), new.to_bits()).is_ok()
+    }
+
     /// True if field `i` holds an object pointer (`ptrFields` membership).
     #[inline]
     pub fn is_ptr_field(&self, i: usize) -> bool {

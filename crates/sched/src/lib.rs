@@ -35,12 +35,14 @@
 
 #![warn(missing_docs)]
 
+pub mod evac;
 pub mod job;
 pub mod pool;
 pub mod queue;
 pub mod safepoint;
 pub mod team;
 
+pub use evac::{EvacEngine, EvacOutcome, EvacZone, SCAN_BLOCK_WORDS};
 pub use job::JobRef;
 pub use pool::{Pool, PoolConfig, PoolWaker, SchedStats, Worker};
 pub use queue::{Injector, JobQueue, Span, SpanDeque};

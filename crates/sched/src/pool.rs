@@ -565,6 +565,17 @@ impl Drop for Pool {
             // have been joined, so we are the only executor.
             unsafe { job.execute(false) };
         }
+        // Every drained helper job has now decremented its backlog slot; a
+        // residue would mean a job escaped both the workers and the drain (its
+        // closure — and the team state it pins — leaked). Zero the counter
+        // unconditionally so a surviving `PoolWaker`/`PoolInner` clone can never
+        // observe a stale backlog bound.
+        debug_assert_eq!(
+            self.inner.gc_helper_jobs.load(Ordering::Relaxed),
+            0,
+            "helper jobs escaped the shutdown drain"
+        );
+        self.inner.gc_helper_jobs.store(0, Ordering::Relaxed);
     }
 }
 
@@ -690,6 +701,58 @@ mod tests {
         let pool = Pool::new(2);
         let r = pool.run(|_| 41 + 1);
         assert_eq!(r, 42);
+    }
+
+    /// Regression: helper jobs still queued at shutdown must be executed (and
+    /// freed) — by a worker on its way out or by the drop drain — exactly once,
+    /// and the backlog bound they occupied must be returned: the counter reads
+    /// zero afterwards, never a stale positive that surviving pool-state clones
+    /// would mistake for a full backlog.
+    #[test]
+    fn shutdown_drain_retires_stale_helper_jobs() {
+        let pool = Pool::new(1);
+        let inner = Arc::clone(&pool.inner);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let started = std::sync::Barrier::new(2);
+        let release = std::sync::Barrier::new(2);
+        std::thread::scope(|scope| {
+            let holder = scope.spawn(|| {
+                pool.run(|_| {
+                    started.wait();
+                    release.wait();
+                })
+            });
+            started.wait();
+            // The only worker is pinned inside the job above, so every drafted
+            // helper slot (backlog cap = 2 × pool size) stays on the injector.
+            let counter = Arc::clone(&ran);
+            pool.run_gc_team(
+                4,
+                Arc::new(move |slot| {
+                    if slot > 0 {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }
+                }),
+            );
+            assert_eq!(
+                inner.gc_helper_jobs.load(Ordering::Relaxed),
+                2,
+                "both backlog slots must be occupied while the worker is pinned"
+            );
+            release.wait();
+            holder.join().unwrap();
+        });
+        drop(pool);
+        assert_eq!(
+            inner.gc_helper_jobs.load(Ordering::Relaxed),
+            0,
+            "shutdown must return every backlog slot"
+        );
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            2,
+            "each stale helper job runs exactly once"
+        );
     }
 
     #[test]

@@ -3,15 +3,22 @@
 //!
 //! ```text
 //! serve [--runs N] [--clients C] [--executors E] [--workers W] [--queue-cap Q]
-//!       [--seed S] [--scale K] [--mode epoch|global|both]
+//!       [--seed S] [--scale K] [--gc-threshold WORDS]
+//!       [--mode epoch|epoch-inc|global|both|all]
 //!       [--runtime parmem|seq|stw|dlg] [--json PATH]
 //! ```
 //!
 //! `--mode both` (the default for parmem) runs the epoch-reclamation runtime and
 //! the A5 global-horizon ablation back to back under the identical load, printing
-//! the contrast the tentpole claims: epoch mode keeps recycling under perpetual
-//! overlap, the global horizon does not. `--json PATH` appends one JSON object
-//! per mode (machine-readable, for CI artifacts).
+//! the contrast the PR-6 tentpole claims: epoch mode keeps recycling under
+//! perpetual overlap, the global horizon does not. `epoch-inc` is the epoch
+//! runtime with incremental collection (GC v3) enabled — one tenant's collection
+//! no longer pauses for its whole live set, which shows up in the tail of every
+//! other tenant's latency; `all` runs all three parmem shapes. `--json PATH`
+//! appends one JSON object per mode (machine-readable, for CI artifacts).
+//! `--gc-threshold` lowers the per-heap collection threshold (parmem only) so a
+//! large-live-set tenant mix actually collects mid-run — the configuration the
+//! epoch vs epoch-inc p999 contrast is measured under.
 
 use hh_baselines::{DlgRuntime, SeqRuntime, StwRuntime};
 use hh_runtime::{HhConfig, HhRuntime};
@@ -21,7 +28,8 @@ use std::io::Write;
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--runs N] [--clients C] [--executors E] [--workers W] \
-         [--queue-cap Q] [--seed S] [--scale K] [--mode epoch|global|both] \
+         [--queue-cap Q] [--seed S] [--scale K] [--gc-threshold WORDS] \
+         [--mode epoch|epoch-inc|global|both|all] \
          [--runtime parmem|seq|stw|dlg] [--json PATH]"
     );
     std::process::exit(2);
@@ -62,6 +70,7 @@ fn main() {
     let mut mode = String::from("both");
     let mut runtime = String::from("parmem");
     let mut json_path: Option<String> = None;
+    let mut gc_threshold: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         let val = |i: usize| args.get(i + 1).cloned().unwrap_or_else(|| usage());
@@ -74,6 +83,7 @@ fn main() {
             "--queue-cap" => cfg.queue_cap = num(i),
             "--seed" => cfg.seed = val(i).parse().unwrap_or_else(|_| usage()),
             "--scale" => cfg.scale = num(i),
+            "--gc-threshold" => gc_threshold = Some(num(i)),
             "--mode" => mode = val(i),
             "--runtime" => runtime = val(i),
             "--json" => json_path = Some(val(i)),
@@ -91,21 +101,35 @@ fn main() {
     let mut reports: Vec<ServeReport> = Vec::new();
     match runtime.as_str() {
         "parmem" => {
-            if mode != "global" {
-                let rt = HhRuntime::new(HhConfig::with_workers(workers));
-                let report = serve(&rt, &cfg, "epoch");
-                if let Err(e) = verify_quiescent(&rt) {
-                    eprintln!("INVARIANT VIOLATION (epoch): {e}");
-                    std::process::exit(1);
-                }
-                print_report(&report);
-                reports.push(report);
+            if !matches!(
+                mode.as_str(),
+                "epoch" | "epoch-inc" | "global" | "both" | "all"
+            ) {
+                usage();
             }
-            if mode != "epoch" {
-                let rt = HhRuntime::new(HhConfig::global_horizon(workers));
-                let report = serve(&rt, &cfg, "global");
+            type ConfigCtor = fn(usize) -> HhConfig;
+            let shapes: [(&str, ConfigCtor); 3] = [
+                ("epoch", HhConfig::with_workers),
+                ("epoch-inc", HhConfig::incremental),
+                ("global", HhConfig::global_horizon),
+            ];
+            for (label, config) in shapes {
+                let selected = match mode.as_str() {
+                    "both" => label != "epoch-inc",
+                    "all" => true,
+                    m => m == label,
+                };
+                if !selected {
+                    continue;
+                }
+                let mut hh_cfg = config(workers);
+                if let Some(t) = gc_threshold {
+                    hh_cfg.gc_threshold_words = t;
+                }
+                let rt = HhRuntime::new(hh_cfg);
+                let report = serve(&rt, &cfg, label);
                 if let Err(e) = verify_quiescent(&rt) {
-                    eprintln!("INVARIANT VIOLATION (global): {e}");
+                    eprintln!("INVARIANT VIOLATION ({label}): {e}");
                     std::process::exit(1);
                 }
                 print_report(&report);

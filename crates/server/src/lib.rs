@@ -18,10 +18,9 @@
 //! machine-readable [`ServeReport::to_json`]), and [`verify_quiescent`] (post-run
 //! invariant check). The `serve` binary wraps these for the command line and CI.
 
-pub mod latency;
 pub mod queue;
 pub mod serve;
 
-pub use latency::{LatencyRecorder, LatencySummary};
+pub use hh_api::{LatencyRecorder, LatencySummary};
 pub use queue::BoundedQueue;
 pub use serve::{serve, verify_quiescent, ServeConfig, ServeReport};

@@ -9,8 +9,8 @@
 //! alive at their retirement has ended — the quarantine stays bounded by the
 //! in-flight working set and `chunks_recycled` approaches 100% of handouts.
 
-use crate::latency::{LatencyRecorder, LatencySummary};
 use crate::queue::BoundedQueue;
+use hh_api::{LatencyRecorder, LatencySummary};
 use hh_api::{RunStats, Runtime};
 use hh_workloads::mutator;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -65,6 +65,9 @@ pub struct ServeReport {
     pub mode: &'static str,
     /// Runs completed (always equals the configured total).
     pub runs: u64,
+    /// Workload size multiplier the experiment ran at (carried into the JSON
+    /// report so artifact lines from different tenant mixes stay distinct).
+    pub scale: usize,
     /// Wall-clock duration of the whole experiment.
     pub elapsed_s: f64,
     /// Completed runs per second.
@@ -99,15 +102,17 @@ impl ServeReport {
         format!(
             concat!(
                 "{{\"experiment\":\"serve\",\"runtime\":\"{}\",\"mode\":\"{}\",",
-                "\"runs\":{},\"elapsed_s\":{:.6},\"throughput_rps\":{:.2},",
+                "\"runs\":{},\"scale\":{},\"elapsed_s\":{:.6},\"throughput_rps\":{:.2},",
                 "\"p50_us\":{:.1},\"p99_us\":{:.1},\"p999_us\":{:.1},\"max_us\":{:.1},\"mean_us\":{:.1},",
                 "\"checksum\":{},\"recycle_rate\":{:.6},\"chunks_created\":{},\"chunks_recycled\":{},",
                 "\"epoch_reclaims\":{},\"active_runs_peak\":{},\"quarantine_lag_words\":{},",
-                "\"peak_footprint_words\":{},\"final_footprint_words\":{},\"peak_live_words\":{}}}"
+                "\"peak_footprint_words\":{},\"final_footprint_words\":{},\"peak_live_words\":{},",
+                "\"gc_count\":{},\"gc_max_pause_ns\":{},\"gc_pause_p999_ns\":{}}}"
             ),
             self.runtime,
             self.mode,
             self.runs,
+            self.scale,
             self.elapsed_s,
             self.throughput_rps,
             l.p50_ns as f64 / 1e3,
@@ -125,6 +130,9 @@ impl ServeReport {
             self.peak_footprint_words,
             self.final_footprint_words,
             s.peak_live_words,
+            s.gc_count,
+            s.gc_max_pause_ns,
+            s.gc_pause_p999_ns,
         )
     }
 }
@@ -235,6 +243,7 @@ pub fn serve<R: Runtime>(rt: &R, cfg: &ServeConfig, mode: &'static str) -> Serve
         runtime: rt.name(),
         mode,
         runs: completed,
+        scale: cfg.scale,
         elapsed_s: elapsed.as_secs_f64(),
         throughput_rps: completed as f64 / elapsed.as_secs_f64().max(1e-9),
         latency: all.summarize(),
@@ -373,7 +382,9 @@ mod tests {
             "\"runtime\":\"parmem\"",
             "\"mode\":\"epoch\"",
             "\"runs\":6",
+            "\"scale\":1",
             "\"p999_us\":",
+            "\"gc_max_pause_ns\":",
             "\"recycle_rate\":",
             "\"epoch_reclaims\":",
             "\"active_runs_peak\":",

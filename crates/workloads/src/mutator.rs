@@ -385,6 +385,53 @@ mod tests {
         assert!(s.promoted_objects >= s.promotions);
     }
 
+    /// GC v3 ≡ A6: mutator-concurrent incremental collection must compute the
+    /// exact same checksums as the monolithic shape on all three mutator
+    /// workloads — under GC pressure (tiny chunks and threshold), with the
+    /// invariant checker on — and leave no entanglement behind.
+    #[test]
+    fn incremental_gc_matches_a6_on_mutator_workloads() {
+        let workers = hh_api::env_workers(3);
+        let mk = |incremental_gc: bool| {
+            HhRuntime::new(HhConfig {
+                n_workers: workers,
+                chunk_words: 256,
+                gc_threshold_words: 2 * 1024,
+                check_invariants: true,
+                incremental_gc,
+                ..Default::default()
+            })
+        };
+        // Counters reset at each run's start, so fold the three runs' stats.
+        let run_all = |rt: &HhRuntime| -> ([u64; 3], hh_api::RunStats) {
+            let mut total = hh_api::RunStats::default();
+            let mut sums = [0u64; 3];
+            sums[0] = rt.run(|c| union_find(c, N, 2 * N, 16, SEED));
+            total.merge(&rt.stats());
+            sums[1] = rt.run(|c| frontier_bfs(c, N, 6, 16, SEED));
+            total.merge(&rt.stats());
+            // ≥ 1024 ops per task so lru_churn's own safe points (its
+            // `maybe_collect` stride) actually fire under the tiny threshold.
+            sums[2] = rt.run(|c| lru_churn(c, 4, 2048, 16, 256, SEED));
+            total.merge(&rt.stats());
+            (sums, total)
+        };
+        let a6 = mk(false);
+        let inc = mk(true);
+        let (expected, _) = run_all(&a6);
+        let (got, s) = run_all(&inc);
+        assert_eq!(got, expected, "incremental ≠ A6 checksums");
+        assert_eq!(inc.check_disentangled(), 0);
+        assert!(
+            s.gc_incremental_collections > 0,
+            "pressure must force at least one incremental collection: {s:?}"
+        );
+        assert!(
+            s.gc_increments >= s.gc_incremental_collections,
+            "every incremental collection drains at least one increment: {s:?}"
+        );
+    }
+
     #[test]
     fn union_find_roots_are_component_minima() {
         // Sequential reference: build the same unions with a simple DSU and compare

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: diff two committed BENCH_*.json artifacts.
+
+Usage: scripts/bench_gate.py BASELINE.json CANDIDATE.json
+
+Both files are JSON-lines as emitted by `serve --json` and `repro gc --json`.
+Lines are matched by identity key (experiment / runtime / mode / benchmark /
+scale); for every pair present in both files the named metrics below are
+compared and the gate exits 1 if any regresses by more than TOLERANCE.
+
+Robustness rules (all logged, nothing silently dropped):
+  * A metric missing on either side, or zero in the baseline, is skipped —
+    artifact schemas grow across PRs and zero means "didn't fire", not "fast".
+  * Timed metrics (throughput, latency percentiles, pauses) are skipped when
+    either side's run lasted under MIN_ELAPSED_S wall-clock: a serve smoke that
+    finishes in 30 ms has run-to-run throughput variance far beyond any useful
+    tolerance, and gating on it would make every PR a coin flip.
+  * ns_per_copied_word is skipped unless both sides copied a substantial
+    number of words — a run with one tiny collection divides by ~nothing.
+New lines (no baseline counterpart) pass; the gate only guards metrics that
+both artifacts actually measured.
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.15  # >15% regression of a named metric fails the gate
+MIN_ELAPSED_S = 0.5  # timed comparisons need runs at least this long
+MIN_COPIED_WORDS = 10_000  # ns/copied-word needs a real copy volume
+
+# metric -> direction ("higher" = bigger is better, "lower" = smaller is better)
+METRICS = {
+    "throughput_rps": "higher",
+    "p999_us": "lower",
+    "gc_max_pause_ns": "lower",
+    "gc_pause_p999_ns": "lower",
+    "ns_per_copied_word": "lower",
+}
+TIMED = {"throughput_rps", "p999_us", "gc_max_pause_ns", "gc_pause_p999_ns"}
+
+
+def load(path):
+    lines = {}
+    with open(path) as f:
+        for ln, raw in enumerate(f, 1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            d = json.loads(raw)
+            key = (
+                d.get("experiment", "?"),
+                d.get("runtime", "?"),
+                d.get("mode", d.get("benchmark", "?")),
+                d.get("scale", 1),
+            )
+            if key in lines:
+                print(f"note: {path}:{ln} duplicates key {key}; keeping last")
+            lines[key] = d
+    return lines
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    base_path, cand_path = sys.argv[1], sys.argv[2]
+    base, cand = load(base_path), load(cand_path)
+
+    failures = []
+    compared = skipped = 0
+    for key in sorted(cand, key=str):
+        if key not in base:
+            print(f"NEW      {key} (no baseline line — not gated)")
+            continue
+        b, c = base[key], cand[key]
+        for metric, direction in METRICS.items():
+            if metric not in b or metric not in c:
+                continue
+            bv, cv = float(b[metric]), float(c[metric])
+            if bv == 0.0:
+                continue
+            if metric in TIMED and (
+                float(b.get("elapsed_s", 0.0)) < MIN_ELAPSED_S
+                or float(c.get("elapsed_s", 0.0)) < MIN_ELAPSED_S
+            ):
+                print(f"SKIP     {key} {metric}: run under {MIN_ELAPSED_S}s, too noisy")
+                skipped += 1
+                continue
+            if metric == "ns_per_copied_word" and (
+                int(b.get("gc_copied_words", 0)) < MIN_COPIED_WORDS
+                or int(c.get("gc_copied_words", 0)) < MIN_COPIED_WORDS
+            ):
+                print(f"SKIP     {key} {metric}: under {MIN_COPIED_WORDS} copied words")
+                skipped += 1
+                continue
+            compared += 1
+            ratio = cv / bv
+            regressed = ratio > 1.0 + TOLERANCE if direction == "lower" else ratio < 1.0 - TOLERANCE
+            verdict = "REGRESS " if regressed else "ok      "
+            print(f"{verdict} {key} {metric}: {bv:.1f} -> {cv:.1f} ({ratio:.2f}x, {direction} is better)")
+            if regressed:
+                failures.append((key, metric, bv, cv))
+
+    print(f"\n{compared} comparison(s), {skipped} skipped, {len(failures)} regression(s)")
+    if failures:
+        for key, metric, bv, cv in failures:
+            print(f"FAIL: {key} {metric} regressed {bv:.1f} -> {cv:.1f} (>{TOLERANCE:.0%})")
+        return 1
+    print(f"gate passed: {cand_path} holds the line against {base_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
