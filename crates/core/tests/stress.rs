@@ -13,8 +13,11 @@
 //!   eager per-fork heaps (every publish promotes deterministically).
 //!
 //! The programs are constructed so every schedule computes the same checksum:
-//! parallel siblings write only disjoint slots of shared arrays and read shared
-//! mutable data only after the join. A third of the seeds run with tiny GC
+//! parallel siblings write only disjoint slots of shared arrays — except the
+//! **mailbox ops**, where both siblings CAS-add into the *same* accumulator slots
+//! (addition commutes, so the sum is schedule-independent) and publish message
+//! records into per-lane log slots mid-flight — and read shared mutable data only
+//! after the join. A third of the seeds run with tiny GC
 //! thresholds so collections, promotions, and chunk recycling interleave. The
 //! hierarchical runtime runs with `check_invariants` on, so a seed that corrupts the
 //! hierarchy fails at the corrupting operation, and the failing **seed is printed**
@@ -159,6 +162,40 @@ fn fold_chain<C: ParCtx>(c: &C, mut cur: ObjPtr, mut acc: u64) -> u64 {
     acc
 }
 
+/// Mailbox sends per fork lane (sizes the accumulator array and each lane's slice
+/// of the message log).
+const MB_SENDS: usize = 4;
+
+/// One cross-sibling mailbox send (the stress-oracle entanglement op): folds a
+/// hash-derived payload into a mailbox accumulator slot that **both** siblings
+/// target with a CAS-add retry loop — addition commutes, so the final sum is
+/// schedule-independent even though the adds contend — and publishes a message
+/// record into this lane's private slice of the parent's log, a promoting pointer
+/// write that crosses subtrees *mid-flight*, while the sibling is still running.
+/// Previously every cross-task write in the generator hit sibling-disjoint slots;
+/// this is the op that finally makes the oracle cover entangled schedules.
+fn mailbox_send<C: ParCtx>(
+    c: &C,
+    mailbox: ObjPtr,
+    mlog: ObjPtr,
+    lane: usize,
+    k: usize,
+    seed: u64,
+) -> u64 {
+    let payload = hash64(seed ^ 0x4D41_494C ^ k as u64); // "MAIL"
+    let mut cur = c.read_mut(mailbox, k % MB_SENDS);
+    loop {
+        match c.cas_nonptr(mailbox, k % MB_SENDS, cur, cur.wrapping_add(payload)) {
+            Ok(_) => break,
+            Err(seen) => cur = seen,
+        }
+    }
+    let msg = c.alloc(0, 1, ObjKind::Node);
+    c.write_nonptr(msg, 0, payload);
+    c.write_ptr(mlog, lane * MB_SENDS + k, msg);
+    payload
+}
+
 /// One branch's epilogue: build a chain locally and publish it into the parent's
 /// pointer array (the promotion trigger on the hierarchical runtime), then fill this
 /// branch's disjoint quarter of the parent's data array with distant writes.
@@ -252,20 +289,31 @@ fn exec<C: ParCtx>(c: &C, seed: u64, depth: u32) -> u64 {
         // disjoint quarters of `sd` (distant non-pointer writes).
         let shared = c.alloc_ptr_array(2);
         let sd = c.alloc_data_array(8);
+        // Mailbox state for the cross-sibling ops: contended accumulator slots
+        // plus a per-lane message log.
+        let mailbox = c.alloc_data_array(MB_SENDS);
+        let mlog = c.alloc_ptr_array(2 * MB_SENDS);
         c.pin(shared);
         c.pin(sd);
+        c.pin(mailbox);
+        c.pin(mlog);
         let s1 = hash64(seed ^ 0xA1);
         let s2 = hash64(seed ^ 0xB2);
-        let (a, b) = c.join(
-            move |cc| {
-                let r = exec(cc, s1, depth - 1);
-                publish(cc, shared, 0, sd, s1, r)
-            },
-            move |cc| {
-                let r = exec(cc, s2, depth - 1);
-                publish(cc, shared, 1, sd, s2, r)
-            },
-        );
+        // Each branch sends half its mailbox traffic before its recursive body and
+        // half after, so the promoting sends interleave with the sibling's whole
+        // subtree rather than clustering at the join.
+        let branch = move |cc: &C, lane: usize, s: u64| {
+            let mut m = 0u64;
+            for k in 0..MB_SENDS / 2 {
+                m = m.wrapping_add(mailbox_send(cc, mailbox, mlog, lane, k, s));
+            }
+            let r = exec(cc, s, depth - 1);
+            for k in MB_SENDS / 2..MB_SENDS {
+                m = m.wrapping_add(mailbox_send(cc, mailbox, mlog, lane, k, s));
+            }
+            publish(cc, shared, lane, sd, s, r).wrapping_add(m)
+        };
+        let (a, b) = c.join(move |cc| branch(cc, 0, s1), move |cc| branch(cc, 1, s2));
         acc = acc.wrapping_add(a).wrapping_add(b.rotate_left(7));
         // Read the published structures back through the master copies.
         for slot in 0..2 {
@@ -275,7 +323,20 @@ fn exec<C: ParCtx>(c: &C, seed: u64, depth: u32) -> u64 {
         for i in 0..8 {
             acc ^= c.read_mut(sd, i).wrapping_mul(i as u64 + 1);
         }
+        // Fold the mailbox: accumulator sums (commutative, so deterministic) and
+        // the per-lane message payloads (single-writer slots).
+        for i in 0..MB_SENDS {
+            acc = acc.wrapping_add(c.read_mut(mailbox, i).wrapping_mul(i as u64 + 1));
+        }
+        for s in 0..2 * MB_SENDS {
+            let msg = c.read_mut_ptr(mlog, s);
+            if !msg.is_null() {
+                acc ^= c.read_imm(msg, 0).rotate_left((s % 7) as u32);
+            }
+        }
         c.maybe_collect();
+        c.unpin(mlog);
+        c.unpin(mailbox);
         c.unpin(sd);
         c.unpin(shared);
     }
@@ -491,6 +552,100 @@ fn run_case_incremental_gc(case: &Case) -> u64 {
         "parmem (incremental, server) left entanglement on {replay}"
     );
     incremental
+}
+
+/// Entanglement lane (promotion-saturated schedules): every seed runs with
+/// **eager per-fork child heaps**, so every mailbox send, message publish, and
+/// chain publish is a cross-heap promoting write — no steal luck required — under
+/// tiny chunks and thresholds with the invariant checker on. Two shapes per seed:
+/// the monolithic A6 collector, then mutator-concurrent incremental collection in
+/// server mode with two overlapping runs (the GC v3 + promotion v2 combination
+/// the adversarial front exists to exercise). Returns the promotions performed so
+/// the driver can assert the lane really is saturated.
+fn run_case_entangled(case: &Case) -> u64 {
+    let seed = case.seed;
+    let depth = case.depth;
+    let replay = format!(
+        "seed {seed} (replay: HH_STRESS_SEED={seed} cargo test -p hh-runtime --test stress)"
+    );
+    let expected = model::ModelCtx::run(|c| exec(c, seed, depth));
+    let workers = hh_api::env_workers(4).max(2);
+
+    // A6 shape: monolithic stop-the-mutator collections, eager heaps.
+    let a6 = HhRuntime::new(HhConfig {
+        n_workers: workers,
+        chunk_words: 256,
+        gc_threshold_words: 2 * 1024,
+        check_invariants: true,
+        lazy_child_heaps: false,
+        ..Default::default()
+    });
+    assert_eq!(
+        a6.run(|c| exec(c, seed, depth)),
+        expected,
+        "parmem-eager (A6) diverged from the model on {replay}"
+    );
+    assert_eq!(
+        a6.check_disentangled(),
+        0,
+        "parmem-eager (A6) left entanglement on {replay}"
+    );
+    let mut promotions = a6.stats().promotions;
+
+    // Incremental + server mode with two overlapping eager runs.
+    let depth = depth + 1;
+    let seed_b = seed ^ 0x5EED_B00F;
+    let expected_a = model::ModelCtx::run(|c| exec(c, seed, depth));
+    let expected_b = model::ModelCtx::run(|c| exec(c, seed_b, depth));
+    let inc = HhRuntime::new(HhConfig {
+        n_workers: workers,
+        chunk_words: 128,
+        gc_threshold_words: 512,
+        check_invariants: true,
+        lazy_child_heaps: false,
+        server_mode: true,
+        incremental_gc: true,
+        ..Default::default()
+    });
+    std::thread::scope(|scope| {
+        let rt_ref = &inc;
+        let b = scope.spawn(move || rt_ref.run(|c| exec(c, seed_b, depth)));
+        assert_eq!(
+            inc.run(|c| exec(c, seed, depth)),
+            expected_a,
+            "parmem-eager (incremental, server) diverged from the model on {replay}"
+        );
+        promotions += inc.stats().promotions;
+        assert_eq!(
+            b.join().unwrap(),
+            expected_b,
+            "overlapped parmem-eager run (incremental, server) diverged on {replay}"
+        );
+    });
+    promotions += inc.stats().promotions;
+    assert_eq!(
+        inc.check_disentangled(),
+        0,
+        "parmem-eager (incremental, server) left entanglement on {replay}"
+    );
+    promotions
+}
+
+#[test]
+fn stress_entangled_forced() {
+    if let Ok(one) = std::env::var("HH_STRESS_SEED") {
+        let seed: u64 = one.parse().expect("HH_STRESS_SEED must be an integer");
+        run_case_entangled(&Case::from_seed(seed));
+        return;
+    }
+    let mut promotions = 0;
+    for seed in 0..seed_count() {
+        promotions += run_case_entangled(&Case::from_seed(seed));
+    }
+    assert!(
+        promotions > 0,
+        "the entanglement lane never promoted — it is not promotion-saturated"
+    );
 }
 
 #[test]

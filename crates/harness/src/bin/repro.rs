@@ -11,28 +11,31 @@
 //!   fig12       speedup vs. worker count
 //!   fig13       memory consumption and inflation
 //!   promotion   promotion volume on `map` (§4.4)
-//!   promote     promotion v2: batched-vs-v1 micro table + mutator workload counters
+//!   promote     promotion v2: batched-vs-v1 micro table + workload counters + rate sweep
 //!   ablation    fast-path ablation (DESIGN.md A1)
 //!   sched       scheduler counters (steals, parks, wakes, heaps elided)
 //!   mem         memory lifecycle (peak/live/free words, recycle rates)
 //!   gc          GC v3: pause CDF, copied words, team/steal counters (DESIGN.md §9, §11)
+//!   adversarial adversarial workloads: wavefront ns/cell, entangle promotion cost (§12)
 //!   serve       hh-server: overlapping runs, epoch vs global-horizon reclamation (A5)
 //!   all         everything above
 //! ```
 //!
-//! `--json PATH` (the `gc` experiment only) appends one JSON line per
-//! benchmark × runtime with the headline GC metrics — the machine-readable
-//! artifact (`BENCH_pr7.json`) the CI bench gate diffs across PRs.
+//! `--json PATH` (the `gc` and `adversarial` experiments) appends one JSON
+//! line per benchmark × runtime with the headline metrics — the
+//! machine-readable artifact (`BENCH_pr8.json`) the CI bench gate diffs across
+//! PRs.
 
 use hh_harness::experiments::{
-    ablation_fastpath, fig10, fig11, fig12, fig13, fig8, fig9, gc_pause_report, mem_lifecycle,
-    promote_micro, promote_workloads, promotion_volume, sched_counters, serve_overlap, ExpConfig,
+    ablation_fastpath, adversarial_report, fig10, fig11, fig12, fig13, fig8, fig9, gc_pause_report,
+    mem_lifecycle, promote_micro, promote_rate_sweep, promote_workloads, promotion_volume,
+    sched_counters, serve_overlap, ExpConfig,
 };
 use std::io::Write;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig8|fig9|fig10|fig11|fig12|fig13|promotion|promote|ablation|sched|mem|gc|serve|all> \
+        "usage: repro <fig8|fig9|fig10|fig11|fig12|fig13|promotion|promote|ablation|sched|mem|gc|adversarial|serve|all> \
          [--scale S] [--procs P] [--grain G] [--json PATH]"
     );
     std::process::exit(2);
@@ -94,6 +97,7 @@ fn main() {
         "promote" => {
             println!("{}", promote_micro(cfg).render());
             println!("{}", promote_workloads(cfg).render());
+            println!("{}", promote_rate_sweep(cfg).render());
         }
         "ablation" => println!("{}", ablation_fastpath(cfg).render()),
         "sched" => println!("{}", sched_counters(cfg).render()),
@@ -101,20 +105,12 @@ fn main() {
         "gc" => {
             let (table, json) = gc_pause_report(cfg);
             println!("{}", table.render());
-            if let Some(path) = &json_path {
-                let mut out = std::fs::OpenOptions::new()
-                    .create(true)
-                    .append(true)
-                    .open(path)
-                    .unwrap_or_else(|e| {
-                        eprintln!("cannot open {path}: {e}");
-                        std::process::exit(1);
-                    });
-                for line in &json {
-                    writeln!(out, "{line}").expect("writing JSON report");
-                }
-                println!("wrote {} JSON record(s) to {path}\n", json.len());
-            }
+            append_json(&json_path, &json);
+        }
+        "adversarial" => {
+            let (table, json) = adversarial_report(cfg);
+            println!("{}", table.render());
+            append_json(&json_path, &json);
         }
         "serve" => println!("{}", serve_overlap(cfg, 1000).render()),
         _ => usage(),
@@ -134,11 +130,30 @@ fn main() {
             "sched",
             "mem",
             "gc",
+            "adversarial",
             "serve",
         ] {
             run(name);
         }
     } else {
         run(&which);
+    }
+}
+
+/// Appends JSON lines to `--json PATH` when one was given.
+fn append_json(json_path: &Option<String>, json: &[String]) {
+    if let Some(path) = json_path {
+        let mut out = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot open {path}: {e}");
+                std::process::exit(1);
+            });
+        for line in json {
+            writeln!(out, "{line}").expect("writing JSON report");
+        }
+        println!("wrote {} JSON record(s) to {path}\n", json.len());
     }
 }

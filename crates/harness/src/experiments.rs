@@ -269,12 +269,20 @@ pub fn fig10(cfg: ExpConfig) -> Table {
     )
 }
 
-/// Figure 11: the imperative benchmarks. As in the paper, the Manticore-style baseline
-/// is omitted (its source model cannot express these programs).
+/// Figure 11: the imperative benchmarks, extended with the adversarial pair
+/// (`wavefront`, `entangle`) so the promotion-saturated end of the spectrum
+/// shows up next to the paper's imperative programs. As in the paper, the
+/// Manticore-style baseline is omitted (its source model cannot express these
+/// programs).
 pub fn fig11(cfg: ExpConfig) -> Table {
+    let benches: Vec<BenchId> = BenchId::IMPERATIVE
+        .iter()
+        .chain(BenchId::ADVERSARIAL.iter())
+        .copied()
+        .collect();
     bench_table(
-        "Figure 11 — imperative benchmarks",
-        &BenchId::IMPERATIVE,
+        "Figure 11 — imperative and adversarial benchmarks",
+        &benches,
         &[RuntimeKind::Stw, RuntimeKind::Parmem],
         cfg,
     )
@@ -566,11 +574,11 @@ pub fn promote_micro(_cfg: ExpConfig) -> Table {
     table
 }
 
-/// `repro promote`, part 2 — the mutator-heavy workloads: promotion and
-/// forwarding-chain counters on the runtimes that promote (`parmem` lazy and eager,
-/// `dlg`). `fwd hops` vs `compressions` shows path compression keeping the
-/// amortized `findMaster` flat; `promotions` vs `promoted objects` shows the
-/// batching factor (objects evacuated per pass).
+/// `repro promote`, part 2 — the mutator-heavy and adversarial workloads:
+/// promotion and forwarding-chain counters on the runtimes that promote
+/// (`parmem` lazy and eager, `dlg`). `fwd hops` vs `compressions` shows path
+/// compression keeping the amortized `findMaster` flat; `promotions` vs
+/// `promoted objects` shows the batching factor (objects evacuated per pass).
 pub fn promote_workloads(cfg: ExpConfig) -> Table {
     let mut table = Table::new(
         "Promotion v2 — mutator-heavy workloads (counters)",
@@ -585,7 +593,7 @@ pub fn promote_workloads(cfg: ExpConfig) -> Table {
         ],
     );
     let params = cfg.params();
-    for &bench in &BenchId::MUTATOR {
+    for &bench in BenchId::MUTATOR.iter().chain(BenchId::ADVERSARIAL.iter()) {
         for mode in ["parmem", "parmem-eager", "dlg"] {
             let m = match mode {
                 "parmem" => measure(RuntimeKind::Parmem, cfg.procs, bench, params),
@@ -609,12 +617,58 @@ pub fn promote_workloads(cfg: ExpConfig) -> Table {
     table
 }
 
+/// `repro promote`, part 3 — the promote-rate sweep: the `entangle` adversary
+/// run on the eager hierarchical runtime at cross-subtree write fractions
+/// {0, 0.1, 0.5, 1.0}, printing the promotion and forwarding counters at each
+/// point. This is the "where does promotion cost overtake hierarchy benefit"
+/// crossover as a table: at rate 0 nothing promotes (every write stays inside
+/// the sending actor's subtree), and each step up multiplies promoted volume
+/// and the forwarding traffic the mutators absorb.
+pub fn promote_rate_sweep(cfg: ExpConfig) -> Table {
+    use hh_workloads::adversary::entangle;
+
+    let mut table = Table::new(
+        "Promotion v2 — entangle promote-rate sweep (parmem, eager heaps)",
+        &[
+            "promote rate",
+            "elapsed",
+            "promotions",
+            "promoted objs",
+            "promoted KW",
+            "fwd hops",
+            "compressions",
+        ],
+    );
+    // Same shape as the suite's `entangle` entry, with the rate swept instead
+    // of pinned at the midpoint.
+    let actors = 16;
+    let ops = ((2_000_000.0 * cfg.scale) as usize).max(8_000) / actors;
+    for &permille in &[0u64, 100, 500, 1000] {
+        let rt = HhRuntime::new(HhConfig::eager_heaps(cfg.procs));
+        let start = Instant::now();
+        rt.run(move |ctx| entangle(ctx, actors, ops, permille, 0xC0DE_0005));
+        let elapsed = start.elapsed();
+        let s = rt.stats();
+        table.row(vec![
+            format!("{:.1}", permille as f64 / 1000.0),
+            secs(elapsed),
+            s.promotions.to_string(),
+            s.promoted_objects.to_string(),
+            format!("{:.1}", s.promoted_words as f64 / 1024.0),
+            s.fwd_hops.to_string(),
+            s.fwd_compressions.to_string(),
+        ]);
+    }
+    table
+}
+
 // ---------------------------------------------------------------------------
 // GC v2 (not in the paper; DESIGN.md §9).
 // ---------------------------------------------------------------------------
 
 /// `repro gc` — collection behaviour of all four runtimes on the mutator-heavy
-/// workloads under a GC threshold small enough that collections actually fire:
+/// and adversarial workloads under a GC threshold small enough that collections
+/// actually fire:
 /// the pause CDF (count, p50/p99/p999/max), copied volume, and the team steal
 /// counter. The hierarchical runtime is reported three times: the default GC
 /// team, the serial `gc_workers = 1` ablation (A4), and the GC v3
@@ -656,7 +710,7 @@ pub fn gc_pause_report(cfg: ExpConfig) -> (Table, Vec<String>) {
     let threshold = 16 * 1024;
     let pause_us = |ns: u64| format!("{:.1} µs", ns as f64 / 1e3);
     let kwords = |w: u64| format!("{:.1}", w as f64 / 1024.0);
-    for &bench in BenchId::MUTATOR.iter() {
+    for &bench in BenchId::MUTATOR.iter().chain(BenchId::ADVERSARIAL.iter()) {
         let mut measurements: Vec<(String, &'static str, Measurement)> = Vec::new();
         let seq = SeqRuntime::with_params(chunk, threshold, true);
         measurements.push(("seq".into(), "seq", measure_on(&seq, bench, params, 1)));
@@ -737,6 +791,128 @@ pub fn gc_pause_report(cfg: ExpConfig) -> (Table, Vec<String>) {
 }
 
 // ---------------------------------------------------------------------------
+// Adversarial workloads (DESIGN.md §12).
+// ---------------------------------------------------------------------------
+
+/// `repro adversarial` — headline costs of the adversarial workloads, plus one
+/// JSON line per row for the CI bench gate. `wavefront` reports nanoseconds per
+/// grid cell to reach the reconstruction fixpoint (metric `ns_per_cell`) on all
+/// four runtimes and the incremental hierarchical shape; `entangle` reports the
+/// per-promoted-object cost of the run (`promote_ns_per_obj`) on the eager
+/// hierarchical runtime at promote rates 0.1/0.5/1.0 — eager heaps make the
+/// promotion volume deterministic, so the metric is stable across schedules.
+pub fn adversarial_report(cfg: ExpConfig) -> (Table, Vec<String>) {
+    use hh_workloads::adversary::entangle;
+
+    let mut json: Vec<String> = Vec::new();
+    let mut table = Table::new(
+        "Adversarial workloads — wavefront ns/cell, entangle promotion cost",
+        &[
+            "benchmark",
+            "runtime",
+            "elapsed",
+            "ns/cell",
+            "promotions",
+            "promoted objs",
+            "promote ns/obj",
+        ],
+    );
+    let params = cfg.params();
+
+    // Wavefront: ns per grid cell, same side formula as the suite entry.
+    let side = ((2048.0 * cfg.scale.sqrt()) as usize).clamp(64, 2048);
+    let cells = (side * side) as f64;
+    let mut wavefront_rows: Vec<(&'static str, Measurement)> = vec![
+        (
+            "seq",
+            measure(RuntimeKind::Seq, 1, BenchId::Wavefront, params),
+        ),
+        (
+            "stw",
+            measure(RuntimeKind::Stw, cfg.procs, BenchId::Wavefront, params),
+        ),
+        (
+            "dlg",
+            measure(RuntimeKind::Dlg, cfg.procs, BenchId::Wavefront, params),
+        ),
+        (
+            "parmem",
+            measure(RuntimeKind::Parmem, cfg.procs, BenchId::Wavefront, params),
+        ),
+        (
+            "parmem_inc",
+            measure_parmem_with_config(
+                HhConfig::incremental(cfg.procs),
+                BenchId::Wavefront,
+                params,
+            ),
+        ),
+    ];
+    for (key, m) in wavefront_rows.drain(..) {
+        let ns_per_cell = m.elapsed.as_nanos() as f64 / cells;
+        table.row(vec![
+            "wavefront".into(),
+            key.into(),
+            secs(m.elapsed),
+            format!("{ns_per_cell:.1}"),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
+        json.push(format!(
+            concat!(
+                "{{\"experiment\":\"adversarial\",\"benchmark\":\"wavefront\",",
+                "\"runtime\":\"{}\",\"elapsed_s\":{:.6},\"cells\":{},",
+                "\"ns_per_cell\":{:.2},\"checksum\":{}}}"
+            ),
+            key,
+            m.elapsed.as_secs_f64(),
+            cells as u64,
+            ns_per_cell,
+            m.checksum,
+        ));
+    }
+
+    // Entangle: per-promoted-object cost at each non-zero promote rate. The
+    // `mode` field keys the gate line (one per rate); rate 0 promotes nothing
+    // under eager heaps, so it has no per-object cost to track.
+    let actors = 16;
+    let ops = ((2_000_000.0 * cfg.scale) as usize).max(8_000) / actors;
+    for &permille in &[100u64, 500, 1000] {
+        let rt = HhRuntime::new(HhConfig::eager_heaps(cfg.procs));
+        let start = Instant::now();
+        let checksum = rt.run(move |ctx| entangle(ctx, actors, ops, permille, 0xC0DE_0005));
+        let elapsed = start.elapsed();
+        let s = rt.stats();
+        let ns_per_obj = elapsed.as_nanos() as f64 / s.promoted_objects.max(1) as f64;
+        table.row(vec![
+            format!("entangle r={:.1}", permille as f64 / 1000.0),
+            "parmem_eager".into(),
+            secs(elapsed),
+            "-".into(),
+            s.promotions.to_string(),
+            s.promoted_objects.to_string(),
+            format!("{ns_per_obj:.1}"),
+        ]);
+        json.push(format!(
+            concat!(
+                "{{\"experiment\":\"adversarial\",\"benchmark\":\"entangle\",",
+                "\"mode\":\"entangle-r{}\",\"runtime\":\"parmem_eager\",",
+                "\"elapsed_s\":{:.6},\"promotions\":{},\"promoted_objects\":{},",
+                "\"promote_ns_per_obj\":{:.2},\"checksum\":{}}}"
+            ),
+            permille,
+            elapsed.as_secs_f64(),
+            s.promotions,
+            s.promoted_objects,
+            ns_per_obj,
+            checksum,
+        ));
+    }
+    (table, json)
+}
+
+// ---------------------------------------------------------------------------
 // Ablations (not in the paper; DESIGN.md A1/A2).
 // ---------------------------------------------------------------------------
 
@@ -810,6 +986,7 @@ pub fn serve_overlap(cfg: ExpConfig, runs: usize) -> Table {
         seed: 0x5eed_0001,
         scale: 1,
         sample_every: 8,
+        workload: None,
     };
     let us = |ns: u64| format!("{:.1}", ns as f64 / 1e3);
     for (mode, config) in [
@@ -910,9 +1087,12 @@ mod tests {
             procs: 2,
             grain: 256,
         });
-        assert_eq!(t.n_rows(), 3 * BenchId::MUTATOR.len());
-        // Every eager parmem row must show promotions (column 2) — all three
-        // mutator workloads publish cross-heap structures.
+        assert_eq!(
+            t.n_rows(),
+            3 * (BenchId::MUTATOR.len() + BenchId::ADVERSARIAL.len())
+        );
+        // Every eager parmem row must show promotions (column 2) — the mutator
+        // and adversarial workloads all publish cross-heap structures.
         for line in t.render().lines().skip(3) {
             let toks: Vec<&str> = line.split_whitespace().collect();
             if toks.len() < 3 || toks[1] != "parmem-eager" {
@@ -946,17 +1126,64 @@ mod tests {
     }
 
     #[test]
-    fn gc_pause_table_covers_mutator_workloads_on_six_rows_each() {
+    fn gc_pause_table_covers_mutator_and_adversarial_workloads_on_six_rows_each() {
         let t = gc_pause_table(tiny_cfg());
-        // 3 mutator workloads × (seq, stw, dlg, parmem-A6, parmem-A4, parmem-inc).
-        assert_eq!(t.n_rows(), 3 * 6);
+        // 3 mutator + 2 adversarial workloads ×
+        // (seq, stw, dlg, parmem-A6, parmem-A4, parmem-inc).
+        assert_eq!(t.n_rows(), 5 * 6);
         let rendered = t.render();
         assert!(rendered.contains("union-find"));
+        assert!(rendered.contains("wavefront"));
+        assert!(rendered.contains("entangle"));
         assert!(rendered.contains("(A4)"));
         assert!(rendered.contains("(A6)"));
         assert!(rendered.contains("parmem inc (v3)"));
         assert!(rendered.contains("max pause"));
         assert!(rendered.contains("p999"));
+    }
+
+    #[test]
+    fn promote_rate_sweep_shows_the_crossover() {
+        let t = promote_rate_sweep(tiny_cfg());
+        assert_eq!(t.n_rows(), 4);
+        let rendered = t.render();
+        let row = |rate: &str| -> Vec<String> {
+            rendered
+                .lines()
+                .find(|l| l.split_whitespace().next() == Some(rate))
+                .unwrap_or_else(|| panic!("no row for rate {rate}"))
+                .split_whitespace()
+                .map(str::to_string)
+                .collect()
+        };
+        // Columns: rate, elapsed, promotions, ...
+        let promotions = |rate: &str| -> u64 { row(rate)[2].parse().expect("promotions column") };
+        assert_eq!(
+            promotions("0.0"),
+            0,
+            "rate 0 must not promote under eager heaps"
+        );
+        assert!(promotions("1.0") > promotions("0.1"));
+    }
+
+    #[test]
+    fn adversarial_report_emits_gate_metrics() {
+        let (t, json) = adversarial_report(tiny_cfg());
+        // 5 wavefront runtimes + 3 entangle rates.
+        assert_eq!(t.n_rows(), 5 + 3);
+        assert_eq!(json.len(), 8);
+        assert!(json.iter().any(|l| l.contains("\"ns_per_cell\":")));
+        assert!(json.iter().any(|l| l.contains("\"promote_ns_per_obj\":")));
+        assert!(json
+            .iter()
+            .any(|l| l.contains("\"mode\":\"entangle-r1000\"")));
+        // All wavefront rows computed the same fixpoint.
+        let sums: Vec<&str> = json
+            .iter()
+            .filter(|l| l.contains("wavefront"))
+            .map(|l| l.split("\"checksum\":").nth(1).unwrap())
+            .collect();
+        assert!(sums.windows(2).all(|w| w[0] == w[1]));
     }
 
     #[test]

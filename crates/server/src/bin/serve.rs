@@ -5,7 +5,7 @@
 //! serve [--runs N] [--clients C] [--executors E] [--workers W] [--queue-cap Q]
 //!       [--seed S] [--scale K] [--gc-threshold WORDS]
 //!       [--mode epoch|epoch-inc|global|both|all]
-//!       [--runtime parmem|seq|stw|dlg] [--json PATH]
+//!       [--runtime parmem|seq|stw|dlg] [--workload NAME] [--json PATH]
 //! ```
 //!
 //! `--mode both` (the default for parmem) runs the epoch-reclamation runtime and
@@ -18,19 +18,25 @@
 //! appends one JSON object per mode (machine-readable, for CI artifacts).
 //! `--gc-threshold` lowers the per-heap collection threshold (parmem only) so a
 //! large-live-set tenant mix actually collects mid-run — the configuration the
-//! epoch vs epoch-inc p999 contrast is measured under.
+//! epoch vs epoch-inc p999 contrast is measured under. `--workload NAME` pins
+//! every request to one registry workload (e.g. `wavefront`, `entangle`) instead
+//! of the default mutator mix; unknown names are rejected with the list of valid
+//! ids.
 
 use hh_baselines::{DlgRuntime, SeqRuntime, StwRuntime};
 use hh_runtime::{HhConfig, HhRuntime};
 use hh_server::{serve, verify_quiescent, ServeConfig, ServeReport};
+use hh_workloads::ServeWorkloadId;
 use std::io::Write;
 
 fn usage() -> ! {
+    let names: Vec<&str> = ServeWorkloadId::ALL.iter().map(|w| w.name()).collect();
     eprintln!(
         "usage: serve [--runs N] [--clients C] [--executors E] [--workers W] \
          [--queue-cap Q] [--seed S] [--scale K] [--gc-threshold WORDS] \
          [--mode epoch|epoch-inc|global|both|all] \
-         [--runtime parmem|seq|stw|dlg] [--json PATH]"
+         [--runtime parmem|seq|stw|dlg] [--workload {}] [--json PATH]",
+        names.join("|")
     );
     std::process::exit(2);
 }
@@ -86,6 +92,13 @@ fn main() {
             "--gc-threshold" => gc_threshold = Some(num(i)),
             "--mode" => mode = val(i),
             "--runtime" => runtime = val(i),
+            "--workload" => {
+                let name = val(i);
+                cfg.workload = Some(ServeWorkloadId::from_name(&name).unwrap_or_else(|| {
+                    eprintln!("unknown workload {name:?}");
+                    usage()
+                }));
+            }
             "--json" => json_path = Some(val(i)),
             _ => usage(),
         }

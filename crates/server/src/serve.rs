@@ -12,7 +12,7 @@
 use crate::queue::BoundedQueue;
 use hh_api::{LatencyRecorder, LatencySummary};
 use hh_api::{RunStats, Runtime};
-use hh_workloads::mutator;
+use hh_workloads::ServeWorkloadId;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -34,6 +34,9 @@ pub struct ServeConfig {
     pub scale: usize,
     /// Executors sample the store footprint every this many completed runs.
     pub sample_every: usize,
+    /// Pin every request to one registry workload (`serve --workload`); `None`
+    /// dispatches the default mutator mix off each request's seed.
+    pub workload: Option<ServeWorkloadId>,
 }
 
 impl Default for ServeConfig {
@@ -46,6 +49,7 @@ impl Default for ServeConfig {
             seed: 0x5eed_0001,
             scale: 1,
             sample_every: 16,
+            workload: None,
         }
     }
 }
@@ -63,6 +67,10 @@ pub struct ServeReport {
     pub runtime: &'static str,
     /// Reclamation mode label (`"epoch"` or `"global"`).
     pub mode: &'static str,
+    /// Workload label: a registry suite id when the config pinned one, `"mix"`
+    /// for the default mutator mix (keeps artifact lines from different
+    /// workloads distinct in the bench gate).
+    pub workload: &'static str,
     /// Runs completed (always equals the configured total).
     pub runs: u64,
     /// Workload size multiplier the experiment ran at (carried into the JSON
@@ -101,7 +109,7 @@ impl ServeReport {
         let s = &self.stats;
         format!(
             concat!(
-                "{{\"experiment\":\"serve\",\"runtime\":\"{}\",\"mode\":\"{}\",",
+                "{{\"experiment\":\"serve\",\"runtime\":\"{}\",\"mode\":\"{}\",\"workload\":\"{}\",",
                 "\"runs\":{},\"scale\":{},\"elapsed_s\":{:.6},\"throughput_rps\":{:.2},",
                 "\"p50_us\":{:.1},\"p99_us\":{:.1},\"p999_us\":{:.1},\"max_us\":{:.1},\"mean_us\":{:.1},",
                 "\"checksum\":{},\"recycle_rate\":{:.6},\"chunks_created\":{},\"chunks_recycled\":{},",
@@ -111,6 +119,7 @@ impl ServeReport {
             ),
             self.runtime,
             self.mode,
+            self.workload,
             self.runs,
             self.scale,
             self.elapsed_s,
@@ -146,17 +155,14 @@ fn splitmix(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Executes one request: picks a workload family from the seed's high bits (the
-/// low bits of simple generators are the weak ones) and runs it at smoke scale.
-/// All three mutator workloads allocate, fork, promote, and retire enough chunks
-/// per run to exercise the whole reclamation path.
-fn run_one<R: Runtime>(rt: &R, seed: u64, scale: usize) -> u64 {
-    let n = 48 * scale;
-    match (seed >> 33) % 3 {
-        0 => rt.run(|ctx| mutator::union_find(ctx, n, n + n / 2, 16, seed)),
-        1 => rt.run(|ctx| mutator::frontier_bfs(ctx, n, 4, 16, seed)),
-        _ => rt.run(|ctx| mutator::lru_churn(ctx, 4, 8 * scale, 16, 64, seed)),
-    }
+/// Executes one request through the workload registry: a pinned workload when
+/// the config names one, otherwise the default mutator mix selected off the
+/// seed's high bits (the low bits of simple generators are the weak ones).
+/// Every registry workload allocates, forks, promotes, and retires enough
+/// chunks per run to exercise the whole reclamation path.
+fn run_one<R: Runtime>(rt: &R, workload: Option<ServeWorkloadId>, seed: u64, scale: usize) -> u64 {
+    let w = workload.unwrap_or_else(|| ServeWorkloadId::from_mix_seed(seed));
+    rt.run(|ctx| w.run(ctx, seed, scale))
 }
 
 /// Runs the serve experiment on `rt`: `cfg.clients` producers feed `cfg.runs`
@@ -207,7 +213,7 @@ pub fn serve<R: Runtime>(rt: &R, cfg: &ServeConfig, mode: &'static str) -> Serve
                     let mut rec = LatencyRecorder::with_capacity(cfg.runs / cfg.executors + 1);
                     let mut done = 0usize;
                     while let Some(job) = queue.pop() {
-                        let r = run_one(rt, job.seed, cfg.scale);
+                        let r = run_one(rt, cfg.workload, job.seed, cfg.scale);
                         rec.record(job.enqueued.elapsed());
                         checksum.fetch_add(r, Ordering::Relaxed);
                         done += 1;
@@ -242,6 +248,7 @@ pub fn serve<R: Runtime>(rt: &R, cfg: &ServeConfig, mode: &'static str) -> Serve
     ServeReport {
         runtime: rt.name(),
         mode,
+        workload: cfg.workload.map_or("mix", ServeWorkloadId::name),
         runs: completed,
         scale: cfg.scale,
         elapsed_s: elapsed.as_secs_f64(),
@@ -291,6 +298,7 @@ mod tests {
             seed: 7,
             scale: 1,
             sample_every: 4,
+            workload: None,
         }
     }
 
@@ -362,6 +370,29 @@ mod tests {
         verify_quiescent(&global_rt).unwrap();
     }
 
+    /// Pinned registry workloads (the `--workload` path) complete, stay
+    /// deterministic across interleavings, and leave the runtime quiescent —
+    /// including the two adversarial suite ids.
+    #[test]
+    fn pinned_workloads_serve_deterministically() {
+        for w in [ServeWorkloadId::Wavefront, ServeWorkloadId::Entangle] {
+            let cfg = ServeConfig {
+                workload: Some(w),
+                ..small_cfg(24)
+            };
+            let rt_a = HhRuntime::new(HhConfig::with_workers(2));
+            let a = serve(&rt_a, &cfg, "epoch");
+            assert_eq!(a.runs, 24, "{}", w.name());
+            assert_eq!(a.workload, w.name());
+            assert!(a
+                .to_json()
+                .contains(&format!("\"workload\":\"{}\"", w.name())));
+            verify_quiescent(&rt_a).unwrap();
+            let b = serve(&HhRuntime::new(HhConfig::with_workers(2)), &cfg, "epoch");
+            assert_eq!(a.checksum, b.checksum, "{} nondeterministic", w.name());
+        }
+    }
+
     #[test]
     fn json_report_is_well_formed() {
         let rt = HhRuntime::new(HhConfig::with_workers(1));
@@ -381,6 +412,7 @@ mod tests {
             "\"experiment\":\"serve\"",
             "\"runtime\":\"parmem\"",
             "\"mode\":\"epoch\"",
+            "\"workload\":\"mix\"",
             "\"runs\":6",
             "\"scale\":1",
             "\"p999_us\":",

@@ -13,6 +13,9 @@
 //! **Mutator-heavy** (promotion v2, beyond the paper): `union-find`, `bfs-frontier`,
 //! `lru-churn` — see [`mutator`].
 //!
+//! **Adversarial** (scenario front, beyond the paper): `wavefront`, `entangle` —
+//! see [`wavefront`] and [`adversary`].
+//!
 //! Substrate modules:
 //! * [`seq`] — immutable sequences of 64-bit elements with parallel `tabulate` / `map` /
 //!   `reduce` / `filter` / parallel merge (the paper's `Seq` module);
@@ -23,6 +26,12 @@
 //! * [`matrix`] — dense matrix multiplication and sparse matrix–vector product;
 //! * [`mutator`] — the mutator-heavy workloads: concurrent union-find with path
 //!   halving, BFS over a growing graph, and LRU-cache churn;
+//! * [`wavefront`] — irregular wavefront propagation: morphological reconstruction
+//!   with hierarchical per-task tile queues published through promoting writes;
+//! * [`adversary`] — the entanglement adversary: an actor-mailbox work log with a
+//!   tunable fraction of cross-subtree (promoting) writes;
+//! * [`serve_registry`] — the name-keyed registry of workloads the `serve`
+//!   multi-tenant driver can dispatch;
 //! * [`strassen`] — quadtree matrices and Strassen multiplication;
 //! * [`ray`] — the sphere-scene raytracer;
 //! * [`suite`] — a registry that prepares inputs and times each benchmark's kernel,
@@ -31,16 +40,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod graph;
 pub mod matrix;
 pub mod mutator;
 pub mod ray;
 pub mod seq;
+pub mod serve_registry;
 pub mod sort;
 pub mod strassen;
 pub mod suite;
 pub mod tourney;
+pub mod wavefront;
 
+pub use serve_registry::ServeWorkloadId;
 pub use suite::{BenchId, BenchOutcome, Params};
 
 pub use hh_api::{ParCtx, Runtime};

@@ -2,6 +2,7 @@
 //! input preparation separated from the timed kernel (the paper excludes initialization
 //! from its timings).
 
+use crate::adversary::entangle;
 use crate::graph::{bfs, generate as gen_graph, multi_usp_tree, BfsState, BfsVariant};
 use crate::matrix::{dmm, smvm, vector_checksum, Csr, Dense};
 use crate::mutator::{frontier_bfs, lru_churn, union_find};
@@ -10,12 +11,14 @@ use crate::seq::{checksum, filter, map, random_input, reduce, tabulate};
 use crate::sort::{dedup, msort, msort_pure};
 use crate::strassen;
 use crate::tourney::tourney;
+use crate::wavefront::wavefront;
 use crate::{fib, fib_seq};
 use hh_api::ParCtx;
 use std::time::{Duration, Instant};
 
 /// Identifiers of the benchmarks: the paper's 17 (Figures 10 and 11 order) plus the
-/// three mutator-heavy workloads of promotion v2.
+/// three mutator-heavy workloads of promotion v2 and the two adversarial workloads
+/// of the scenario front.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum BenchId {
@@ -39,12 +42,14 @@ pub enum BenchId {
     UnionFind,
     BfsFrontier,
     LruChurn,
+    Wavefront,
+    Entangle,
 }
 
 impl BenchId {
     /// All benchmarks: pure first (Figure 10 order), then imperative (Figure 11
-    /// order), then the mutator-heavy workloads.
-    pub const ALL: [BenchId; 20] = [
+    /// order), then the mutator-heavy workloads, then the adversarial workloads.
+    pub const ALL: [BenchId; 22] = [
         BenchId::Fib,
         BenchId::Tabulate,
         BenchId::Map,
@@ -65,6 +70,8 @@ impl BenchId {
         BenchId::UnionFind,
         BenchId::BfsFrontier,
         BenchId::LruChurn,
+        BenchId::Wavefront,
+        BenchId::Entangle,
     ];
 
     /// The pure benchmarks (Figure 10).
@@ -95,6 +102,10 @@ impl BenchId {
     /// The mutator-heavy workloads (promotion v2; not part of the paper's suite).
     pub const MUTATOR: [BenchId; 3] = [BenchId::UnionFind, BenchId::BfsFrontier, BenchId::LruChurn];
 
+    /// The adversarial workloads (scenario front; not part of the paper's suite):
+    /// irregular wavefront propagation and the entanglement adversary.
+    pub const ADVERSARIAL: [BenchId; 2] = [BenchId::Wavefront, BenchId::Entangle];
+
     /// The benchmark's name as it appears in the paper's tables.
     pub fn name(self) -> &'static str {
         match self {
@@ -118,6 +129,8 @@ impl BenchId {
             BenchId::UnionFind => "union-find",
             BenchId::BfsFrontier => "bfs-frontier",
             BenchId::LruChurn => "lru-churn",
+            BenchId::Wavefront => "wavefront",
+            BenchId::Entangle => "entangle",
         }
     }
 
@@ -142,6 +155,8 @@ impl BenchId {
             BenchId::UnionFind => "distant CAS + promoting log writes",
             BenchId::BfsFrontier => "promoting writes on a growing frontier",
             BenchId::LruChurn => "allocation churn + batched publish promotion",
+            BenchId::Wavefront => "CAS-max raises + promoting tile-queue publishes",
+            BenchId::Entangle => "cross-subtree mailbox sends (tunable promote rate)",
             _ => unreachable!(),
         }
     }
@@ -351,6 +366,22 @@ pub fn run_timed<C: ParCtx>(ctx: &C, id: BenchId, p: Params) -> BenchOutcome {
             let ops = p.scaled(4_000_000, 16_000) / tasks;
             timed(|| lru_churn(ctx, tasks, ops, 32, 1024, 0xC0DE_0003))
         }
+        BenchId::Wavefront => {
+            // Irregular wavefront propagation: data-dependent task spawning with
+            // per-task tile queues published through promoting writes. Side scales
+            // so the cell count scales linearly with `p.scale`.
+            let side = ((2048.0 * p.scale.sqrt()) as usize).clamp(64, 2048);
+            let seeds = (side * side / 256).max(8);
+            let grain = (p.grain / 16).max(8);
+            timed(|| wavefront(ctx, side, side, seeds, grain, 0xC0DE_0004))
+        }
+        BenchId::Entangle => {
+            // The entanglement adversary at the sweep's mid-point (half of all
+            // ops cross subtrees and promote); `repro promote` sweeps the rate.
+            let actors = 16;
+            let ops = p.scaled(2_000_000, 8_000) / actors;
+            timed(|| entangle(ctx, actors, ops, 500, 0xC0DE_0005))
+        }
         BenchId::MultiUspTree => {
             let (g, grain) = prepare_graph(ctx, p);
             // Paper: 36 copies (half the 72-core machine). Keep the copy count fixed so
@@ -406,7 +437,10 @@ mod tests {
         }
         assert_eq!(BenchId::from_name("no-such-bench"), None);
         assert_eq!(
-            BenchId::PURE.len() + BenchId::IMPERATIVE.len() + BenchId::MUTATOR.len(),
+            BenchId::PURE.len()
+                + BenchId::IMPERATIVE.len()
+                + BenchId::MUTATOR.len()
+                + BenchId::ADVERSARIAL.len(),
             BenchId::ALL.len()
         );
     }

@@ -1,0 +1,261 @@
+//! Irregular wavefront propagation (IWPP): morphological-reconstruction-style
+//! flood-fill over a 2D grid with hierarchical per-task tile queues.
+//!
+//! The pattern follows Gomes & Teodoro's irregular wavefront propagation papers
+//! (PAPERS.md — the same line of work that motivated GC v2's scan-block stealing,
+//! here used as an end-to-end *workload* instead of a collector design): a marker
+//! image is repeatedly dilated under a mask image, and only the cells whose value
+//! actually changed propagate further. Work is therefore data-dependent — a flat
+//! `par_for` over the grid would waste almost every probe — so each round forks
+//! over the current frontier, and every leaf task accumulates the cells it raised
+//! into a freshly allocated *tile* in its own heap, then publishes the tile into a
+//! shared tile-queue array with a pointer write. On the hierarchical runtime a
+//! stolen leaf's publish is exactly the adversarial event this workload exists to
+//! produce: a promoting write of a task-local structure that the *parent* (and the
+//! next round's tasks) immediately re-reads through the forwarding chain to
+//! re-expand.
+//!
+//! Determinism: the update `marker[n] ← max(marker[n], min(mask[n], marker[c]))`
+//! is monotone (marker values only grow, bounded by the mask), and every
+//! successful raise re-enqueues the raised cell. This is chaotic iteration of a
+//! monotone operator on a finite lattice: it converges to the *unique* least
+//! fixpoint above the seeds regardless of which CAS wins, how tasks are stolen, or
+//! how duplicate frontier entries interleave. The checksum folds only the final
+//! marker image, so it is schedule-independent even though tile contents and
+//! round counts are not. DESIGN.md §12 spells out the argument.
+
+use hh_api::{hash64, ParCtx};
+use hh_objmodel::ObjPtr;
+
+/// CAS-max: raises `marker[cell]` to `cand` if `cand` is strictly larger, retrying
+/// against concurrent raises. Returns whether this call performed a raise (and the
+/// cell therefore needs re-expansion).
+fn raise<C: ParCtx>(c: &C, marker: ObjPtr, cell: usize, cand: u64) -> bool {
+    let mut cur = c.read_mut(marker, cell);
+    while cand > cur {
+        match c.cas_nonptr(marker, cell, cur, cand) {
+            Ok(_) => return true,
+            // Lost the race: someone else raised the cell. Retry against the value
+            // they installed — it may still be below `cand`.
+            Err(seen) => cur = seen,
+        }
+    }
+    false
+}
+
+/// Morphological reconstruction by dilation over a `width × height` grid
+/// (4-neighborhood), seeded at `seeds` hash-chosen cells, with per-task tile
+/// queues published through promoting pointer writes.
+///
+/// Returns a deterministic checksum of the fixpoint marker image (see the module
+/// docs for why chaotic iteration makes it schedule-independent).
+pub fn wavefront<C: ParCtx>(
+    ctx: &C,
+    width: usize,
+    height: usize,
+    seeds: usize,
+    grain: usize,
+    seed: u64,
+) -> u64 {
+    assert!(width > 1 && height > 1 && seeds > 0);
+    let n = width * height;
+    let mask = ctx.alloc_data_array(n);
+    let marker = ctx.alloc_data_array(n);
+    ctx.pin(mask);
+    ctx.pin(marker);
+
+    // Mask values in 1..=255 (hash-derived "image"); marker starts all-zero.
+    let init_grain = grain.max(256);
+    ctx.par_for(0..n, init_grain, move |c, r| {
+        let vals: Vec<u64> = r
+            .clone()
+            .map(|i| 1 + hash64(seed ^ i as u64) % 255)
+            .collect();
+        c.write_nonptr_bulk(mask, r.start, &vals);
+    });
+
+    // Seed the reconstruction: marker = mask at the seed cells.
+    let mut frontier: Vec<u64> = Vec::new();
+    for s in 0..seeds {
+        let cell = (hash64(seed ^ 0x5EED ^ s as u64) % n as u64) as usize;
+        let v = ctx.read_mut(mask, cell);
+        if raise(ctx, marker, cell, v) {
+            frontier.push(cell as u64);
+        }
+    }
+
+    // Propagate until the wavefront dies out. Each round forks over the frontier;
+    // a leaf's raised cells form its tile `[len, cell, cell, ...]`, built in the
+    // leaf's heap and published into the shared queue (the promoting write).
+    while !frontier.is_empty() {
+        let cur: &[u64] = &frontier;
+        let tiles = ctx.alloc_ptr_array(cur.len());
+        ctx.pin(tiles);
+        ctx.par_for(0..cur.len(), grain, move |c, r| {
+            let mut out: Vec<u64> = Vec::new();
+            for &cell64 in &cur[r.clone()] {
+                let cell = cell64 as usize;
+                let v = c.read_mut(marker, cell);
+                let (x, y) = (cell % width, cell / width);
+                let mut probe = |nb: usize| {
+                    let cand = v.min(c.read_mut(mask, nb));
+                    if raise(c, marker, nb, cand) {
+                        out.push(nb as u64);
+                    }
+                };
+                if x > 0 {
+                    probe(cell - 1);
+                }
+                if x + 1 < width {
+                    probe(cell + 1);
+                }
+                if y > 0 {
+                    probe(cell - width);
+                }
+                if y + 1 < height {
+                    probe(cell + width);
+                }
+            }
+            let tile = c.alloc_data_array(out.len() + 1);
+            c.write_nonptr(tile, 0, out.len() as u64);
+            c.write_nonptr_bulk(tile, 1, &out);
+            // Blocks partition the frontier, so `r.start` indexes a slot no other
+            // task writes: a single-writer publish, promoting when the leaf ran
+            // stolen (or always, under eager heaps).
+            c.write_ptr(tiles, r.start, tile);
+        });
+        // Drain the tile queue through the promoted masters to build the next
+        // frontier — re-expansion reads exactly the structures the leaves
+        // published.
+        let mut next: Vec<u64> = Vec::new();
+        for i in 0..cur.len() {
+            let tile = ctx.read_mut_ptr(tiles, i);
+            if tile.is_null() {
+                continue;
+            }
+            let len = ctx.read_mut(tile, 0) as usize;
+            let mut cells = vec![0u64; len];
+            ctx.read_mut_bulk(tile, 1, &mut cells);
+            next.extend(cells);
+        }
+        ctx.unpin(tiles);
+        ctx.maybe_collect();
+        frontier = next;
+    }
+
+    // Checksum the fixpoint image only (tile contents are schedule-dependent; the
+    // fixpoint is not).
+    let sums = ctx.par_map(0..n, init_grain, move |c, r| {
+        let mut acc = 0u64;
+        for i in r {
+            acc = acc.wrapping_add(c.read_mut(marker, i).wrapping_mul(i as u64 | 1));
+        }
+        acc
+    });
+    ctx.unpin(marker);
+    ctx.unpin(mask);
+    sums.into_iter().fold(0u64, u64::wrapping_add)
+}
+
+/// Sequential reference reconstruction (worklist algorithm) returning the same
+/// checksum; used by tests and the stress lanes as an independent oracle.
+pub fn wavefront_reference(width: usize, height: usize, seeds: usize, seed: u64) -> u64 {
+    let n = width * height;
+    let mask: Vec<u64> = (0..n).map(|i| 1 + hash64(seed ^ i as u64) % 255).collect();
+    let mut marker = vec![0u64; n];
+    let mut work: Vec<usize> = Vec::new();
+    for s in 0..seeds {
+        let cell = (hash64(seed ^ 0x5EED ^ s as u64) % n as u64) as usize;
+        if mask[cell] > marker[cell] {
+            marker[cell] = mask[cell];
+            work.push(cell);
+        }
+    }
+    while let Some(cell) = work.pop() {
+        let v = marker[cell];
+        let (x, y) = (cell % width, cell / width);
+        let probe = |nb: usize, marker: &mut Vec<u64>, work: &mut Vec<usize>| {
+            let cand = v.min(mask[nb]);
+            if cand > marker[nb] {
+                marker[nb] = cand;
+                work.push(nb);
+            }
+        };
+        if x > 0 {
+            probe(cell - 1, &mut marker, &mut work);
+        }
+        if x + 1 < width {
+            probe(cell + 1, &mut marker, &mut work);
+        }
+        if y > 0 {
+            probe(cell - width, &mut marker, &mut work);
+        }
+        if y + 1 < height {
+            probe(cell + width, &mut marker, &mut work);
+        }
+    }
+    marker.iter().enumerate().fold(0u64, |acc, (i, &m)| {
+        acc.wrapping_add(m.wrapping_mul(i as u64 | 1))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_api::Runtime;
+    use hh_baselines::{DlgRuntime, SeqRuntime, StwRuntime};
+    use hh_runtime::{HhConfig, HhRuntime};
+
+    const W: usize = 48;
+    const H: usize = 48;
+    const SEEDS: usize = 24;
+    const SEED: u64 = 0x57AE_F207;
+
+    #[test]
+    fn wavefront_matches_sequential_reference() {
+        let expected = wavefront_reference(W, H, SEEDS, 0xF00D);
+        let got = SeqRuntime::new().run(|c| wavefront(c, W, H, SEEDS, 8, 0xF00D));
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn wavefront_agrees_across_runtimes() {
+        let workers = hh_api::env_workers(3);
+        let expected = wavefront_reference(W, H, SEEDS, SEED);
+        assert_eq!(
+            SeqRuntime::new().run(|c| wavefront(c, W, H, SEEDS, 8, SEED)),
+            expected,
+            "seq"
+        );
+        assert_eq!(
+            StwRuntime::with_workers(workers).run(|c| wavefront(c, W, H, SEEDS, 8, SEED)),
+            expected,
+            "stw"
+        );
+        assert_eq!(
+            DlgRuntime::with_workers(workers).run(|c| wavefront(c, W, H, SEEDS, 8, SEED)),
+            expected,
+            "dlg"
+        );
+        let hh = HhRuntime::with_workers(workers);
+        assert_eq!(
+            hh.run(|c| wavefront(c, W, H, SEEDS, 8, SEED)),
+            expected,
+            "parmem"
+        );
+        assert_eq!(hh.check_disentangled(), 0);
+        // Eager heaps force every tile publish to promote, deterministically.
+        let eager = HhRuntime::new(HhConfig::eager_heaps(2));
+        assert_eq!(
+            eager.run(|c| wavefront(c, W, H, SEEDS, 8, SEED)),
+            expected,
+            "parmem-eager"
+        );
+        let s = eager.stats();
+        assert!(
+            s.promotions > 0,
+            "tile publishes must promote under eager heaps"
+        );
+        assert!(s.promoted_objects >= s.promotions);
+    }
+}

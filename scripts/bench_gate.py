@@ -17,6 +17,9 @@ Robustness rules (all logged, nothing silently dropped):
     tolerance, and gating on it would make every PR a coin flip.
   * ns_per_copied_word is skipped unless both sides copied a substantial
     number of words — a run with one tiny collection divides by ~nothing.
+  * p999_us is skipped when either side has under MIN_P999_RUNS samples: with
+    nearest-rank percentiles, p999 of 300 runs is literally the maximum — a
+    heavy-tailed max-statistic that swings 3x between identical runs.
 New lines (no baseline counterpart) pass; the gate only guards metrics that
 both artifacts actually measured.
 """
@@ -27,6 +30,7 @@ import sys
 TOLERANCE = 0.15  # >15% regression of a named metric fails the gate
 MIN_ELAPSED_S = 0.5  # timed comparisons need runs at least this long
 MIN_COPIED_WORDS = 10_000  # ns/copied-word needs a real copy volume
+MIN_P999_RUNS = 1000  # fewer samples make nearest-rank p999 the max sample
 
 # metric -> direction ("higher" = bigger is better, "lower" = smaller is better)
 METRICS = {
@@ -35,8 +39,19 @@ METRICS = {
     "gc_max_pause_ns": "lower",
     "gc_pause_p999_ns": "lower",
     "ns_per_copied_word": "lower",
+    # Adversarial workloads (repro adversarial): wavefront cost per grid cell
+    # and entangle cost per promoted object.
+    "ns_per_cell": "lower",
+    "promote_ns_per_obj": "lower",
 }
-TIMED = {"throughput_rps", "p999_us", "gc_max_pause_ns", "gc_pause_p999_ns"}
+TIMED = {
+    "throughput_rps",
+    "p999_us",
+    "gc_max_pause_ns",
+    "gc_pause_p999_ns",
+    "ns_per_cell",
+    "promote_ns_per_obj",
+}
 
 
 def load(path):
@@ -51,6 +66,10 @@ def load(path):
                 d.get("experiment", "?"),
                 d.get("runtime", "?"),
                 d.get("mode", d.get("benchmark", "?")),
+                # serve lines: which workload the run pinned ("mix" = the
+                # seed-dispatched default, and the value for artifacts that
+                # predate the field).
+                d.get("workload", "mix"),
                 d.get("scale", 1),
             )
             if key in lines:
@@ -91,6 +110,16 @@ def main():
                 or int(c.get("gc_copied_words", 0)) < MIN_COPIED_WORDS
             ):
                 print(f"SKIP     {key} {metric}: under {MIN_COPIED_WORDS} copied words")
+                skipped += 1
+                continue
+            if metric == "p999_us" and (
+                int(b.get("runs", MIN_P999_RUNS)) < MIN_P999_RUNS
+                or int(c.get("runs", MIN_P999_RUNS)) < MIN_P999_RUNS
+            ):
+                print(
+                    f"SKIP     {key} {metric}: under {MIN_P999_RUNS} runs, "
+                    "nearest-rank p999 degenerates to the max sample"
+                )
                 skipped += 1
                 continue
             compared += 1

@@ -59,6 +59,81 @@ fn all_runtimes_agree_on_deterministic_benchmarks() {
     }
 }
 
+/// The adversarial workloads (`wavefront`, `entangle`) agree across all four
+/// runtimes *and* across the hierarchical runtime's ablation matrix — A3
+/// (per-object promotion), A4 (serial GC), A6 (monolithic collections, the
+/// default shape), and incremental collection — under GC-pressure thresholds
+/// with the invariant checker on, leaving no entanglement after any run.
+#[test]
+fn adversarial_workloads_agree_across_runtimes_and_ablations() {
+    let p = tiny();
+    for id in BenchId::ADVERSARIAL {
+        let expected = SeqRuntime::new().run(|ctx| run_timed(ctx, id, p)).checksum;
+        assert_eq!(
+            StwRuntime::with_workers(3)
+                .run(|ctx| run_timed(ctx, id, p))
+                .checksum,
+            expected,
+            "{} on stw",
+            id.name()
+        );
+        assert_eq!(
+            DlgRuntime::with_workers(3)
+                .run(|ctx| run_timed(ctx, id, p))
+                .checksum,
+            expected,
+            "{} on dlg",
+            id.name()
+        );
+        let base = HhConfig {
+            n_workers: 3,
+            chunk_words: 256,
+            gc_threshold_words: 4 * 1024,
+            check_invariants: true,
+            ..HhConfig::default()
+        };
+        let shapes: [(&str, HhConfig); 4] = [
+            (
+                "A3 (per-object promotion)",
+                HhConfig {
+                    batched_promotion: false,
+                    ..base.clone()
+                },
+            ),
+            (
+                "A4 (serial GC)",
+                HhConfig {
+                    gc_workers: 1,
+                    ..base.clone()
+                },
+            ),
+            ("A6 (monolithic GC)", base.clone()),
+            (
+                "incremental GC",
+                HhConfig {
+                    incremental_gc: true,
+                    ..base.clone()
+                },
+            ),
+        ];
+        for (label, cfg) in shapes {
+            let hh = HhRuntime::new(cfg);
+            assert_eq!(
+                hh.run(|ctx| run_timed(ctx, id, p)).checksum,
+                expected,
+                "{} on parmem {label}",
+                id.name()
+            );
+            assert_eq!(
+                hh.check_disentangled(),
+                0,
+                "{} entangled under {label}",
+                id.name()
+            );
+        }
+    }
+}
+
 /// §4.4: the pure `map` benchmark promotes nothing on the hierarchical runtime, while
 /// the Manticore-style baseline promotes the data of stolen tasks.
 #[test]

@@ -1,10 +1,12 @@
 //! GC v2 acceptance tests: the parallel zone collector must be observably
 //! equivalent to the serial (`gc_workers = 1`, ablation A4) collector — same
 //! workload checksums, zero entanglement, comparable footprint — on the
-//! mutator-heavy workloads under tiny GC thresholds, and the team counters must
-//! fire when a team is configured.
+//! mutator-heavy and adversarial workloads under tiny GC thresholds, and the
+//! team counters must fire when a team is configured.
 
+use hierheap::workloads::adversary::entangle;
 use hierheap::workloads::mutator::{frontier_bfs, lru_churn, union_find};
+use hierheap::workloads::wavefront::wavefront;
 use hierheap::{HhConfig, HhRuntime, ObjPtr, ParCtx, Runtime};
 
 /// Tiny chunks and GC thresholds so collections fire constantly, on a pool big
@@ -93,6 +95,18 @@ fn serial_and_parallel_gc_agree_on_bfs_frontier() {
 #[test]
 fn serial_and_parallel_gc_agree_on_lru_churn() {
     assert_equivalent(|ctx| lru_churn(ctx, 8, 4_000, 64, 2_048, 0xF00D));
+}
+
+#[test]
+fn serial_and_parallel_gc_agree_on_wavefront() {
+    assert_equivalent(|ctx| wavefront(ctx, 64, 64, 48, 16, 0x7A3E));
+}
+
+#[test]
+fn serial_and_parallel_gc_agree_on_entangle() {
+    // 70% of ops cross subtrees: promotion traffic interleaves with the
+    // constantly firing collections on both collector shapes.
+    assert_equivalent(|ctx| entangle(ctx, 8, 4_000, 700, 0xAD55));
 }
 
 /// A forced collection of a large live set under a configured team bumps the

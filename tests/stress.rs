@@ -144,6 +144,65 @@ fn panics_propagate_and_runtime_survives() {
     assert_eq!(rt.check_disentangled(), 0);
 }
 
+/// Seed-driven wavefront stress lane: 64 hash-derived irregular-wavefront
+/// instances (grid shape, seed count, and grain all vary per seed), each run on
+/// the hierarchical runtime in both the monolithic A6 shape and the
+/// mutator-concurrent incremental shape, under tiny chunks and thresholds with
+/// the invariant checker on, and checked against the independent sequential
+/// reconstruction oracle. `HH_STRESS_SEED=<n>` replays one seed;
+/// `HH_STRESS_SEEDS` overrides the count; `HH_WORKERS` sizes the pools.
+#[test]
+fn stress_wavefront_forced() {
+    use hh_workloads::wavefront::{wavefront, wavefront_reference};
+
+    let run_one = |seed: u64| {
+        let replay = format!(
+            "seed {seed} (replay: HH_STRESS_SEED={seed} cargo test --test stress stress_wavefront)"
+        );
+        let width = 12 + (hierheap::hash64(seed ^ 0x11) % 30) as usize;
+        let height = 12 + (hierheap::hash64(seed ^ 0x22) % 30) as usize;
+        let seeds = 1 + (hierheap::hash64(seed ^ 0x33) % 12) as usize;
+        let grain = 4 + (hierheap::hash64(seed ^ 0x44) % 12) as usize;
+        let expected = wavefront_reference(width, height, seeds, seed);
+        let workers = hh_api::env_workers(4).max(2);
+        for incremental_gc in [false, true] {
+            // Eager heaps so every tile publish promotes regardless of steal luck.
+            let rt = HhRuntime::new(HhConfig {
+                n_workers: workers,
+                chunk_words: 256,
+                gc_threshold_words: 2 * 1024,
+                check_invariants: true,
+                lazy_child_heaps: false,
+                incremental_gc,
+                ..Default::default()
+            });
+            let shape = if incremental_gc { "incremental" } else { "A6" };
+            assert_eq!(
+                rt.run(|c| wavefront(c, width, height, seeds, grain, seed)),
+                expected,
+                "wavefront ({shape}) diverged from the reference on {replay}"
+            );
+            assert_eq!(
+                rt.check_disentangled(),
+                0,
+                "wavefront ({shape}) left entanglement on {replay}"
+            );
+        }
+    };
+
+    if let Ok(one) = std::env::var("HH_STRESS_SEED") {
+        run_one(one.parse().expect("HH_STRESS_SEED must be an integer"));
+        return;
+    }
+    let count: u64 = std::env::var("HH_STRESS_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    for seed in 0..count {
+        run_one(seed);
+    }
+}
+
 /// Repeated forced collections interleaved with mutation keep pinned data intact and
 /// keep memory accounting monotone in the right direction.
 #[test]
