@@ -469,7 +469,9 @@ impl ParCtx for HhCtx {
             if self.inner.incremental_tick(true) {
                 return;
             }
-            if !self.inner.should_collect(self.heap) {
+            // Test-only: installed schedule hooks may force a window open at
+            // this safe point even under threshold (no-op in production).
+            if !self.inner.should_collect(self.heap) && !self.inner.hook_force_collect() {
                 return;
             }
             if self.owns_heap {

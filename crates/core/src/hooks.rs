@@ -1,0 +1,81 @@
+//! Test-only GC schedule hooks: the deterministic window-schedule harness.
+//!
+//! The epoch-inc × server-overlap race (DESIGN.md §11.5) was seen once in ~15
+//! release serve runs — a microsecond-wide window between an idle worker's
+//! finalize and a tenant's `end_run`. Hunting that class of bug by rerunning is
+//! hopeless; instead, the runtime exposes its *schedule points* so a test can
+//! pin the exact interleaving: every rare transition of the incremental-window
+//! and run lifecycles fires a [`GcScheduleEvent`] through an installed
+//! [`GcScheduleHooks`], whose handler may **block** (stalling that thread at
+//! that point behind a gate) or **force** a collection trigger at a chosen
+//! mutator safe point ([`GcScheduleHooks::force_collect`]).
+//!
+//! Hooks are per-runtime (parallel tests never share them) and cost one relaxed
+//! atomic load on the rare paths when none are installed — the hot mutator
+//! paths (barrier fast path, allocation) never consult them. Production code
+//! must not install hooks; the installer is `#[doc(hidden)]`.
+
+/// A schedule point in the incremental-collection / run lifecycle. Fired on the
+/// thread performing the transition, so a blocking handler stalls exactly that
+/// thread at exactly that point.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum GcScheduleEvent {
+    /// `start_incremental` installed a window. `epoch` is the collection epoch
+    /// (the chunk-tag epoch, not the run epoch).
+    WindowStart {
+        /// Collection epoch of the new window.
+        epoch: u64,
+    },
+    /// A thread won the `finalizing` claim and is about to run the engine's
+    /// closed/retired handshake.
+    FinalizeClaimed {
+        /// Collection epoch of the claimed window.
+        epoch: u64,
+    },
+    /// The engine handshake is complete, but survivor adoption and from-space
+    /// retirement have **not** happened yet. A handler that blocks here holds
+    /// the window in exactly the state the epoch-inc × overlap race needed
+    /// (DESIGN.md §11.5).
+    FinalizePreMerge {
+        /// Collection epoch of the window being finalized.
+        epoch: u64,
+    },
+    /// Finalization is fully complete: survivors adopted, from-space retired,
+    /// window uninstalled.
+    FinalizeDone {
+        /// Collection epoch of the finalized window.
+        epoch: u64,
+    },
+    /// Another thread holds the `finalizing` claim and this thread
+    /// (`finalize_incremental_now` — a new monolithic collection or an ending
+    /// run) observed the window still installed and is about to wait for the
+    /// claimer to complete. Not fired when the claimer already uninstalled.
+    FinalizeWait {
+        /// Collection epoch of the window being waited on.
+        epoch: u64,
+    },
+    /// `end_run` passed its forced finalize and is about to dispose the run's
+    /// heap tree, end its epoch, and advance the reclamation watermark.
+    EndRunPreDispose {
+        /// Run epoch (reclamation epoch) of the ending run.
+        run_epoch: u64,
+    },
+}
+
+/// Observer and schedule controller for the GC / run lifecycle, installed via
+/// `HhRuntime::install_gc_hooks`. All methods default to no-ops.
+pub trait GcScheduleHooks: Send + Sync {
+    /// Called at each schedule point (see [`GcScheduleEvent`]); may block to
+    /// stall the transitioning thread behind a gate.
+    fn on_event(&self, event: GcScheduleEvent) {
+        let _ = event;
+    }
+
+    /// Consulted by the collection-trigger safe point (`maybe_collect`) after
+    /// its threshold test: returning `true` forces a collection attempt even
+    /// under threshold, so a stress driver can open windows at chosen
+    /// fork/join points instead of relying on allocation pressure.
+    fn force_collect(&self) -> bool {
+        false
+    }
+}

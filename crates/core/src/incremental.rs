@@ -100,6 +100,13 @@ pub(crate) struct ActiveGc {
     finalizing: AtomicBool,
 }
 
+impl ActiveGc {
+    /// True once a thread has claimed finalization of this window.
+    pub(crate) fn is_finalizing(&self) -> bool {
+        self.finalizing.load(Ordering::Acquire)
+    }
+}
+
 impl Inner {
     /// Starts an incremental collection of `zone` (resolved, non-empty), seeding
     /// `roots` (rewritten in place) as the complete current root set. Returns
@@ -161,6 +168,7 @@ impl Inner {
         }));
         self.incremental_active.store(true, Ordering::Release);
         drop(guard);
+        self.fire_hook(crate::hooks::GcScheduleEvent::WindowStart { epoch });
         if n_heaps > 1 {
             self.counters
                 .subtree_collections
@@ -230,12 +238,24 @@ impl Inner {
                 }
             };
             if gc.finalizing.swap(true, Ordering::AcqRel) {
-                // Another thread claimed it; wait for the uninstall, then
-                // re-check (a different window may have opened since).
+                // Another thread claimed it; wait for the uninstall — the
+                // *last* step of finalization, so the claimer's survivor
+                // adoption and from-space retirement are complete before this
+                // returns — then re-check (a different window may have opened
+                // since). Waiting only for the claim flag, or for any earlier
+                // finalize step, would let `end_run` dispose a tree the
+                // claimer is still adopting survivors into (DESIGN.md §11.5).
+                let mut waited = false;
                 while {
                     let slot = self.active_gc.lock();
                     slot.as_ref().is_some_and(|g| Arc::ptr_eq(g, &gc))
                 } {
+                    if !waited {
+                        waited = true;
+                        self.fire_hook(crate::hooks::GcScheduleEvent::FinalizeWait {
+                            epoch: gc.engine.epoch(),
+                        });
+                    }
                     std::thread::yield_now();
                 }
                 continue;
@@ -249,19 +269,16 @@ impl Inner {
     /// adoption, from-space retirement, statistics. `started` marks where this
     /// thread's pause began (its final drain, for `incremental_tick`).
     fn finalize_claimed(&self, gc: &Arc<ActiveGc>, started: Instant, record_pause: bool) {
+        self.fire_hook(crate::hooks::GcScheduleEvent::FinalizeClaimed {
+            epoch: gc.engine.epoch(),
+        });
         // Residual drain + barrier quiescence. Barriers must stay answerable
         // until `retired` flips inside, so the active flag is cleared only after.
         gc.engine.finalize();
-        {
-            let mut slot = self.active_gc.lock();
-            debug_assert!(
-                slot.as_ref().is_some_and(|g| Arc::ptr_eq(g, gc)),
-                "finalizing a window that is not installed"
-            );
-            *slot = None;
-            self.incremental_active.store(false, Ordering::Release);
-        }
         let store = self.registry.store();
+        self.fire_hook(crate::hooks::GcScheduleEvent::FinalizePreMerge {
+            epoch: gc.engine.epoch(),
+        });
         let outcome = gc.engine.merge();
         for ((heap, old), (chunks, words)) in gc.old_chunks.iter().zip(outcome.per_slot) {
             // A zone heap may have been joined away mid-window (a borrower-start
@@ -288,6 +305,24 @@ impl Inner {
                 store.retire_chunk(c);
             }
         }
+        // Uninstall LAST — after survivor adoption and from-space retirement.
+        // `finalize_incremental_now`'s waiter (the `end_run` path) unblocks on
+        // this uninstall; doing it any earlier let an ending run dispose its
+        // heap tree and advance the epoch-reclamation watermark while this
+        // thread was still adopting its survivors, recycling the chunks those
+        // survivors point into under a younger run (DESIGN.md §11.5). Barriers
+        // taken between `engine.finalize()` and here get `None` from the
+        // retired engine and fall back to the forwarding chain, so keeping the
+        // window installed through the adopt/retire phase is benign.
+        {
+            let mut slot = self.active_gc.lock();
+            debug_assert!(
+                slot.as_ref().is_some_and(|g| Arc::ptr_eq(g, gc)),
+                "finalizing a window that is not installed"
+            );
+            *slot = None;
+            self.incremental_active.store(false, Ordering::Release);
+        }
         self.counters.gc_count.fetch_add(1, Ordering::Relaxed);
         self.counters
             .gc_incremental_collections
@@ -305,6 +340,9 @@ impl Inner {
         if record_pause {
             self.counters.record_gc_pause(pause);
         }
+        self.fire_hook(crate::hooks::GcScheduleEvent::FinalizeDone {
+            epoch: gc.engine.epoch(),
+        });
         // The debug invariant walk (`verify_heaps`) is deliberately skipped here:
         // it requires a quiescent zone, and at an incremental finalize the zone's
         // mutator is running on another frame (or another thread, for idle-worker

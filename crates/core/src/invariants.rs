@@ -58,9 +58,11 @@ impl Inner {
                     self.registry.is_ancestor_or_self(to_heap, target),
                     "promotion invariant violated: copy {copy:?} (target heap {target:?}, \
                      depth {}) field {f} points to {p:?} in non-ancestor heap {to_heap:?} \
-                     (depth {})",
+                     (depth {}); holder {}; target {}",
                     self.registry.depth(target),
                     self.registry.depth(to_heap),
+                    store.chunk(copy.chunk()).forensics(),
+                    store.chunk(p.chunk()).forensics(),
                 );
             }
         }
@@ -104,9 +106,11 @@ impl Inner {
                             self.registry.is_ancestor_or_self(to_heap, h),
                             "collection invariant violated: object {obj:?} in heap {h:?} \
                              (depth {}) field {f} points to {p:?} in non-ancestor heap \
-                             {to_heap:?} (depth {})",
+                             {to_heap:?} (depth {}); holder {}; target {}",
                             heap.depth(),
                             self.registry.depth(to_heap),
+                            chunk.forensics(),
+                            store.chunk(p.chunk()).forensics(),
                         );
                     }
                     off += header.size_words();

@@ -32,6 +32,7 @@ pub mod config;
 pub mod counters;
 pub mod ctx;
 pub mod gc;
+pub mod hooks;
 pub mod incremental;
 pub mod invariants;
 pub mod ops;
@@ -40,7 +41,8 @@ pub mod runtime;
 
 pub use config::HhConfig;
 pub use ctx::HhCtx;
-pub use runtime::HhRuntime;
+pub use runtime::{DisentanglementReport, HhRuntime};
 
 pub use hh_api::{ParCtx, Runtime};
+pub use hh_heaps::{EntanglementViolation, HeapId};
 pub use hh_objmodel::{ObjKind, ObjPtr};

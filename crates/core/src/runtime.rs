@@ -62,9 +62,44 @@ pub(crate) struct Inner {
     /// zone membership (`gc_state(epoch)`) before touching the `active_gc` lock,
     /// so operations on untouched heaps never contend on it.
     pub(crate) active_gc_epoch: std::sync::atomic::AtomicU64,
+    /// Fast guard for the test-only schedule hooks: the rare-path sites fire
+    /// events only when this is set, so an un-hooked runtime pays one relaxed
+    /// load at schedule points and nothing anywhere else.
+    hooks_installed: std::sync::atomic::AtomicBool,
+    /// Test-only schedule hooks (see [`crate::hooks`]): per-runtime, so
+    /// parallel tests never observe each other's schedules.
+    hooks: parking_lot::Mutex<Option<Arc<dyn crate::hooks::GcScheduleHooks>>>,
 }
 
 impl Inner {
+    /// Fires a test-only schedule event (no-op unless hooks are installed; the
+    /// handler may block — see [`crate::hooks`]). Only rare paths call this.
+    #[inline]
+    pub(crate) fn fire_hook(&self, event: crate::hooks::GcScheduleEvent) {
+        if self.hooks_installed.load(Ordering::Relaxed) {
+            self.fire_hook_cold(event);
+        }
+    }
+
+    #[cold]
+    fn fire_hook_cold(&self, event: crate::hooks::GcScheduleEvent) {
+        let hooks = self.hooks.lock().clone();
+        if let Some(h) = hooks {
+            h.on_event(event);
+        }
+    }
+
+    /// True when installed schedule hooks ask to force a collection trigger at
+    /// the calling safe point (see [`crate::hooks::GcScheduleHooks::force_collect`]).
+    #[inline]
+    pub(crate) fn hook_force_collect(&self) -> bool {
+        if !self.hooks_installed.load(Ordering::Relaxed) {
+            return false;
+        }
+        let hooks = self.hooks.lock().clone();
+        hooks.is_some_and(|h| h.force_collect())
+    }
+
     /// Starts a run.
     ///
     /// **Epoch mode** (default): the run draws a monotone epoch from the store's
@@ -127,6 +162,7 @@ impl Inner {
         // would leak both. (A5's untagged runs all read tag 0 and finalize
         // conservatively.)
         self.finalize_incremental_now(|gc| gc.zone_run_tag == epoch);
+        self.fire_hook(crate::hooks::GcScheduleEvent::EndRunPreDispose { run_epoch: epoch });
         if self.config.epoch_reclaim {
             self.registry
                 .dispose_subtree_in(root, heaps_before..heaps_after);
@@ -159,6 +195,46 @@ impl Drop for EndRunGuard<'_> {
         let heaps_after = self.inner.registry.n_heaps();
         self.inner
             .end_run(self.root, self.heaps_before, heaps_after, self.epoch);
+    }
+}
+
+/// The disentanglement checker's full report ([`HhRuntime::check_disentangled_report`]):
+/// every violation with per-chunk forensics, plus the incremental-window state at
+/// check time — a window still open (or mid-finalize) when the hierarchy is
+/// supposed to be quiescent is itself a scheduling bug worth reporting.
+#[derive(Clone, Debug)]
+pub struct DisentanglementReport {
+    /// The violations found (empty when the invariant holds).
+    pub violations: Vec<hh_heaps::EntanglementViolation>,
+    /// True if an incremental window was installed at check time.
+    pub window_open: bool,
+    /// True if the installed window had entered finalization.
+    pub window_finalizing: bool,
+    /// Collection epoch of the installed window (0 = none).
+    pub window_epoch: u64,
+}
+
+impl DisentanglementReport {
+    /// True when no violation was found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl std::fmt::Display for DisentanglementReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} disentanglement violation(s); window open: {}, finalizing: {}, epoch {}",
+            self.violations.len(),
+            self.window_open,
+            self.window_finalizing,
+            self.window_epoch
+        )?;
+        for v in &self.violations {
+            write!(f, "\n  {v}")?;
+        }
+        Ok(())
     }
 }
 
@@ -209,6 +285,8 @@ impl HhRuntime {
                 incremental_active: std::sync::atomic::AtomicBool::new(false),
                 active_gc: parking_lot::Mutex::new(None),
                 active_gc_epoch: std::sync::atomic::AtomicU64::new(0),
+                hooks_installed: std::sync::atomic::AtomicBool::new(false),
+                hooks: parking_lot::Mutex::new(None),
             }),
         };
         if rt.inner.config.incremental_gc {
@@ -239,10 +317,42 @@ impl HhRuntime {
         &self.inner.config
     }
 
-    /// Walks every live heap and returns the disentanglement violations (empty when the
-    /// invariant holds). Only meaningful while no tasks are running.
+    /// Walks every live heap and returns the number of disentanglement violations
+    /// (0 when the invariant holds). Only meaningful while no tasks are running.
+    /// For forensics — per-violation chunk context plus window state — use
+    /// [`HhRuntime::check_disentangled_report`].
     pub fn check_disentangled(&self) -> usize {
         self.inner.registry.check_disentangled().len()
+    }
+
+    /// As [`HhRuntime::check_disentangled`], but returns the full forensic
+    /// report: every violation with the chunk-level context of both ends
+    /// (run tag, gc tag epoch/slot/FROM-TO, retirement, generation, depths)
+    /// plus the incremental-window state at check time. This is what turns a
+    /// one-in-a-thousand race hit into a diagnosable artifact.
+    pub fn check_disentangled_report(&self) -> DisentanglementReport {
+        let (window_open, window_finalizing, window_epoch) = {
+            let slot = self.inner.active_gc.lock();
+            match slot.as_ref() {
+                Some(gc) => (true, gc.is_finalizing(), gc.engine.epoch()),
+                None => (false, false, 0),
+            }
+        };
+        DisentanglementReport {
+            violations: self.inner.registry.check_disentangled(),
+            window_open,
+            window_finalizing,
+            window_epoch,
+        }
+    }
+
+    /// Installs the test-only GC schedule hooks (see [`crate::hooks`]): the
+    /// deterministic window-schedule harness used by the race stress lanes and
+    /// pinned reproducers. Not part of the public API surface.
+    #[doc(hidden)]
+    pub fn install_gc_hooks(&self, hooks: Arc<dyn crate::hooks::GcScheduleHooks>) {
+        *self.inner.hooks.lock() = Some(hooks);
+        self.inner.hooks_installed.store(true, Ordering::Release);
     }
 
     /// Snapshot of the chunk store's memory accounting and lifecycle state (chunk

@@ -29,5 +29,5 @@ pub mod rwlock;
 
 pub use heap::{BatchAlloc, Heap, HeapStats};
 pub use id::HeapId;
-pub use registry::HeapRegistry;
+pub use registry::{EntanglementViolation, HeapRegistry};
 pub use rwlock::HeapRwLock;

@@ -2,8 +2,54 @@
 
 use crate::heap::Heap;
 use crate::id::HeapId;
-use hh_objmodel::{AppendVec, ChunkStore, Header, ObjPtr};
+use hh_objmodel::{AppendVec, ChunkForensics, ChunkStore, Header, ObjPtr};
 use std::sync::Arc;
+
+/// One disentanglement violation found by [`HeapRegistry::check_disentangled`]:
+/// a pointer field whose target's heap is *not* an ancestor of (or equal to) the
+/// holder's heap, together with the chunk-level forensics ([`ChunkForensics`]:
+/// run tag, gc tag epoch/slot/FROM-TO bits, retirement, generation) of both ends.
+/// The context is captured at detection time so a violation seen once under a
+/// racy schedule is diagnosable from its report alone.
+#[derive(Clone, Debug)]
+pub struct EntanglementViolation {
+    /// The object holding the offending pointer.
+    pub holder: ObjPtr,
+    /// Index of the offending pointer field within the holder.
+    pub field: usize,
+    /// Resolved heap of the holder.
+    pub holder_heap: HeapId,
+    /// Depth of the holder's heap.
+    pub holder_depth: u32,
+    /// Forensics of the chunk the holder lives in.
+    pub holder_chunk: ChunkForensics,
+    /// The pointee.
+    pub target: ObjPtr,
+    /// Resolved heap of the pointee — not an ancestor of `holder_heap`.
+    pub target_heap: HeapId,
+    /// Depth of the pointee's heap.
+    pub target_depth: u32,
+    /// Forensics of the chunk the pointee lives in.
+    pub target_chunk: ChunkForensics,
+}
+
+impl std::fmt::Display for EntanglementViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?} field {} in heap {:?} (depth {}) [{}] -> {:?} in non-ancestor heap {:?} (depth {}) [{}]",
+            self.holder,
+            self.field,
+            self.holder_heap,
+            self.holder_depth,
+            self.holder_chunk,
+            self.target,
+            self.target_heap,
+            self.target_depth,
+            self.target_chunk,
+        )
+    }
+}
 
 /// The global table of heaps plus the operations that maintain the hierarchy.
 ///
@@ -226,12 +272,12 @@ impl HeapRegistry {
 
     /// Walks every pointer field of every object in every live heap and checks the
     /// disentanglement invariant: each pointee's heap is an ancestor of (or equal to)
-    /// the pointer's heap. Returns the list of violations as
-    /// `(from_obj, from_heap, to_obj, to_heap)`.
+    /// the pointer's heap. Returns one [`EntanglementViolation`] per offending field,
+    /// each carrying the chunk forensics of both ends.
     ///
     /// This is a debugging / property-testing facility: it is O(heap size) and assumes
     /// the hierarchy is quiescent while it runs.
-    pub fn check_disentangled(&self) -> Vec<(ObjPtr, HeapId, ObjPtr, HeapId)> {
+    pub fn check_disentangled(&self) -> Vec<EntanglementViolation> {
         let mut violations = Vec::new();
         for idx in 0..self.heaps.len() {
             let heap = self.heap(HeapId(idx as u32));
@@ -258,12 +304,17 @@ impl HeapRegistry {
                         }
                         let to_heap = self.heap_of(target);
                         if !self.is_ancestor_or_self(to_heap, from_heap) {
-                            violations.push((
-                                ObjPtr::new(chunk_id, off as u32),
-                                from_heap,
+                            violations.push(EntanglementViolation {
+                                holder: ObjPtr::new(chunk_id, off as u32),
+                                field: f,
+                                holder_heap: from_heap,
+                                holder_depth: self.depth(from_heap),
+                                holder_chunk: chunk.forensics(),
                                 target,
-                                to_heap,
-                            ));
+                                target_heap: to_heap,
+                                target_depth: self.depth(to_heap),
+                                target_chunk: self.store.chunk(target.chunk()).forensics(),
+                            });
                         }
                     }
                     off += header.size_words();
@@ -381,8 +432,11 @@ mod tests {
         reg.store().view(parent_obj).set_field_ptr(0, child_obj);
         let violations = reg.check_disentangled();
         assert_eq!(violations.len(), 1);
-        assert_eq!(violations[0].1, root);
-        assert_eq!(violations[0].3, child);
+        assert_eq!(violations[0].holder_heap, root);
+        assert_eq!(violations[0].target_heap, child);
+        assert_eq!(violations[0].holder_depth, 0);
+        assert_eq!(violations[0].target_depth, 1);
+        assert_eq!(violations[0].field, 0);
         // Joining the child into the root resolves the violation (same heap now).
         reg.join_heap(root, child);
         assert!(reg.check_disentangled().is_empty());
@@ -399,8 +453,11 @@ mod tests {
         reg.store().view(l).set_field_ptr(0, r);
         let violations = reg.check_disentangled();
         assert_eq!(violations.len(), 1);
-        assert_eq!(violations[0].1, left);
-        assert_eq!(violations[0].3, right);
+        assert_eq!(violations[0].holder_heap, left);
+        assert_eq!(violations[0].target_heap, right);
+        // Both ends report their chunk forensics (fresh chunks: active, untagged).
+        assert!(!violations[0].holder_chunk.retired);
+        assert_eq!(violations[0].target_chunk.gc_epoch, 0);
     }
 
     #[test]

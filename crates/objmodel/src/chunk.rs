@@ -46,6 +46,57 @@ const GC_EPOCH_SHIFT: u32 = 18;
 /// Maximum number of heaps one collection zone can address through chunk tags.
 pub const GC_MAX_ZONE_SLOTS: usize = 1 << (GC_EPOCH_SHIFT - GC_SLOT_SHIFT);
 
+/// A diagnostic snapshot of one chunk's lifecycle and collection state, taken by
+/// [`Chunk::forensics`]. Invariant checkers attach this to their reports so a
+/// violation seen once in a thousand serve runs carries enough context (who owned
+/// the chunk, which run it was attributed to, which collection last tagged it and
+/// as what) to be diagnosed post-mortem instead of re-run.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ChunkForensics {
+    /// The chunk's id.
+    pub chunk: ChunkId,
+    /// Raw heap id recorded on the chunk (allocation-time owner, pre-merge).
+    pub owner: u32,
+    /// Run epoch the chunk is attributed to (0 = untracked).
+    pub run_tag: u64,
+    /// Reuse generation at snapshot time.
+    pub generation: u32,
+    /// Whether the chunk was retired at snapshot time.
+    pub retired: bool,
+    /// Collection epoch of the last gc tag stamped on the chunk (0 = never tagged
+    /// or recycled since).
+    pub gc_epoch: u64,
+    /// Zone-heap slot encoded in the last gc tag.
+    pub gc_slot: u16,
+    /// FROM bit of the last gc tag.
+    pub gc_from: bool,
+    /// TO bit of the last gc tag.
+    pub gc_to: bool,
+}
+
+impl std::fmt::Display for ChunkForensics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let phase = match (self.gc_from, self.gc_to) {
+            (false, false) => "untagged",
+            (true, false) => "FROM",
+            (false, true) => "TO",
+            (true, true) => "FROM|TO",
+        };
+        write!(
+            f,
+            "chunk {} (owner {}, run_tag {}, gen {}, {}, gc epoch {} slot {} {})",
+            self.chunk.0,
+            self.owner,
+            self.run_tag,
+            self.generation,
+            if self.retired { "retired" } else { "active" },
+            self.gc_epoch,
+            self.gc_slot,
+            phase,
+        )
+    }
+}
+
 /// A fixed-capacity block of atomically accessed words with bump allocation.
 pub struct Chunk {
     id: ChunkId,
@@ -255,6 +306,26 @@ impl Chunk {
             ChunkGcState::ToSpace(slot)
         } else {
             ChunkGcState::FromSpace(slot)
+        }
+    }
+
+    /// Takes a diagnostic snapshot of the chunk's lifecycle and collection state:
+    /// the **raw** gc tag decoded without an epoch filter (unlike
+    /// [`Chunk::gc_state`], which hides tags of other collections), plus run tag,
+    /// owner, generation and retirement. Each field is an independent atomic load —
+    /// the snapshot is for post-mortem reports, not synchronization.
+    pub fn forensics(&self) -> ChunkForensics {
+        let tag = self.gc_tag.load(Ordering::Acquire);
+        ChunkForensics {
+            chunk: self.id,
+            owner: self.owner(),
+            run_tag: self.run_tag(),
+            generation: self.generation(),
+            retired: self.is_retired(),
+            gc_epoch: tag >> GC_EPOCH_SHIFT,
+            gc_slot: ((tag >> GC_SLOT_SHIFT) & (GC_MAX_ZONE_SLOTS as u64 - 1)) as u16,
+            gc_from: tag & GC_FLAG_FROM != 0,
+            gc_to: tag & GC_FLAG_TO != 0,
         }
     }
 

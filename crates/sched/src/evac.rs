@@ -428,6 +428,17 @@ impl<Z: EvacZone> EvacEngine<Z> {
             let size = header.size_words();
             if self.store.needs_dedicated_chunk(header) && !chunk.is_retired() {
                 if chunk.try_gc_promote_in_place(self.epoch, heap_slot) {
+                    // The retirement test above races with the store (a
+                    // quarantine rescue may retire the chunk between the load
+                    // and the CAS). Promoting a retired chunk in place would
+                    // hand its id to the finalizer's adopt list while the
+                    // store's reclamation also owns it — the same
+                    // double-ownership shape as the end_run overlap race
+                    // (DESIGN.md §11.5). Re-check after winning and revert.
+                    if chunk.is_retired() {
+                        chunk.set_gc_from_space(self.epoch, heap_slot);
+                        continue;
+                    }
                     let to = &mut w.tos[heap_slot as usize];
                     to.words += size;
                     to.chunks.push(cur.chunk());

@@ -142,7 +142,31 @@ fn main() {
                 let rt = HhRuntime::new(hh_cfg);
                 let report = serve(&rt, &cfg, label);
                 if let Err(e) = verify_quiescent(&rt) {
+                    // Human-readable forensics on stderr, one machine-readable
+                    // JSON line on stdout (and into `$HH_VIOLATION_JSON` /
+                    // `--json` when set) so CI can archive the failure with the
+                    // replay seed even when the log scrolls away.
                     eprintln!("INVARIANT VIOLATION ({label}): {e}");
+                    let line = e.to_json(&cfg, label);
+                    println!("{line}");
+                    let mut sinks: Vec<String> = json_path.iter().cloned().collect();
+                    if let Ok(p) = std::env::var("HH_VIOLATION_JSON") {
+                        if !p.is_empty() && !sinks.contains(&p) {
+                            sinks.push(p);
+                        }
+                    }
+                    for path in sinks {
+                        match std::fs::OpenOptions::new()
+                            .create(true)
+                            .append(true)
+                            .open(&path)
+                        {
+                            Ok(mut out) => {
+                                let _ = writeln!(out, "{line}");
+                            }
+                            Err(err) => eprintln!("cannot open {path}: {err}"),
+                        }
+                    }
                     std::process::exit(1);
                 }
                 print_report(&report);

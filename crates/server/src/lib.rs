@@ -23,4 +23,4 @@ pub mod serve;
 
 pub use hh_api::{LatencyRecorder, LatencySummary};
 pub use queue::BoundedQueue;
-pub use serve::{serve, verify_quiescent, ServeConfig, ServeReport};
+pub use serve::{serve, verify_quiescent, QuiescenceViolation, ServeConfig, ServeReport};

@@ -261,25 +261,136 @@ pub fn serve<R: Runtime>(rt: &R, cfg: &ServeConfig, mode: &'static str) -> Serve
     }
 }
 
+/// A failed post-serve quiescence check: the one-line `reason` plus, for
+/// disentanglement failures, the full per-violation forensics report
+/// (offending slots, chunk `run_tag`/`gc_state`, heap depths, window state).
+#[derive(Clone, Debug)]
+pub struct QuiescenceViolation {
+    /// One-line description of the first violated invariant.
+    pub reason: String,
+    /// Per-violation forensics when the disentanglement walk failed.
+    pub disentanglement: Option<hh_runtime::DisentanglementReport>,
+}
+
+impl std::fmt::Display for QuiescenceViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.reason)?;
+        if let Some(report) = &self.disentanglement {
+            write!(f, "\n{report}")?;
+        }
+        Ok(())
+    }
+}
+
+/// How many individual violations a JSON line carries before truncating (a mass
+/// violation lists hundreds of identical-shaped entries; the first few plus the
+/// count carry all the signal).
+const VIOLATION_JSON_CAP: usize = 32;
+
+impl QuiescenceViolation {
+    /// Renders the violation as one machine-readable JSON line carrying enough
+    /// context to replay (seed/mode/workload/scale) and diagnose (window state,
+    /// per-violation chunk forensics). Hand-rolled like [`ServeReport::to_json`];
+    /// the only free-form text is `reason`, which is escaped.
+    pub fn to_json(&self, cfg: &ServeConfig, mode: &str) -> String {
+        let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        let mut out = format!(
+            concat!(
+                "{{\"experiment\":\"serve-violation\",\"mode\":\"{}\",\"workload\":\"{}\",",
+                "\"seed\":{},\"scale\":{},\"runs\":{},\"reason\":\"{}\""
+            ),
+            escape(mode),
+            cfg.workload.map_or("mix", ServeWorkloadId::name),
+            cfg.seed,
+            cfg.scale,
+            cfg.runs,
+            escape(&self.reason),
+        );
+        if let Some(report) = &self.disentanglement {
+            out.push_str(&format!(
+                ",\"window_open\":{},\"window_finalizing\":{},\"window_epoch\":{},\
+                 \"violation_count\":{},\"violations\":[",
+                report.window_open,
+                report.window_finalizing,
+                report.window_epoch,
+                report.violations.len(),
+            ));
+            for (i, v) in report
+                .violations
+                .iter()
+                .take(VIOLATION_JSON_CAP)
+                .enumerate()
+            {
+                if i > 0 {
+                    out.push(',');
+                }
+                let chunk_json = |c: &hh_objmodel::ChunkForensics| {
+                    format!(
+                        "{{\"chunk\":{},\"owner\":{},\"run_tag\":{},\"generation\":{},\
+                         \"retired\":{},\"gc_epoch\":{},\"gc_slot\":{},\"gc_from\":{},\
+                         \"gc_to\":{}}}",
+                        c.chunk.0,
+                        c.owner,
+                        c.run_tag,
+                        c.generation,
+                        c.retired,
+                        c.gc_epoch,
+                        c.gc_slot,
+                        c.gc_from,
+                        c.gc_to,
+                    )
+                };
+                out.push_str(&format!(
+                    "{{\"holder\":\"{:?}\",\"field\":{},\"holder_heap\":{},\
+                     \"holder_depth\":{},\"holder_chunk\":{},\"target\":\"{:?}\",\
+                     \"target_heap\":{},\"target_depth\":{},\"target_chunk\":{}}}",
+                    v.holder,
+                    v.field,
+                    v.holder_heap.raw(),
+                    v.holder_depth,
+                    chunk_json(&v.holder_chunk),
+                    v.target,
+                    v.target_heap.raw(),
+                    v.target_depth,
+                    chunk_json(&v.target_chunk),
+                ));
+            }
+            out.push(']');
+        }
+        out.push('}');
+        out
+    }
+}
+
 /// Post-serve invariant check for the hierarchical runtime: with the server
 /// quiescent, the chunk lifecycle must conserve
 /// (`created == active + quarantined + free + released`) and every live heap must
-/// be disentangled. Returns a description of the first violation.
-pub fn verify_quiescent(rt: &hh_runtime::HhRuntime) -> Result<(), String> {
+/// be disentangled. Returns the first violation with full forensics.
+pub fn verify_quiescent(rt: &hh_runtime::HhRuntime) -> Result<(), QuiescenceViolation> {
+    let plain = |reason: String| QuiescenceViolation {
+        reason,
+        disentanglement: None,
+    };
     let s = rt.store_stats();
     let accounted = s.chunks_active + s.chunks_quarantined + s.chunks_free + s.chunks_released;
     if s.chunks_created != accounted {
-        return Err(format!(
+        return Err(plain(format!(
             "chunk conservation violated: created {} != active {} + quarantined {} + free {} + released {}",
             s.chunks_created, s.chunks_active, s.chunks_quarantined, s.chunks_free, s.chunks_released
-        ));
+        )));
     }
     if s.active_runs != 0 {
-        return Err(format!("{} runs still registered active", s.active_runs));
+        return Err(plain(format!(
+            "{} runs still registered active",
+            s.active_runs
+        )));
     }
-    let violations = rt.check_disentangled();
-    if violations != 0 {
-        return Err(format!("{violations} disentanglement violations"));
+    let report = rt.check_disentangled_report();
+    if !report.is_clean() {
+        return Err(QuiescenceViolation {
+            reason: format!("{} disentanglement violations", report.violations.len()),
+            disentanglement: Some(report),
+        });
     }
     Ok(())
 }
@@ -391,6 +502,64 @@ mod tests {
             let b = serve(&HhRuntime::new(HhConfig::with_workers(2)), &cfg, "epoch");
             assert_eq!(a.checksum, b.checksum, "{} nondeterministic", w.name());
         }
+    }
+
+    #[test]
+    fn violation_json_is_well_formed_and_carries_forensics() {
+        use hh_objmodel::{ChunkForensics, ChunkId, ObjPtr};
+        use hh_runtime::{DisentanglementReport, EntanglementViolation, HeapId};
+        let chunk = |id: u32, owner: u32| ChunkForensics {
+            chunk: ChunkId(id),
+            owner,
+            run_tag: 7,
+            generation: 1,
+            retired: owner == 1,
+            gc_epoch: 3,
+            gc_slot: 0,
+            gc_from: false,
+            gc_to: owner == 0,
+        };
+        let v = QuiescenceViolation {
+            reason: "1 disentanglement \"violations\"".into(),
+            disentanglement: Some(DisentanglementReport {
+                violations: vec![EntanglementViolation {
+                    holder: ObjPtr::new(ChunkId(2), 0),
+                    field: 5,
+                    holder_heap: HeapId(0),
+                    holder_depth: 0,
+                    holder_chunk: chunk(2, 0),
+                    target: ObjPtr::new(ChunkId(4), 242),
+                    target_heap: HeapId(1),
+                    target_depth: 0,
+                    target_chunk: chunk(4, 1),
+                }],
+                window_open: true,
+                window_finalizing: false,
+                window_epoch: 3,
+            }),
+        };
+        let json = v.to_json(&small_cfg(8), "epoch-inc");
+        for key in [
+            "\"experiment\":\"serve-violation\"",
+            "\"mode\":\"epoch-inc\"",
+            "\"workload\":\"mix\"",
+            "\"seed\":7",
+            "\"reason\":\"1 disentanglement \\\"violations\\\"\"",
+            "\"window_open\":true",
+            "\"window_epoch\":3",
+            "\"violation_count\":1",
+            "\"field\":5",
+            "\"run_tag\":7",
+            "\"retired\":true",
+            "\"gc_to\":true",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // The Display form shows the reason plus one line per violation.
+        let text = format!("{v}");
+        assert!(text.contains("field 5"));
+        assert!(text.contains("run_tag 7"));
     }
 
     #[test]

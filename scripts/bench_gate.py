@@ -9,8 +9,11 @@ scale); for every pair present in both files the named metrics below are
 compared and the gate exits 1 if any regresses by more than TOLERANCE.
 
 Robustness rules (all logged, nothing silently dropped):
-  * A metric missing on either side, or zero in the baseline, is skipped —
-    artifact schemas grow across PRs and zero means "didn't fire", not "fast".
+  * A metric the baseline measured but the candidate lacks FAILS the gate
+    (`MISSING`): a candidate artifact that silently dropped a measurement is a
+    hole, not a pass — this is how a gated metric regression hides. A metric
+    only the candidate has is fine (schemas grow across PRs), as is a zero
+    baseline value (zero means "didn't fire", not "fast").
   * Timed metrics (throughput, latency percentiles, pauses) are skipped when
     either side's run lasted under MIN_ELAPSED_S wall-clock: a serve smoke that
     finishes in 30 ms has run-to-run throughput variance far beyond any useful
@@ -93,7 +96,11 @@ def main():
             continue
         b, c = base[key], cand[key]
         for metric, direction in METRICS.items():
-            if metric not in b or metric not in c:
+            if metric not in b:
+                continue  # only the candidate has it: schema growth, not gated
+            if metric not in c:
+                print(f"MISSING  {key} {metric}: baseline measured it, candidate lacks it")
+                failures.append((key, metric, float(b[metric]), float("nan")))
                 continue
             bv, cv = float(b[metric]), float(c[metric])
             if bv == 0.0:
@@ -133,7 +140,10 @@ def main():
     print(f"\n{compared} comparison(s), {skipped} skipped, {len(failures)} regression(s)")
     if failures:
         for key, metric, bv, cv in failures:
-            print(f"FAIL: {key} {metric} regressed {bv:.1f} -> {cv:.1f} (>{TOLERANCE:.0%})")
+            if cv != cv:  # NaN marks a metric the candidate failed to measure
+                print(f"FAIL: {key} {metric} missing from candidate (baseline {bv:.1f})")
+            else:
+                print(f"FAIL: {key} {metric} regressed {bv:.1f} -> {cv:.1f} (>{TOLERANCE:.0%})")
         return 1
     print(f"gate passed: {cand_path} holds the line against {base_path}")
     return 0
