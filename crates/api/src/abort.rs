@@ -1,0 +1,288 @@
+//! Cooperative run abort: cancellation tokens, deadlines, and the typed panic
+//! payloads that carry an abort out of a running task tree.
+//!
+//! The failure model (DESIGN.md §13) makes tenant failure a first-class event:
+//! a run can end by returning, by **cancellation** (the server revokes it), by
+//! **deadline** (it ran too long), by an **injected fault** (the chaos layer
+//! killed it on purpose), or by an ordinary panic (a workload bug). The first
+//! three are *cooperative*: the runtime polls a [`RunCtl`] at its safe points
+//! and, when the token has fired, unwinds the task tree with a typed payload
+//! ([`RunAbort`]) that [`RunError::from_panic`] classifies back into a value.
+//! Unwinding reuses the scheduler's existing panic propagation — the first
+//! aborting branch wins, siblings are joined, and the runtime's run-teardown
+//! guard still disposes the heap tree and ends the run epoch — so an aborted
+//! run leaves the store exactly as conserved as a panicked one.
+//!
+//! [`Runtime::try_run`](crate::Runtime::try_run) is the entry point servers
+//! use: it converts any unwind escaping `run` into a [`RunError`] instead of
+//! propagating it into the executor thread.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a run was cooperatively aborted.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AbortReason {
+    /// [`RunCtl::cancel`] was called (the server revoked the run).
+    Cancelled,
+    /// The run outlived its [`RunCtl`] deadline.
+    DeadlineExceeded,
+}
+
+/// The panic payload of a cooperative abort. The runtime's safe points throw it
+/// via `std::panic::panic_any` when the run's [`RunCtl`] has fired; it unwinds
+/// the task tree like any panic and is classified back into
+/// [`RunError::Cancelled`] / [`RunError::DeadlineExceeded`] by
+/// [`RunError::from_panic`].
+#[derive(Copy, Clone, Debug)]
+pub struct RunAbort {
+    /// Why the run was aborted.
+    pub reason: AbortReason,
+}
+
+/// The panic payload of an injected fault (the seeded chaos layer). Runtime
+/// fault injectors throw this at hook sites; [`RunError::from_panic`] maps it
+/// to [`RunError::InjectedFault`] so servers can retry exactly the runs the
+/// fault plan killed.
+#[derive(Copy, Clone, Debug)]
+pub struct InjectedFault {
+    /// The fault site that fired (e.g. `"alloc"`, `"finalize-claimed"`).
+    pub site: &'static str,
+}
+
+/// Cancellation token and optional deadline for one run, polled cooperatively
+/// at the runtime's safe points (`maybe_collect`, fork points).
+///
+/// Shared by `Arc`: the server holds one end (to cancel), the runtime threads
+/// the other through every task context of the run. A fired token is permanent
+/// — `RunCtl` is per-run, not reusable across runs.
+#[derive(Debug, Default)]
+pub struct RunCtl {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl RunCtl {
+    /// A token with no deadline; aborts only on [`RunCtl::cancel`].
+    pub fn new() -> Arc<RunCtl> {
+        Arc::new(RunCtl::default())
+    }
+
+    /// A token that fires `budget` from now (and on [`RunCtl::cancel`]).
+    pub fn with_deadline(budget: Duration) -> Arc<RunCtl> {
+        Arc::new(RunCtl {
+            cancelled: AtomicBool::new(false),
+            deadline: Some(Instant::now() + budget),
+        })
+    }
+
+    /// Revokes the run: the next safe point any of its tasks reaches aborts.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// True once [`RunCtl::cancel`] has been called (deadline expiry also sets
+    /// this, so sibling tasks observe one cheap flag instead of re-reading the
+    /// clock).
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// The reason this token has fired, if it has. Cancellation wins over the
+    /// deadline when both hold (the explicit revocation is the stronger
+    /// signal). Reading the clock is skipped entirely for tokens without a
+    /// deadline, so an armed-but-quiet token costs one atomic load per poll.
+    pub fn aborted(&self) -> Option<AbortReason> {
+        if self.cancelled.load(Ordering::Acquire) {
+            return Some(AbortReason::Cancelled);
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => {
+                // Latch, so every other task of the run aborts on the cheap
+                // flag without consulting the clock again.
+                self.cancelled.store(true, Ordering::Release);
+                Some(AbortReason::DeadlineExceeded)
+            }
+            _ => None,
+        }
+    }
+
+    /// Safe-point poll: panics with a [`RunAbort`] payload if the token has
+    /// fired. The runtime calls this from `maybe_collect` and fork points; the
+    /// unwind is classified by [`RunError::from_panic`] at the run boundary.
+    #[inline]
+    pub fn check(&self) {
+        if let Some(reason) = self.aborted() {
+            std::panic::panic_any(RunAbort { reason });
+        }
+    }
+}
+
+/// How a [`Runtime::try_run`](crate::Runtime::try_run) call failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// The run's [`RunCtl`] was cancelled.
+    Cancelled,
+    /// The run outlived its [`RunCtl`] deadline.
+    DeadlineExceeded,
+    /// A seeded fault injector killed the run at the named site. Retryable:
+    /// the fault was synthetic, not a property of the request.
+    InjectedFault(&'static str),
+    /// The task tree panicked for any other reason (a workload bug); carries
+    /// the panic message when one was available. Not retryable by default.
+    Panic(String),
+}
+
+impl RunError {
+    /// The error a fired-but-not-yet-thrown abort reason maps to (used by
+    /// `try_run` implementations for the checked-before-starting case).
+    pub fn from_abort(reason: AbortReason) -> RunError {
+        match reason {
+            AbortReason::Cancelled => RunError::Cancelled,
+            AbortReason::DeadlineExceeded => RunError::DeadlineExceeded,
+        }
+    }
+
+    /// Classifies a panic payload that unwound out of `Runtime::run` into a
+    /// typed error: cooperative aborts and injected faults are recognized by
+    /// payload type, anything else is reported as [`RunError::Panic`].
+    pub fn from_panic(payload: Box<dyn Any + Send>) -> RunError {
+        let payload = match payload.downcast::<RunAbort>() {
+            Ok(abort) => {
+                return match abort.reason {
+                    AbortReason::Cancelled => RunError::Cancelled,
+                    AbortReason::DeadlineExceeded => RunError::DeadlineExceeded,
+                }
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.downcast::<InjectedFault>() {
+            Ok(fault) => return RunError::InjectedFault(fault.site),
+            Err(p) => p,
+        };
+        let payload = match payload.downcast::<String>() {
+            Ok(msg) => return RunError::Panic(*msg),
+            Err(p) => p,
+        };
+        match payload.downcast::<&'static str>() {
+            Ok(msg) => RunError::Panic((*msg).to_string()),
+            Err(_) => RunError::Panic("non-string panic payload".to_string()),
+        }
+    }
+
+    /// True for failures a server may retry (the synthetic injected faults);
+    /// false for cooperative aborts (retrying a cancelled or deadlined run
+    /// contradicts the abort) and genuine panics (a workload bug will panic
+    /// again).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, RunError::InjectedFault(_))
+    }
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Cancelled => write!(f, "run cancelled"),
+            RunError::DeadlineExceeded => write!(f, "run deadline exceeded"),
+            RunError::InjectedFault(site) => write!(f, "injected fault at {site}"),
+            RunError::Panic(msg) => write!(f, "run panicked: {msg}"),
+        }
+    }
+}
+
+/// Suppresses the default panic-hook backtrace spam for *expected* unwinds —
+/// cooperative aborts ([`RunAbort`]) and injected faults ([`InjectedFault`]) —
+/// while delegating every other panic to the previously installed hook.
+/// Idempotent (installs once per process); chaos drivers and abort tests call
+/// it so a 64-seed fault sweep doesn't print thousands of expected traces.
+pub fn silence_expected_aborts() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let expected = info.payload().downcast_ref::<RunAbort>().is_some()
+                || info.payload().downcast_ref::<InjectedFault>().is_some();
+            if !expected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ctl_is_quiet() {
+        let ctl = RunCtl::new();
+        assert!(!ctl.is_cancelled());
+        assert_eq!(ctl.aborted(), None);
+        ctl.check(); // must not panic
+    }
+
+    #[test]
+    fn cancel_fires_and_latches() {
+        let ctl = RunCtl::new();
+        ctl.cancel();
+        assert_eq!(ctl.aborted(), Some(AbortReason::Cancelled));
+        assert!(ctl.is_cancelled());
+    }
+
+    #[test]
+    fn expired_deadline_fires_and_latches_the_flag() {
+        let ctl = RunCtl::with_deadline(Duration::ZERO);
+        assert_eq!(ctl.aborted(), Some(AbortReason::DeadlineExceeded));
+        // The expiry latched the cancelled flag for sibling tasks.
+        assert!(ctl.is_cancelled());
+    }
+
+    #[test]
+    fn far_deadline_stays_quiet() {
+        let ctl = RunCtl::with_deadline(Duration::from_secs(3600));
+        assert_eq!(ctl.aborted(), None);
+    }
+
+    #[test]
+    fn cancellation_wins_over_deadline() {
+        let ctl = RunCtl::with_deadline(Duration::ZERO);
+        ctl.cancel();
+        assert_eq!(ctl.aborted(), Some(AbortReason::Cancelled));
+    }
+
+    #[test]
+    fn check_throws_classifiable_payload() {
+        let ctl = RunCtl::new();
+        ctl.cancel();
+        let payload = std::panic::catch_unwind(|| ctl.check()).unwrap_err();
+        assert_eq!(RunError::from_panic(payload), RunError::Cancelled);
+    }
+
+    #[test]
+    fn classification_covers_all_payload_kinds() {
+        let as_payload = |f: Box<dyn FnOnce() + Send>| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).unwrap_err()
+        };
+        assert_eq!(
+            RunError::from_panic(as_payload(Box::new(|| std::panic::panic_any(RunAbort {
+                reason: AbortReason::DeadlineExceeded
+            })))),
+            RunError::DeadlineExceeded
+        );
+        assert_eq!(
+            RunError::from_panic(as_payload(Box::new(|| std::panic::panic_any(
+                InjectedFault { site: "alloc" }
+            )))),
+            RunError::InjectedFault("alloc")
+        );
+        assert_eq!(
+            RunError::from_panic(as_payload(Box::new(|| panic!("boom {}", 7)))),
+            RunError::Panic("boom 7".to_string())
+        );
+        assert!(RunError::InjectedFault("alloc").is_retryable());
+        assert!(!RunError::Cancelled.is_retryable());
+        assert!(!RunError::Panic("x".into()).is_retryable());
+    }
+}

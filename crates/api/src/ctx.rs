@@ -1,5 +1,6 @@
 //! The [`ParCtx`] and [`Runtime`] traits: the paper's high-level operations.
 
+use crate::abort::RunError;
 use crate::stats::RunStats;
 use hh_objmodel::{ObjKind, ObjPtr};
 
@@ -335,6 +336,36 @@ pub trait Runtime: Sync {
     where
         R: Send,
         F: FnOnce(&Self::Ctx) -> R + Send;
+
+    /// Runs `f` as the root task under a cancellation token, converting any
+    /// unwind escaping the run into a typed [`RunError`] instead of propagating
+    /// it into the caller (the crash-safe entry point servers use; DESIGN.md
+    /// §13).
+    ///
+    /// The provided implementation checks `ctl` once up front, then catches
+    /// whatever [`Runtime::run`] unwinds with and classifies it via
+    /// [`RunError::from_panic`]. Runtimes with cooperative safe points
+    /// (`HhRuntime`) override this to thread `ctl` into every task context, so
+    /// cancellation and deadlines fire *mid-run* at `maybe_collect` and fork
+    /// points; on the default implementation they are only observed at the run
+    /// boundary.
+    ///
+    /// Runtime-side teardown (heap disposal, run-epoch retirement, open-window
+    /// finalization) is the runtime's own responsibility on the unwind path —
+    /// this method only guarantees the failure reaches the caller as a value.
+    fn try_run<R, F>(&self, ctl: &std::sync::Arc<crate::abort::RunCtl>, f: F) -> Result<R, RunError>
+    where
+        R: Send,
+        F: FnOnce(&Self::Ctx) -> R + Send,
+    {
+        if let Some(reason) = ctl.aborted() {
+            return Err(RunError::from_abort(reason));
+        }
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run(f))) {
+            Ok(r) => Ok(r),
+            Err(payload) => Err(RunError::from_panic(payload)),
+        }
+    }
 
     /// Statistics accumulated since construction or the last [`Runtime::reset_stats`].
     fn stats(&self) -> RunStats;

@@ -44,12 +44,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod abort;
 pub mod bits;
 pub mod ctx;
 pub mod latency;
 pub mod rng;
 pub mod stats;
 
+pub use abort::{silence_expected_aborts, AbortReason, InjectedFault, RunAbort, RunCtl, RunError};
 pub use bits::{f64_from_bits, f64_to_bits};
 pub use ctx::{ParCtx, Rooted, Runtime};
 pub use latency::{LatencyRecorder, LatencySummary};

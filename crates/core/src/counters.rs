@@ -71,6 +71,21 @@ pub struct Counters {
     /// incremental seed / safepoint tick / finalize). Feeds the pause CDF in
     /// `RunStats`; idle-worker drains do not pause a mutator and are not sampled.
     pub gc_pauses: parking_lot::Mutex<LatencyRecorder>,
+    /// Runs that ended by unwind (panic, cooperative abort, or injected fault)
+    /// rather than by returning; the teardown guard completed their epoch end.
+    /// Not part of `RunStats` — read through `HhRuntime::aborted_runs`.
+    pub runs_aborted: AtomicU64,
+    /// Incremental finalizes completed by the unwind guard after a schedule
+    /// hook panicked mid-finalize (the injected-crash recovery path). Not part
+    /// of `RunStats` — read through `HhRuntime::finalize_rescues`.
+    pub gc_finalize_rescues: AtomicU64,
+    /// Panics raised *inside* `end_run`'s hook-bearing teardown prefix while
+    /// the thread was already unwinding a prior panic — contained (counted,
+    /// not propagated, which would double-panic) after the unconditional
+    /// teardown tail still ran. Expected under fault injection (a hook can
+    /// fire a second fault during the forced finalize); with hooks
+    /// uninstalled, nonzero values indicate a teardown-path bug.
+    pub teardown_panics: AtomicU64,
 }
 
 impl Counters {
@@ -171,6 +186,9 @@ impl Counters {
         self.gc_max_pause_ns.store(0, Ordering::Relaxed);
         self.gc_increments.store(0, Ordering::Relaxed);
         self.gc_incremental_collections.store(0, Ordering::Relaxed);
+        self.runs_aborted.store(0, Ordering::Relaxed);
+        self.gc_finalize_rescues.store(0, Ordering::Relaxed);
+        self.teardown_panics.store(0, Ordering::Relaxed);
         self.gc_pauses.lock().clear();
     }
 }

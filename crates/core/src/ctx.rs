@@ -63,6 +63,11 @@ pub struct HhCtx {
     /// one; borrowers clone the forking context's, so the fork fast path stays
     /// allocation-free.
     frame: Arc<RootFrame>,
+    /// Cancellation token of the run this task belongs to (`None` for plain
+    /// `run` calls): polled at `maybe_collect` and fork entry, so every task of
+    /// the run unwinds cooperatively once the server cancels it or its deadline
+    /// fires (DESIGN.md §13).
+    run_ctl: Option<Arc<hh_api::RunCtl>>,
     /// Keeps `HhCtx: !Sync` (as it was when the shadow stack was a `RefCell`): a
     /// context belongs to the task executing it, and the GC gating arguments assume
     /// no other thread can drive its operations — without this marker, a branch
@@ -85,7 +90,13 @@ fn resolve_fwd(store: &hh_objmodel::ChunkStore, mut p: ObjPtr) -> ObjPtr {
 }
 
 impl HhCtx {
-    pub(crate) fn new(inner: Arc<Inner>, heap: HeapId, worker: Worker, owns_heap: bool) -> HhCtx {
+    pub(crate) fn new(
+        inner: Arc<Inner>,
+        heap: HeapId,
+        worker: Worker,
+        owns_heap: bool,
+        run_ctl: Option<Arc<hh_api::RunCtl>>,
+    ) -> HhCtx {
         let run_tag = inner.registry.heap(heap).run_tag();
         HhCtx {
             inner,
@@ -94,17 +105,19 @@ impl HhCtx {
             worker,
             owns_heap,
             frame: RootFrame::new(),
+            run_ctl,
             _not_sync: std::marker::PhantomData,
         }
     }
 
     /// A context that borrows the forking context's heap (lazy policy, unstolen
-    /// branch): same heap, same shared shadow stack.
+    /// branch): same heap, same shared shadow stack, same cancellation token.
     fn new_borrowed(
         domain_frame: Arc<RootFrame>,
         inner: Arc<Inner>,
         heap: HeapId,
         worker: Worker,
+        run_ctl: Option<Arc<hh_api::RunCtl>>,
     ) -> HhCtx {
         let run_tag = inner.registry.heap(heap).run_tag();
         HhCtx {
@@ -114,7 +127,18 @@ impl HhCtx {
             worker,
             owns_heap: false,
             frame: domain_frame,
+            run_ctl,
             _not_sync: std::marker::PhantomData,
+        }
+    }
+
+    /// Cooperative abort poll: unwinds with a typed [`hh_api::RunAbort`] payload
+    /// once the run's token has fired. One atomic load per call for runs with a
+    /// token; free (a `None` test) for plain `run` calls.
+    #[inline]
+    fn poll_abort(&self) {
+        if let Some(ctl) = &self.run_ctl {
+            ctl.check();
         }
     }
 
@@ -216,17 +240,19 @@ impl HhCtx {
 
         let inner_a = Arc::clone(&self.inner);
         let inner_b = Arc::clone(&self.inner);
+        let ctl_a = self.run_ctl.clone();
+        let ctl_b = self.run_ctl.clone();
         let (ra, rb) = self.worker.join(
             move || {
                 let worker = Worker::current_in(&inner_a.pool)
                     .expect("task branch must execute on a pool worker");
-                let ctx = HhCtx::new(inner_a, heap_f, worker, true);
+                let ctx = HhCtx::new(inner_a, heap_f, worker, true, ctl_a);
                 fa(&ctx)
             },
             move || {
                 let worker = Worker::current_in(&inner_b.pool)
                     .expect("task branch must execute on a pool worker");
-                let ctx = HhCtx::new(inner_b, heap_g, worker, true);
+                let ctx = HhCtx::new(inner_b, heap_g, worker, true, ctl_b);
                 fb(&ctx)
             },
         );
@@ -270,6 +296,13 @@ impl HhCtx {
 
 impl ParCtx for HhCtx {
     fn alloc(&self, n_ptr: usize, n_nonptr: usize, kind: ObjKind) -> ObjPtr {
+        // Modeled allocation failure (the chaos layer's OOM site): checked
+        // before any counter or heap state is touched, so an injected failure
+        // leaves nothing half-done. One relaxed load when no hooks are
+        // installed.
+        if self.inner.hook_alloc_fault() {
+            std::panic::panic_any(hh_api::InjectedFault { site: "alloc" });
+        }
         let header = Header::new(n_ptr + n_nonptr, n_ptr, kind);
         self.inner
             .counters
@@ -360,6 +393,9 @@ impl ParCtx for HhCtx {
         RA: Send,
         RB: Send,
     {
+        // Fork entry is the second cancellation point (with `maybe_collect`):
+        // it bounds abort latency for fork-heavy phases that allocate little.
+        self.poll_abort();
         if !self.inner.config.lazy_child_heaps {
             return self.join_eager(fa, fb);
         }
@@ -375,6 +411,8 @@ impl ParCtx for HhCtx {
         let frame_b = Arc::clone(&self.frame);
         let inner_a = Arc::clone(&self.inner);
         let inner_b = Arc::clone(&self.inner);
+        let ctl_a = self.run_ctl.clone();
+        let ctl_b = self.run_ctl.clone();
         let (ra, (rb, stolen_heap)) = self.worker.join_context(
             move || {
                 let worker = Worker::current_in(&inner_a.pool)
@@ -382,7 +420,7 @@ impl ParCtx for HhCtx {
                 // The left branch always executes inline on the forking worker: it
                 // continues in the parent's heap, with its shadow stack chained to
                 // the suspended forking frame.
-                let ctx = HhCtx::new_borrowed(frame_a, inner_a, parent_heap, worker);
+                let ctx = HhCtx::new_borrowed(frame_a, inner_a, parent_heap, worker, ctl_a);
                 fa(&ctx)
             },
             move |stolen| {
@@ -403,7 +441,7 @@ impl ParCtx for HhCtx {
                     counters.heaps_created.fetch_add(1, Ordering::Relaxed);
                     // The left sibling's heap is still elided.
                     counters.heaps_elided.fetch_add(1, Ordering::Relaxed);
-                    let ctx = HhCtx::new(inner_b, heap, worker, true);
+                    let ctx = HhCtx::new(inner_b, heap, worker, true, ctl_b);
                     (fb(&ctx), Some(heap))
                 } else {
                     inner_b
@@ -412,7 +450,7 @@ impl ParCtx for HhCtx {
                         .fetch_add(2, Ordering::Relaxed);
                     // Unstolen: runs on the forking worker, in the parent's heap,
                     // chained to the suspended forking frame.
-                    let ctx = HhCtx::new_borrowed(frame_b, inner_b, parent_heap, worker);
+                    let ctx = HhCtx::new_borrowed(frame_b, inner_b, parent_heap, worker, ctl_b);
                     (fb(&ctx), None)
                 }
             },
@@ -461,6 +499,11 @@ impl ParCtx for HhCtx {
     }
 
     fn maybe_collect(&self) {
+        // Cooperative cancellation fires at the same safe points that may run
+        // GC work: a poll here bounds how long a cancelled run keeps computing
+        // by the workload's own collect-poll cadence (`par_for` leaves, loop
+        // bodies), with no extra instrumentation.
+        self.poll_abort();
         if self.inner.config.incremental_gc {
             // Safe points service an open window first: bounded drains must keep
             // running even while this heap is below threshold, and a contending

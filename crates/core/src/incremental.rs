@@ -268,17 +268,71 @@ impl Inner {
     /// Completes a claimed window: engine handshake, uninstall, to-space
     /// adoption, from-space retirement, statistics. `started` marks where this
     /// thread's pause began (its final drain, for `incremental_tick`).
+    ///
+    /// **Panic safety.** The schedule hooks fired here may panic (the
+    /// fault-injection layer models crashes exactly that way). This thread
+    /// owns the `finalizing` claim, and nothing ever clears that flag:
+    /// unwinding without completing would leave the window installed forever,
+    /// spinning every `finalize_incremental_now` waiter (`end_run`, monolithic
+    /// collects) and pinning the run epoch — the epoch leak of ISSUE 10. So
+    /// the hook calls run under an unwind guard that completes the remaining
+    /// finalize steps *hook-free* before letting the panic continue. The
+    /// hook-free tail itself (`finalize_merge_and_uninstall`) consults no
+    /// hooks and must not panic.
     fn finalize_claimed(&self, gc: &Arc<ActiveGc>, started: Instant, record_pause: bool) {
-        self.fire_hook(crate::hooks::GcScheduleEvent::FinalizeClaimed {
-            epoch: gc.engine.epoch(),
-        });
+        struct FinalizeGuard<'a> {
+            inner: &'a Inner,
+            gc: &'a Arc<ActiveGc>,
+            engine_finalized: bool,
+            completed: bool,
+        }
+        impl Drop for FinalizeGuard<'_> {
+            fn drop(&mut self) {
+                if self.completed {
+                    return;
+                }
+                if !self.engine_finalized {
+                    self.gc.engine.finalize();
+                }
+                self.inner.finalize_merge_and_uninstall(self.gc);
+                self.inner
+                    .counters
+                    .gc_finalize_rescues
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let mut guard = FinalizeGuard {
+            inner: self,
+            gc,
+            engine_finalized: false,
+            completed: false,
+        };
+        let epoch = gc.engine.epoch();
+        self.fire_hook(crate::hooks::GcScheduleEvent::FinalizeClaimed { epoch });
         // Residual drain + barrier quiescence. Barriers must stay answerable
         // until `retired` flips inside, so the active flag is cleared only after.
         gc.engine.finalize();
+        guard.engine_finalized = true;
+        self.fire_hook(crate::hooks::GcScheduleEvent::FinalizePreMerge { epoch });
+        self.finalize_merge_and_uninstall(gc);
+        guard.completed = true;
+        let pause = started.elapsed();
+        self.counters.add_gc_time(pause);
+        if record_pause {
+            self.counters.record_gc_pause(pause);
+        }
+        // Fired after the guard is disarmed: the window is fully closed, so a
+        // panic here (the `finalize-done` fault site) is pure propagation.
+        self.fire_hook(crate::hooks::GcScheduleEvent::FinalizeDone { epoch });
+    }
+
+    /// Hook-free tail of a claimed finalize: survivor adoption, from-space
+    /// retirement, window uninstall (LAST), collection counters. Shared by the
+    /// normal `finalize_claimed` path and its unwind guard, which replays the
+    /// tail after a hook panic without re-firing hooks (re-firing could inject
+    /// a second fault and turn recovery into an abort loop).
+    fn finalize_merge_and_uninstall(&self, gc: &Arc<ActiveGc>) {
         let store = self.registry.store();
-        self.fire_hook(crate::hooks::GcScheduleEvent::FinalizePreMerge {
-            epoch: gc.engine.epoch(),
-        });
         let outcome = gc.engine.merge();
         for ((heap, old), (chunks, words)) in gc.old_chunks.iter().zip(outcome.per_slot) {
             // A zone heap may have been joined away mid-window (a borrower-start
@@ -335,14 +389,6 @@ impl Inner {
         self.counters
             .gc_copied_words
             .fetch_add(outcome.copied_words, Ordering::Relaxed);
-        let pause = started.elapsed();
-        self.counters.add_gc_time(pause);
-        if record_pause {
-            self.counters.record_gc_pause(pause);
-        }
-        self.fire_hook(crate::hooks::GcScheduleEvent::FinalizeDone {
-            epoch: gc.engine.epoch(),
-        });
         // The debug invariant walk (`verify_heaps`) is deliberately skipped here:
         // it requires a quiescent zone, and at an incremental finalize the zone's
         // mutator is running on another frame (or another thread, for idle-worker

@@ -41,6 +41,7 @@ pub mod runtime;
 
 pub use config::HhConfig;
 pub use ctx::HhCtx;
+pub use hooks::{FaultPlan, FaultSite, GcScheduleHooks};
 pub use runtime::{DisentanglementReport, HhRuntime};
 
 pub use hh_api::{ParCtx, Runtime};

@@ -100,6 +100,23 @@ impl Inner {
         hooks.is_some_and(|h| h.force_collect())
     }
 
+    /// True when installed schedule hooks ask the calling allocation to fail
+    /// (see [`crate::hooks::GcScheduleHooks::inject_alloc_fault`]). One relaxed
+    /// load on the allocation path when no hooks are installed.
+    #[inline]
+    pub(crate) fn hook_alloc_fault(&self) -> bool {
+        if !self.hooks_installed.load(Ordering::Relaxed) {
+            return false;
+        }
+        self.hook_alloc_fault_cold()
+    }
+
+    #[cold]
+    fn hook_alloc_fault_cold(&self) -> bool {
+        let hooks = self.hooks.lock().clone();
+        hooks.is_some_and(|h| h.inject_alloc_fault())
+    }
+
     /// Starts a run.
     ///
     /// **Epoch mode** (default): the run draws a monotone epoch from the store's
@@ -161,28 +178,49 @@ impl Inner {
         // its semispaces are on no heap's chunk list mid-window, so disposal
         // would leak both. (A5's untagged runs all read tag 0 and finalize
         // conservatively.)
-        self.finalize_incremental_now(|gc| gc.zone_run_tag == epoch);
-        self.fire_hook(crate::hooks::GcScheduleEvent::EndRunPreDispose { run_epoch: epoch });
+        //
+        // Both the forced finalize and the pre-dispose event fire schedule
+        // hooks, and hooks may panic (the fault-injection layer models crashes
+        // that way — a run that *returned* can still be killed at its own
+        // teardown finalize). Teardown must dispose the tree and end the epoch
+        // regardless, or the reclamation watermark is pinned for the rest of
+        // the runtime's life; so the hook-bearing prefix runs caught, the
+        // unconditional tail runs after, and the panic is re-raised last
+        // (`EndRunGuard` decides whether re-raising is safe).
+        let teardown = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.finalize_incremental_now(|gc| gc.zone_run_tag == epoch);
+            self.fire_hook(crate::hooks::GcScheduleEvent::EndRunPreDispose { run_epoch: epoch });
+        }));
         if self.config.epoch_reclaim {
             self.registry
                 .dispose_subtree_in(root, heaps_before..heaps_after);
             let store = self.registry.store();
             store.run_epochs().end(epoch);
             store.reclaim_watermark();
-            return;
+        } else {
+            let mut state = self.run_epoch.lock();
+            state.active -= 1;
+            state.completed_roots.push(CompletedRun {
+                root,
+                heaps: heaps_before..heaps_after,
+            });
         }
-        let mut state = self.run_epoch.lock();
-        state.active -= 1;
-        state.completed_roots.push(CompletedRun {
-            root,
-            heaps: heaps_before..heaps_after,
-        });
+        if let Err(payload) = teardown {
+            std::panic::resume_unwind(payload);
+        }
     }
 }
 
 /// Ends the run on drop, so a panicking run closure (propagated by `Pool::run`)
 /// cannot leave the epoch permanently active — which would disable disposal and
 /// recycling for the rest of the runtime's life.
+///
+/// The drop is itself panic-aware: `end_run` can re-raise a hook panic (see
+/// its teardown comment), and this guard usually runs *during* an unwind of
+/// the run closure's own panic. Re-raising there would be a double panic
+/// (process abort), so a teardown panic is propagated only when the thread is
+/// not already unwinding; otherwise it is contained and counted
+/// (`Counters::teardown_panics`) and the original panic continues.
 struct EndRunGuard<'a> {
     inner: &'a Inner,
     root: HeapId,
@@ -192,9 +230,30 @@ struct EndRunGuard<'a> {
 
 impl Drop for EndRunGuard<'_> {
     fn drop(&mut self) {
+        let unwinding = std::thread::panicking();
+        if unwinding {
+            // The run is ending by unwind (panic, cooperative abort, or
+            // injected fault) rather than by returning.
+            self.inner
+                .counters
+                .runs_aborted
+                .fetch_add(1, Ordering::Relaxed);
+        }
         let heaps_after = self.inner.registry.n_heaps();
-        self.inner
-            .end_run(self.root, self.heaps_before, heaps_after, self.epoch);
+        let teardown = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.inner
+                .end_run(self.root, self.heaps_before, heaps_after, self.epoch);
+        }));
+        if let Err(payload) = teardown {
+            if unwinding {
+                self.inner
+                    .counters
+                    .teardown_panics
+                    .fetch_add(1, Ordering::Relaxed);
+            } else {
+                std::panic::resume_unwind(payload);
+            }
+        }
     }
 }
 
@@ -380,6 +439,75 @@ impl HhRuntime {
     pub fn promo_buffer_allocs(&self) -> u64 {
         self.inner.counters.promo_buf_allocs.load(Ordering::Relaxed)
     }
+
+    /// Oldest still-active run epoch (the reclamation watermark; epoch-mode
+    /// diagnostics). A run that ends — even by panic — must stop pinning this.
+    pub fn min_active_epoch(&self) -> u64 {
+        self.inner.registry.store().run_epochs().min_active()
+    }
+
+    /// Number of currently active run epochs (0 when the runtime is quiescent).
+    pub fn active_runs(&self) -> usize {
+        self.inner.registry.store().run_epochs().active_runs()
+    }
+
+    /// Runs that ended by unwind (panic, cooperative abort, or injected fault)
+    /// rather than by returning; the teardown guard completed their epoch end.
+    pub fn aborted_runs(&self) -> u64 {
+        self.inner.counters.runs_aborted.load(Ordering::Relaxed)
+    }
+
+    /// Incremental finalizes completed by the unwind guard after a schedule
+    /// hook panicked mid-finalize (injected-crash recovery; see
+    /// `crate::incremental`).
+    pub fn finalize_rescues(&self) -> u64 {
+        self.inner
+            .counters
+            .gc_finalize_rescues
+            .load(Ordering::Relaxed)
+    }
+
+    /// Teardown-prefix panics contained inside `end_run` while the thread was
+    /// already unwinding (see `Counters::teardown_panics`).
+    pub fn teardown_panics(&self) -> u64 {
+        self.inner.counters.teardown_panics.load(Ordering::Relaxed)
+    }
+
+    /// As [`Runtime::run`], with a cancellation token: the
+    /// run's safe points (`maybe_collect`, fork entry) poll `ctl` and unwind
+    /// with a typed [`hh_api::RunAbort`] payload once it fires. Panics (with
+    /// that payload) when the run aborts — pair with
+    /// [`Runtime::try_run`] to get a value back.
+    pub fn run_with_ctl<R, F>(&self, ctl: &Arc<hh_api::RunCtl>, f: F) -> R
+    where
+        R: Send,
+        F: FnOnce(&HhCtx) -> R + Send,
+    {
+        self.run_inner(Some(Arc::clone(ctl)), f)
+    }
+
+    fn run_inner<R, F>(&self, ctl: Option<Arc<hh_api::RunCtl>>, f: F) -> R
+    where
+        R: Send,
+        F: FnOnce(&HhCtx) -> R + Send,
+    {
+        // Each root task gets a fresh root heap, mirroring `main` owning the root of
+        // the hierarchy in the paper's Figure 2. `begin_run` also disposes of earlier
+        // runs' heap trees and recycles their chunks (see `Inner::begin_run`); the
+        // guard ends the run even if `f` panics out through `Pool::run`.
+        let (root_heap, heaps_before, epoch) = self.inner.begin_run();
+        let _guard = EndRunGuard {
+            inner: &self.inner,
+            root: root_heap,
+            heaps_before,
+            epoch,
+        };
+        let inner = Arc::clone(&self.inner);
+        self.inner.pool.run(move |worker| {
+            let ctx = HhCtx::new(Arc::clone(&inner), root_heap, worker.clone(), true, ctl);
+            f(&ctx)
+        })
+    }
 }
 
 impl Runtime for HhRuntime {
@@ -398,22 +526,24 @@ impl Runtime for HhRuntime {
         R: Send,
         F: FnOnce(&Self::Ctx) -> R + Send,
     {
-        // Each root task gets a fresh root heap, mirroring `main` owning the root of
-        // the hierarchy in the paper's Figure 2. `begin_run` also disposes of earlier
-        // runs' heap trees and recycles their chunks (see `Inner::begin_run`); the
-        // guard ends the run even if `f` panics out through `Pool::run`.
-        let (root_heap, heaps_before, epoch) = self.inner.begin_run();
-        let _guard = EndRunGuard {
-            inner: &self.inner,
-            root: root_heap,
-            heaps_before,
-            epoch,
-        };
-        let inner = Arc::clone(&self.inner);
-        self.inner.pool.run(move |worker| {
-            let ctx = HhCtx::new(Arc::clone(&inner), root_heap, worker.clone(), true);
-            f(&ctx)
-        })
+        self.run_inner(None, f)
+    }
+
+    fn try_run<R, F>(&self, ctl: &Arc<hh_api::RunCtl>, f: F) -> Result<R, hh_api::RunError>
+    where
+        R: Send,
+        F: FnOnce(&Self::Ctx) -> R + Send,
+    {
+        // Overrides the trait default (which can only wrap `run`) so the token
+        // actually reaches this runtime's safe points: `maybe_collect` and
+        // fork entry poll it and unwind with a typed payload.
+        if let Some(reason) = ctl.aborted() {
+            return Err(hh_api::RunError::from_abort(reason));
+        }
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_with_ctl(ctl, f))) {
+            Ok(r) => Ok(r),
+            Err(payload) => Err(hh_api::RunError::from_panic(payload)),
+        }
     }
 
     fn stats(&self) -> RunStats {

@@ -987,6 +987,7 @@ pub fn serve_overlap(cfg: ExpConfig, runs: usize) -> Table {
         scale: 1,
         sample_every: 8,
         workload: None,
+        ..hh_server::ServeConfig::default()
     };
     let us = |ns: u64| format!("{:.1}", ns as f64 / 1e3);
     for (mode, config) in [

@@ -670,13 +670,15 @@ impl<Z: EvacZone> EvacEngine<Z> {
     /// all-idle team and finish the collection before the roots have seeded
     /// the wavefront.
     pub fn run_trigger(&self, seed: impl FnOnce(&mut dyn FnMut(ObjPtr) -> ObjPtr)) {
+        // Depart on drop (unwind included): a trigger killed mid-collection
+        // must still count as departed, or a later `await_team` caller would
+        // spin forever on its registration.
+        let _depart = self.sync.depart_on_drop();
         let mut w = self.slots[0].lock();
         self.init_worker(&mut w, 0);
         seed(&mut |p| self.forward(&mut w, 0, p));
         self.roots_seeded.store(true, Ordering::Release);
         self.member_loop(&mut w, 0);
-        drop(w);
-        self.sync.depart();
     }
 
     /// Runs a drafted helper member. A helper arriving after the collection
@@ -689,11 +691,13 @@ impl<Z: EvacZone> EvacEngine<Z> {
         if !self.sync.try_register() {
             return;
         }
+        // As in `run_trigger`: a helper that panics out of its member loop
+        // (contained by the pool's worker shield) must not leave a dangling
+        // registration behind.
+        let _depart = self.sync.depart_on_drop();
         let mut w = self.slots[slot].lock();
         self.init_worker(&mut w, slot);
         self.member_loop(&mut w, slot);
-        drop(w);
-        self.sync.depart();
     }
 
     /// Blocks until every registered member has departed (only the triggering

@@ -56,6 +56,11 @@ pub struct SchedStats {
     pub parks: usize,
     /// Wakeups delivered to parked workers (tokens deposited).
     pub wakes: usize,
+    /// Panics contained by the worker-loop shield (a detached job — GC helper
+    /// or idle-hook work — unwound; the worker survived and kept scheduling).
+    /// Fork/join branch panics are *not* counted here: those propagate to the
+    /// forking frame by design.
+    pub worker_panics: usize,
 }
 
 /// State guarded by the sleep lock: outstanding wake tokens. A parking worker consumes
@@ -85,6 +90,7 @@ struct PoolInner {
     steals: AtomicUsize,
     parks: AtomicUsize,
     wakes: AtomicUsize,
+    worker_panics: AtomicUsize,
     /// GC helper jobs injected but not yet executed. Bounds the injector backlog:
     /// when a saturated pool never drains its helper jobs, later collections stop
     /// injecting new ones instead of queueing an unbounded pile of stale jobs
@@ -172,6 +178,26 @@ impl PoolInner {
     fn load_idle_hook(&self) -> Option<IdleHook> {
         self.idle_hook.lock().clone()
     }
+
+    /// Executes a *detached* job under the worker panic shield: a panic
+    /// escaping the job (a GC helper killed by fault injection — stack jobs
+    /// and root jobs transport their panics internally) is contained and
+    /// counted, never allowed to unwind the caller. That matters in two
+    /// places: the worker main loop (an unwinding worker thread would strand
+    /// its deque and shrink the pool for the rest of its life) and the
+    /// fork/join help loop (whose stack frame a still-running stolen
+    /// `StackJob` borrows — unwinding past it would be a use-after-free, see
+    /// `Worker::join_context`'s safety comment).
+    ///
+    /// # Safety
+    /// Same contract as [`JobRef::execute`]: the handle must be executed
+    /// exactly once, by the thread holding it.
+    unsafe fn execute_shielded(&self, j: JobRef, stolen: bool) {
+        // SAFETY: forwarded caller contract.
+        if catch_unwind(AssertUnwindSafe(|| unsafe { j.execute(stolen) })).is_err() {
+            self.worker_panics.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// A worker-local cache of the pool's idle hook, refreshed only when the hook is
@@ -198,7 +224,12 @@ impl CachedIdleHook {
             self.epoch = epoch;
         }
         if let Some(hook) = &self.hook {
-            hook(index);
+            // Idle-hook work is detached (it drains other runs' GC increments);
+            // a panic there — an injected fault at a finalize hook site — must
+            // not unwind the worker loop or a fork/join help loop.
+            if catch_unwind(AssertUnwindSafe(|| hook(index))).is_err() {
+                pool.worker_panics.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -307,10 +338,10 @@ impl Worker {
                 // A job pushed by an enclosing join on this worker; running it here is
                 // safe (same thread, its frame is suspended below ours) and useful.
                 // SAFETY: popped from our own deque, executed exactly once.
-                unsafe { j.execute(false) };
+                unsafe { self.pool.execute_shielded(j, false) };
             } else if let Some(j) = self.pool.steal_any(index) {
                 // SAFETY: stolen handle, executed exactly once.
-                unsafe { j.execute(true) };
+                unsafe { self.pool.execute_shielded(j, true) };
             } else {
                 // Nothing to help with. Give the idle hook a chance to run — the
                 // stop-the-world baseline uses it to park waiting workers at a
@@ -402,6 +433,7 @@ impl Pool {
             steals: AtomicUsize::new(0),
             parks: AtomicUsize::new(0),
             wakes: AtomicUsize::new(0),
+            worker_panics: AtomicUsize::new(0),
             gc_helper_jobs: AtomicUsize::new(0),
         });
         let mut handles = Vec::with_capacity(n);
@@ -433,6 +465,7 @@ impl Pool {
             steals: self.inner.steals.load(Ordering::Relaxed),
             parks: self.inner.parks.load(Ordering::Relaxed),
             wakes: self.inner.wakes.load(Ordering::Relaxed),
+            worker_panics: self.inner.worker_panics.load(Ordering::Relaxed),
         }
     }
 
@@ -484,8 +517,18 @@ impl Pool {
             let w = Arc::clone(&work);
             let inner = Arc::clone(&self.inner);
             self.inner.injector.push(OwnedJob::spawn(Box::new(move || {
+                // Release the backlog slot on drop, not fall-through: helper
+                // work can panic (an injected fault inside a collection), and
+                // a skipped decrement would permanently shrink the backlog cap
+                // and trip the shutdown drain's leak assertion.
+                struct BacklogSlot(Arc<PoolInner>);
+                impl Drop for BacklogSlot {
+                    fn drop(&mut self) {
+                        self.0.gc_helper_jobs.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+                let _slot = BacklogSlot(inner);
                 w(slot);
-                inner.gc_helper_jobs.fetch_sub(1, Ordering::Relaxed);
             })));
             injected += 1;
         }
@@ -596,12 +639,12 @@ fn worker_loop(pool: Arc<PoolInner>, index: usize) {
         // Phase 1: drain local work and steal.
         if let Some(j) = pool.queues[index].pop() {
             // SAFETY: popped from our own deque; executed exactly once.
-            unsafe { j.execute(false) };
+            unsafe { pool.execute_shielded(j, false) };
             continue 'main;
         }
         if let Some(j) = pool.steal_any(index) {
             // SAFETY: stolen handle; executed exactly once.
-            unsafe { j.execute(true) };
+            unsafe { pool.execute_shielded(j, true) };
             continue 'main;
         }
         if pool.shutdown.load(Ordering::Acquire) {
@@ -614,7 +657,7 @@ fn worker_loop(pool: Arc<PoolInner>, index: usize) {
             idle_hook.run(&pool, index);
             if let Some(j) = pool.steal_any(index) {
                 // SAFETY: stolen handle; executed exactly once.
-                unsafe { j.execute(true) };
+                unsafe { pool.execute_shielded(j, true) };
                 continue 'main;
             }
             if pool.shutdown.load(Ordering::Acquire) {
@@ -911,6 +954,93 @@ mod tests {
         }));
         assert!(result.is_err());
         assert_eq!(pool.run(|_| 6), 6);
+    }
+
+    #[test]
+    fn both_branches_panic_left_payload_wins() {
+        // First-panicking-branch-wins, deterministically: the left branch runs
+        // first under work-first scheduling, so when both branches panic the
+        // join must resume with the *left* payload (the right one is drained
+        // and dropped).
+        let pool = Pool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|w| {
+                let ((), ()) = w.join(|| panic!("left boom"), || panic!("right boom"));
+            })
+        }));
+        let payload = result.expect_err("join with two panicking branches must panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert_eq!(msg, "left boom");
+        assert_eq!(pool.run(|_| 7), 7);
+    }
+
+    #[test]
+    fn panicking_left_branch_still_drains_right_sibling() {
+        // A panic in one branch must not resume until the sibling has fully
+        // completed: the sibling may borrow the joining frame (stolen StackJob),
+        // so unwinding past it would be a use-after-free. Observable contract:
+        // the right branch runs to completion on every iteration.
+        let pool = Pool::new(2);
+        let right_ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let c = Arc::clone(&right_ran);
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.run(|w| {
+                    let ((), ()) = w.join(
+                        || panic!("left boom"),
+                        || {
+                            std::thread::yield_now();
+                            c.fetch_add(1, Ordering::Relaxed);
+                        },
+                    );
+                })
+            }));
+            assert!(result.is_err());
+        }
+        assert_eq!(
+            right_ran.load(Ordering::Relaxed),
+            50,
+            "every right sibling must run to completion before the panic resumes"
+        );
+    }
+
+    #[test]
+    fn gc_helper_panic_is_contained_and_counted() {
+        // A detached GC helper job that panics must be absorbed by the worker
+        // shield (counted, backlog slot returned, worker thread survives) —
+        // there is no joining frame to propagate it to.
+        let pool = Pool::new(2);
+        let inner = Arc::clone(&pool.inner);
+        pool.run_gc_team(
+            2,
+            Arc::new(|slot| {
+                if slot > 0 {
+                    panic!("injected helper fault");
+                }
+            }),
+        );
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while (pool.sched_stats().worker_panics < 2
+            || inner.gc_helper_jobs.load(Ordering::Relaxed) != 0)
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(pool.sched_stats().worker_panics, 2);
+        assert_eq!(
+            inner.gc_helper_jobs.load(Ordering::Relaxed),
+            0,
+            "panicked helpers must return their backlog slots"
+        );
+        // Both workers survived their helper's death: the pool still runs jobs.
+        let r = pool.run(|w| {
+            let (a, b) = w.join(|| 20u64, || 22u64);
+            a + b
+        });
+        assert_eq!(r, 42);
     }
 
     #[test]

@@ -137,8 +137,22 @@ impl Safepoints {
     }
 
     fn park(&self) {
+        // The parked count is decremented through an unwind guard: a pause-work
+        // offer that panics (an injected fault inside a drafted helper stint)
+        // unwinds through this frame with the state lock *released*, and a
+        // leaked `parked` increment would let the next collector count a thread
+        // as parked that is actually gone — stopping the world one thread
+        // short. Declared before `st` so it drops after the lock guard.
+        struct ParkedToken<'a>(&'a Safepoints);
+        impl Drop for ParkedToken<'_> {
+            fn drop(&mut self) {
+                self.0.state.lock().parked -= 1;
+            }
+        }
+        let _token;
         let mut st = self.state.lock();
         st.parked += 1;
+        _token = ParkedToken(self);
         self.parked_cv.notify_all();
         // Generations start at 1, so 0 never suppresses a real offer.
         let mut ran_generation = 0u64;
@@ -163,7 +177,7 @@ impl Safepoints {
             }
             self.resume_cv.wait(&mut st);
         }
-        st.parked -= 1;
+        drop(st);
     }
 
     /// Stops the world and runs `collect` while all other registered threads are parked.
@@ -192,11 +206,24 @@ impl Safepoints {
                         self.parked_cv.wait(&mut st);
                     }
                 }
+                // Resume the world through an unwind guard: if `collect` panics
+                // (a fault-injected collection), leaving `requested` set would
+                // park every future poller forever. The guard also withdraws
+                // any pause-work offer the collection left installed, so a
+                // stale offer cannot leak into the next pause.
+                struct ResumeWorld<'a>(&'a Safepoints);
+                impl Drop for ResumeWorld<'_> {
+                    fn drop(&mut self) {
+                        self.0.pause_work.lock().work = None;
+                        self.0.requested.store(false, Ordering::Release);
+                        let _st = self.0.state.lock();
+                        self.0.resume_cv.notify_all();
+                    }
+                }
+                let resume = ResumeWorld(self);
                 collect();
-                self.requested.store(false, Ordering::Release);
+                drop(resume);
                 self.world_stops.fetch_add(1, Ordering::SeqCst);
-                let _st = self.state.lock();
-                self.resume_cv.notify_all();
                 true
             }
             None => {
@@ -279,6 +306,55 @@ mod tests {
             "mutator observed running during a stop-the-world pause"
         );
         assert_eq!(sp.world_stops(), 5);
+    }
+
+    #[test]
+    fn panicking_collection_resumes_the_world() {
+        let sp = Safepoints::new();
+        sp.register();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sp.stop_the_world(|| panic!("injected collection fault"))
+        }));
+        assert!(r.is_err());
+        // The unwind guard cleared the request; nothing parks forever.
+        assert!(!sp.collection_requested());
+        // And the coordinator is still usable for the next collection.
+        let mut ran = false;
+        assert!(sp.stop_the_world(|| ran = true));
+        assert!(ran);
+        sp.unregister();
+    }
+
+    #[test]
+    fn panicking_pause_work_does_not_leak_parked_count() {
+        let sp = Arc::new(Safepoints::new());
+        sp.register(); // collector
+        sp.register(); // mutator
+        let sp2 = Arc::clone(&sp);
+        let h = std::thread::spawn(move || {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loop {
+                sp2.poll();
+                std::hint::spin_loop();
+            }));
+            assert!(r.is_err(), "the drafted helper stint should have panicked");
+            sp2.unregister();
+        });
+        let sp3 = Arc::clone(&sp);
+        let ran = sp.stop_the_world(|| {
+            sp3.begin_pause_work(Arc::new(|| panic!("drafted helper fault")));
+            // Wait for the parked mutator to pick up the offer and die of it.
+            std::thread::sleep(Duration::from_millis(20));
+            sp3.end_pause_work();
+        });
+        assert!(ran);
+        h.join().unwrap();
+        // The panicked helper's park token was returned on unwind; a leak here
+        // would make a later collector count a dead thread as parked.
+        assert_eq!(sp.state.lock().parked, 0);
+        let mut ran2 = false;
+        assert!(sp.stop_the_world(|| ran2 = true));
+        assert!(ran2);
+        sp.unregister();
     }
 
     #[test]

@@ -114,6 +114,16 @@ impl TeamSync {
         self.departed.fetch_add(1, Ordering::Release);
     }
 
+    /// RAII departure: the returned guard calls [`TeamSync::depart`] when
+    /// dropped, including on unwind. Members take one right after registering
+    /// (or, for the trigger, right after construction), so a member that
+    /// panics out of its work loop still departs — without this, the
+    /// trigger's [`TeamSync::await_departures`] would spin forever on a
+    /// registration whose thread is gone.
+    pub fn depart_on_drop(&self) -> DepartGuard<'_> {
+        DepartGuard { team: self }
+    }
+
     /// Blocks (spinning with yields — departures are imminent once the team is
     /// done) until every registered member has departed. Only the triggering member
     /// calls this, after its own [`TeamSync::depart`].
@@ -125,6 +135,18 @@ impl TeamSync {
     }
 }
 
+/// Guard returned by [`TeamSync::depart_on_drop`]: departs the team exactly
+/// once, when dropped.
+pub struct DepartGuard<'a> {
+    team: &'a TeamSync,
+}
+
+impl Drop for DepartGuard<'_> {
+    fn drop(&mut self) {
+        self.team.depart();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +154,31 @@ mod tests {
 
     #[test]
     fn solo_member_lifecycle() {
+        let t = TeamSync::new();
+        assert!(t.try_register());
+        let guard = t.depart_on_drop();
+        t.enter_idle();
+        t.finish();
+        drop(guard);
+        t.await_departures();
+    }
+
+    #[test]
+    fn depart_guard_departs_on_unwind() {
+        let t = TeamSync::new();
+        assert!(t.try_register());
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = t.depart_on_drop();
+            panic!("member killed mid-collection");
+        }));
+        assert!(r.is_err());
+        t.finish();
+        // The registration did not dangle: await_departures returns.
+        t.await_departures();
+    }
+
+    #[test]
+    fn solo_member_lifecycle_manual() {
         let t = TeamSync::new();
         assert!(t.try_register());
         assert_eq!(t.registered(), 1);

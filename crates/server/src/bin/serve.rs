@@ -6,6 +6,8 @@
 //!       [--seed S] [--scale K] [--gc-threshold WORDS]
 //!       [--mode epoch|epoch-inc|global|both|all]
 //!       [--runtime parmem|seq|stw|dlg] [--workload NAME] [--json PATH]
+//!       [--faults PPM] [--deadline-ms MS] [--max-attempts N] [--backoff-us US]
+//!       [--shed-inflight N]
 //! ```
 //!
 //! `--mode both` (the default for parmem) runs the epoch-reclamation runtime and
@@ -22,12 +24,22 @@
 //! every request to one registry workload (e.g. `wavefront`, `entangle`) instead
 //! of the default mutator mix; unknown names are rejected with the list of valid
 //! ids.
+//!
+//! The failure-model flags (DESIGN.md §13): `--faults PPM` installs a seeded
+//! fault plan on the parmem runtime (per-hook-site panic probability in parts
+//! per million) — runs it kills are retried up to `--max-attempts` times with
+//! `--backoff-us`-jittered backoff, and the report's `requested` vs `runs`
+//! (completed) gap plus the abort/retry/failed counters become the partial
+//! result. `--deadline-ms` gives every run a cooperative deadline polled at
+//! safe points; `--shed-inflight N` turns on admission control (clients shed
+//! new requests while ≥ N runs are in flight, counted as `rejected`).
 
 use hh_baselines::{DlgRuntime, SeqRuntime, StwRuntime};
-use hh_runtime::{HhConfig, HhRuntime};
+use hh_runtime::{FaultPlan, GcScheduleHooks, HhConfig, HhRuntime};
 use hh_server::{serve, verify_quiescent, ServeConfig, ServeReport};
 use hh_workloads::ServeWorkloadId;
 use std::io::Write;
+use std::sync::Arc;
 
 fn usage() -> ! {
     let names: Vec<&str> = ServeWorkloadId::ALL.iter().map(|w| w.name()).collect();
@@ -35,7 +47,9 @@ fn usage() -> ! {
         "usage: serve [--runs N] [--clients C] [--executors E] [--workers W] \
          [--queue-cap Q] [--seed S] [--scale K] [--gc-threshold WORDS] \
          [--mode epoch|epoch-inc|global|both|all] \
-         [--runtime parmem|seq|stw|dlg] [--workload {}] [--json PATH]",
+         [--runtime parmem|seq|stw|dlg] [--workload {}] [--json PATH] \
+         [--faults PPM] [--deadline-ms MS] [--max-attempts N] [--backoff-us US] \
+         [--shed-inflight N]",
         names.join("|")
     );
     std::process::exit(2);
@@ -55,6 +69,13 @@ fn print_report(r: &ServeReport) {
         us(r.latency.p999_ns),
         us(r.latency.max_ns),
     );
+    if r.requested != r.runs || r.aborted > 0 || r.rejected > 0 {
+        println!(
+            "{:<17} requested {:>6}  completed {:>6}  aborted {:>4}  retried {:>4}  \
+             rejected {:>4}  deadline {:>4}  failed {:>4}",
+            "", r.requested, r.runs, r.aborted, r.retried, r.rejected, r.deadline_hits, r.failed,
+        );
+    }
     println!(
         "{:<17} recycle {:>5.1}%  created {:>6}  recycled {:>8}  epoch-reclaims {:>8}  \
          overlap-peak {:>3}  quarantine {:>9} w  peak-footprint {:>10} w",
@@ -77,6 +98,7 @@ fn main() {
     let mut runtime = String::from("parmem");
     let mut json_path: Option<String> = None;
     let mut gc_threshold: Option<usize> = None;
+    let mut faults_ppm: u32 = 0;
     let mut i = 0;
     while i < args.len() {
         let val = |i: usize| args.get(i + 1).cloned().unwrap_or_else(|| usage());
@@ -100,9 +122,20 @@ fn main() {
                 }));
             }
             "--json" => json_path = Some(val(i)),
+            "--faults" => faults_ppm = val(i).parse().unwrap_or_else(|_| usage()),
+            "--deadline-ms" => cfg.deadline_ms = Some(num(i) as u64),
+            "--max-attempts" => cfg.max_attempts = val(i).parse().unwrap_or_else(|_| usage()),
+            "--backoff-us" => cfg.backoff_us = num(i) as u64,
+            "--shed-inflight" => cfg.shed_inflight = Some(num(i)),
             _ => usage(),
         }
         i += 2;
+    }
+
+    if faults_ppm > 0 && runtime != "parmem" {
+        eprintln!(
+            "note: --faults installs hooks on the parmem runtime only; ignored for {runtime}"
+        );
     }
 
     println!(
@@ -140,7 +173,24 @@ fn main() {
                     hh_cfg.gc_threshold_words = t;
                 }
                 let rt = HhRuntime::new(hh_cfg);
+                let plan = (faults_ppm > 0).then(|| {
+                    hh_api::silence_expected_aborts();
+                    let p = Arc::new(FaultPlan::uniform(cfg.seed ^ 0xFA17_5EED, faults_ppm));
+                    rt.install_gc_hooks(Arc::clone(&p) as Arc<dyn GcScheduleHooks>);
+                    p
+                });
                 let report = serve(&rt, &cfg, label);
+                if let Some(p) = &plan {
+                    p.set_armed(false);
+                    println!(
+                        "{:<17} faults {faults_ppm} ppm: injected {}  run-aborts {}  \
+                         finalize-rescues {}",
+                        "",
+                        p.injected_total(),
+                        rt.aborted_runs(),
+                        rt.finalize_rescues(),
+                    );
+                }
                 if let Err(e) = verify_quiescent(&rt) {
                     // Human-readable forensics on stderr, one machine-readable
                     // JSON line on stdout (and into `$HH_VIOLATION_JSON` /

@@ -18,9 +18,11 @@
 //! machine-readable [`ServeReport::to_json`]), and [`verify_quiescent`] (post-run
 //! invariant check). The `serve` binary wraps these for the command line and CI.
 
+pub mod chaos;
 pub mod queue;
 pub mod serve;
 
+pub use chaos::{chaos_one, chaos_sweep, ChaosConfig, ChaosOutcome};
 pub use hh_api::{LatencyRecorder, LatencySummary};
-pub use queue::BoundedQueue;
+pub use queue::{BoundedQueue, TryPushError};
 pub use serve::{serve, verify_quiescent, QuiescenceViolation, ServeConfig, ServeReport};

@@ -15,6 +15,16 @@ struct State<T> {
     closed: bool,
 }
 
+/// Why a [`BoundedQueue::try_push`] was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPushError<T> {
+    /// The queue was at capacity; the item is handed back. Admission control
+    /// turns this into a typed *rejection* instead of blocking the client.
+    Full(T),
+    /// The queue was closed; the item is handed back.
+    Closed(T),
+}
+
 /// A bounded blocking MPMC queue. `push` blocks while full, `pop` blocks while
 /// empty; `close` unblocks both sides permanently.
 pub struct BoundedQueue<T> {
@@ -56,6 +66,37 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Non-blocking enqueue: fails immediately with [`TryPushError::Full`] when
+    /// the queue is at capacity instead of waiting for space. This is the
+    /// admission-control entry point — under overload the server *sheds* the
+    /// request (typed rejection the client can count) rather than stacking up
+    /// blocked producer threads.
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let mut st = self.state.lock();
+        if st.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if st.items.len() >= self.capacity {
+            return Err(TryPushError::Full(item));
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Returns a guard that [`close`](BoundedQueue::close)s the queue when
+    /// dropped — **including on unwind**. Executors hold one while draining the
+    /// queue: if the last executor dies of a panic (an injected fault that
+    /// escaped a run), producers blocked in [`push`](BoundedQueue::push) get
+    /// `Err` back instead of deadlocking on a condvar nobody will ever signal
+    /// again.
+    pub fn close_on_drop(self: &std::sync::Arc<Self>) -> CloseGuard<T> {
+        CloseGuard {
+            queue: std::sync::Arc::clone(self),
+        }
+    }
+
     /// Dequeues an item, blocking while the queue is empty. Returns `None` once the
     /// queue is closed **and** drained — remaining items are always delivered.
     pub fn pop(&self) -> Option<T> {
@@ -89,6 +130,17 @@ impl<T> BoundedQueue<T> {
     /// True when no item is queued (diagnostic; racy by nature).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// Guard from [`BoundedQueue::close_on_drop`]: closes the queue when dropped.
+pub struct CloseGuard<T> {
+    queue: std::sync::Arc<BoundedQueue<T>>,
+}
+
+impl<T> Drop for CloseGuard<T> {
+    fn drop(&mut self) {
+        self.queue.close();
     }
 }
 
@@ -148,6 +200,53 @@ mod tests {
         }
         producer.join().unwrap();
         assert_eq!(got, (0..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_push_sheds_on_full_and_closed() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Ok(()));
+        assert_eq!(q.try_push(3), Err(TryPushError::Full(3)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(4), Ok(()));
+        q.close();
+        assert_eq!(q.try_push(5), Err(TryPushError::Closed(5)));
+        // Shedding never loses queued items: the accepted ones still drain.
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn panicking_consumer_unblocks_producers_via_close_guard() {
+        // Regression for the executor-death deadlock: a producer blocked on a
+        // full queue whose only consumer dies would wait forever on `not_full`.
+        // The consumer's `close_on_drop` guard must close the queue on unwind so
+        // the producer's `push` returns `Err` instead.
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(0usize).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(1))
+        };
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let _close = q.close_on_drop();
+                let _ = q.pop();
+                panic!("executor killed by an injected fault");
+            })
+        };
+        assert!(consumer.join().is_err());
+        // Without the guard this join would hang forever.
+        let refused = producer.join().unwrap();
+        // The pop may or may not have freed a slot before the panic; either the
+        // push squeaked in or it was refused — but it must have *returned*.
+        if let Err(item) = refused {
+            assert_eq!(item, 1);
+        }
+        assert!(q.pop().is_none() || q.pop().is_none(), "drains then ends");
     }
 
     #[test]

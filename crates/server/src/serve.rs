@@ -11,10 +11,11 @@
 
 use crate::queue::BoundedQueue;
 use hh_api::{LatencyRecorder, LatencySummary};
-use hh_api::{RunStats, Runtime};
+use hh_api::{RunCtl, RunError, RunStats, Runtime};
 use hh_workloads::ServeWorkloadId;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Configuration of one serve experiment.
 #[derive(Clone, Copy, Debug)]
@@ -37,6 +38,22 @@ pub struct ServeConfig {
     /// Pin every request to one registry workload (`serve --workload`); `None`
     /// dispatches the default mutator mix off each request's seed.
     pub workload: Option<ServeWorkloadId>,
+    /// Per-run wall-clock budget. Executors attach a deadline token to every
+    /// attempt; the runtime polls it cooperatively at safe points and the run
+    /// unwinds with a typed abort when it expires. `None` = no deadline.
+    pub deadline_ms: Option<u64>,
+    /// Maximum attempts per request (≥ 1). Attempts beyond the first happen
+    /// only for *retryable* failures — runs killed by an injected fault — never
+    /// for deadlines, cancellations, or genuine workload panics.
+    pub max_attempts: u32,
+    /// Base backoff between retry attempts, microseconds; each wait is jittered
+    /// to 50–150 % of this (seeded, so a chaos sweep stays reproducible).
+    pub backoff_us: u64,
+    /// Admission control: when the number of requests currently *executing*
+    /// reaches this watermark, clients stop blocking on a full queue and shed
+    /// instead — `try_push`, with queue-full becoming a typed rejection the
+    /// report counts. `None` = always apply back-pressure, never shed.
+    pub shed_inflight: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -50,6 +67,10 @@ impl Default for ServeConfig {
             scale: 1,
             sample_every: 16,
             workload: None,
+            deadline_ms: None,
+            max_attempts: 1,
+            backoff_us: 200,
+            shed_inflight: None,
         }
     }
 }
@@ -71,8 +92,32 @@ pub struct ServeReport {
     /// for the default mutator mix (keeps artifact lines from different
     /// workloads distinct in the bench gate).
     pub workload: &'static str,
-    /// Runs completed (always equals the configured total).
+    /// Runs completed. Equals the configured total on a clean pass; under fault
+    /// injection, deadlines, or load shedding it is the *partial* result count
+    /// (see the abort counters below — the report always accounts for every
+    /// configured request: `runs + rejected + deadline_hits + failed ==
+    /// requested`).
     pub runs: u64,
+    /// Requests the experiment was configured to serve.
+    pub requested: u64,
+    /// Attempts that ended in any abort (injected fault, deadline, panic) —
+    /// retried attempts included, so this can exceed the per-request failure
+    /// counters.
+    pub aborted: u64,
+    /// Retry attempts performed after fault-killed attempts.
+    pub retried: u64,
+    /// Requests shed by admission control (queue full past the in-flight
+    /// watermark) or refused because the queue closed (an executor died).
+    pub rejected: u64,
+    /// Requests whose final attempt exceeded its deadline (cooperative abort).
+    pub deadline_hits: u64,
+    /// Requests whose final attempt failed non-retryably or exhausted
+    /// `max_attempts`.
+    pub failed: u64,
+    /// Seeds of the requests that completed, in no particular order. Each run's
+    /// result is a pure function of (workload, seed, scale), so a chaos harness
+    /// can recompute every survivor's contribution and audit `checksum`.
+    pub completed_seeds: Vec<u64>,
     /// Workload size multiplier the experiment ran at (carried into the JSON
     /// report so artifact lines from different tenant mixes stay distinct).
     pub scale: usize,
@@ -110,7 +155,9 @@ impl ServeReport {
         format!(
             concat!(
                 "{{\"experiment\":\"serve\",\"runtime\":\"{}\",\"mode\":\"{}\",\"workload\":\"{}\",",
-                "\"runs\":{},\"scale\":{},\"elapsed_s\":{:.6},\"throughput_rps\":{:.2},",
+                "\"runs\":{},\"requested\":{},\"aborted\":{},\"retried\":{},\"rejected\":{},",
+                "\"deadline_hits\":{},\"failed\":{},",
+                "\"scale\":{},\"elapsed_s\":{:.6},\"throughput_rps\":{:.2},",
                 "\"p50_us\":{:.1},\"p99_us\":{:.1},\"p999_us\":{:.1},\"max_us\":{:.1},\"mean_us\":{:.1},",
                 "\"checksum\":{},\"recycle_rate\":{:.6},\"chunks_created\":{},\"chunks_recycled\":{},",
                 "\"epoch_reclaims\":{},\"active_runs_peak\":{},\"quarantine_lag_words\":{},",
@@ -121,6 +168,12 @@ impl ServeReport {
             self.mode,
             self.workload,
             self.runs,
+            self.requested,
+            self.aborted,
+            self.retried,
+            self.rejected,
+            self.deadline_hits,
+            self.failed,
             self.scale,
             self.elapsed_s,
             self.throughput_rps,
@@ -155,14 +208,34 @@ fn splitmix(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Executes one request through the workload registry: a pinned workload when
-/// the config names one, otherwise the default mutator mix selected off the
-/// seed's high bits (the low bits of simple generators are the weak ones).
-/// Every registry workload allocates, forks, promotes, and retires enough
-/// chunks per run to exercise the whole reclamation path.
-fn run_one<R: Runtime>(rt: &R, workload: Option<ServeWorkloadId>, seed: u64, scale: usize) -> u64 {
+/// Executes one request attempt through the workload registry: a pinned
+/// workload when the config names one, otherwise the default mutator mix
+/// selected off the seed's high bits (the low bits of simple generators are the
+/// weak ones). Every registry workload allocates, forks, promotes, and retires
+/// enough chunks per run to exercise the whole reclamation path. The attempt
+/// runs under `ctl` (cancellation + deadline) and any abort — cooperative,
+/// injected, or a genuine panic — comes back as a typed [`RunError`] instead of
+/// unwinding into the executor thread.
+fn try_run_one<R: Runtime>(
+    rt: &R,
+    workload: Option<ServeWorkloadId>,
+    ctl: &Arc<RunCtl>,
+    seed: u64,
+    scale: usize,
+) -> Result<u64, RunError> {
     let w = workload.unwrap_or_else(|| ServeWorkloadId::from_mix_seed(seed));
-    rt.run(|ctx| w.run(ctx, seed, scale))
+    rt.try_run(ctl, |ctx| w.run(ctx, seed, scale))
+}
+
+/// Per-executor outcome tally, merged into the report after the scope joins.
+#[derive(Default)]
+struct ExecTally {
+    rec: LatencyRecorder,
+    completed_seeds: Vec<u64>,
+    aborted: u64,
+    retried: u64,
+    deadline_hits: u64,
+    failed: u64,
 }
 
 /// Runs the serve experiment on `rt`: `cfg.clients` producers feed `cfg.runs`
@@ -173,76 +246,172 @@ fn run_one<R: Runtime>(rt: &R, workload: Option<ServeWorkloadId>, seed: u64, sca
 pub fn serve<R: Runtime>(rt: &R, cfg: &ServeConfig, mode: &'static str) -> ServeReport {
     assert!(cfg.runs > 0 && cfg.clients > 0 && cfg.executors > 0);
     rt.reset_stats();
-    let queue: BoundedQueue<Job> = BoundedQueue::new(cfg.queue_cap);
+    let queue: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(cfg.queue_cap));
     let checksum = AtomicU64::new(0);
     let peak_footprint = AtomicU64::new(0);
+    // Active-run gauge for admission control: requests currently executing.
+    let inflight = AtomicU64::new(0);
     let sample_every = cfg.sample_every.max(1);
+    let max_attempts = cfg.max_attempts.max(1);
     let start = Instant::now();
 
-    let mut recorders: Vec<LatencyRecorder> = Vec::new();
+    let mut tallies: Vec<ExecTally> = Vec::new();
+    let mut rejected = 0u64;
     std::thread::scope(|scope| {
         // Clients: split the request count evenly, remainder to the first.
         let mut handles = Vec::new();
         let per_client = cfg.runs / cfg.clients;
         for c in 0..cfg.clients {
             let mine = per_client + usize::from(c == 0) * (cfg.runs % cfg.clients);
-            let queue = &queue;
+            let queue = Arc::clone(&queue);
+            let inflight = &inflight;
             let mut rng = cfg.seed ^ (c as u64).wrapping_mul(0xA076_1D64_78BD_642F);
             handles.push(scope.spawn(move || {
+                let mut shed = 0u64;
                 for _ in 0..mine {
                     let seed = splitmix(&mut rng);
-                    if queue
-                        .push(Job {
-                            seed,
-                            enqueued: Instant::now(),
-                        })
-                        .is_err()
-                    {
-                        break;
+                    let job = Job {
+                        seed,
+                        enqueued: Instant::now(),
+                    };
+                    // Admission control: past the in-flight watermark the
+                    // server stops applying back-pressure and sheds — a full
+                    // queue is a typed rejection, not a blocked client. A
+                    // closed queue (the executors died) also rejects rather
+                    // than silently dropping the rest of the request count.
+                    let over = cfg
+                        .shed_inflight
+                        .is_some_and(|w| inflight.load(Ordering::Relaxed) >= w as u64);
+                    let refused = if over {
+                        queue.try_push(job).is_err()
+                    } else {
+                        queue.push(job).is_err()
+                    };
+                    if refused {
+                        shed += 1;
                     }
                 }
+                shed
             }));
         }
         // Executors: drain until the closed queue is empty.
         let executors: Vec<_> = (0..cfg.executors)
-            .map(|_| {
-                let queue = &queue;
+            .map(|e| {
+                let queue = Arc::clone(&queue);
                 let checksum = &checksum;
                 let peak_footprint = &peak_footprint;
+                let inflight = &inflight;
+                let mut backoff_rng = cfg.seed
+                    ^ 0xD6E8_FEB8_6659_FD93
+                    ^ (e as u64).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
                 scope.spawn(move || {
-                    let mut rec = LatencyRecorder::with_capacity(cfg.runs / cfg.executors + 1);
+                    // If this executor dies of an unexpected panic, close the
+                    // queue on the way out: blocked producers get a rejection
+                    // back instead of deadlocking on a condvar nobody signals.
+                    let close_guard = queue.close_on_drop();
+                    let mut t = ExecTally {
+                        rec: LatencyRecorder::with_capacity(cfg.runs / cfg.executors + 1),
+                        ..ExecTally::default()
+                    };
                     let mut done = 0usize;
                     while let Some(job) = queue.pop() {
-                        let r = run_one(rt, cfg.workload, job.seed, cfg.scale);
-                        rec.record(job.enqueued.elapsed());
-                        checksum.fetch_add(r, Ordering::Relaxed);
-                        done += 1;
-                        if done.is_multiple_of(sample_every) {
-                            let s = rt.stats();
-                            let footprint = s.live_words + s.free_words + s.quarantine_lag_words;
-                            peak_footprint.fetch_max(footprint, Ordering::Relaxed);
+                        let mut attempt = 0u32;
+                        loop {
+                            attempt += 1;
+                            // A fresh token per attempt: fired tokens are
+                            // permanent, and the deadline budget is per-run.
+                            let ctl = match cfg.deadline_ms {
+                                Some(ms) => RunCtl::with_deadline(Duration::from_millis(ms)),
+                                None => RunCtl::new(),
+                            };
+                            inflight.fetch_add(1, Ordering::Relaxed);
+                            let r = try_run_one(rt, cfg.workload, &ctl, job.seed, cfg.scale);
+                            inflight.fetch_sub(1, Ordering::Relaxed);
+                            match r {
+                                Ok(v) => {
+                                    t.rec.record(job.enqueued.elapsed());
+                                    checksum.fetch_add(v, Ordering::Relaxed);
+                                    t.completed_seeds.push(job.seed);
+                                    done += 1;
+                                    if done.is_multiple_of(sample_every) {
+                                        let s = rt.stats();
+                                        let footprint =
+                                            s.live_words + s.free_words + s.quarantine_lag_words;
+                                        peak_footprint.fetch_max(footprint, Ordering::Relaxed);
+                                    }
+                                    break;
+                                }
+                                Err(err) => {
+                                    t.aborted += 1;
+                                    if err.is_retryable() && attempt < max_attempts {
+                                        t.retried += 1;
+                                        if cfg.backoff_us > 0 {
+                                            // Jittered 50–150 % of the base, seeded:
+                                            // retries decorrelate without making the
+                                            // sweep irreproducible.
+                                            let jitter =
+                                                splitmix(&mut backoff_rng) % cfg.backoff_us;
+                                            std::thread::sleep(Duration::from_micros(
+                                                cfg.backoff_us / 2 + jitter,
+                                            ));
+                                        }
+                                        continue;
+                                    }
+                                    match err {
+                                        // Serve never cancels explicitly, and a
+                                        // deadline expiry latches the shared
+                                        // cancelled flag — sibling tasks of a
+                                        // deadlined run may abort as Cancelled,
+                                        // and either payload can win the race to
+                                        // the run boundary. Both mean "deadline".
+                                        RunError::Cancelled | RunError::DeadlineExceeded => {
+                                            t.deadline_hits += 1
+                                        }
+                                        RunError::InjectedFault(_) | RunError::Panic(_) => {
+                                            t.failed += 1
+                                        }
+                                    }
+                                    break;
+                                }
+                            }
                         }
                     }
-                    rec
+                    drop(close_guard);
+                    t
                 })
             })
             .collect();
         for h in handles {
-            h.join().expect("client thread panicked");
+            rejected += h.join().expect("client thread panicked");
         }
         queue.close();
         for e in executors {
-            recorders.push(e.join().expect("executor thread panicked"));
+            tallies.push(e.join().expect("executor thread panicked"));
         }
     });
 
     let elapsed = start.elapsed();
     let mut all = LatencyRecorder::default();
-    for r in recorders {
-        all.merge(r);
+    let mut completed_seeds = Vec::new();
+    let (mut aborted, mut retried, mut deadline_hits, mut failed) = (0u64, 0u64, 0u64, 0u64);
+    for t in tallies {
+        all.merge(t.rec);
+        completed_seeds.extend(t.completed_seeds);
+        aborted += t.aborted;
+        retried += t.retried;
+        deadline_hits += t.deadline_hits;
+        failed += t.failed;
     }
     let completed = all.len() as u64;
-    assert_eq!(completed, cfg.runs as u64, "every request must complete");
+    // Every configured request ends in exactly one bucket. On a clean pass
+    // (no faults armed, no deadline, no shedding) this degenerates to the old
+    // "every request must complete" assertion.
+    assert_eq!(
+        completed + rejected + deadline_hits + failed,
+        cfg.runs as u64,
+        "every request must be accounted for (completed {completed}, rejected {rejected}, \
+         deadline {deadline_hits}, failed {failed})"
+    );
     let stats = rt.stats();
     let final_footprint = stats.live_words + stats.free_words + stats.quarantine_lag_words;
     ServeReport {
@@ -250,6 +419,13 @@ pub fn serve<R: Runtime>(rt: &R, cfg: &ServeConfig, mode: &'static str) -> Serve
         mode,
         workload: cfg.workload.map_or("mix", ServeWorkloadId::name),
         runs: completed,
+        requested: cfg.runs as u64,
+        aborted,
+        retried,
+        rejected,
+        deadline_hits,
+        failed,
+        completed_seeds,
         scale: cfg.scale,
         elapsed_s: elapsed.as_secs_f64(),
         throughput_rps: completed as f64 / elapsed.as_secs_f64().max(1e-9),
@@ -410,6 +586,7 @@ mod tests {
             scale: 1,
             sample_every: 4,
             workload: None,
+            ..ServeConfig::default()
         }
     }
 

@@ -97,7 +97,13 @@ def main():
         b, c = base[key], cand[key]
         for metric, direction in METRICS.items():
             if metric not in b:
-                continue  # only the candidate has it: schema growth, not gated
+                # Only the candidate has it: schema growth, not gated. This is
+                # how the serve failure-model counters (requested/aborted/
+                # retried/rejected/deadline_hits/failed, DESIGN.md §13) enter
+                # the JSON artifacts: informational fields for forensics and
+                # trend-watching, never regression-gated — an abort count is a
+                # property of the injected fault plan, not a performance metric.
+                continue
             if metric not in c:
                 print(f"MISSING  {key} {metric}: baseline measured it, candidate lacks it")
                 failures.append((key, metric, float(b[metric]), float("nan")))
